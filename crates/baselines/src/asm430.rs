@@ -1,0 +1,426 @@
+//! Builder-style assembler for MSP430 programs.
+//!
+//! Covers the core instruction set the benchmark kernels need: all Format
+//! I ops with register / immediate (constant-generator aware) / indexed /
+//! indirect(+) sources, register and indexed destinations, byte variants,
+//! Format II register ops, and the jump group with labels.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Assembly error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Asm430Error {
+    /// Undefined label.
+    UndefinedLabel(String),
+    /// Duplicate label.
+    DuplicateLabel(String),
+    /// A jump target is out of the ±1 KiB range of the 10-bit offset.
+    JumpOutOfRange(String),
+}
+
+impl fmt::Display for Asm430Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Asm430Error::UndefinedLabel(l) => write!(f, "undefined label {l:?}"),
+            Asm430Error::DuplicateLabel(l) => write!(f, "duplicate label {l:?}"),
+            Asm430Error::JumpOutOfRange(l) => write!(f, "jump to {l:?} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for Asm430Error {}
+
+#[derive(Debug, Clone)]
+enum Fixup {
+    /// Patch a 10-bit jump offset at word position `pos`.
+    Jump { pos: usize, label: String },
+    /// Patch an absolute address word at `pos`.
+    Addr { pos: usize, label: String },
+}
+
+/// Incremental MSP430 assembler.
+#[derive(Debug, Clone, Default)]
+pub struct Asm430 {
+    origin: u16,
+    words: Vec<u16>,
+    labels: BTreeMap<String, u16>,
+    fixups: Vec<Fixup>,
+    error: Option<Asm430Error>,
+}
+
+const PC: u16 = 0;
+const SP: u16 = 1;
+const SR: u16 = 2;
+const CG: u16 = 3;
+
+impl Asm430 {
+    /// Starts assembling at `origin` (word-aligned).
+    pub fn new(origin: u16) -> Self {
+        assert_eq!(origin % 2, 0, "MSP430 code must be word-aligned");
+        Asm430 { origin, ..Default::default() }
+    }
+
+    /// Current byte address.
+    pub fn here(&self) -> u16 {
+        self.origin + 2 * self.words.len() as u16
+    }
+
+    /// Program size in bytes (the Table 5 footprint).
+    pub fn len(&self) -> usize {
+        2 * self.words.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Defines a label at the current address.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self.labels.insert(name.to_string(), self.here()).is_some() && self.error.is_none() {
+            self.error = Some(Asm430Error::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    fn emit(&mut self, w: u16) -> &mut Self {
+        self.words.push(w);
+        self
+    }
+
+    /// Generic Format I instruction with explicit fields. `src_words`
+    /// supplies any extension words (immediate or index), in order.
+    #[allow(clippy::too_many_arguments)]
+    fn format1(
+        &mut self,
+        opcode: u16,
+        src: u16,
+        as_mode: u16,
+        ad: u16,
+        dst: u16,
+        byte: bool,
+        ext: &[u16],
+    ) -> &mut Self {
+        let w = opcode << 12
+            | src << 8
+            | ad << 7
+            | (byte as u16) << 6
+            | as_mode << 4
+            | dst;
+        self.emit(w);
+        for &x in ext {
+            self.emit(x);
+        }
+        self
+    }
+
+    /// Chooses a constant-generator encoding for an immediate, if any.
+    fn cg(imm: u16) -> Option<(u16, u16)> {
+        match imm {
+            0 => Some((CG, 0)),
+            1 => Some((CG, 1)),
+            2 => Some((CG, 2)),
+            0xFFFF => Some((CG, 3)),
+            4 => Some((SR, 2)),
+            8 => Some((SR, 3)),
+            _ => None,
+        }
+    }
+
+    fn op_imm(&mut self, opcode: u16, imm: u16, rd: u16, byte: bool) -> &mut Self {
+        if let Some((reg, as_mode)) = Self::cg(imm) {
+            self.format1(opcode, reg, as_mode, 0, rd, byte, &[])
+        } else {
+            self.format1(opcode, PC, 3, 0, rd, byte, &[imm])
+        }
+    }
+
+    /// `MOV #imm, Rd`.
+    pub fn mov_imm(&mut self, imm: u16, rd: u16) -> &mut Self {
+        self.op_imm(0x4, imm, rd, false)
+    }
+    /// `ADD #imm, Rd`.
+    pub fn add_imm(&mut self, imm: u16, rd: u16) -> &mut Self {
+        self.op_imm(0x5, imm, rd, false)
+    }
+    /// `ADDC #imm, Rd`.
+    pub fn addc_imm(&mut self, imm: u16, rd: u16) -> &mut Self {
+        self.op_imm(0x6, imm, rd, false)
+    }
+    /// `SUB #imm, Rd`.
+    pub fn sub_imm(&mut self, imm: u16, rd: u16) -> &mut Self {
+        self.op_imm(0x8, imm, rd, false)
+    }
+    /// `CMP #imm, Rd`.
+    pub fn cmp_imm(&mut self, imm: u16, rd: u16) -> &mut Self {
+        self.op_imm(0x9, imm, rd, false)
+    }
+    /// `AND #imm, Rd`.
+    pub fn and_imm(&mut self, imm: u16, rd: u16) -> &mut Self {
+        self.op_imm(0xF, imm, rd, false)
+    }
+    /// `XOR #imm, Rd`.
+    pub fn xor_imm(&mut self, imm: u16, rd: u16) -> &mut Self {
+        self.op_imm(0xE, imm, rd, false)
+    }
+    /// `BIS #imm, Rd`.
+    pub fn bis_imm(&mut self, imm: u16, rd: u16) -> &mut Self {
+        self.op_imm(0xD, imm, rd, false)
+    }
+    /// `BIT #imm, Rd`.
+    pub fn bit_imm(&mut self, imm: u16, rd: u16) -> &mut Self {
+        self.op_imm(0xB, imm, rd, false)
+    }
+    /// `ADD.B #imm, Rd`.
+    pub fn add_imm_b(&mut self, imm: u16, rd: u16) -> &mut Self {
+        self.op_imm(0x5, imm, rd, true)
+    }
+
+    /// Register-to-register ops.
+    pub fn mov_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0x4, rs, 0, 0, rd, false, &[])
+    }
+    /// `ADD Rs, Rd`.
+    pub fn add_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0x5, rs, 0, 0, rd, false, &[])
+    }
+    /// `ADDC Rs, Rd`.
+    pub fn addc_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0x6, rs, 0, 0, rd, false, &[])
+    }
+    /// `SUB Rs, Rd`.
+    pub fn sub_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0x8, rs, 0, 0, rd, false, &[])
+    }
+    /// `SUBC Rs, Rd`.
+    pub fn subc_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0x7, rs, 0, 0, rd, false, &[])
+    }
+    /// `CMP Rs, Rd`.
+    pub fn cmp_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0x9, rs, 0, 0, rd, false, &[])
+    }
+    /// `AND Rs, Rd`.
+    pub fn and_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0xF, rs, 0, 0, rd, false, &[])
+    }
+    /// `XOR Rs, Rd`.
+    pub fn xor_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0xE, rs, 0, 0, rd, false, &[])
+    }
+    /// `BIS Rs, Rd`.
+    pub fn bis_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0xD, rs, 0, 0, rd, false, &[])
+    }
+    /// `BIC Rs, Rd`.
+    pub fn bic_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0xC, rs, 0, 0, rd, false, &[])
+    }
+
+    /// Memory addressing helpers.
+    pub fn mov_indexed_to_reg(&mut self, rbase: u16, x: u16, rd: u16) -> &mut Self {
+        self.format1(0x4, rbase, 1, 0, rd, false, &[x])
+    }
+    /// `MOV Rs, X(Rbase)`.
+    pub fn mov_reg_to_indexed(&mut self, rs: u16, rbase: u16, x: u16) -> &mut Self {
+        self.format1(0x4, rs, 0, 1, rbase, false, &[x])
+    }
+    /// `MOV @Rs, Rd`.
+    pub fn mov_indirect_to_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0x4, rs, 2, 0, rd, false, &[])
+    }
+    /// `MOV @Rs+, Rd`.
+    pub fn mov_indirect_inc_to_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0x4, rs, 3, 0, rd, false, &[])
+    }
+    /// `MOV.B @Rs+, Rd`.
+    pub fn mov_b_indirect_inc_to_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0x4, rs, 3, 0, rd, true, &[])
+    }
+    /// `ADD @Rs, Rd`.
+    pub fn add_indirect_to_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0x5, rs, 2, 0, rd, false, &[])
+    }
+    /// `ADD X(Rbase), Rd`.
+    pub fn add_indexed_to_reg(&mut self, rbase: u16, x: u16, rd: u16) -> &mut Self {
+        self.format1(0x5, rbase, 1, 0, rd, false, &[x])
+    }
+    /// `CMP X(Rbase), Rd`.
+    pub fn cmp_indexed_to_reg(&mut self, rbase: u16, x: u16, rd: u16) -> &mut Self {
+        self.format1(0x9, rbase, 1, 0, rd, false, &[x])
+    }
+
+    /// `MOV &addr, Rd` (absolute addressing via SR).
+    pub fn mov_abs_to_reg(&mut self, addr: u16, rd: u16) -> &mut Self {
+        self.format1(0x4, SR, 1, 0, rd, false, &[addr])
+    }
+    /// `MOV.B &addr, Rd`.
+    pub fn mov_b_abs_to_reg(&mut self, addr: u16, rd: u16) -> &mut Self {
+        self.format1(0x4, SR, 1, 0, rd, true, &[addr])
+    }
+    /// `MOV Rs, &addr`.
+    pub fn mov_reg_to_abs(&mut self, rs: u16, addr: u16) -> &mut Self {
+        self.format1(0x4, rs, 0, 1, SR, false, &[addr])
+    }
+    /// `ADD @Rs+, Rd`.
+    pub fn add_indirect_inc_to_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0x5, rs, 3, 0, rd, false, &[])
+    }
+    /// `XOR.B @Rs+, Rd`.
+    pub fn xor_b_indirect_inc_to_reg(&mut self, rs: u16, rd: u16) -> &mut Self {
+        self.format1(0xE, rs, 3, 0, rd, true, &[])
+    }
+    /// `CLRC` (`BIC #1, SR` — constant generator, single word).
+    pub fn clrc(&mut self) -> &mut Self {
+        self.format1(0xC, CG, 1, 0, SR, false, &[])
+    }
+
+    /// Format II register ops.
+    pub fn rrc(&mut self, r: u16) -> &mut Self {
+        self.emit(0x1000 | r)
+    }
+    /// `RRA Rd`.
+    pub fn rra(&mut self, r: u16) -> &mut Self {
+        self.emit(0x1100 | r)
+    }
+    /// `SWPB Rd`.
+    pub fn swpb(&mut self, r: u16) -> &mut Self {
+        self.emit(0x1080 | r)
+    }
+    /// `SXT Rd`.
+    pub fn sxt(&mut self, r: u16) -> &mut Self {
+        self.emit(0x1180 | r)
+    }
+    /// `PUSH Rs`.
+    pub fn push(&mut self, r: u16) -> &mut Self {
+        self.emit(0x1200 | r)
+    }
+    /// `CALL label` (immediate mode).
+    pub fn call(&mut self, label: &str) -> &mut Self {
+        self.emit(0x1280 | 0x30 | PC); // CALL #addr via @PC+
+        self.fixups.push(Fixup::Addr { pos: self.words.len(), label: label.to_string() });
+        self.emit(0)
+    }
+    /// `RET` (`MOV @SP+, PC`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.format1(0x4, SP, 3, 0, PC, false, &[])
+    }
+
+    /// `BIS #CPUOFF, SR` — the MSP430 halt idiom.
+    pub fn halt(&mut self) -> &mut Self {
+        self.format1(0xD, PC, 3, 0, SR, false, &[0x10])
+    }
+
+    fn jump(&mut self, cond: u16, label: &str) -> &mut Self {
+        self.fixups.push(Fixup::Jump { pos: self.words.len(), label: label.to_string() });
+        self.emit(0x2000 | cond << 10)
+    }
+
+    /// `JMP label`.
+    pub fn jmp(&mut self, label: &str) -> &mut Self {
+        self.jump(7, label)
+    }
+    /// `JNE/JNZ label`.
+    pub fn jnz(&mut self, label: &str) -> &mut Self {
+        self.jump(0, label)
+    }
+    /// `JEQ/JZ label`.
+    pub fn jz(&mut self, label: &str) -> &mut Self {
+        self.jump(1, label)
+    }
+    /// `JNC label`.
+    pub fn jnc(&mut self, label: &str) -> &mut Self {
+        self.jump(2, label)
+    }
+    /// `JC label`.
+    pub fn jc(&mut self, label: &str) -> &mut Self {
+        self.jump(3, label)
+    }
+    /// `JN label`.
+    pub fn jn(&mut self, label: &str) -> &mut Self {
+        self.jump(4, label)
+    }
+    /// `JGE label`.
+    pub fn jge(&mut self, label: &str) -> &mut Self {
+        self.jump(5, label)
+    }
+    /// `JL label`.
+    pub fn jl(&mut self, label: &str) -> &mut Self {
+        self.jump(6, label)
+    }
+
+    /// Resolves labels and returns the little-endian byte image.
+    ///
+    /// # Errors
+    ///
+    /// [`Asm430Error`] for unresolved labels or out-of-range jumps.
+    pub fn assemble(&self) -> Result<Vec<u8>, Asm430Error> {
+        if let Some(err) = &self.error {
+            return Err(err.clone());
+        }
+        let mut words = self.words.clone();
+        for fixup in &self.fixups {
+            match fixup {
+                Fixup::Jump { pos, label } => {
+                    let target = *self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| Asm430Error::UndefinedLabel(label.clone()))?;
+                    let insn_addr = self.origin + 2 * *pos as u16;
+                    let delta = (target as i32 - (insn_addr as i32 + 2)) / 2;
+                    if !(-512..=511).contains(&delta) {
+                        return Err(Asm430Error::JumpOutOfRange(label.clone()));
+                    }
+                    words[*pos] |= (delta as u16) & 0x3FF;
+                }
+                Fixup::Addr { pos, label } => {
+                    let target = *self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| Asm430Error::UndefinedLabel(label.clone()))?;
+                    words[*pos] = target;
+                }
+            }
+        }
+        Ok(words.iter().flat_map(|w| w.to_le_bytes()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cg_immediates_take_no_extension_word() {
+        let mut a = Asm430::new(0x4400);
+        a.mov_imm(0, 4).mov_imm(1, 4).mov_imm(8, 4);
+        assert_eq!(a.len(), 6, "three single-word instructions");
+        let mut b = Asm430::new(0x4400);
+        b.mov_imm(1234, 4);
+        assert_eq!(b.len(), 4, "non-CG immediate needs an extension word");
+    }
+
+    #[test]
+    fn jump_encoding_backward() {
+        let mut a = Asm430::new(0x4400);
+        a.label("top").add_imm(1, 4).jmp("top");
+        let image = a.assemble().unwrap();
+        // JMP is the second instruction: opcode 001, cond 111.
+        let w = u16::from_le_bytes([image[2], image[4 - 1]]);
+        assert_eq!(w >> 13, 0b001);
+        assert_eq!(w >> 10 & 7, 7);
+        // offset = (0x4400 - (0x4402 + 2)) / 2 = -2 -> 0x3FE.
+        assert_eq!(w & 0x3FF, 0x3FE);
+    }
+
+    #[test]
+    fn duplicate_and_missing_labels_error() {
+        let mut a = Asm430::new(0);
+        a.label("x").label("x");
+        assert!(matches!(a.assemble(), Err(Asm430Error::DuplicateLabel(_))));
+        let mut b = Asm430::new(0);
+        b.jmp("gone");
+        assert!(matches!(b.assemble(), Err(Asm430Error::UndefinedLabel(_))));
+    }
+}

@@ -1,0 +1,463 @@
+//! Builder-style assembler for 8080 programs (also executed by the Z80,
+//! whose base instruction set is a superset — which is why Table 5 shows
+//! identical instruction-memory footprints for Z80 and light8080).
+//!
+//! ```
+//! use printed_baselines::asm8080::Asm8080;
+//! use printed_baselines::i8080::{Cpu8080, Reg};
+//!
+//! let mut a = Asm8080::new(0x100);
+//! a.mvi(Reg::A, 40).adi(2).hlt();
+//! let image = a.assemble().map_err(|e| e.to_string())?;
+//! let mut cpu = Cpu8080::new();
+//! cpu.load(0x100, &image);
+//! cpu.run(10_000).map_err(|e| e.to_string())?;
+//! assert_eq!(cpu.reg(Reg::A), 42);
+//! # Ok::<(), String>(())
+//! ```
+
+use crate::i8080::{Cond, Reg, RegPair};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Label resolution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Asm8080Error {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for Asm8080Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Asm8080Error::UndefinedLabel(l) => write!(f, "undefined label {l:?}"),
+            Asm8080Error::DuplicateLabel(l) => write!(f, "duplicate label {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for Asm8080Error {}
+
+/// Incremental 8080 assembler.
+#[derive(Debug, Clone, Default)]
+pub struct Asm8080 {
+    origin: u16,
+    bytes: Vec<u8>,
+    labels: BTreeMap<String, u16>,
+    fixups: Vec<(usize, String)>,
+    error: Option<Asm8080Error>,
+}
+
+fn reg_code(r: Reg) -> u8 {
+    match r {
+        Reg::B => 0,
+        Reg::C => 1,
+        Reg::D => 2,
+        Reg::E => 3,
+        Reg::H => 4,
+        Reg::L => 5,
+        Reg::A => 7,
+    }
+}
+
+fn pair_bits(rp: RegPair) -> u8 {
+    match rp {
+        RegPair::BC => 0,
+        RegPair::DE => 1,
+        RegPair::HL => 2,
+        RegPair::SP => 3,
+    }
+}
+
+fn cond_bits(c: Cond) -> u8 {
+    match c {
+        Cond::NZ => 0,
+        Cond::Z => 1,
+        Cond::NC => 2,
+        Cond::C => 3,
+        Cond::PO => 4,
+        Cond::PE => 5,
+        Cond::P => 6,
+        Cond::M => 7,
+    }
+}
+
+impl Asm8080 {
+    /// Starts assembling at `origin`.
+    pub fn new(origin: u16) -> Self {
+        Asm8080 { origin, ..Default::default() }
+    }
+
+    /// Current address.
+    pub fn here(&self) -> u16 {
+        self.origin + self.bytes.len() as u16
+    }
+
+    /// Defines a label at the current address.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self.labels.insert(name.to_string(), self.here()).is_some() && self.error.is_none() {
+            self.error = Some(Asm8080Error::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    fn emit(&mut self, bytes: &[u8]) -> &mut Self {
+        self.bytes.extend_from_slice(bytes);
+        self
+    }
+
+    fn emit_addr(&mut self, opcode: u8, label: &str) -> &mut Self {
+        self.bytes.push(opcode);
+        self.fixups.push((self.bytes.len(), label.to_string()));
+        self.bytes.extend_from_slice(&[0, 0]);
+        self
+    }
+
+    /// Raw data bytes.
+    pub fn db(&mut self, bytes: &[u8]) -> &mut Self {
+        self.emit(bytes)
+    }
+
+    /// `MVI r, imm`.
+    pub fn mvi(&mut self, r: Reg, v: u8) -> &mut Self {
+        self.emit(&[0x06 | reg_code(r) << 3, v])
+    }
+
+    /// `MVI M, imm`.
+    pub fn mvi_m(&mut self, v: u8) -> &mut Self {
+        self.emit(&[0x36, v])
+    }
+
+    /// `MOV dst, src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(&[0x40 | reg_code(dst) << 3 | reg_code(src)])
+    }
+
+    /// `MOV r, M`.
+    pub fn mov_from_m(&mut self, dst: Reg) -> &mut Self {
+        self.emit(&[0x40 | reg_code(dst) << 3 | 6])
+    }
+
+    /// `MOV M, r`.
+    pub fn mov_to_m(&mut self, src: Reg) -> &mut Self {
+        self.emit(&[0x70 | reg_code(src)])
+    }
+
+    /// `LXI rp, imm16`.
+    pub fn lxi(&mut self, rp: RegPair, v: u16) -> &mut Self {
+        self.emit(&[0x01 | pair_bits(rp) << 4, v as u8, (v >> 8) as u8])
+    }
+
+    /// `LXI rp, label`.
+    pub fn lxi_label(&mut self, rp: RegPair, label: &str) -> &mut Self {
+        self.emit_addr(0x01 | pair_bits(rp) << 4, label)
+    }
+
+    /// `LDA a16` / `STA a16`.
+    pub fn lda(&mut self, addr: u16) -> &mut Self {
+        self.emit(&[0x3A, addr as u8, (addr >> 8) as u8])
+    }
+
+    /// `STA a16`.
+    pub fn sta(&mut self, addr: u16) -> &mut Self {
+        self.emit(&[0x32, addr as u8, (addr >> 8) as u8])
+    }
+
+    /// `LHLD a16`.
+    pub fn lhld(&mut self, addr: u16) -> &mut Self {
+        self.emit(&[0x2A, addr as u8, (addr >> 8) as u8])
+    }
+
+    /// `SHLD a16`.
+    pub fn shld(&mut self, addr: u16) -> &mut Self {
+        self.emit(&[0x22, addr as u8, (addr >> 8) as u8])
+    }
+
+    /// `LDAX rp` (BC or DE).
+    pub fn ldax(&mut self, rp: RegPair) -> &mut Self {
+        self.emit(&[if rp == RegPair::BC { 0x0A } else { 0x1A }])
+    }
+
+    /// `STAX rp` (BC or DE).
+    pub fn stax(&mut self, rp: RegPair) -> &mut Self {
+        self.emit(&[if rp == RegPair::BC { 0x02 } else { 0x12 }])
+    }
+
+    /// Register-register arithmetic: `ADD/ADC/SUB/SBB/ANA/XRA/ORA/CMP r`.
+    pub fn add(&mut self, r: Reg) -> &mut Self {
+        self.emit(&[0x80 | reg_code(r)])
+    }
+    /// `ADC r`.
+    pub fn adc(&mut self, r: Reg) -> &mut Self {
+        self.emit(&[0x88 | reg_code(r)])
+    }
+    /// `SUB r`.
+    pub fn sub(&mut self, r: Reg) -> &mut Self {
+        self.emit(&[0x90 | reg_code(r)])
+    }
+    /// `SBB r`.
+    pub fn sbb(&mut self, r: Reg) -> &mut Self {
+        self.emit(&[0x98 | reg_code(r)])
+    }
+    /// `ANA r`.
+    pub fn ana(&mut self, r: Reg) -> &mut Self {
+        self.emit(&[0xA0 | reg_code(r)])
+    }
+    /// `XRA r`.
+    pub fn xra(&mut self, r: Reg) -> &mut Self {
+        self.emit(&[0xA8 | reg_code(r)])
+    }
+    /// `ORA r`.
+    pub fn ora(&mut self, r: Reg) -> &mut Self {
+        self.emit(&[0xB0 | reg_code(r)])
+    }
+    /// `CMP r`.
+    pub fn cmp(&mut self, r: Reg) -> &mut Self {
+        self.emit(&[0xB8 | reg_code(r)])
+    }
+    /// `ADD M`.
+    pub fn add_m(&mut self) -> &mut Self {
+        self.emit(&[0x86])
+    }
+    /// `ADC M`.
+    pub fn adc_m(&mut self) -> &mut Self {
+        self.emit(&[0x8E])
+    }
+    /// `SUB M`.
+    pub fn sub_m(&mut self) -> &mut Self {
+        self.emit(&[0x96])
+    }
+    /// `SBB M`.
+    pub fn sbb_m(&mut self) -> &mut Self {
+        self.emit(&[0x9E])
+    }
+    /// `CMP M`.
+    pub fn cmp_m(&mut self) -> &mut Self {
+        self.emit(&[0xBE])
+    }
+    /// `XRA M`.
+    pub fn xra_m(&mut self) -> &mut Self {
+        self.emit(&[0xAE])
+    }
+    /// `ANA M`.
+    pub fn ana_m(&mut self) -> &mut Self {
+        self.emit(&[0xA6])
+    }
+
+    /// Immediate arithmetic.
+    pub fn adi(&mut self, v: u8) -> &mut Self {
+        self.emit(&[0xC6, v])
+    }
+    /// `ACI imm`.
+    pub fn aci(&mut self, v: u8) -> &mut Self {
+        self.emit(&[0xCE, v])
+    }
+    /// `SUI imm`.
+    pub fn sui(&mut self, v: u8) -> &mut Self {
+        self.emit(&[0xD6, v])
+    }
+    /// `SBI imm`.
+    pub fn sbi(&mut self, v: u8) -> &mut Self {
+        self.emit(&[0xDE, v])
+    }
+    /// `ANI imm`.
+    pub fn ani(&mut self, v: u8) -> &mut Self {
+        self.emit(&[0xE6, v])
+    }
+    /// `XRI imm`.
+    pub fn xri(&mut self, v: u8) -> &mut Self {
+        self.emit(&[0xEE, v])
+    }
+    /// `ORI imm`.
+    pub fn ori(&mut self, v: u8) -> &mut Self {
+        self.emit(&[0xF6, v])
+    }
+    /// `CPI imm`.
+    pub fn cpi(&mut self, v: u8) -> &mut Self {
+        self.emit(&[0xFE, v])
+    }
+
+    /// `INR r` / `DCR r` / `INX rp` / `DCX rp` / `DAD rp`.
+    pub fn inr(&mut self, r: Reg) -> &mut Self {
+        self.emit(&[0x04 | reg_code(r) << 3])
+    }
+    /// `DCR r`.
+    pub fn dcr(&mut self, r: Reg) -> &mut Self {
+        self.emit(&[0x05 | reg_code(r) << 3])
+    }
+    /// `INR M`.
+    pub fn inr_m(&mut self) -> &mut Self {
+        self.emit(&[0x34])
+    }
+    /// `DCR M`.
+    pub fn dcr_m(&mut self) -> &mut Self {
+        self.emit(&[0x35])
+    }
+    /// `INX rp`.
+    pub fn inx(&mut self, rp: RegPair) -> &mut Self {
+        self.emit(&[0x03 | pair_bits(rp) << 4])
+    }
+    /// `DCX rp`.
+    pub fn dcx(&mut self, rp: RegPair) -> &mut Self {
+        self.emit(&[0x0B | pair_bits(rp) << 4])
+    }
+    /// `DAD rp`.
+    pub fn dad(&mut self, rp: RegPair) -> &mut Self {
+        self.emit(&[0x09 | pair_bits(rp) << 4])
+    }
+
+    /// Rotates and accumulator ops.
+    pub fn rlc(&mut self) -> &mut Self {
+        self.emit(&[0x07])
+    }
+    /// `RRC`.
+    pub fn rrc(&mut self) -> &mut Self {
+        self.emit(&[0x0F])
+    }
+    /// `RAL`.
+    pub fn ral(&mut self) -> &mut Self {
+        self.emit(&[0x17])
+    }
+    /// `RAR`.
+    pub fn rar(&mut self) -> &mut Self {
+        self.emit(&[0x1F])
+    }
+    /// `CMA`.
+    pub fn cma(&mut self) -> &mut Self {
+        self.emit(&[0x2F])
+    }
+    /// `STC`.
+    pub fn stc(&mut self) -> &mut Self {
+        self.emit(&[0x37])
+    }
+    /// `CMC`.
+    pub fn cmc(&mut self) -> &mut Self {
+        self.emit(&[0x3F])
+    }
+    /// `XCHG`.
+    pub fn xchg(&mut self) -> &mut Self {
+        self.emit(&[0xEB])
+    }
+
+    /// Control flow.
+    pub fn jmp(&mut self, label: &str) -> &mut Self {
+        self.emit_addr(0xC3, label)
+    }
+    /// Conditional jump.
+    pub fn jcond(&mut self, c: Cond, label: &str) -> &mut Self {
+        self.emit_addr(0xC2 | cond_bits(c) << 3, label)
+    }
+    /// `JNZ label`.
+    pub fn jnz(&mut self, label: &str) -> &mut Self {
+        self.jcond(Cond::NZ, label)
+    }
+    /// `JZ label`.
+    pub fn jz(&mut self, label: &str) -> &mut Self {
+        self.jcond(Cond::Z, label)
+    }
+    /// `JNC label`.
+    pub fn jnc(&mut self, label: &str) -> &mut Self {
+        self.jcond(Cond::NC, label)
+    }
+    /// `JC label`.
+    pub fn jc(&mut self, label: &str) -> &mut Self {
+        self.jcond(Cond::C, label)
+    }
+    /// `CALL label`.
+    pub fn call(&mut self, label: &str) -> &mut Self {
+        self.emit_addr(0xCD, label)
+    }
+    /// `RET`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(&[0xC9])
+    }
+    /// `PUSH rp` (BC/DE/HL).
+    pub fn push(&mut self, rp: RegPair) -> &mut Self {
+        self.emit(&[0xC5 | pair_bits(rp) << 4])
+    }
+    /// `POP rp` (BC/DE/HL).
+    pub fn pop(&mut self, rp: RegPair) -> &mut Self {
+        self.emit(&[0xC1 | pair_bits(rp) << 4])
+    }
+    /// `HLT`.
+    pub fn hlt(&mut self) -> &mut Self {
+        self.emit(&[0x76])
+    }
+
+    /// Resolves labels and returns the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Asm8080Error`] for unresolved or duplicate labels.
+    pub fn assemble(&self) -> Result<Vec<u8>, Asm8080Error> {
+        if let Some(err) = &self.error {
+            return Err(err.clone());
+        }
+        let mut bytes = self.bytes.clone();
+        for (pos, label) in &self.fixups {
+            let addr = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| Asm8080Error::UndefinedLabel(label.clone()))?;
+            bytes[*pos] = addr as u8;
+            bytes[*pos + 1] = (addr >> 8) as u8;
+        }
+        Ok(bytes)
+    }
+
+    /// Program size in bytes (the Table 5 instruction-memory footprint).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::i8080::Cpu8080;
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut a = Asm8080::new(0x100);
+        a.mvi(Reg::A, 1).jmp("end").mvi(Reg::A, 99).label("end").hlt();
+        let image = a.assemble().unwrap();
+        let mut cpu = Cpu8080::new();
+        cpu.load(0x100, &image);
+        cpu.run(1000).unwrap();
+        assert_eq!(cpu.reg(Reg::A), 1, "the MVI 99 was skipped");
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm8080::new(0);
+        a.jmp("nowhere");
+        assert!(matches!(a.assemble(), Err(Asm8080Error::UndefinedLabel(_))));
+    }
+
+    #[test]
+    fn loop_via_builder() {
+        // B = 10; A = 0; loop { A += B; B-- } while B != 0.
+        let mut a = Asm8080::new(0x100);
+        a.mvi(Reg::B, 10).mvi(Reg::A, 0).label("loop").add(Reg::B).dcr(Reg::B).jnz("loop").hlt();
+        let image = a.assemble().unwrap();
+        let mut cpu = Cpu8080::new();
+        cpu.load(0x100, &image);
+        cpu.run(10_000).unwrap();
+        assert_eq!(cpu.reg(Reg::A), 55);
+    }
+
+    #[test]
+    fn len_counts_bytes() {
+        let mut a = Asm8080::new(0);
+        a.mvi(Reg::A, 1).hlt();
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! 8080-subset benchmark kernels, shared by light8080 and Z80.
+//!
+//! Code at `0x0100`, input data at `0x2000`, results at `0x2100`
+//! (counter scratch shares the result page).
+
+use super::{data, tree, Bench, BaselineRun};
+use crate::asm8080::Asm8080;
+use crate::i8080::{Cond, Cpu8080, Reg, RegPair};
+use crate::inventory::BaselineCpu;
+use crate::z80::CpuZ80;
+
+const ORG: u16 = 0x0100;
+const DATA: u16 = 0x2000;
+const RESULT: u16 = 0x2100;
+
+/// Builds the program image for a benchmark.
+pub fn image(bench: Bench) -> Vec<u8> {
+    let asm = build(bench);
+    asm.assemble().expect("baseline kernels assemble")
+}
+
+fn build(bench: Bench) -> Asm8080 {
+    let mut a = Asm8080::new(ORG);
+    match bench {
+        Bench::Mult => mult(&mut a),
+        Bench::Div => div(&mut a),
+        Bench::InSort => insort(&mut a),
+        Bench::IntAvg => intavg(&mut a),
+        Bench::THold => thold(&mut a),
+        Bench::Crc8 => crc8(&mut a),
+        Bench::DTree => dtree(&mut a),
+    }
+    a
+}
+
+/// Shift-add 8×8→16 multiply: HL accumulates, DE is the shifted
+/// multiplicand, C holds the multiplier bits.
+fn mult(a: &mut Asm8080) {
+    a.lxi(RegPair::HL, 0);
+    a.mvi(Reg::D, 0).lda(DATA).mov(Reg::E, Reg::A);
+    a.lda(DATA + 1).mov(Reg::C, Reg::A);
+    a.mvi(Reg::B, 8);
+    a.label("loop");
+    a.mov(Reg::A, Reg::C).ora(Reg::A).rar().mov(Reg::C, Reg::A);
+    a.jnc("skip");
+    a.dad(RegPair::DE);
+    a.label("skip");
+    a.xchg().dad(RegPair::HL).xchg(); // DE <<= 1
+    a.dcr(Reg::B).jnz("loop");
+    a.shld(RESULT);
+    a.hlt();
+}
+
+/// Restoring 8-bit divide: C = dividend → quotient, B = divisor,
+/// E = remainder, D = counter.
+fn div(a: &mut Asm8080) {
+    a.lda(DATA).mov(Reg::C, Reg::A);
+    a.lda(DATA + 1).mov(Reg::B, Reg::A);
+    a.mvi(Reg::D, 8).mvi(Reg::E, 0);
+    a.label("loop");
+    a.mov(Reg::A, Reg::C).add(Reg::A).mov(Reg::C, Reg::A); // C<<=1, CY=msb
+    a.mov(Reg::A, Reg::E).ral().mov(Reg::E, Reg::A); // rem = rem<<1|CY
+    a.jc("force"); // 9th bit ⇒ subtract unconditionally
+    a.mov(Reg::A, Reg::E).sub(Reg::B).jc("next");
+    a.mov(Reg::E, Reg::A).inr(Reg::C).jmp("next");
+    a.label("force");
+    a.mov(Reg::A, Reg::E).sub(Reg::B).mov(Reg::E, Reg::A).inr(Reg::C);
+    a.label("next");
+    a.dcr(Reg::D).jnz("loop");
+    a.mov(Reg::A, Reg::C).sta(RESULT);
+    a.mov(Reg::A, Reg::E).sta(RESULT + 1);
+    a.hlt();
+}
+
+/// 16-element 16-bit bubble sort; pass/pair counters live in scratch
+/// memory because all register pairs are busy.
+fn insort(a: &mut Asm8080) {
+    let pass_ctr = RESULT + 0x20;
+    let pair_ctr = RESULT + 0x21;
+    a.mvi(Reg::A, 15).sta(pass_ctr);
+    a.label("pass");
+    a.mvi(Reg::A, 15).sta(pair_ctr);
+    a.lxi(RegPair::HL, DATA);
+    a.label("ce");
+    // DE = elem_i, BC = elem_{i+1}; HL ends at hi'.
+    a.mov_from_m(Reg::E)
+        .inx(RegPair::HL)
+        .mov_from_m(Reg::D)
+        .inx(RegPair::HL)
+        .mov_from_m(Reg::C)
+        .inx(RegPair::HL)
+        .mov_from_m(Reg::B);
+    // Swap needed iff BC < DE (compare high, then low).
+    a.mov(Reg::A, Reg::B).cmp(Reg::D).jc("swap").jnz("noswap");
+    a.mov(Reg::A, Reg::C).cmp(Reg::E).jnc("noswap");
+    a.label("swap");
+    a.mov_to_m(Reg::D).dcx(RegPair::HL); // hi' = D
+    a.mov_to_m(Reg::E).dcx(RegPair::HL); // lo' = E
+    a.mov_to_m(Reg::B).dcx(RegPair::HL); // hi  = B
+    a.mov_to_m(Reg::C); // lo = C
+    a.inx(RegPair::HL).inx(RegPair::HL);
+    a.jmp("next");
+    a.label("noswap");
+    a.dcx(RegPair::HL);
+    a.label("next");
+    a.lda(pair_ctr).dcr(Reg::A).sta(pair_ctr).jnz("ce");
+    a.lda(pass_ctr).dcr(Reg::A).sta(pass_ctr).jnz("pass");
+    a.hlt();
+}
+
+/// 16-element 16-bit average: 24-bit accumulate in C:DE, divide by 16
+/// with four right-rotate chains.
+fn intavg(a: &mut Asm8080) {
+    a.lxi(RegPair::HL, DATA);
+    a.mvi(Reg::B, 16);
+    a.lxi(RegPair::DE, 0);
+    a.mvi(Reg::C, 0);
+    a.label("loop");
+    a.mov(Reg::A, Reg::E).add_m().mov(Reg::E, Reg::A).inx(RegPair::HL);
+    a.mov(Reg::A, Reg::D).adc_m().mov(Reg::D, Reg::A).inx(RegPair::HL);
+    a.mov(Reg::A, Reg::C).aci(0).mov(Reg::C, Reg::A);
+    a.dcr(Reg::B).jnz("loop");
+    a.mvi(Reg::B, 4);
+    a.label("shift");
+    a.mov(Reg::A, Reg::C).ora(Reg::A).rar().mov(Reg::C, Reg::A);
+    a.mov(Reg::A, Reg::D).rar().mov(Reg::D, Reg::A);
+    a.mov(Reg::A, Reg::E).rar().mov(Reg::E, Reg::A);
+    a.dcr(Reg::B).jnz("shift");
+    a.xchg().shld(RESULT);
+    a.hlt();
+}
+
+/// Count of 16-bit elements ≥ threshold: multi-byte compare per element
+/// (SUB low, SBB high — the final borrow decides).
+fn thold(a: &mut Asm8080) {
+    a.lxi(RegPair::HL, DATA);
+    a.lxi(RegPair::DE, data::THOLD_T);
+    a.mvi(Reg::B, 16);
+    a.mvi(Reg::C, 0);
+    a.label("loop");
+    a.mov_from_m(Reg::A).sub(Reg::E).inx(RegPair::HL);
+    a.mov_from_m(Reg::A).sbb(Reg::D).inx(RegPair::HL);
+    a.jc("skip"); // borrow ⇒ element < threshold
+    a.inr(Reg::C);
+    a.label("skip");
+    a.dcr(Reg::B).jnz("loop");
+    a.mov(Reg::A, Reg::C).sta(RESULT);
+    a.hlt();
+}
+
+/// CRC-8 over 16 bytes.
+fn crc8(a: &mut Asm8080) {
+    a.lxi(RegPair::HL, DATA);
+    a.mvi(Reg::B, 16);
+    a.mvi(Reg::C, 0);
+    a.label("byte");
+    a.mov(Reg::A, Reg::C).xra_m().mov(Reg::C, Reg::A);
+    a.mvi(Reg::D, 8);
+    a.label("bit");
+    a.mov(Reg::A, Reg::C).add(Reg::A);
+    a.jnc("nox");
+    a.xri(0x07);
+    a.label("nox");
+    a.mov(Reg::C, Reg::A);
+    a.dcr(Reg::D).jnz("bit");
+    a.inx(RegPair::HL);
+    a.dcr(Reg::B).jnz("byte");
+    a.mov(Reg::A, Reg::C).sta(RESULT);
+    a.hlt();
+}
+
+/// Decision tree: thresholds are immediates, inputs at fixed addresses.
+fn dtree(a: &mut Asm8080) {
+    let t = tree::build();
+    emit_tree(a, &t, String::new());
+    a.label("end");
+    a.sta(RESULT);
+    a.hlt();
+}
+
+fn emit_tree(a: &mut Asm8080, node: &tree::Node, path: String) {
+    match node {
+        tree::Node::Leaf { class } => {
+            a.mvi(Reg::A, *class);
+            a.jmp("end");
+        }
+        tree::Node::Internal { feature, threshold, left, right } => {
+            a.lda(DATA + *feature as u16);
+            a.cpi(*threshold);
+            let right_label = format!("r{path}");
+            a.jcond(Cond::NC, &right_label); // A >= threshold ⇒ right
+            emit_tree(a, left, format!("{path}0"));
+            a.label(&right_label);
+            emit_tree(a, right, format!("{path}1"));
+        }
+    }
+}
+
+/// Loads inputs, runs, verifies, and reports.
+///
+/// # Panics
+///
+/// Panics on wrong results or non-termination (kernel bugs).
+pub fn run(bench: Bench, as_z80: bool) -> BaselineRun {
+    let image = image(bench);
+    let mut mem_init: Vec<(u16, Vec<u8>)> = Vec::new();
+    match bench {
+        Bench::Mult => mem_init.push((DATA, vec![data::MULT_A, data::MULT_B])),
+        Bench::Div => mem_init.push((DATA, vec![data::DIV_A, data::DIV_B])),
+        Bench::InSort | Bench::IntAvg | Bench::THold => {
+            let bytes: Vec<u8> =
+                data::ARRAY16.iter().flat_map(|v| v.to_le_bytes()).collect();
+            mem_init.push((DATA, bytes));
+        }
+        Bench::Crc8 => mem_init.push((DATA, data::CRC_MSG.to_vec())),
+        Bench::DTree => mem_init.push((DATA, data::DTREE_X.to_vec())),
+    }
+
+    let (cycles, instructions, mem): (u64, u64, Vec<u8>) = if as_z80 {
+        let mut cpu = CpuZ80::new();
+        cpu.load(ORG, &image);
+        for (addr, bytes) in &mem_init {
+            cpu.core.mem[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        cpu.run(500_000_000).expect("Z80 kernel halts");
+        (cpu.cycles(), cpu.instructions(), cpu.core.mem)
+    } else {
+        let mut cpu = Cpu8080::new();
+        cpu.load(ORG, &image);
+        for (addr, bytes) in &mem_init {
+            cpu.mem[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        cpu.run(500_000_000).expect("8080 kernel halts");
+        (cpu.cycles, cpu.instructions, cpu.mem)
+    };
+
+    verify(bench, &mem);
+    BaselineRun {
+        bench,
+        cpu: if as_z80 { BaselineCpu::Z80 } else { BaselineCpu::Light8080 },
+        program_bytes: image.len(),
+        cycles,
+        instructions,
+    }
+}
+
+fn verify(bench: Bench, mem: &[u8]) {
+    let r = RESULT as usize;
+    match bench {
+        Bench::Mult => {
+            let got = u16::from_le_bytes([mem[r], mem[r + 1]]);
+            assert_eq!(got, data::MULT_EXPECTED, "8080 mult");
+        }
+        Bench::Div => {
+            assert_eq!(mem[r], data::DIV_Q, "8080 div quotient");
+            assert_eq!(mem[r + 1], data::DIV_R, "8080 div remainder");
+        }
+        Bench::InSort => {
+            let d = DATA as usize;
+            for (i, &v) in data::sorted().iter().enumerate() {
+                let got = u16::from_le_bytes([mem[d + 2 * i], mem[d + 2 * i + 1]]);
+                assert_eq!(got, v, "8080 inSort element {i}");
+            }
+        }
+        Bench::IntAvg => {
+            let got = u16::from_le_bytes([mem[r], mem[r + 1]]);
+            assert_eq!(got, data::average(), "8080 intAvg");
+        }
+        Bench::THold => {
+            assert_eq!(mem[r], data::thold_count(), "8080 tHold");
+        }
+        Bench::Crc8 => {
+            assert_eq!(mem[r], data::crc8(&data::CRC_MSG), "8080 crc8");
+        }
+        Bench::DTree => {
+            let expected = tree::eval(&tree::build(), &data::DTREE_X);
+            assert_eq!(mem[r], expected, "8080 dTree");
+        }
+    }
+}

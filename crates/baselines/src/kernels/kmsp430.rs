@@ -1,0 +1,258 @@
+//! openMSP430 benchmark kernels.
+//!
+//! Register-machine code: the MSP430's addressing modes (absolute,
+//! indirect-autoincrement, constant generator) keep these the most
+//! compact of the baselines, matching Table 5's relative footprints.
+//! Code at `0x4400`, inputs at `0x2000`, results at `0x2100`.
+
+use super::{data, tree, Bench, BaselineRun};
+use crate::asm430::Asm430;
+use crate::inventory::BaselineCpu;
+use crate::msp430::CpuMsp430;
+
+const ORG: u16 = 0x4400;
+const DATA: u16 = 0x2000;
+const RESULT: u16 = 0x2100;
+
+/// Builds the program image for a benchmark.
+pub fn image(bench: Bench) -> Vec<u8> {
+    let mut a = Asm430::new(ORG);
+    match bench {
+        Bench::Mult => mult(&mut a),
+        Bench::Div => div(&mut a),
+        Bench::InSort => insort(&mut a),
+        Bench::IntAvg => intavg(&mut a),
+        Bench::THold => thold(&mut a),
+        Bench::Crc8 => crc8(&mut a),
+        Bench::DTree => dtree(&mut a),
+    }
+    a.assemble().expect("MSP430 kernels assemble")
+}
+
+fn mult(a: &mut Asm430) {
+    a.mov_abs_to_reg(DATA, 4); // a
+    a.mov_abs_to_reg(DATA + 2, 5); // b
+    a.mov_imm(0, 6); // result
+    a.mov_imm(8, 7); // counter
+    a.label("loop");
+    a.bit_imm(1, 4);
+    a.jz("skip");
+    a.add_reg(5, 6);
+    a.label("skip");
+    a.rra(4); // a >>= 1 (byte value in a word register: MSB clear)
+    a.add_reg(5, 5); // b <<= 1
+    a.sub_imm(1, 7);
+    a.jnz("loop");
+    a.mov_reg_to_abs(6, RESULT);
+    a.halt();
+}
+
+fn div(a: &mut Asm430) {
+    a.mov_abs_to_reg(DATA, 4); // dividend window
+    a.mov_abs_to_reg(DATA + 2, 5); // divisor
+    a.mov_imm(0, 6); // remainder
+    a.mov_imm(0, 7); // quotient
+    a.mov_imm(8, 8); // counter
+    a.label("loop");
+    a.add_reg(7, 7); // q <<= 1
+    a.add_reg(6, 6); // rem <<= 1
+    a.bit_imm(0x80, 4); // top dividend bit
+    a.jz("nobit");
+    a.bis_imm(1, 6);
+    a.label("nobit");
+    a.add_reg(4, 4); // dividend <<= 1
+    a.and_imm(0xFF, 4);
+    a.cmp_reg(5, 6); // rem - divisor: C set ⇔ rem >= divisor
+    a.jnc("skipsub");
+    a.sub_reg(5, 6);
+    a.bis_imm(1, 7);
+    a.label("skipsub");
+    a.sub_imm(1, 8);
+    a.jnz("loop");
+    a.mov_reg_to_abs(7, RESULT);
+    a.mov_reg_to_abs(6, RESULT + 2);
+    a.halt();
+}
+
+fn insort(a: &mut Asm430) {
+    a.mov_imm(15, 5); // passes
+    a.label("pass");
+    a.mov_imm(DATA, 4); // pointer
+    a.mov_imm(15, 6); // pairs
+    a.label("ce");
+    a.mov_indirect_to_reg(4, 7); // ei
+    a.mov_indexed_to_reg(4, 2, 8); // ei1
+    a.cmp_reg(7, 8); // ei1 - ei: C set ⇔ ei1 >= ei (in order)
+    a.jc("noswap");
+    a.mov_reg_to_indexed(8, 4, 0);
+    a.mov_reg_to_indexed(7, 4, 2);
+    a.label("noswap");
+    a.add_imm(2, 4);
+    a.sub_imm(1, 6);
+    a.jnz("ce");
+    a.sub_imm(1, 5);
+    a.jnz("pass");
+    a.halt();
+}
+
+fn intavg(a: &mut Asm430) {
+    a.mov_imm(DATA, 4);
+    a.mov_imm(16, 5);
+    a.mov_imm(0, 6); // sum low
+    a.mov_imm(0, 7); // sum high
+    a.label("loop");
+    a.add_indirect_inc_to_reg(4, 6);
+    a.addc_imm(0, 7);
+    a.sub_imm(1, 5);
+    a.jnz("loop");
+    // Divide the 20-bit sum by 16: four RRC chains through the pair.
+    a.mov_imm(4, 5);
+    a.label("shift");
+    a.clrc();
+    a.rrc(7);
+    a.rrc(6);
+    a.sub_imm(1, 5);
+    a.jnz("shift");
+    a.mov_reg_to_abs(6, RESULT);
+    a.halt();
+}
+
+fn thold(a: &mut Asm430) {
+    a.mov_imm(DATA, 4);
+    a.mov_imm(16, 5);
+    a.mov_imm(0, 6);
+    a.label("loop");
+    a.mov_indirect_inc_to_reg(4, 7);
+    a.cmp_imm(data::THOLD_T, 7); // r7 - T: C set ⇔ r7 >= T
+    a.jnc("skip");
+    a.add_imm(1, 6);
+    a.label("skip");
+    a.sub_imm(1, 5);
+    a.jnz("loop");
+    a.mov_reg_to_abs(6, RESULT);
+    a.halt();
+}
+
+fn crc8(a: &mut Asm430) {
+    a.mov_imm(DATA, 4);
+    a.mov_imm(16, 5);
+    a.mov_imm(0, 6); // crc
+    a.label("byte");
+    a.xor_b_indirect_inc_to_reg(4, 6);
+    a.mov_imm(8, 7);
+    a.label("bit");
+    a.bit_imm(0x80, 6);
+    a.jz("noxor");
+    a.add_reg(6, 6);
+    a.xor_imm(0x07, 6);
+    a.jmp("cont");
+    a.label("noxor");
+    a.add_reg(6, 6);
+    a.label("cont");
+    a.and_imm(0xFF, 6);
+    a.sub_imm(1, 7);
+    a.jnz("bit");
+    a.sub_imm(1, 5);
+    a.jnz("byte");
+    a.mov_reg_to_abs(6, RESULT);
+    a.halt();
+}
+
+fn dtree(a: &mut Asm430) {
+    let t = tree::build();
+    emit_tree(a, &t, String::new());
+    a.label("end");
+    a.mov_reg_to_abs(15, RESULT);
+    a.halt();
+}
+
+fn emit_tree(a: &mut Asm430, node: &tree::Node, path: String) {
+    match node {
+        tree::Node::Leaf { class } => {
+            a.mov_imm(*class as u16, 15);
+            a.jmp("end");
+        }
+        tree::Node::Internal { feature, threshold, left, right } => {
+            a.mov_b_abs_to_reg(DATA + *feature as u16, 7);
+            a.cmp_imm(*threshold as u16, 7); // r7 - th: C ⇔ r7 >= th
+            let right_label = format!("r{path}");
+            a.jc(&right_label);
+            emit_tree(a, left, format!("{path}0"));
+            a.label(&right_label);
+            emit_tree(a, right, format!("{path}1"));
+        }
+    }
+}
+
+/// Loads inputs, runs, verifies, reports.
+///
+/// # Panics
+///
+/// Panics on wrong results or non-termination (kernel bugs).
+pub fn run(bench: Bench) -> BaselineRun {
+    let image = image(bench);
+    let mut cpu = CpuMsp430::new();
+    cpu.load(ORG, &image);
+
+    match bench {
+        Bench::Mult => {
+            cpu.write16(DATA, data::MULT_A as u16);
+            cpu.write16(DATA + 2, data::MULT_B as u16);
+        }
+        Bench::Div => {
+            cpu.write16(DATA, data::DIV_A as u16);
+            cpu.write16(DATA + 2, data::DIV_B as u16);
+        }
+        Bench::InSort | Bench::IntAvg | Bench::THold => {
+            for (i, &v) in data::ARRAY16.iter().enumerate() {
+                cpu.write16(DATA + 2 * i as u16, v);
+            }
+        }
+        Bench::Crc8 => {
+            for (i, &b) in data::CRC_MSG.iter().enumerate() {
+                cpu.mem[DATA as usize + i] = b;
+            }
+        }
+        Bench::DTree => {
+            for (i, &x) in data::DTREE_X.iter().enumerate() {
+                cpu.mem[DATA as usize + i] = x;
+            }
+        }
+    }
+
+    cpu.run(100_000_000).expect("MSP430 kernel halts");
+    verify(bench, &cpu);
+    BaselineRun {
+        bench,
+        cpu: BaselineCpu::OpenMsp430,
+        program_bytes: image.len(),
+        cycles: cpu.cycles,
+        instructions: cpu.instructions,
+    }
+}
+
+fn verify(bench: Bench, cpu: &CpuMsp430) {
+    match bench {
+        Bench::Mult => assert_eq!(cpu.read16(RESULT), data::MULT_EXPECTED, "MSP430 mult"),
+        Bench::Div => {
+            assert_eq!(cpu.read16(RESULT), data::DIV_Q as u16, "MSP430 div quotient");
+            assert_eq!(cpu.read16(RESULT + 2), data::DIV_R as u16, "MSP430 div remainder");
+        }
+        Bench::InSort => {
+            for (i, &v) in data::sorted().iter().enumerate() {
+                assert_eq!(cpu.read16(DATA + 2 * i as u16), v, "MSP430 inSort element {i}");
+            }
+        }
+        Bench::IntAvg => assert_eq!(cpu.read16(RESULT), data::average(), "MSP430 intAvg"),
+        Bench::THold => {
+            assert_eq!(cpu.read16(RESULT), data::thold_count() as u16, "MSP430 tHold");
+        }
+        Bench::Crc8 => {
+            assert_eq!(cpu.read16(RESULT), data::crc8(&data::CRC_MSG) as u16, "MSP430 crc8");
+        }
+        Bench::DTree => {
+            let expected = tree::eval(&tree::build(), &data::DTREE_X);
+            assert_eq!(cpu.read16(RESULT), expected as u16, "MSP430 dTree");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Z80-native optimized kernels (extension).
+//!
+//! Table 5 shares one 8080-subset image between light8080 and Z80, as the
+//! paper does. The Z80's own instructions (`DJNZ`, relative jumps, the
+//! CB-prefix shift group) buy denser and faster code; these variants
+//! quantify that advantage. They are *not* used in the Table 5
+//! reproduction — they exist to measure what the shared-image methodology
+//! leaves on the table.
+
+use super::{data, Bench, BaselineRun};
+use crate::inventory::BaselineCpu;
+use crate::z80::CpuZ80;
+
+const ORG: u16 = 0x0100;
+const DATA: u16 = 0x2000;
+const RESULT: u16 = 0x2100;
+
+/// Z80-optimized image for a benchmark, if one is implemented.
+pub fn image(bench: Bench) -> Option<Vec<u8>> {
+    match bench {
+        Bench::Mult => Some(mult()),
+        Bench::Crc8 => Some(crc8()),
+        _ => None,
+    }
+}
+
+/// Shift-add multiply with `DJNZ` and `SRL` (CB prefix):
+/// B = counter via DJNZ, C = multiplier (shifted right with SRL),
+/// HL = accumulator, DE = shifted multiplicand.
+fn mult() -> Vec<u8> {
+    let mut v = Vec::new();
+    // LD HL,0
+    v.extend_from_slice(&[0x21, 0x00, 0x00]);
+    // LD A,(DATA); LD E,A; LD D,0
+    v.extend_from_slice(&[0x3A, DATA as u8, (DATA >> 8) as u8, 0x5F, 0x16, 0x00]);
+    // LD A,(DATA+1); LD C,A
+    v.extend_from_slice(&[0x3A, (DATA + 1) as u8, ((DATA + 1) >> 8) as u8, 0x4F]);
+    // LD B,8
+    v.extend_from_slice(&[0x06, 0x08]);
+    // loop: SRL C (CB 39) — carry = old LSB
+    let loop_start = v.len();
+    v.extend_from_slice(&[0xCB, 0x39]);
+    // JR NC, +1 (skip ADD HL,DE)
+    v.extend_from_slice(&[0x30, 0x01]);
+    // ADD HL,DE
+    v.push(0x19);
+    // SLA E; RL D (shift DE left through the pair)
+    v.extend_from_slice(&[0xCB, 0x23, 0xCB, 0x12]);
+    // DJNZ loop
+    let here = v.len() + 2;
+    let delta = loop_start as i32 - here as i32;
+    v.extend_from_slice(&[0x10, delta as u8]);
+    // LD (RESULT),HL; HALT
+    v.extend_from_slice(&[0x22, RESULT as u8, (RESULT >> 8) as u8, 0x76]);
+    v
+}
+
+/// CRC-8 with `DJNZ` for both loops and `SLA` for the shift.
+fn crc8() -> Vec<u8> {
+    let mut v = Vec::new();
+    // LD HL,DATA ; LD B,16 ; LD C,0
+    v.extend_from_slice(&[0x21, DATA as u8, (DATA >> 8) as u8, 0x06, 16, 0x0E, 0x00]);
+    // byte: LD A,C ; XOR (HL) ; LD C,A ; LD D,8
+    let byte_loop = v.len();
+    v.extend_from_slice(&[0x79, 0xAE, 0x4F, 0x16, 0x08]);
+    // bit: LD A,C ; ADD A,A ; JR NC,+2 ; XOR 7
+    let bit_loop = v.len();
+    v.extend_from_slice(&[0x79, 0x87, 0x30, 0x02, 0xEE, 0x07]);
+    // LD C,A ; DEC D ; JR NZ,bit
+    v.extend_from_slice(&[0x4F, 0x15]);
+    let here = v.len() + 2;
+    v.extend_from_slice(&[0x20, (bit_loop as i32 - here as i32) as u8]);
+    // INC HL ; DJNZ byte
+    v.push(0x23);
+    let here = v.len() + 2;
+    v.extend_from_slice(&[0x10, (byte_loop as i32 - here as i32) as u8]);
+    // LD A,C ; LD (RESULT),A ; HALT
+    v.extend_from_slice(&[0x79, 0x32, RESULT as u8, (RESULT >> 8) as u8, 0x76]);
+    v
+}
+
+/// Runs an optimized variant; panics on a wrong result.
+///
+/// # Panics
+///
+/// Panics if no optimized image exists for `bench` or the result is
+/// wrong (kernel bugs).
+pub fn run(bench: Bench) -> BaselineRun {
+    let image = image(bench).unwrap_or_else(|| panic!("no optimized Z80 image for {bench}"));
+    let mut cpu = CpuZ80::new();
+    cpu.load(ORG, &image);
+    match bench {
+        Bench::Mult => {
+            cpu.core.mem[DATA as usize] = data::MULT_A;
+            cpu.core.mem[DATA as usize + 1] = data::MULT_B;
+        }
+        Bench::Crc8 => {
+            cpu.core.mem[DATA as usize..DATA as usize + 16].copy_from_slice(&data::CRC_MSG);
+        }
+        _ => unreachable!("image() returned Some only for Mult and Crc8"),
+    }
+    cpu.run(100_000_000).expect("optimized Z80 kernel halts");
+    match bench {
+        Bench::Mult => {
+            let got = u16::from_le_bytes([
+                cpu.core.mem[RESULT as usize],
+                cpu.core.mem[RESULT as usize + 1],
+            ]);
+            assert_eq!(got, data::MULT_EXPECTED, "Z80-opt mult");
+        }
+        Bench::Crc8 => {
+            assert_eq!(
+                cpu.core.mem[RESULT as usize],
+                data::crc8(&data::CRC_MSG),
+                "Z80-opt crc8"
+            );
+        }
+        _ => unreachable!(),
+    }
+    BaselineRun {
+        bench,
+        cpu: BaselineCpu::Z80,
+        program_bytes: image.len(),
+        cycles: cpu.cycles(),
+        instructions: cpu.instructions(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::k8080;
+
+    #[test]
+    fn optimized_mult_is_smaller_and_faster_than_shared_image() {
+        let opt = run(Bench::Mult);
+        let shared = k8080::run(Bench::Mult, true);
+        assert!(opt.program_bytes < shared.program_bytes, "{} vs {}", opt.program_bytes, shared.program_bytes);
+        assert!(opt.cycles < shared.cycles, "{} vs {}", opt.cycles, shared.cycles);
+    }
+
+    #[test]
+    fn optimized_crc8_is_smaller_than_shared_image() {
+        // Relative jumps (`JR`, 12 T-states taken) trade speed for
+        // density against absolute `JP` (10 T-states), so the win here is
+        // code size, not cycles.
+        let opt = run(Bench::Crc8);
+        let shared = k8080::run(Bench::Crc8, true);
+        assert!(opt.program_bytes < shared.program_bytes);
+        assert!((opt.cycles as f64) < shared.cycles as f64 * 1.15);
+    }
+
+    #[test]
+    fn unimplemented_benchmarks_return_none() {
+        assert!(image(Bench::DTree).is_none());
+        assert!(image(Bench::InSort).is_none());
+    }
+}

@@ -1,0 +1,396 @@
+//! ZPU benchmark kernels.
+//!
+//! Stack code with memory-resident variables — the idiomatic (and
+//! verbose) shape of ZPU programs: every operand goes through `IM`
+//! pushes, which is why Table 5 shows the ZPU with the largest
+//! instruction memories.
+//!
+//! Layout (byte addresses, word-aligned): array at `0x200`, message at
+//! `0x300`, variables at `0x400`, results at `0x500`. Code at 0.
+
+use super::{data, tree, Bench, BaselineRun};
+use crate::inventory::BaselineCpu;
+use crate::zpu::{AsmZpu, CpuZpu};
+
+const ARRAY: i32 = 0x200;
+const MSG: i32 = 0x300;
+const VARS: i32 = 0x400;
+const RESULT: i32 = 0x500;
+const MEM_BYTES: usize = 0x2000;
+
+/// Builds the program image for a benchmark.
+pub fn image(bench: Bench) -> Vec<u8> {
+    let mut a = AsmZpu::new();
+    match bench {
+        Bench::Mult => mult(&mut a),
+        Bench::Div => div(&mut a),
+        Bench::InSort => insort(&mut a),
+        Bench::IntAvg => intavg(&mut a),
+        Bench::THold => thold(&mut a),
+        Bench::Crc8 => crc8(&mut a),
+        Bench::DTree => dtree(&mut a),
+    }
+    a.assemble().expect("ZPU kernels assemble")
+}
+
+/// `mem[addr] = constant`.
+fn set(a: &mut AsmZpu, addr: i32, value: i32) {
+    a.im(value).im(addr).store();
+}
+
+/// Pushes `mem[addr]`.
+fn get(a: &mut AsmZpu, addr: i32) {
+    a.im(addr).load();
+}
+
+/// Pops into `mem[addr]`.
+fn put(a: &mut AsmZpu, addr: i32) {
+    a.im(addr).store();
+}
+
+/// Shift-add multiply of the two bytes at VARS, VARS+4.
+fn mult(a: &mut AsmZpu) {
+    let (va, vb, vr, vc) = (VARS, VARS + 4, RESULT, VARS + 8);
+    set(a, vr, 0);
+    set(a, vc, 8);
+    a.label("loop");
+    // if A & 1 != 0: R += B  (eqbranch skips when cond == 0).
+    get(a, va);
+    a.im(1).and();
+    a.im_rel("skip").eqbranch();
+    get(a, vr);
+    get(a, vb);
+    a.add();
+    put(a, vr);
+    a.label("skip");
+    // A >>= 1.
+    get(a, va);
+    a.im(1).lshiftright();
+    put(a, va);
+    // B <<= 1.
+    get(a, vb);
+    a.im(1).ashiftleft();
+    put(a, vb);
+    // if --cnt != 0 goto loop.
+    get(a, vc);
+    a.im(1).sub();
+    put(a, vc);
+    get(a, vc);
+    a.im_rel("loop").neqbranch();
+    a.breakpoint();
+}
+
+/// Restoring divide of the bytes at VARS (dividend), VARS+4 (divisor).
+/// Quotient at RESULT, remainder at RESULT+4.
+fn div(a: &mut AsmZpu) {
+    let (va, vb, vq, vrem, vc) = (VARS, VARS + 4, RESULT, RESULT + 4, VARS + 8);
+    set(a, vrem, 0);
+    set(a, vq, 0);
+    set(a, vc, 8);
+    a.label("loop");
+    // rem = rem<<1 | msb(A); A <<= 1 (8-bit window: bit 7).
+    get(a, vrem);
+    a.im(1).ashiftleft();
+    get(a, va);
+    a.im(7).lshiftright();
+    a.im(1).and();
+    a.or();
+    put(a, vrem);
+    get(a, va);
+    a.im(1).ashiftleft();
+    a.im(0xFF).and();
+    put(a, va);
+    // q <<= 1.
+    get(a, vq);
+    a.im(1).ashiftleft();
+    put(a, vq);
+    // if rem < divisor skip the subtract. Push divisor then rem:
+    // ULESSTHAN pops a = rem, b = divisor, yields (rem < divisor).
+    get(a, vb);
+    get(a, vrem);
+    a.ulessthan();
+    a.im_rel("skip").neqbranch();
+    // rem -= divisor (SUB pops a = divisor, b = rem, pushes b - a).
+    get(a, vrem);
+    get(a, vb);
+    a.sub();
+    put(a, vrem);
+    // q |= 1.
+    get(a, vq);
+    a.im(1).or();
+    put(a, vq);
+    a.label("skip");
+    // if --cnt != 0 goto loop.
+    get(a, vc);
+    a.im(1).sub();
+    put(a, vc);
+    get(a, vc);
+    a.im_rel("loop").neqbranch();
+    a.breakpoint();
+}
+
+/// Bubble sort of 16 32-bit words at ARRAY (values are the 16-bit data).
+fn insort(a: &mut AsmZpu) {
+    let (vi, vpass, vaddr, vei, vei1) =
+        (VARS, VARS + 4, VARS + 8, VARS + 12, VARS + 16);
+    set(a, vpass, 15);
+    a.label("pass");
+    set(a, vi, 0);
+    a.label("ce");
+    // addr = ARRAY + i*4.
+    get(a, vi);
+    a.im(2).ashiftleft();
+    a.im(ARRAY).add();
+    put(a, vaddr);
+    // ei = mem[addr]; ei1 = mem[addr+4].
+    get(a, vaddr);
+    a.load();
+    put(a, vei);
+    get(a, vaddr);
+    a.im(4).add();
+    a.load();
+    put(a, vei1);
+    // if !(ei1 < ei) skip swap: push ei then ei1; ULESSTHAN pops
+    // a = ei1, b = ei and yields (ei1 < ei).
+    get(a, vei);
+    get(a, vei1);
+    a.ulessthan();
+    a.im_rel("noswap").eqbranch();
+    get(a, vei1);
+    get(a, vaddr);
+    a.store();
+    get(a, vei);
+    get(a, vaddr);
+    a.im(4).add();
+    a.store();
+    a.label("noswap");
+    // i += 1; if i != 15 goto ce.
+    get(a, vi);
+    a.im(1).add();
+    put(a, vi);
+    get(a, vi);
+    a.im(15).neq();
+    a.im_rel("ce").neqbranch();
+    // if --pass != 0 goto pass.
+    get(a, vpass);
+    a.im(1).sub();
+    put(a, vpass);
+    get(a, vpass);
+    a.im_rel("pass").neqbranch();
+    a.breakpoint();
+}
+
+/// Average of 16 words at ARRAY into RESULT.
+fn intavg(a: &mut AsmZpu) {
+    let (vi, vsum) = (VARS, VARS + 4);
+    set(a, vsum, 0);
+    set(a, vi, 0);
+    a.label("loop");
+    get(a, vsum);
+    get(a, vi);
+    a.im(2).ashiftleft();
+    a.im(ARRAY).add();
+    a.load();
+    a.add();
+    put(a, vsum);
+    get(a, vi);
+    a.im(1).add();
+    put(a, vi);
+    get(a, vi);
+    a.im(16).neq();
+    a.im_rel("loop").neqbranch();
+    get(a, vsum);
+    a.im(4).lshiftright();
+    put(a, RESULT);
+    a.breakpoint();
+}
+
+/// Threshold count over 16 words at ARRAY into RESULT.
+fn thold(a: &mut AsmZpu) {
+    let (vi, vcnt) = (VARS, VARS + 4);
+    set(a, vcnt, 0);
+    set(a, vi, 0);
+    a.label("loop");
+    // if !(elem < T): cnt += 1. Push T then elem: a = elem, b = T ⇒
+    // (elem < T).
+    a.im(data::THOLD_T as i32);
+    get(a, vi);
+    a.im(2).ashiftleft();
+    a.im(ARRAY).add();
+    a.load();
+    a.ulessthan();
+    a.im_rel("skip").neqbranch(); // elem < T ⇒ skip
+    get(a, vcnt);
+    a.im(1).add();
+    put(a, vcnt);
+    a.label("skip");
+    get(a, vi);
+    a.im(1).add();
+    put(a, vi);
+    get(a, vi);
+    a.im(16).neq();
+    a.im_rel("loop").neqbranch();
+    get(a, vcnt);
+    put(a, RESULT);
+    a.breakpoint();
+}
+
+/// CRC-8 over the 16 bytes at MSG into RESULT.
+fn crc8(a: &mut AsmZpu) {
+    let (vi, vcrc, vbit) = (VARS, VARS + 4, VARS + 8);
+    set(a, vcrc, 0);
+    set(a, vi, 0);
+    a.label("byte");
+    // crc ^= msg[i].
+    get(a, vcrc);
+    get(a, vi);
+    a.im(MSG).add();
+    a.loadb();
+    a.xor();
+    put(a, vcrc);
+    set(a, vbit, 8);
+    a.label("bit");
+    // if crc & 0x80: crc = ((crc << 1) ^ 7) & 0xFF else crc = (crc<<1)&0xFF.
+    get(a, vcrc);
+    a.im(0x80).and();
+    a.im_rel("noxor").eqbranch();
+    get(a, vcrc);
+    a.im(1).ashiftleft();
+    a.im(0x07).xor();
+    a.im(0xFF).and();
+    put(a, vcrc);
+    a.im_label("bitnext");
+    a.poppc();
+    a.label("noxor");
+    get(a, vcrc);
+    a.im(1).ashiftleft();
+    a.im(0xFF).and();
+    put(a, vcrc);
+    a.label("bitnext");
+    get(a, vbit);
+    a.im(1).sub();
+    put(a, vbit);
+    get(a, vbit);
+    a.im_rel("bit").neqbranch();
+    get(a, vi);
+    a.im(1).add();
+    put(a, vi);
+    get(a, vi);
+    a.im(16).neq();
+    a.im_rel("byte").neqbranch();
+    get(a, vcrc);
+    put(a, RESULT);
+    a.breakpoint();
+}
+
+/// Decision tree over the four bytes at VARS..VARS+16.
+fn dtree(a: &mut AsmZpu) {
+    let t = tree::build();
+    emit_tree(a, &t, String::new());
+    a.label("end");
+    a.breakpoint();
+}
+
+fn emit_tree(a: &mut AsmZpu, node: &tree::Node, path: String) {
+    match node {
+        tree::Node::Leaf { class } => {
+            a.im(*class as i32);
+            put(a, RESULT);
+            a.im_label("end");
+            a.poppc();
+        }
+        tree::Node::Internal { feature, threshold, left, right } => {
+            // (x < threshold) ⇒ left. Push threshold then x.
+            a.im(*threshold as i32);
+            get(a, VARS + 4 * *feature as i32);
+            a.ulessthan();
+            let left_label = format!("l{path}");
+            a.im_rel(&left_label).neqbranch();
+            emit_tree(a, right, format!("{path}1"));
+            a.label(&left_label);
+            emit_tree(a, left, format!("{path}0"));
+        }
+    }
+}
+
+/// Loads inputs, runs, verifies, reports.
+///
+/// # Panics
+///
+/// Panics on wrong results or non-termination (kernel bugs).
+pub fn run(bench: Bench) -> BaselineRun {
+    let image = image(bench);
+    let mut cpu = CpuZpu::new(MEM_BYTES);
+    cpu.load(&image);
+
+    match bench {
+        Bench::Mult => {
+            cpu.write32(VARS as u32, data::MULT_A as u32).unwrap();
+            cpu.write32(VARS as u32 + 4, data::MULT_B as u32).unwrap();
+        }
+        Bench::Div => {
+            cpu.write32(VARS as u32, data::DIV_A as u32).unwrap();
+            cpu.write32(VARS as u32 + 4, data::DIV_B as u32).unwrap();
+        }
+        Bench::InSort | Bench::IntAvg | Bench::THold => {
+            for (i, &v) in data::ARRAY16.iter().enumerate() {
+                cpu.write32(ARRAY as u32 + 4 * i as u32, v as u32).unwrap();
+            }
+        }
+        Bench::Crc8 => {
+            for (i, &b) in data::CRC_MSG.iter().enumerate() {
+                cpu.mem[MSG as usize + i] = b;
+            }
+        }
+        Bench::DTree => {
+            for (i, &x) in data::DTREE_X.iter().enumerate() {
+                cpu.write32(VARS as u32 + 4 * i as u32, x as u32).unwrap();
+            }
+        }
+    }
+
+    cpu.run(500_000_000).expect("ZPU kernel halts");
+    verify(bench, &cpu);
+    BaselineRun {
+        bench,
+        cpu: BaselineCpu::ZpuSmall,
+        program_bytes: image.len(),
+        cycles: cpu.cycles,
+        instructions: cpu.instructions,
+    }
+}
+
+fn verify(bench: Bench, cpu: &CpuZpu) {
+    let r = RESULT as u32;
+    match bench {
+        Bench::Mult => {
+            assert_eq!(cpu.read32(r).unwrap(), data::MULT_EXPECTED as u32, "ZPU mult");
+        }
+        Bench::Div => {
+            assert_eq!(cpu.read32(r).unwrap(), data::DIV_Q as u32, "ZPU div quotient");
+            assert_eq!(cpu.read32(r + 4).unwrap(), data::DIV_R as u32, "ZPU div remainder");
+        }
+        Bench::InSort => {
+            for (i, &v) in data::sorted().iter().enumerate() {
+                assert_eq!(
+                    cpu.read32(ARRAY as u32 + 4 * i as u32).unwrap(),
+                    v as u32,
+                    "ZPU inSort element {i}"
+                );
+            }
+        }
+        Bench::IntAvg => {
+            assert_eq!(cpu.read32(r).unwrap(), data::average() as u32, "ZPU intAvg");
+        }
+        Bench::THold => {
+            assert_eq!(cpu.read32(r).unwrap(), data::thold_count() as u32, "ZPU tHold");
+        }
+        Bench::Crc8 => {
+            assert_eq!(cpu.read32(r).unwrap(), data::crc8(&data::CRC_MSG) as u32, "ZPU crc8");
+        }
+        Bench::DTree => {
+            let expected = tree::eval(&tree::build(), &data::DTREE_X);
+            assert_eq!(cpu.read32(r).unwrap(), expected as u32, "ZPU dTree");
+        }
+    }
+}

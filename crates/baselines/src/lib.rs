@@ -1,0 +1,26 @@
+//! # printed-baselines
+//!
+//! The four baseline microprocessors of *Printed Microprocessors* (ISCA
+//! 2020), Section 4: light8080, Zilog Z80, Zylin ZPU, and openMSP430.
+//!
+//! Each baseline comes as a working instruction-set simulator with the
+//! documented per-instruction cycle counts, a builder-style assembler,
+//! and a calibrated cell inventory ([`inventory`]) reproducing the
+//! Table 4 synthesis results in both printed technologies. The benchmark
+//! kernels ([`kernels`]) provide the programs behind Table 5 and the
+//! Section 8 baseline results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod asm430;
+pub mod asm8080;
+pub mod disasm8080;
+pub mod i8080;
+pub mod inventory;
+pub mod kernels;
+pub mod msp430;
+pub mod z80;
+pub mod zpu;
+
+pub use inventory::{BaselineCpu, CellInventory};

@@ -1,0 +1,131 @@
+//! Property-based checks of the baseline instruction-set simulators:
+//! the 8080 and Z80 must agree architecturally on shared programs, the
+//! MSP430 ALU must match reference arithmetic, and the ZPU stack
+//! discipline must hold.
+
+use proptest::prelude::*;
+use printed_baselines::asm430::Asm430;
+use printed_baselines::i8080::{Cpu8080, Reg};
+use printed_baselines::msp430::{CpuMsp430, SrBits};
+use printed_baselines::z80::CpuZ80;
+use printed_baselines::zpu::{AsmZpu, CpuZpu};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn i8080_and_z80_agree_on_shared_arithmetic(a: u8, b: u8, op in 0u8..8) {
+        // MVI A,a; MVI B,b; <op> B; HLT — same architectural result on
+        // both CPUs (the Z80 executes the 8080 subset).
+        let image = [0x3E, a, 0x06, b, 0x80 | (op << 3), 0x76];
+        let mut c8080 = Cpu8080::new();
+        c8080.load(0x100, &image);
+        c8080.run(10_000).unwrap();
+        let mut cz80 = CpuZ80::new();
+        cz80.load(0x100, &image);
+        cz80.run(10_000).unwrap();
+        prop_assert_eq!(c8080.reg(Reg::A), cz80.core.reg(Reg::A));
+        prop_assert_eq!(c8080.flags, cz80.core.flags);
+    }
+
+    #[test]
+    fn i8080_add_matches_reference(a: u8, b: u8) {
+        let image = [0x3E, a, 0x06, b, 0x80, 0x76];
+        let mut cpu = Cpu8080::new();
+        cpu.load(0x100, &image);
+        cpu.run(10_000).unwrap();
+        let full = a as u16 + b as u16;
+        prop_assert_eq!(cpu.reg(Reg::A), full as u8);
+        prop_assert_eq!(cpu.flags.cy, full > 0xFF);
+        prop_assert_eq!(cpu.flags.z, full as u8 == 0);
+        prop_assert_eq!(cpu.flags.s, full as u8 & 0x80 != 0);
+    }
+
+    #[test]
+    fn i8080_sub_sets_borrow(a: u8, b: u8) {
+        let image = [0x3E, a, 0x06, b, 0x90, 0x76];
+        let mut cpu = Cpu8080::new();
+        cpu.load(0x100, &image);
+        cpu.run(10_000).unwrap();
+        prop_assert_eq!(cpu.reg(Reg::A), a.wrapping_sub(b));
+        prop_assert_eq!(cpu.flags.cy, b > a);
+    }
+
+    #[test]
+    fn msp430_add_matches_reference(a: u16, b: u16) {
+        let mut asm = Asm430::new(0x4400);
+        asm.mov_imm(a, 4).mov_imm(b, 5).add_reg(4, 5).halt();
+        let image = asm.assemble().unwrap();
+        let mut cpu = CpuMsp430::new();
+        cpu.load(0x4400, &image);
+        cpu.run(100_000).unwrap();
+        let full = a as u32 + b as u32;
+        prop_assert_eq!(cpu.regs[5], full as u16);
+        prop_assert_eq!(cpu.regs[2] & SrBits::C != 0, full > 0xFFFF);
+        prop_assert_eq!(cpu.regs[2] & SrBits::Z != 0, full as u16 == 0);
+    }
+
+    #[test]
+    fn msp430_cmp_orders_unsigned(a: u16, b: u16) {
+        // CMP a(src), b(dst): C set iff dst >= src (unsigned).
+        let mut asm = Asm430::new(0x4400);
+        asm.mov_imm(a, 4).mov_imm(b, 5).cmp_reg(4, 5).halt();
+        let image = asm.assemble().unwrap();
+        let mut cpu = CpuMsp430::new();
+        cpu.load(0x4400, &image);
+        cpu.run(100_000).unwrap();
+        prop_assert_eq!(cpu.regs[2] & SrBits::C != 0, b >= a);
+        prop_assert_eq!(cpu.regs[5], b, "CMP must not write back");
+    }
+
+    #[test]
+    fn zpu_im_pushes_any_constant(v: i32) {
+        let mut asm = AsmZpu::new();
+        asm.im(v).im(0x100).store().breakpoint();
+        let image = asm.assemble().unwrap();
+        let mut cpu = CpuZpu::new(4096);
+        cpu.load(&image);
+        cpu.run(100_000).unwrap();
+        prop_assert_eq!(cpu.read32(0x100).unwrap(), v as u32);
+    }
+
+    #[test]
+    fn zpu_arith_matches_reference(a: i32, b: i32, op in 0u8..5) {
+        let mut asm = AsmZpu::new();
+        asm.im(a).im(b);
+        let expected = match op {
+            0 => { asm.add(); (a as u32).wrapping_add(b as u32) }
+            1 => { asm.sub(); (a as u32).wrapping_sub(b as u32) }
+            2 => { asm.and(); (a & b) as u32 }
+            3 => { asm.or(); (a | b) as u32 }
+            _ => { asm.xor(); (a ^ b) as u32 }
+        };
+        asm.im(0x100).store().breakpoint();
+        let image = asm.assemble().unwrap();
+        let mut cpu = CpuZpu::new(4096);
+        cpu.load(&image);
+        cpu.run(100_000).unwrap();
+        prop_assert_eq!(cpu.read32(0x100).unwrap(), expected);
+    }
+
+    #[test]
+    fn zpu_stack_push_pop_balances(values in prop::collection::vec(any::<i32>(), 1..8)) {
+        // Push all values, store them back in reverse order; memory must
+        // receive them LIFO.
+        let mut asm = AsmZpu::new();
+        for &v in &values {
+            asm.im(v);
+        }
+        for i in 0..values.len() {
+            asm.im(0x200 + 4 * i as i32).store();
+        }
+        asm.breakpoint();
+        let image = asm.assemble().unwrap();
+        let mut cpu = CpuZpu::new(8192);
+        cpu.load(&image);
+        cpu.run(100_000).unwrap();
+        for (i, &v) in values.iter().rev().enumerate() {
+            prop_assert_eq!(cpu.read32(0x200 + 4 * i as u32).unwrap(), v as u32);
+        }
+    }
+}

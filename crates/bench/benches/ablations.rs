@@ -1,0 +1,89 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//! - carry-select vs ripple adders in wide ALUs,
+//! - NAND-mapped vs AND/OR-mapped mux cells,
+//! - constant folding on program-specific cores,
+//! - MLC levels of the instruction ROM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use printed_core::kernels::{self, Kernel};
+use printed_core::specific::CoreSpec;
+use printed_core::{generate, CoreConfig};
+use printed_memory::CrossbarRom;
+use printed_netlist::{analysis, opt, words, NetlistBuilder};
+use printed_pdk::Technology;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn adder_ablation() {
+    println!("\n== ablation: adder structure (32-bit, EGFET) ==");
+    let lib = Technology::Egfet.library();
+    for (name, select) in [("ripple", false), ("carry-select", true)] {
+        let mut b = NetlistBuilder::new(name);
+        let a = b.input("a", 32);
+        let x = b.input("b", 32);
+        let cin = b.const0();
+        let out = if select {
+            words::carry_select_adder(&mut b, &a, &x, cin, 8)
+        } else {
+            words::ripple_adder(&mut b, &a, &x, cin)
+        };
+        b.output("sum", out.sum);
+        let ch = analysis::characterize(&b.finish().unwrap(), lib);
+        println!(
+            "{name:>13}: {:>4} gates, fmax {:>6.2} Hz, {:>6.2} cm2, {:>6.2} mW",
+            ch.gate_count,
+            ch.fmax.as_hertz(),
+            ch.area.total.as_cm2(),
+            ch.power.total().as_milliwatts()
+        );
+    }
+}
+
+fn folding_ablation() {
+    println!("\n== ablation: constant folding on program-specific cores ==");
+    for bench in [Kernel::Mult, Kernel::DTree] {
+        let prog = kernels::generate(bench, 8, 8).unwrap();
+        let spec = CoreSpec::program_specific(CoreConfig::new(1, 8, 2), &prog.instructions, &prog.name);
+        let raw = generate(&spec);
+        let (folded, stats) = opt::optimize_with_stats(&raw);
+        println!(
+            "{:>12}: {} -> {} gates ({} removed by folding + sweep)",
+            prog.name,
+            stats.gates_before,
+            folded.gate_count(),
+            stats.removed()
+        );
+    }
+}
+
+fn mlc_ablation() {
+    println!("\n== ablation: instruction ROM MLC levels (256 x 24-bit, EGFET) ==");
+    let prog = vec![0u64; 256];
+    for bits in [1u8, 2, 4] {
+        let rom = CrossbarRom::new(Technology::Egfet, 24, bits, prog.clone()).unwrap();
+        println!(
+            "{bits}-bit cells: {:>7.1} mm2, access {:>6.2} ms, fetch energy {:>8.1} nJ",
+            rom.area().as_mm2(),
+            rom.access_delay().as_millis(),
+            rom.access_energy().as_nanojoules()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    PRINT.call_once(|| {
+        adder_ablation();
+        folding_ablation();
+        mlc_ablation();
+    });
+    let prog = kernels::generate(Kernel::Mult, 8, 8).unwrap();
+    let spec = CoreSpec::program_specific(CoreConfig::new(1, 8, 2), &prog.instructions, &prog.name);
+    let raw = generate(&spec);
+    c.bench_function("ablation_constant_folding", |b| {
+        b.iter(|| opt::optimize(&raw).gate_count())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

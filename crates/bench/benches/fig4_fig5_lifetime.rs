@@ -1,0 +1,45 @@
+//! Figures 4 and 5: baseline lifetime vs duty cycle on four printed
+//! batteries, in both technologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use printed_eval::lifetime::lifetime_figure;
+use printed_pdk::Technology;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    PRINT.call_once(|| {
+        for (fig, tech) in [(4, Technology::Egfet), (5, Technology::CntTft)] {
+            println!("\n== Figure {fig}: lifetime vs duty cycle ({tech}) ==");
+            for curve in lifetime_figure(tech) {
+                let at = |duty: f64| {
+                    curve
+                        .samples
+                        .iter()
+                        .min_by(|a, b| {
+                            (a.0 - duty).abs().partial_cmp(&(b.0 - duty).abs()).unwrap()
+                        })
+                        .map(|&(_, t)| t.as_hours())
+                        .unwrap_or(f64::NAN)
+                };
+                println!(
+                    "{:>11} on {:18}: {:>9.1} h @ duty 0.001, {:>7.2} h @ 0.1, {:>6.2} h @ 1.0",
+                    curve.cpu,
+                    curve.battery,
+                    at(0.001),
+                    at(0.1),
+                    at(1.0)
+                );
+            }
+        }
+    });
+    c.bench_function("fig4_fig5_lifetime", |b| {
+        b.iter(|| {
+            lifetime_figure(Technology::Egfet).len() + lifetime_figure(Technology::CntTft).len()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

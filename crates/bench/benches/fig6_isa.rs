@@ -1,0 +1,43 @@
+//! Figure 6: the TP-ISA encoding — dumps the instruction formats and
+//! measures encode/decode round-trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use printed_core::{AluOp, Encoding, Instruction, Operand};
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn sample_instructions() -> Vec<Instruction> {
+    let dst = Operand::indexed(1, 5);
+    let src = Operand::direct(9);
+    let mut v: Vec<Instruction> =
+        AluOp::ALL.iter().map(|&op| Instruction::Alu { op, dst, src }).collect();
+    v.push(Instruction::Store { dst, imm: 0x42 });
+    v.push(Instruction::SetBar { bar: 1, imm: 0x10 });
+    v.push(Instruction::Branch { negate: false, target: 12, mask: 0b0010 });
+    v.push(Instruction::Branch { negate: true, target: 3, mask: 0 });
+    v
+}
+
+fn bench(c: &mut Criterion) {
+    let enc = Encoding::with_bars(2);
+    let instructions = sample_instructions();
+    PRINT.call_once(|| {
+        println!("\n== Figure 6: TP-ISA instruction encodings (2-BAR, 24-bit) ==");
+        for &inst in &instructions {
+            let word = enc.encode(inst).unwrap();
+            println!("{word:06x}  {inst}");
+        }
+    });
+    c.bench_function("fig6_isa_roundtrip", |b| {
+        b.iter(|| {
+            instructions
+                .iter()
+                .map(|&i| enc.decode(enc.encode(i).unwrap()).unwrap())
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

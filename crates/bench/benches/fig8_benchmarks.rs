@@ -1,0 +1,66 @@
+//! Figure 8: benchmark-level area / energy / execution time with
+//! combinational / register / IM / DM breakdowns, for every supported
+//! (kernel, data width, core width) cell plus the program-specific and
+//! dTree-ROMopt variants. The heavyweight experiment of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use printed_core::kernels::{self, Kernel};
+use printed_core::CoreConfig;
+use printed_eval::{figure8, System};
+use printed_pdk::Technology;
+
+fn print_figure8() {
+    let cells = figure8(Technology::Egfet);
+    println!("\n== Figure 8 (EGFET): area cm2 | energy mJ | time s, split C/R/IM/DM ==");
+    for c in &cells {
+        let tag = if c.program_specific {
+            " PS"
+        } else if c.rom_mlc {
+            "MLC"
+        } else {
+            "   "
+        };
+        println!(
+            "{:>14} w{:<2}{} | A {:6.2} ({:5.2}/{:4.2}/{:5.2}/{:5.2}) | E {:9.2} ({:8.2}/{:6.2}/{:7.2}/{:7.2}) | t {:8.2}",
+            c.kernel,
+            c.core_width,
+            tag,
+            c.result.area_cm2.total(),
+            c.result.area_cm2.combinational,
+            c.result.area_cm2.registers,
+            c.result.area_cm2.imem,
+            c.result.area_cm2.dmem,
+            c.result.energy_j.total() * 1e3,
+            c.result.energy_j.combinational * 1e3,
+            c.result.energy_j.registers * 1e3,
+            c.result.energy_j.imem * 1e3,
+            c.result.energy_j.dmem * 1e3,
+            c.result.exec_time.as_secs(),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure8();
+    // Criterion measures one representative cell (the full matrix takes
+    // tens of seconds per iteration).
+    let kernel = kernels::generate(Kernel::Mult, 8, 8).unwrap();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("fig8_one_cell_mult8", |b| {
+        b.iter(|| {
+            let sys = System::standard(
+                CoreConfig::new(1, 8, 2),
+                kernel.clone(),
+                Technology::Egfet,
+                1,
+            )
+            .unwrap();
+            sys.run().cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! The §1/§9 headline numbers: ROM-vs-RAM (5.77x / 16.8x / 2.42x) and
+//! the program-specific ISA improvements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use printed_eval::headline::{ps_headline, ps_improvements, rom_vs_ram};
+use printed_eval::figure8;
+use printed_pdk::Technology;
+
+fn bench(c: &mut Criterion) {
+    let r = rom_vs_ram();
+    println!("\nROM vs RAM: power x{:.2} (paper 5.77), area x{:.2} (16.8), delay x{:.2} (2.42)",
+        r.power, r.area, r.delay);
+
+    let cells = figure8(Technology::Egfet);
+    let improvements = ps_improvements(&cells);
+    println!("\nprogram-specific ISA improvements (EGFET):");
+    for i in &improvements {
+        println!(
+            "{:>14}: core power x{:.2}, core area x{:.2}, benchmark energy x{:.2}",
+            i.kernel, i.core_power_ratio, i.core_area_ratio, i.energy_ratio
+        );
+    }
+    let h = ps_headline(&improvements);
+    println!(
+        "max: power x{:.2} (paper: up to 4.18), area x{:.2} (1.93), energy x{:.2} (2.59)",
+        h.max_power, h.max_area, h.max_energy
+    );
+
+    c.bench_function("headline_rom_vs_ram", |b| b.iter(rom_vs_ram));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Table 1: printed/flexible process comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    PRINT.call_once(|| println!("\n{}", printed_eval::tables::table1()));
+    c.bench_function("table1_processes", |b| {
+        b.iter(|| printed_eval::tables::table1().len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Table 2: standard-cell characteristics of both printed technologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    PRINT.call_once(|| println!("\n{}", printed_eval::tables::table2()));
+    c.bench_function("table2_cells", |b| {
+        b.iter(|| printed_eval::tables::table2().len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table 3: application catalog with feasibility on representative
+//! EGFET and CNT-TFT cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use printed_core::{generate_standard, CoreConfig};
+use printed_netlist::analysis;
+use printed_pdk::Technology;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn rates() -> (f64, f64) {
+    let netlist = generate_standard(&CoreConfig::new(1, 8, 2));
+    let egfet = analysis::timing(&netlist, Technology::Egfet.library()).fmax().as_hertz();
+    let cnt = analysis::timing(&netlist, Technology::CntTft.library()).fmax().as_hertz();
+    (egfet, cnt)
+}
+
+fn bench(c: &mut Criterion) {
+    let (egfet, cnt) = rates();
+    PRINT.call_once(|| println!("\n{}", printed_eval::tables::table3(egfet, cnt)));
+    c.bench_function("table3_apps", |b| {
+        b.iter(|| printed_eval::tables::table3(egfet, cnt).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Table 4: baseline CPU characterization in both technologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    PRINT.call_once(|| println!("\n{}", printed_eval::tables::table4()));
+    c.bench_function("table4_baselines", |b| {
+        b.iter(|| printed_eval::tables::table4_rows().len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

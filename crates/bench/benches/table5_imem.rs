@@ -1,0 +1,17 @@
+//! Table 5: instruction-memory overhead of the baseline programs in
+//! EGFET RAM (assembles every kernel for every baseline ISA).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    PRINT.call_once(|| println!("\n{}", printed_eval::tables::table5()));
+    c.bench_function("table5_imem", |b| {
+        b.iter(|| printed_eval::tables::table5_cells().len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 6: printed memory device characteristics, plus the §6 crossbar
+//! structural model against the published 16×9 design point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use printed_memory::rom::structural_estimate;
+use printed_memory::worm::WormComparison;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    PRINT.call_once(|| {
+        println!("\n{}", printed_eval::tables::table6());
+        let cmp = WormComparison::reference();
+        println!(
+            "crossbar 16x9: {} transistors, {} pull-ups, {:.2} mm2 (paper: 220 / 52 / 20.42)",
+            cmp.crossbar_transistors,
+            cmp.crossbar_pull_ups,
+            cmp.crossbar_area.as_mm2()
+        );
+        println!(
+            "WORM baseline: {} transistors, {:.1} mm2 -> crossbar is {:.1}x smaller",
+            cmp.worm.transistors(),
+            cmp.worm.area.as_mm2(),
+            cmp.area_ratio()
+        );
+    });
+    c.bench_function("table6_memory", |b| {
+        b.iter(|| structural_estimate(16, 9, 1).transistors)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

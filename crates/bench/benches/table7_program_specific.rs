@@ -1,0 +1,16 @@
+//! Table 7: program-specific architectural state per benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    PRINT.call_once(|| println!("\n{}", printed_eval::tables::table7()));
+    c.bench_function("table7_program_specific", |b| {
+        b.iter(|| printed_eval::tables::table7_rows().len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

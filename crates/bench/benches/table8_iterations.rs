@@ -1,0 +1,24 @@
+//! Table 8: benchmark iterations on a 1 V / 30 mAh printed battery,
+//! standard vs program-specific cores. Heavy: runs the full Figure 8
+//! EGFET matrix once, then measures the reduction step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use printed_eval::tables::table8_rows;
+use printed_eval::figure8;
+use printed_pdk::Technology;
+
+fn bench(c: &mut Criterion) {
+    let cells = figure8(Technology::Egfet);
+    let mut t = printed_eval::report::TextTable::new(
+        "Table 8: iterations on a 1 V, 30 mAh battery",
+        &["benchmark", "STD", "PS"],
+    );
+    for r in table8_rows(&cells) {
+        t.row(vec![r.kernel.clone(), r.standard.to_string(), r.program_specific.to_string()]);
+    }
+    println!("\n{t}");
+    c.bench_function("table8_iterations", |b| b.iter(|| table8_rows(&cells).len()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

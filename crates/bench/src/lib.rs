@@ -1,0 +1,26 @@
+//! # printed-bench
+//!
+//! Criterion benchmark harness: each bench target regenerates one of the
+//! paper's tables or figures (printing it for the record) and measures
+//! the regeneration cost. Run with `cargo bench`; see `benches/` for the
+//! per-table/figure targets:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1_processes` | Table 1 |
+//! | `table2_cells` | Table 2 |
+//! | `table3_apps` | Table 3 (+ feasibility) |
+//! | `table4_baselines` | Table 4 |
+//! | `table5_imem` | Table 5 |
+//! | `table6_memory` | Table 6 |
+//! | `table7_program_specific` | Table 7 |
+//! | `table8_iterations` | Table 8 |
+//! | `fig4_fig5_lifetime` | Figures 4 and 5 |
+//! | `fig6_isa` | Figure 6 (encoding round-trip) |
+//! | `fig7_design_space` | Figure 7 |
+//! | `fig8_benchmarks` | Figure 8 |
+//! | `headline_ratios` | §1/§9 headline numbers |
+//! | `ablations` | design-choice ablations from DESIGN.md |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

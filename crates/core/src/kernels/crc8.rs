@@ -1,0 +1,128 @@
+//! CRC-8 kernel (polynomial 0x07, init 0x00).
+//!
+//! "The CRC8 kernel acts on a 16 byte data stream." The byte loop is
+//! unrolled over the 16 static message addresses; each byte runs the
+//! 8-iteration bit loop. On cores wider than 8 bits the shifted CRC is
+//! re-masked to a byte.
+
+use super::{InputRng, Kernel, KernelError, KernelProgram, TpAsm, Z};
+use crate::isa::AluOp;
+
+/// Message length in bytes (fixed by the paper).
+const MESSAGE_BYTES: usize = 16;
+
+/// Reference CRC-8 (poly 0x07, init 0, no reflection, no final XOR).
+pub(crate) fn crc8_reference(message: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &byte in message {
+        crc ^= byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+/// Generates the kernel.
+pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelProgram, KernelError> {
+    if core_width < 8 || data_width != 8 {
+        return Err(KernelError::UnsupportedWidths {
+            kernel: Kernel::Crc8,
+            core_width,
+            data_width,
+        });
+    }
+    let wide = core_width > 8;
+
+    // Layout: message [0..16], CRC, POLY, MASKFF, MASK80, ONE, CNT.
+    let msg = 0u8;
+    let crc = MESSAGE_BYTES as u8;
+    let poly = crc + 1;
+    let mask_ff = poly + 1;
+    let mask80 = mask_ff + 1;
+    let one = mask80 + 1;
+    let cnt = one + 1;
+    let dmem_words = cnt as usize + 1;
+
+    let mut rng = InputRng::new(0x4352_43); // "CRC"
+    let message: Vec<u8> = (0..MESSAGE_BYTES).map(|_| rng.next_bits(8) as u8).collect();
+    let expected = crc8_reference(&message) as u64;
+
+    let mut asm = TpAsm::new();
+    asm.store(one, 1);
+    asm.store(poly, 0x07);
+    asm.store(mask_ff, 0xFF);
+    asm.store(mask80, 0x80);
+    asm.zero(crc, 1);
+    for i in 0..MESSAGE_BYTES {
+        asm.alu(AluOp::Xor, crc, msg + i as u8);
+        asm.store(cnt, 8);
+        asm.label(format!("bit_{i}"));
+        // Portable bit step: test bit 7 first, then shift, then the
+        // conditional polynomial XOR (flags are clobbered by each step,
+        // so the branch happens right after the test).
+        asm.alu(AluOp::Test, crc, mask80); // Z = top CRC bit clear, C = 0
+        asm.br(format!("noxor_{i}"), Z);
+        asm.shl1(crc, 1); // carry already cleared by TEST
+        asm.alu(AluOp::Xor, crc, poly);
+        asm.jmp(format!("mask_{i}"));
+        asm.label(format!("noxor_{i}"));
+        asm.shl1(crc, 1);
+        asm.label(format!("mask_{i}"));
+        if wide {
+            asm.alu(AluOp::And, crc, mask_ff);
+        }
+        asm.alu(AluOp::Sub, cnt, one);
+        asm.brn(format!("bit_{i}"), Z);
+    }
+    asm.halt();
+
+    let inputs: Vec<(u8, u64)> = message
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (msg + i as u8, b as u64))
+        .collect();
+
+    Ok(KernelProgram {
+        name: format!("crc8_w{core_width}"),
+        kernel: Kernel::Crc8,
+        core_width,
+        data_width,
+        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
+            kernel: Kernel::Crc8,
+            instructions: n,
+        })?,
+        dmem_words,
+        inputs,
+        result: (crc, 1),
+        expected: vec![expected],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check;
+    use super::super::{generate, Kernel, KernelError};
+    use super::crc8_reference;
+
+    #[test]
+    fn reference_crc_matches_known_vector() {
+        // CRC-8/SMBUS of "123456789" is 0xF4.
+        assert_eq!(crc8_reference(b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn crc8_on_supported_cores() {
+        check(Kernel::Crc8, 8, 8);
+        check(Kernel::Crc8, 16, 8);
+        check(Kernel::Crc8, 32, 8);
+    }
+
+    #[test]
+    fn crc8_rejects_narrow_cores() {
+        assert!(matches!(
+            generate(Kernel::Crc8, 4, 8),
+            Err(KernelError::UnsupportedWidths { .. })
+        ));
+    }
+}

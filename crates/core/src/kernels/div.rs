@@ -1,0 +1,104 @@
+//! Restoring-division kernel.
+//!
+//! Computes `quotient = a / b` and `remainder = a % b` over
+//! `data_width`-bit operands. The dividend doubles as the quotient
+//! register: each iteration shifts `(REM : A)` left one bit through a
+//! single `RLC` carry chain, trial-subtracts the divisor from `REM`, and
+//! either restores (borrow) or sets the freshly vacated quotient bit.
+
+use super::{
+    split_words, words_per_element, InputRng, Kernel, KernelError, KernelProgram, TpAsm, C,
+};
+use crate::isa::AluOp;
+
+/// Generates the kernel.
+pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelProgram, KernelError> {
+    let n = words_per_element(core_width, data_width);
+
+    // Layout: A/quotient [0..n], REM [n..2n], B [2n..3n], ONE, CNT.
+    let a_addr = 0u8;
+    let rem_addr = n as u8;
+    let b_addr = 2 * n as u8;
+    let one = 3 * n as u8;
+    let cnt = one + 1;
+    let cnt_outer = cnt + 1;
+    let dmem_words = cnt_outer as usize + 1;
+
+    let mut rng = InputRng::new(0x4449_56); // "DIV"
+    let a = rng.next_bits(data_width);
+    let mut b = rng.next_bits(data_width.min(core_width * n) / 2).max(1);
+    if b == 0 {
+        b = 1;
+    }
+    let quotient = a / b;
+    let remainder = a % b;
+
+    let mut asm = TpAsm::new();
+    asm.store(one, 1);
+    asm.zero(rem_addr, n);
+    asm.repeat("bit", data_width, core_width, cnt, cnt_outer, one, |asm| {
+        // One continuous RLC chain shifts (REM : A) left by one.
+        asm.clear_carry(one);
+        asm.shl1(a_addr, n);
+        asm.shl1(rem_addr, n);
+        // Trial subtract: REM -= B, C = borrow.
+        asm.sub_multi(rem_addr, b_addr, n);
+        asm.br("restore", C);
+        // Success: set the quotient bit just vacated in A's LSB.
+        asm.alu(AluOp::Or, a_addr, one);
+        asm.jmp("next");
+        asm.label("restore");
+        asm.add_multi(rem_addr, b_addr, n);
+        asm.label("next");
+    });
+    asm.halt();
+
+    let mut inputs = Vec::new();
+    for (i, w) in split_words(a, core_width, n).into_iter().enumerate() {
+        inputs.push((a_addr + i as u8, w));
+    }
+    for (i, w) in split_words(b, core_width, n).into_iter().enumerate() {
+        inputs.push((b_addr + i as u8, w));
+    }
+
+    let mut expected = split_words(quotient, core_width, n);
+    expected.extend(split_words(remainder, core_width, n));
+
+    Ok(KernelProgram {
+        name: format!("div{data_width}_w{core_width}"),
+        kernel: Kernel::Div,
+        core_width,
+        data_width,
+        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
+            kernel: Kernel::Div,
+            instructions: n,
+        })?,
+        dmem_words,
+        inputs,
+        result: (a_addr, 2 * n),
+        expected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check;
+    use super::super::Kernel;
+
+    #[test]
+    fn div_native_widths() {
+        check(Kernel::Div, 8, 8);
+        check(Kernel::Div, 16, 16);
+        check(Kernel::Div, 32, 32);
+    }
+
+    #[test]
+    fn div_coalesced_on_narrow_cores() {
+        check(Kernel::Div, 8, 16);
+        check(Kernel::Div, 8, 32);
+        check(Kernel::Div, 16, 32);
+        check(Kernel::Div, 4, 8);
+        check(Kernel::Div, 4, 16);
+        check(Kernel::Div, 4, 32);
+    }
+}

@@ -1,0 +1,173 @@
+//! Decision-tree kernel.
+//!
+//! A synthetic balanced decision tree over four sensor inputs, with the
+//! node thresholds hard-coded into the instruction stream ("The decision
+//! tree threshold parameters are effectively hard-coded into the program
+//! instructions, meaning they do not exist in data memory"). The paper
+//! sizes its tree to fill the 256-word instruction ROM; ours is a
+//! depth-5 tree of 31 internal nodes and 32 leaves (~220 instructions).
+//!
+//! Width rule (from the paper): no data-coalescing instructions are used,
+//! so each width variant runs only on cores of matching width.
+
+use super::{InputRng, Kernel, KernelError, KernelProgram, TpAsm, C};
+use crate::isa::AluOp;
+
+const FEATURES: usize = 4;
+const DEPTH: usize = 5;
+
+#[derive(Debug)]
+enum Node {
+    Internal { feature: usize, threshold: u8, left: Box<Node>, right: Box<Node> },
+    Leaf { class: u8 },
+}
+
+fn build(rng: &mut InputRng, depth: usize, next_class: &mut u8) -> Node {
+    if depth == DEPTH {
+        let class = *next_class;
+        *next_class += 1;
+        return Node::Leaf { class };
+    }
+    let feature = depth % FEATURES;
+    let threshold = (rng.next_bits(8) as u8).clamp(16, 240);
+    Node::Internal {
+        feature,
+        threshold,
+        left: Box::new(build(rng, depth + 1, next_class)),
+        right: Box::new(build(rng, depth + 1, next_class)),
+    }
+}
+
+fn eval(node: &Node, x: &[u64; FEATURES]) -> u8 {
+    match node {
+        Node::Leaf { class } => *class,
+        Node::Internal { feature, threshold, left, right } => {
+            if x[*feature] < *threshold as u64 {
+                eval(left, x)
+            } else {
+                eval(right, x)
+            }
+        }
+    }
+}
+
+fn emit(asm: &mut TpAsm, node: &Node, path: String, layout: &Layout) {
+    match node {
+        Node::Leaf { class } => {
+            asm.store(layout.out, *class);
+            asm.jmp("end");
+        }
+        Node::Internal { feature, threshold, left, right } => {
+            asm.store(layout.tmp_th, *threshold);
+            asm.copy(layout.tmp, layout.x + *feature as u8, 1, layout.scratch);
+            asm.alu(AluOp::Sub, layout.tmp, layout.tmp_th);
+            let right_label = format!("r{path}");
+            // C set ⇒ x < threshold ⇒ left (fall through); clear ⇒ right.
+            asm.brn(&right_label, C);
+            emit(asm, left, format!("{path}0"), layout);
+            asm.label(right_label);
+            emit(asm, right, format!("{path}1"), layout);
+        }
+    }
+}
+
+struct Layout {
+    x: u8,
+    tmp: u8,
+    tmp_th: u8,
+    scratch: u8,
+    out: u8,
+}
+
+/// Generates the kernel.
+pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelProgram, KernelError> {
+    if core_width != data_width {
+        // The decision tree uses no coalescing instructions (paper §8).
+        return Err(KernelError::UnsupportedWidths {
+            kernel: Kernel::DTree,
+            core_width,
+            data_width,
+        });
+    }
+
+    let layout = Layout { x: 0, tmp: 4, tmp_th: 5, scratch: 6, out: 7 };
+    let dmem_words = 8;
+
+    let mut rng = InputRng::new(0x5452_4545); // "TREE"
+    let mut next_class = 0u8;
+    let tree = build(&mut rng, 0, &mut next_class);
+    // Sensor inputs are 8-bit samples (Table 3 precisions), whatever the
+    // core width.
+    let x = [rng.next_bits(8), rng.next_bits(8), rng.next_bits(8), rng.next_bits(8)];
+    let expected = eval(&tree, &x) as u64;
+
+    let mut asm = TpAsm::new();
+    emit(&mut asm, &tree, String::new(), &layout);
+    asm.label("end");
+    asm.halt();
+
+    let inputs: Vec<(u8, u64)> = x.iter().enumerate().map(|(i, &v)| (i as u8, v)).collect();
+
+    Ok(KernelProgram {
+        name: format!("dTree{data_width}_w{core_width}"),
+        kernel: Kernel::DTree,
+        core_width,
+        data_width,
+        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
+            kernel: Kernel::DTree,
+            instructions: n,
+        })?,
+        dmem_words,
+        inputs,
+        result: (layout.out, 1),
+        expected: vec![expected],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check;
+    use super::super::{generate, Kernel, KernelError};
+
+    #[test]
+    fn dtree_native_widths() {
+        check(Kernel::DTree, 8, 8);
+        check(Kernel::DTree, 16, 16);
+        check(Kernel::DTree, 32, 32);
+    }
+
+    #[test]
+    fn dtree_rejects_mismatched_widths() {
+        assert!(matches!(
+            generate(Kernel::DTree, 8, 32),
+            Err(KernelError::UnsupportedWidths { .. })
+        ));
+        assert!(matches!(
+            generate(Kernel::DTree, 16, 32),
+            Err(KernelError::UnsupportedWidths { .. })
+        ));
+    }
+
+    #[test]
+    fn dtree_nearly_fills_the_instruction_rom() {
+        // §8: the paper's tree uses all 256 instruction words; ours lands
+        // in the same regime.
+        let prog = generate(Kernel::DTree, 8, 8).unwrap();
+        assert!(
+            (180..=256).contains(&prog.instructions.len()),
+            "{} instructions",
+            prog.instructions.len()
+        );
+    }
+
+    #[test]
+    fn dtree_executes_few_instructions_per_iteration() {
+        use crate::config::CoreConfig;
+        let prog = generate(Kernel::DTree, 8, 8).unwrap();
+        let mut m = prog.machine(CoreConfig::new(1, 8, 2));
+        let s = m.run(100_000).unwrap();
+        // One root-to-leaf path: ~5 instructions per internal node × depth
+        // 5, plus the leaf — far fewer than the 220 static instructions.
+        assert!(s.instructions < 40, "{} dynamic instructions", s.instructions);
+    }
+}

@@ -1,0 +1,119 @@
+//! In-place sort kernel.
+//!
+//! Sorts 16 elements ascending with adjacent compare-exchange passes
+//! (bubble sort): the inner pass is unrolled over the 15 static adjacent
+//! pairs (TP-ISA has no indirect addressing), the outer pass loop runs 15
+//! times. Swaps are branch-free XOR swaps — memory-memory `XOR` makes
+//! that a natural TP-ISA idiom.
+
+use super::{
+    split_words, words_per_element, InputRng, Kernel, KernelError, KernelProgram, TpAsm, C, Z,
+};
+use crate::isa::AluOp;
+
+/// Number of elements (fixed by the paper).
+const ELEMENTS: usize = 16;
+
+/// Generates the kernel.
+pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelProgram, KernelError> {
+    let n = words_per_element(core_width, data_width);
+    // 15 compare-exchanges of ~(6n+1) instructions each must fit in 256
+    // instructions; n > 2 does not (mirroring the paper's dTree width
+    // restriction, narrow cores skip the widest inSort).
+    if n > 2 {
+        return Err(KernelError::UnsupportedWidths {
+            kernel: Kernel::InSort,
+            core_width,
+            data_width,
+        });
+    }
+
+    // Layout: elements [0..16n], PASS, ONE.
+    let elems = 0u8;
+    let pass = (ELEMENTS * n) as u8;
+    let one = pass + 1;
+    let dmem_words = one as usize + 1;
+
+    let mut rng = InputRng::new(0x534F_5254); // "SORT"
+    let values: Vec<u64> = (0..ELEMENTS).map(|_| rng.next_bits(data_width)).collect();
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+
+    let mut asm = TpAsm::new();
+    asm.store(one, 1);
+    asm.store(pass, (ELEMENTS - 1) as u8);
+    asm.label("pass");
+    for i in 0..ELEMENTS - 1 {
+        let p = elems + (i * n) as u8;
+        let q = elems + ((i + 1) * n) as u8;
+        // Compare elem[i+1] against elem[i], MSW first:
+        // borrow ⇒ q < p ⇒ swap; equal ⇒ next word; otherwise in order.
+        for j in (1..n as u8).rev() {
+            asm.alu(AluOp::Cmp, q + j, p + j);
+            asm.br(format!("swap_{i}"), C);
+            asm.brn(format!("done_{i}"), Z);
+        }
+        asm.alu(AluOp::Cmp, q, p);
+        asm.brn(format!("done_{i}"), C);
+        asm.label(format!("swap_{i}"));
+        asm.xor_swap(p, q, n);
+        asm.label(format!("done_{i}"));
+    }
+    asm.alu(AluOp::Sub, pass, one);
+    asm.brn("pass", Z);
+    asm.halt();
+
+    let mut inputs = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        for (j, w) in split_words(v, core_width, n).into_iter().enumerate() {
+            inputs.push((elems + (i * n + j) as u8, w));
+        }
+    }
+    let mut expected = Vec::new();
+    for &v in &sorted {
+        expected.extend(split_words(v, core_width, n));
+    }
+
+    Ok(KernelProgram {
+        name: format!("inSort{data_width}_w{core_width}"),
+        kernel: Kernel::InSort,
+        core_width,
+        data_width,
+        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
+            kernel: Kernel::InSort,
+            instructions: n,
+        })?,
+        dmem_words,
+        inputs,
+        result: (elems, ELEMENTS * n),
+        expected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check;
+    use super::super::{generate, Kernel, KernelError};
+
+    #[test]
+    fn insort_native_widths() {
+        check(Kernel::InSort, 8, 8);
+        check(Kernel::InSort, 16, 16);
+        check(Kernel::InSort, 32, 32);
+    }
+
+    #[test]
+    fn insort_coalesced_two_words() {
+        check(Kernel::InSort, 8, 16);
+        check(Kernel::InSort, 16, 32);
+        check(Kernel::InSort, 4, 8);
+    }
+
+    #[test]
+    fn insort_rejects_wide_data_on_narrow_cores() {
+        assert!(matches!(
+            generate(Kernel::InSort, 8, 32),
+            Err(KernelError::UnsupportedWidths { .. })
+        ));
+    }
+}

@@ -1,0 +1,94 @@
+//! Integer-average kernel.
+//!
+//! Averages 16 `data_width`-bit elements: an unrolled `ADD`/`ADC`
+//! accumulation into an (n+1)-word sum, then four right shifts (÷16).
+//! The paper: "The inSort, intAvg, and threshold benchmarks act on arrays
+//! of 16 data words stored in memory."
+
+use super::{
+    split_words, words_per_element, InputRng, Kernel, KernelError, KernelProgram, TpAsm,
+};
+use crate::isa::AluOp;
+
+/// Number of elements (fixed by the paper).
+pub(super) const ELEMENTS: usize = 16;
+
+/// Generates the kernel.
+pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelProgram, KernelError> {
+    let n = words_per_element(core_width, data_width);
+
+    // Layout: elements [0..16n], SUM [16n..16n+n+1], ZEROW, ONE.
+    let elems = 0u8;
+    let sum = (ELEMENTS * n) as u8;
+    let zero_w = sum + n as u8 + 1;
+    let one = zero_w + 1;
+    let dmem_words = one as usize + 1;
+
+    let mut rng = InputRng::new(0x4156_47); // "AVG"
+    let values: Vec<u64> = (0..ELEMENTS).map(|_| rng.next_bits(data_width)).collect();
+    let total: u64 = values.iter().sum();
+    let average = total / ELEMENTS as u64;
+
+    let mut asm = TpAsm::new();
+    asm.store(one, 1);
+    asm.store(zero_w, 0);
+    asm.zero(sum, n + 1);
+    for i in 0..ELEMENTS {
+        let e = elems + (i * n) as u8;
+        asm.alu(AluOp::Add, sum, e);
+        for j in 1..n as u8 {
+            asm.alu(AluOp::Adc, sum + j, e + j);
+        }
+        // Propagate the final carry into the overflow word.
+        asm.alu(AluOp::Adc, sum + n as u8, zero_w);
+    }
+    // Divide by 16: four logical right shifts over the (n+1)-word sum.
+    for _ in 0..4 {
+        asm.clear_carry(one);
+        asm.shr1(sum, n + 1);
+    }
+    asm.halt();
+
+    let mut inputs = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        for (j, w) in split_words(v, core_width, n).into_iter().enumerate() {
+            inputs.push((elems + (i * n + j) as u8, w));
+        }
+    }
+
+    Ok(KernelProgram {
+        name: format!("intAvg{data_width}_w{core_width}"),
+        kernel: Kernel::IntAvg,
+        core_width,
+        data_width,
+        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
+            kernel: Kernel::IntAvg,
+            instructions: n,
+        })?,
+        dmem_words,
+        inputs,
+        result: (sum, n),
+        expected: split_words(average, core_width, n),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check;
+    use super::super::Kernel;
+
+    #[test]
+    fn intavg_native_widths() {
+        check(Kernel::IntAvg, 8, 8);
+        check(Kernel::IntAvg, 16, 16);
+        check(Kernel::IntAvg, 32, 32);
+    }
+
+    #[test]
+    fn intavg_coalesced() {
+        check(Kernel::IntAvg, 8, 16);
+        check(Kernel::IntAvg, 8, 32);
+        check(Kernel::IntAvg, 16, 32);
+        check(Kernel::IntAvg, 4, 8);
+    }
+}

@@ -1,0 +1,125 @@
+//! Shift-add multiply kernel.
+//!
+//! `result = a × b (mod 2^(n·W))` over `data_width`-bit operands on a
+//! `core_width`-bit core, using the classic shift-add loop. Narrow cores
+//! coalesce: the operand shifts are `RRC`/`RLC` carry chains and the
+//! accumulation is an `ADD`/`ADC` chain.
+
+use super::{
+    split_words, words_per_element, InputRng, Kernel, KernelError, KernelProgram, TpAsm, Z,
+};
+use crate::isa::AluOp;
+
+/// Generates the kernel.
+pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelProgram, KernelError> {
+    let n = words_per_element(core_width, data_width);
+
+    // Layout: A[0..n], B[n..2n], R[2n..3n], ONE, CNT, CNT_OUTER.
+    let a_addr = 0u8;
+    let b_addr = n as u8;
+    let r_addr = 2 * n as u8;
+    let one = 3 * n as u8;
+    let cnt = one + 1;
+    let cnt_outer = cnt + 1;
+    let dmem_words = cnt_outer as usize + 1;
+
+    let mut rng = InputRng::new(0x4D55_4C54); // "MULT"
+    let a = rng.next_bits(data_width);
+    let b = rng.next_bits(data_width);
+    let total_bits = n * core_width;
+    let mask = if total_bits >= 64 { u64::MAX } else { (1u64 << total_bits) - 1 };
+    let expected = a.wrapping_mul(b) & mask;
+
+    let mut asm = TpAsm::new();
+    asm.store(one, 1);
+    asm.zero(r_addr, n);
+    asm.repeat("bit", data_width, core_width, cnt, cnt_outer, one, |asm| {
+        // Test the LSB of A (also clears carry for the chains below).
+        asm.alu(AluOp::Test, a_addr, one);
+        asm.br("skip_add", Z);
+        asm.add_multi(r_addr, b_addr, n);
+        asm.label("skip_add");
+        asm.clear_carry(one);
+        asm.shr1(a_addr, n);
+        asm.clear_carry(one);
+        asm.shl1(b_addr, n);
+    });
+    asm.halt();
+
+    let mut inputs = Vec::new();
+    for (i, w) in split_words(a, core_width, n).into_iter().enumerate() {
+        inputs.push((a_addr + i as u8, w));
+    }
+    for (i, w) in split_words(b, core_width, n).into_iter().enumerate() {
+        inputs.push((b_addr + i as u8, w));
+    }
+
+    Ok(KernelProgram {
+        name: format!("mult{data_width}_w{core_width}"),
+        kernel: Kernel::Mult,
+        core_width,
+        data_width,
+        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
+            kernel: Kernel::Mult,
+            instructions: n,
+        })?,
+        dmem_words,
+        inputs,
+        result: (r_addr, n),
+        expected: split_words(expected, core_width, n),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check;
+    use super::super::{generate, join_words, Kernel};
+    use crate::config::CoreConfig;
+
+    #[test]
+    fn mult_native_widths() {
+        check(Kernel::Mult, 8, 8);
+        check(Kernel::Mult, 16, 16);
+        check(Kernel::Mult, 32, 32);
+    }
+
+    #[test]
+    fn mult_coalesced_on_narrow_cores() {
+        check(Kernel::Mult, 8, 16);
+        check(Kernel::Mult, 8, 32);
+        check(Kernel::Mult, 16, 32);
+        check(Kernel::Mult, 4, 8);
+        check(Kernel::Mult, 4, 16);
+        check(Kernel::Mult, 4, 32);
+    }
+
+    #[test]
+    fn coalesced_result_equals_native_result() {
+        // The same 16-bit multiply must agree between an 8-bit coalescing
+        // core and a native 16-bit core.
+        let narrow = generate(Kernel::Mult, 8, 16).unwrap();
+        let native = generate(Kernel::Mult, 16, 16).unwrap();
+        let mut m8 = narrow.machine(CoreConfig::new(1, 8, 2));
+        let mut m16 = native.machine(CoreConfig::new(1, 16, 2));
+        m8.run(10_000_000).unwrap();
+        m16.run(10_000_000).unwrap();
+        let r8: Vec<u64> = (0..narrow.result.1)
+            .map(|i| m8.dmem().read(narrow.result.0 as usize + i).unwrap())
+            .collect();
+        let r16: Vec<u64> = (0..native.result.1)
+            .map(|i| m16.dmem().read(native.result.0 as usize + i).unwrap())
+            .collect();
+        assert_eq!(join_words(&r8, 8), join_words(&r16, 16));
+    }
+
+    #[test]
+    fn narrow_core_takes_more_cycles_for_same_work() {
+        let narrow = generate(Kernel::Mult, 8, 32).unwrap();
+        let native = generate(Kernel::Mult, 32, 32).unwrap();
+        let mut m8 = narrow.machine(CoreConfig::new(1, 8, 2));
+        let mut m32 = native.machine(CoreConfig::new(1, 32, 2));
+        let s8 = m8.run(10_000_000).unwrap();
+        let s32 = m32.run(10_000_000).unwrap();
+        assert!(s8.cycles > s32.cycles, "coalescing costs cycles");
+    }
+}

@@ -1,0 +1,94 @@
+//! Threshold kernel.
+//!
+//! Counts how many of 16 elements are at or above a threshold — the
+//! archetypal printed-sensor computation (Table 3's threshold-style
+//! monitoring applications). Unrolled multi-word compare per element.
+
+use super::{
+    split_words, words_per_element, InputRng, Kernel, KernelError, KernelProgram, TpAsm, C,
+};
+use crate::isa::AluOp;
+
+/// Number of elements (fixed by the paper).
+const ELEMENTS: usize = 16;
+
+/// Generates the kernel.
+pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelProgram, KernelError> {
+    let n = words_per_element(core_width, data_width);
+
+    // Layout: elements [0..16n], T [.., n], TMP [.., n], COUNT, ONE, SCRATCH.
+    let elems = 0u8;
+    let t_addr = (ELEMENTS * n) as u8;
+    let tmp = t_addr + n as u8;
+    let count = tmp + n as u8;
+    let one = count + 1;
+    let scratch = one + 1;
+    let dmem_words = scratch as usize + 1;
+
+    let mut rng = InputRng::new(0x5448_4C44); // "THLD"
+    let values: Vec<u64> = (0..ELEMENTS).map(|_| rng.next_bits(data_width)).collect();
+    // Mid-range threshold so both outcomes occur.
+    let threshold = 1u64 << (data_width - 1);
+    let expected_count = values.iter().filter(|&&v| v >= threshold).count() as u64;
+
+    let mut asm = TpAsm::new();
+    asm.store(one, 1);
+    asm.zero(count, 1);
+    for i in 0..ELEMENTS {
+        let e = elems + (i * n) as u8;
+        // TMP = element; TMP -= T; C = borrow = (element < T).
+        asm.copy(tmp, e, n, scratch);
+        asm.sub_multi(tmp, t_addr, n);
+        asm.br(format!("below_{i}"), C);
+        asm.alu(AluOp::Add, count, one);
+        asm.label(format!("below_{i}"));
+    }
+    asm.halt();
+
+    let mut inputs = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        for (j, w) in split_words(v, core_width, n).into_iter().enumerate() {
+            inputs.push((elems + (i * n + j) as u8, w));
+        }
+    }
+    for (j, w) in split_words(threshold, core_width, n).into_iter().enumerate() {
+        inputs.push((t_addr + j as u8, w));
+    }
+
+    Ok(KernelProgram {
+        name: format!("tHold{data_width}_w{core_width}"),
+        kernel: Kernel::THold,
+        core_width,
+        data_width,
+        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
+            kernel: Kernel::THold,
+            instructions: n,
+        })?,
+        dmem_words,
+        inputs,
+        result: (count, 1),
+        expected: vec![expected_count],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check;
+    use super::super::Kernel;
+
+    #[test]
+    fn thold_native_widths() {
+        check(Kernel::THold, 8, 8);
+        check(Kernel::THold, 16, 16);
+        check(Kernel::THold, 32, 32);
+    }
+
+    #[test]
+    fn thold_coalesced() {
+        check(Kernel::THold, 8, 16);
+        check(Kernel::THold, 8, 32);
+        check(Kernel::THold, 16, 32);
+        check(Kernel::THold, 4, 8);
+        check(Kernel::THold, 4, 16);
+    }
+}

@@ -1,0 +1,30 @@
+//! # printed-eval
+//!
+//! The experiment engine of the reproduction: every table and figure of
+//! *Printed Microprocessors* (ISCA 2020) is regenerated here from the
+//! underlying models.
+//!
+//! - [`system`]: full TP-ISA systems (core + crosspoint ROM + SRAM) and
+//!   benchmark-level measurement (Figure 8, Table 8),
+//! - [`figures`]: the Figure 7 design-space sweep and the Figure 8
+//!   benchmark matrix,
+//! - [`tables`]: Tables 1–8,
+//! - [`lifetime`]: battery-lifetime curves (Figures 4 and 5),
+//! - [`headline`]: the abstract's improvement ratios,
+//! - [`report`]: text-table rendering.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cnt;
+pub mod feasibility;
+pub mod figures;
+pub mod headline;
+pub mod lifetime;
+pub mod manufacturing;
+pub mod report;
+pub mod system;
+pub mod tables;
+
+pub use figures::{figure7, figure8, DesignPoint, Figure8Cell};
+pub use system::{BenchmarkResult, Breakdown, CoreFlavor, System};

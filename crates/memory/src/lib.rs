@@ -1,0 +1,80 @@
+//! # printed-memory
+//!
+//! Printed memory models from *Printed Microprocessors* (ISCA 2020),
+//! Section 6 and Table 6:
+//!
+//! - [`rom::CrossbarRom`] — the paper's crosspoint instruction ROM, with
+//!   1/2/4-bit multi-level cells and ADC readout,
+//! - [`ram::Sram`] — the printed SRAM data memory,
+//! - [`worm`] — the prior-art WORM memory baseline the crossbar is
+//!   compared against,
+//! - [`device`] — the Table 6 device data both are built from.
+//!
+//! The memories are *functional* (they hold program images and data and
+//! serve reads/writes for the system simulator) as well as *characterized*
+//! (area, power, delay).
+//!
+//! ```
+//! use printed_memory::rom::CrossbarRom;
+//!
+//! let rom = CrossbarRom::egfet_slc(24, vec![0x00F1A2, 0x00B3C4])?;
+//! assert_eq!(rom.read(1), Some(0x00B3C4));
+//! println!("{:.2} mm^2", rom.area().as_mm2());
+//! # Ok::<(), printed_memory::MemoryError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod device;
+pub mod ram;
+pub mod rom;
+pub mod worm;
+
+use std::fmt;
+
+/// Errors from memory construction and access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Word width is zero or exceeds the supported 64 bits.
+    WordTooWide(usize),
+    /// The MLC level is not 1, 2 or 4 bits per cell.
+    UnsupportedMlc(u8),
+    /// A stored value does not fit the word width.
+    ValueOutOfRange {
+        /// The offending value.
+        value: u64,
+        /// The word width it must fit.
+        word_bits: usize,
+    },
+    /// An access fell outside the array.
+    AddressOutOfRange {
+        /// The requested address.
+        addr: usize,
+        /// The array size in words.
+        words: usize,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::WordTooWide(w) => write!(f, "unsupported word width {w} (1..=64)"),
+            MemoryError::UnsupportedMlc(b) => {
+                write!(f, "unsupported MLC level {b} bits per cell (1, 2 or 4)")
+            }
+            MemoryError::ValueOutOfRange { value, word_bits } => {
+                write!(f, "value {value:#x} does not fit in {word_bits} bits")
+            }
+            MemoryError::AddressOutOfRange { addr, words } => {
+                write!(f, "address {addr} out of range for {words}-word array")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+pub use device::MemoryDevice;
+pub use ram::Sram;
+pub use rom::CrossbarRom;

@@ -1,0 +1,69 @@
+//! Property-based checks of the printed memory models.
+
+use proptest::prelude::*;
+use printed_memory::{CrossbarRom, Sram};
+use printed_pdk::Technology;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rom_serves_exactly_its_contents(words in prop::collection::vec(any::<u32>(), 1..300), bits in prop::sample::select(vec![1u8, 2, 4])) {
+        let contents: Vec<u64> = words.iter().map(|&w| w as u64).collect();
+        let rom = CrossbarRom::new(Technology::Egfet, 32, bits, contents.clone()).unwrap();
+        for (i, &w) in contents.iter().enumerate() {
+            prop_assert_eq!(rom.read(i), Some(w));
+        }
+        prop_assert_eq!(rom.read(contents.len()), None);
+        prop_assert_eq!(rom.word_count(), contents.len());
+    }
+
+    #[test]
+    fn rom_cost_scales_monotonically(n1 in 1usize..200, n2 in 1usize..200) {
+        let (small, large) = (n1.min(n2), n1.max(n2));
+        let rom_s = CrossbarRom::egfet_slc(24, vec![0; small]).unwrap();
+        let rom_l = CrossbarRom::egfet_slc(24, vec![0; large]).unwrap();
+        prop_assert!(rom_s.area() <= rom_l.area());
+        prop_assert!(rom_s.static_power() <= rom_l.static_power());
+        // Access power depends on the word, not the array size.
+        prop_assert!((rom_s.access_power() / rom_l.access_power() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mlc_trades_area_for_delay(n in 8usize..256) {
+        let slc = CrossbarRom::new(Technology::Egfet, 24, 1, vec![0; n]).unwrap();
+        let mlc2 = CrossbarRom::new(Technology::Egfet, 24, 2, vec![0; n]).unwrap();
+        prop_assert!(mlc2.crosspoints() < slc.crosspoints());
+        prop_assert!(mlc2.access_delay() > slc.access_delay(), "ADC conversion costs time");
+    }
+
+    #[test]
+    fn ram_read_back_is_write_masked(ops in prop::collection::vec((0usize..64, any::<u64>()), 1..64), width in prop::sample::select(vec![4usize, 8, 16, 32])) {
+        let mut ram = Sram::new(Technology::Egfet, 64, width).unwrap();
+        let mut model = vec![0u64; 64];
+        let m = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        for &(addr, v) in &ops {
+            ram.write(addr, v).unwrap();
+            model[addr] = v & m;
+        }
+        for (addr, &expected) in model.iter().enumerate() {
+            prop_assert_eq!(ram.read(addr).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn ram_is_always_pricier_than_rom(n in 1usize..200, width in prop::sample::select(vec![8usize, 16, 24, 32])) {
+        let ram = Sram::new(Technology::Egfet, n, width).unwrap();
+        let rom = CrossbarRom::new(Technology::Egfet, width, 1, vec![0; n]).unwrap();
+        prop_assert!(ram.area() > rom.area());
+        prop_assert!(ram.access_delay() > rom.access_delay());
+        prop_assert!(ram.array_active_power() > rom.array_active_power());
+    }
+
+    #[test]
+    fn out_of_range_contents_rejected(width in 1usize..16, extra in 1u64..1000) {
+        let too_big = (1u64 << width) - 1 + extra;
+        prop_assert!(CrossbarRom::new(Technology::Egfet, width, 1, vec![too_big]).is_err());
+        prop_assert!(Sram::with_contents(Technology::Egfet, width, vec![too_big]).is_err());
+    }
+}

@@ -1,0 +1,376 @@
+//! Area, power, and timing analysis over netlists — the stand-in for the
+//! paper's Design Compiler reports.
+//!
+//! - **Area** is the sum of Table 2 cell footprints.
+//! - **Power** is activity-weighted dynamic power (`Σ E_switch × α × f`)
+//!   plus the technology's static power model (see
+//!   [`printed_pdk::calibration`]). Activity is either the paper's uniform
+//!   0.88 factor or per-gate measured toggles from
+//!   [`crate::sim::ActivityStats`].
+//! - **Timing** is static timing analysis: the longest
+//!   register-to-register (or port-to-port) combinational path, charging
+//!   each cell its calibrated per-level delay; `f_max` is its reciprocal.
+//!
+//! ```
+//! use printed_netlist::{analysis, words, NetlistBuilder};
+//! use printed_pdk::Technology;
+//!
+//! let mut b = NetlistBuilder::new("adder8");
+//! let a = b.input("a", 8);
+//! let c = b.input("b", 8);
+//! let cin = b.const0();
+//! let out = words::ripple_adder(&mut b, &a, &c, cin);
+//! b.output("sum", out.sum);
+//! let nl = b.finish()?;
+//!
+//! let ch = analysis::characterize(&nl, Technology::Egfet.library());
+//! assert!(ch.fmax.as_hertz() > 1.0); // EGFET is slow, but not *that* slow
+//! # Ok::<(), printed_netlist::NetlistError>(())
+//! ```
+
+use crate::ir::{Netlist, Region};
+use crate::sim::ActivityStats;
+use printed_pdk::units::{Area, Energy, Frequency, Power, Time};
+use printed_pdk::CellLibrary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How switching activity is estimated for dynamic power.
+#[derive(Debug, Clone, Copy)]
+pub enum ActivityModel<'a> {
+    /// Every gate toggles with the same probability per cycle. The paper
+    /// uses 0.88 ([`printed_pdk::calibration::DEFAULT_ACTIVITY_FACTOR`]).
+    Uniform(f64),
+    /// Per-gate toggle counts measured by gate-level simulation.
+    Measured(&'a ActivityStats),
+}
+
+impl Default for ActivityModel<'_> {
+    fn default() -> Self {
+        ActivityModel::Uniform(printed_pdk::calibration::DEFAULT_ACTIVITY_FACTOR)
+    }
+}
+
+/// Area broken down by functional region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Total printed footprint.
+    pub total: Area,
+    /// Area per region (combinational vs registers).
+    pub by_region: BTreeMap<Region, Area>,
+}
+
+/// Power broken down by source and region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Activity-weighted switching power.
+    pub dynamic: Power,
+    /// Pull-up / leakage power, frequency-independent.
+    pub static_: Power,
+    /// Total (dynamic + static) per region.
+    pub by_region: BTreeMap<Region, Power>,
+}
+
+impl PowerReport {
+    /// Total power.
+    pub fn total(&self) -> Power {
+        self.dynamic + self.static_
+    }
+}
+
+/// Static timing analysis result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Longest register-to-register / port-to-port combinational delay,
+    /// including the launching flip-flop's clock-to-Q.
+    pub critical_path: Time,
+    /// Number of cells on the critical path.
+    pub logic_depth: usize,
+}
+
+impl TimingReport {
+    /// Maximum clock frequency: the reciprocal of the critical path.
+    pub fn fmax(&self) -> Frequency {
+        self.critical_path.frequency()
+    }
+}
+
+/// A complete Design-Compiler-style characterization of one netlist in one
+/// technology: the row format of the paper's Table 4 and Figure 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Total gate count.
+    pub gate_count: usize,
+    /// Sequential cell count.
+    pub sequential_count: usize,
+    /// Area report.
+    pub area: AreaReport,
+    /// Maximum operating frequency.
+    pub fmax: Frequency,
+    /// Power at `fmax` with the default activity factor.
+    pub power: PowerReport,
+}
+
+/// Computes the area report.
+pub fn area(netlist: &Netlist, lib: &CellLibrary) -> AreaReport {
+    let mut by_region: BTreeMap<Region, Area> = BTreeMap::new();
+    let mut total = Area::ZERO;
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let a = lib.cell(gate.kind).area;
+        total += a;
+        *by_region
+            .entry(netlist.region(crate::ir::GateId(i as u32)))
+            .or_insert(Area::ZERO) += a;
+    }
+    AreaReport { total, by_region }
+}
+
+/// Computes the power report at a given clock frequency.
+pub fn power(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    clock: Frequency,
+    activity: ActivityModel<'_>,
+) -> PowerReport {
+    let mut dynamic = Power::ZERO;
+    let mut static_ = Power::ZERO;
+    let mut by_region: BTreeMap<Region, Power> = BTreeMap::new();
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let cell = lib.cell(gate.kind);
+        let alpha = match activity {
+            ActivityModel::Uniform(a) => a,
+            ActivityModel::Measured(stats) => stats.gate_activity(i).unwrap_or(0.0),
+        };
+        let dyn_p: Power = lib.synthesis_energy(gate.kind) * alpha * clock;
+        let stat_p = cell.static_power;
+        dynamic += dyn_p;
+        static_ += stat_p;
+        *by_region
+            .entry(netlist.region(crate::ir::GateId(i as u32)))
+            .or_insert(Power::ZERO) += dyn_p + stat_p;
+    }
+    PowerReport { dynamic, static_, by_region }
+}
+
+/// Static timing analysis.
+///
+/// Arrival times: constants launch at t = 0; primary inputs launch with a
+/// DFF clock-to-Q input-delay constraint (they come from an upstream
+/// register or memory in a real system); flip-flop Q pins launch at the
+/// cell's clock-to-Q delay. Each combinational cell adds its calibrated
+/// per-level delay. The critical path is the maximum arrival at any
+/// flip-flop D pin or primary output.
+pub fn timing(netlist: &Netlist, lib: &CellLibrary) -> TimingReport {
+    let n = netlist.net_count();
+    let mut arrival = vec![Time::ZERO; n];
+    let mut depth = vec![0usize; n];
+
+    // Launch points: sequential outputs, and primary inputs — which in a
+    // real system come from an upstream register or memory, so they are
+    // constrained with a DFF clock-to-Q input delay (constants stay at 0).
+    let input_delay = lib.synthesis_delay(printed_pdk::CellKind::Dff);
+    for nets in netlist.input_ports().values() {
+        for net in nets {
+            arrival[net.index()] = input_delay;
+            depth[net.index()] = 1;
+        }
+    }
+    for gate in netlist.gates() {
+        if gate.is_sequential() {
+            arrival[gate.output.index()] = lib.synthesis_delay(gate.kind);
+            depth[gate.output.index()] = 1;
+        }
+    }
+
+    // Propagate in topological order.
+    for (_, gate) in netlist.topo_order() {
+        let mut t = Time::ZERO;
+        let mut d = 0usize;
+        for input in &gate.inputs {
+            if arrival[input.index()] > t {
+                t = arrival[input.index()];
+            }
+            d = d.max(depth[input.index()]);
+        }
+        let out = gate.output.index();
+        arrival[out] = t + lib.synthesis_delay(gate.kind);
+        depth[out] = d + 1;
+    }
+
+    // Capture points: sequential D pins and primary outputs.
+    let mut critical = Time::ZERO;
+    let mut logic_depth = 0usize;
+    let consider = |t: Time, d: usize, critical: &mut Time, depth_out: &mut usize| {
+        if t > *critical {
+            *critical = t;
+            *depth_out = d;
+        }
+    };
+    for gate in netlist.gates() {
+        if gate.is_sequential() {
+            for input in &gate.inputs {
+                consider(
+                    arrival[input.index()],
+                    depth[input.index()],
+                    &mut critical,
+                    &mut logic_depth,
+                );
+            }
+        }
+    }
+    for nets in netlist.output_ports().values() {
+        for net in nets {
+            consider(arrival[net.index()], depth[net.index()], &mut critical, &mut logic_depth);
+        }
+    }
+
+    // A purely-wire design still needs a nonzero period to clock.
+    if critical == Time::ZERO {
+        critical = lib.synthesis_delay(printed_pdk::CellKind::Inv);
+        logic_depth = 1;
+    }
+    TimingReport { critical_path: critical, logic_depth }
+}
+
+/// One-call characterization: area, f_max, and power at f_max with the
+/// default activity factor.
+pub fn characterize(netlist: &Netlist, lib: &CellLibrary) -> Characterization {
+    let timing = timing(netlist, lib);
+    let fmax = timing.fmax();
+    Characterization {
+        gate_count: netlist.gate_count(),
+        sequential_count: netlist.sequential_count(),
+        area: area(netlist, lib),
+        fmax,
+        power: power(netlist, lib, fmax, ActivityModel::default()),
+    }
+}
+
+/// Energy per clock cycle at a given activity model (used for Figure 8's
+/// energy accounting, which multiplies by cycle counts rather than time).
+pub fn energy_per_cycle(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    activity: ActivityModel<'_>,
+) -> Energy {
+    let mut total = Energy::ZERO;
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let alpha = match activity {
+            ActivityModel::Uniform(a) => a,
+            ActivityModel::Measured(stats) => stats.gate_activity(i).unwrap_or(0.0),
+        };
+        total += lib.synthesis_energy(gate.kind) * alpha;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::words;
+    use printed_pdk::{CellKind, Technology};
+
+    fn adder(width: usize) -> Netlist {
+        let mut b = NetlistBuilder::new(format!("add{width}"));
+        let a = b.input("a", width);
+        let c = b.input("b", width);
+        let cin = b.const0();
+        let out = words::ripple_adder(&mut b, &a, &c, cin);
+        let q = words::register(&mut b, &out.sum, false);
+        b.output("sum", q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn area_sums_cells() {
+        let nl = adder(8);
+        let lib = Technology::Egfet.library();
+        let report = area(&nl, lib);
+        let manual: Area = nl.gates().iter().map(|g| lib.cell(g.kind).area).sum();
+        assert!((report.total.as_mm2() - manual.as_mm2()).abs() < 1e-9);
+        // Registers region = 8 DFFs.
+        let regs = report.by_region[&Region::Registers];
+        assert!((regs.as_mm2() - 8.0 * lib.cell(CellKind::Dff).area.as_mm2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_adders_are_slower_and_bigger() {
+        let lib = Technology::Egfet.library();
+        let a8 = characterize(&adder(8), lib);
+        let a16 = characterize(&adder(16), lib);
+        assert!(a16.area.total > a8.area.total);
+        assert!(a16.fmax < a8.fmax, "longer carry chain, lower fmax");
+        assert!(a16.power.total() > a8.power.total());
+    }
+
+    #[test]
+    fn cnt_is_faster_than_egfet() {
+        let nl = adder(8);
+        let egfet = characterize(&nl, Technology::Egfet.library());
+        let cnt = characterize(&nl, Technology::CntTft.library());
+        assert!(cnt.fmax.as_hertz() > 100.0 * egfet.fmax.as_hertz());
+        assert!(cnt.area.total < egfet.area.total);
+    }
+
+    #[test]
+    fn measured_activity_is_below_uniform_estimate() {
+        use crate::sim::Simulator;
+        let nl = adder(8);
+        let lib = Technology::Egfet.library();
+        let mut sim = Simulator::new(&nl);
+        // Exercise with a deterministic pattern that leaves many gates idle.
+        for i in 0..64u64 {
+            sim.set_input("a", i % 4).unwrap();
+            sim.set_input("b", 1).unwrap();
+            sim.step();
+        }
+        let f = Frequency::from_hertz(10.0);
+        let uniform = power(&nl, lib, f, ActivityModel::Uniform(0.88));
+        let measured = power(&nl, lib, f, ActivityModel::Measured(sim.stats()));
+        assert!(measured.dynamic < uniform.dynamic);
+        // Static power is activity-independent.
+        assert_eq!(measured.static_, uniform.static_);
+    }
+
+    #[test]
+    fn timing_depth_counts_cells() {
+        // A 3-inverter chain between ports: the input launches with a DFF
+        // clock-to-Q (input-delay constraint), then three inverter levels.
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input_bit("a");
+        let x = b.inv(a);
+        let y = b.inv(x);
+        let z = b.inv(y);
+        b.output("z", vec![z]);
+        let nl = b.finish().unwrap();
+        let lib = Technology::Egfet.library();
+        let t = timing(&nl, lib);
+        assert_eq!(t.logic_depth, 4);
+        let expected = lib.synthesis_delay(CellKind::Dff) + lib.synthesis_delay(CellKind::Inv) * 3.0;
+        assert!((t.critical_path.as_micros() - expected.as_micros()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dff_to_dff_path_includes_clock_to_q() {
+        let mut b = NetlistBuilder::new("pipe");
+        let a = b.input_bit("a");
+        let q1 = b.dff(a);
+        let x = b.inv(q1);
+        let _q2 = b.dff(x);
+        let nl = b.finish().unwrap();
+        let lib = Technology::Egfet.library();
+        let t = timing(&nl, lib);
+        let expected = lib.synthesis_delay(CellKind::Dff) + lib.synthesis_delay(CellKind::Inv);
+        assert!((t.critical_path.as_micros() - expected.as_micros()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_cycle_scales_with_activity() {
+        let nl = adder(8);
+        let lib = Technology::Egfet.library();
+        let full = energy_per_cycle(&nl, lib, ActivityModel::Uniform(1.0));
+        let half = energy_per_cycle(&nl, lib, ActivityModel::Uniform(0.5));
+        assert!((full.as_nanojoules() / half.as_nanojoules() - 2.0).abs() < 1e-9);
+    }
+}

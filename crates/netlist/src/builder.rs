@@ -1,0 +1,467 @@
+//! Netlist construction.
+//!
+//! [`NetlistBuilder`] provides single-gate primitives (`nand2`, `xor2`,
+//! `dff`, …) returning the output [`NetId`]; the word-level generators in
+//! [`crate::words`] compose these into adders, muxes and registers.
+//!
+//! ```
+//! use printed_netlist::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new("half_adder");
+//! let a = b.input_bit("a");
+//! let c = b.input_bit("b");
+//! let sum = b.xor2(a, c);
+//! let carry = b.and2(a, c);
+//! b.output("sum", vec![sum]);
+//! b.output("carry", vec![carry]);
+//! let netlist = b.finish()?;
+//! assert_eq!(netlist.gate_count(), 2);
+//! # Ok::<(), printed_netlist::NetlistError>(())
+//! ```
+
+use crate::ir::{Gate, Netlist, NetlistError, NetId, Region};
+use printed_pdk::CellKind;
+use std::collections::BTreeMap;
+
+/// Incrementally builds a [`Netlist`], enforcing the single-driver rule and
+/// checking for combinational cycles when [`NetlistBuilder::finish`] is
+/// called.
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    net_count: u32,
+    gates: Vec<Gate>,
+    regions: Vec<Region>,
+    inputs: BTreeMap<String, Vec<NetId>>,
+    outputs: BTreeMap<String, Vec<NetId>>,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+    /// Driver bookkeeping: true if the net already has a driver.
+    driven: Vec<bool>,
+    current_region: Region,
+    error: Option<NetlistError>,
+}
+
+impl NetlistBuilder {
+    /// Starts a new design with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            net_count: 0,
+            gates: Vec::new(),
+            regions: Vec::new(),
+            inputs: BTreeMap::new(),
+            outputs: BTreeMap::new(),
+            const0: None,
+            const1: None,
+            driven: Vec::new(),
+            current_region: Region::Combinational,
+            error: None,
+        }
+    }
+
+    /// Sets the region tag applied to subsequently added gates.
+    /// Sequential cells are always tagged [`Region::Registers`] regardless.
+    pub fn set_region(&mut self, region: Region) {
+        self.current_region = region;
+    }
+
+    fn fresh_net(&mut self) -> NetId {
+        let id = NetId(self.net_count);
+        self.net_count += 1;
+        self.driven.push(false);
+        id
+    }
+
+    fn record_error(&mut self, err: NetlistError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+    }
+
+    fn mark_driven(&mut self, net: NetId) {
+        if self.driven[net.index()] {
+            self.record_error(NetlistError::MultipleDrivers(net));
+        }
+        self.driven[net.index()] = true;
+    }
+
+    /// Declares a named single-bit input.
+    pub fn input_bit(&mut self, name: impl Into<String>) -> NetId {
+        self.input(name, 1)[0]
+    }
+
+    /// Declares a named input bus of `width` bits (LSB first).
+    pub fn input(&mut self, name: impl Into<String>, width: usize) -> Vec<NetId> {
+        let name = name.into();
+        let nets: Vec<NetId> = (0..width)
+            .map(|_| {
+                let n = self.fresh_net();
+                self.mark_driven(n); // ports drive their nets
+                n
+            })
+            .collect();
+        if self.inputs.insert(name.clone(), nets.clone()).is_some() {
+            self.record_error(NetlistError::DuplicatePort(name));
+        }
+        nets
+    }
+
+    /// Declares a named output bus (LSB first). The nets must already be
+    /// driven by gates, inputs, or constants.
+    pub fn output(&mut self, name: impl Into<String>, nets: Vec<NetId>) {
+        let name = name.into();
+        if self.outputs.insert(name.clone(), nets).is_some() {
+            self.record_error(NetlistError::DuplicatePort(name));
+        }
+    }
+
+    /// The constant logic-0 net (tie-low), created on first use.
+    pub fn const0(&mut self) -> NetId {
+        if let Some(n) = self.const0 {
+            return n;
+        }
+        let n = self.fresh_net();
+        self.mark_driven(n);
+        self.const0 = Some(n);
+        n
+    }
+
+    /// The constant logic-1 net (tie-high), created on first use.
+    pub fn const1(&mut self) -> NetId {
+        if let Some(n) = self.const1 {
+            return n;
+        }
+        let n = self.fresh_net();
+        self.mark_driven(n);
+        self.const1 = Some(n);
+        n
+    }
+
+    /// Adds a gate of arbitrary kind; returns the output net.
+    pub fn gate(&mut self, kind: CellKind, inputs: Vec<NetId>) -> NetId {
+        let expected = kind.input_count();
+        if inputs.len() != expected {
+            self.record_error(NetlistError::ArityMismatch {
+                kind,
+                got: inputs.len(),
+                expected,
+            });
+        }
+        let output = self.fresh_net();
+        self.mark_driven(output);
+        let region = if kind.is_sequential() {
+            Region::Registers
+        } else {
+            self.current_region
+        };
+        self.gates.push(Gate { kind, inputs, output });
+        self.regions.push(region);
+        output
+    }
+
+    /// NOT gate.
+    pub fn inv(&mut self, a: NetId) -> NetId {
+        self.gate(CellKind::Inv, vec![a])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Nand2, vec![a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Nor2, vec![a, b])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::And2, vec![a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Or2, vec![a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Xor2, vec![a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Xnor2, vec![a, b])
+    }
+
+    /// D flip-flop; returns Q. State resets to 0 at simulation start but has
+    /// no reset pin (cheaper cell).
+    pub fn dff(&mut self, d: NetId) -> NetId {
+        self.gate(CellKind::Dff, vec![d])
+    }
+
+    /// D flip-flop with asynchronous reset (to 0); returns Q.
+    pub fn dff_nr(&mut self, d: NetId) -> NetId {
+        self.gate(CellKind::DffNr, vec![d])
+    }
+
+    /// SR latch; returns Q.
+    pub fn latch(&mut self, s: NetId, r: NetId) -> NetId {
+        self.gate(CellKind::Latch, vec![s, r])
+    }
+
+    /// Allocates a net with no driver yet, for state-feedback loops
+    /// (e.g. `pc' = pc + 1` needs `pc` before the PC register exists).
+    /// It must later be driven by [`NetlistBuilder::dff_into`] or
+    /// [`NetlistBuilder::dff_nr_into`]; otherwise [`NetlistBuilder::finish`]
+    /// reports it as undriven.
+    pub fn forward_net(&mut self) -> NetId {
+        self.fresh_net()
+    }
+
+    /// Allocates a bus of forward nets (see [`NetlistBuilder::forward_net`]).
+    pub fn forward_bus(&mut self, width: usize) -> Vec<NetId> {
+        (0..width).map(|_| self.fresh_net()).collect()
+    }
+
+    /// Creates a D flip-flop whose Q is the pre-allocated `q` net, closing
+    /// a feedback loop started with [`NetlistBuilder::forward_net`].
+    pub fn dff_into(&mut self, d: NetId, q: NetId) {
+        self.seq_into(CellKind::Dff, vec![d], q);
+    }
+
+    /// Like [`NetlistBuilder::dff_into`] but with asynchronous reset.
+    pub fn dff_nr_into(&mut self, d: NetId, q: NetId) {
+        self.seq_into(CellKind::DffNr, vec![d], q);
+    }
+
+    /// Creates an SR latch whose Q is the pre-allocated `q` net.
+    pub fn latch_into(&mut self, s: NetId, r: NetId, q: NetId) {
+        self.seq_into(CellKind::Latch, vec![s, r], q);
+    }
+
+    fn seq_into(&mut self, kind: CellKind, inputs: Vec<NetId>, q: NetId) {
+        self.mark_driven(q);
+        self.gates.push(Gate { kind, inputs, output: q });
+        self.regions.push(Region::Registers);
+    }
+
+    /// Tri-state buffer: drives `a` when `en` is high, holds otherwise.
+    pub fn tsbuf(&mut self, a: NetId, en: NetId) -> NetId {
+        self.gate(CellKind::TsBuf, vec![a, en])
+    }
+
+    /// 2-to-1 mux: returns `sel ? b : a`, given a pre-inverted select.
+    /// Sharing `sel_n` across bits is the caller's job (see
+    /// [`crate::words::mux2_word`]).
+    ///
+    /// Mapped to NAND form (`NAND(NAND(a, !s), NAND(b, s))`), the cell
+    /// choice a printed-library-aware synthesizer makes: in EGFET, AND/OR
+    /// cells burn ~50× the switching energy of NAND.
+    pub fn mux2(&mut self, a: NetId, b: NetId, sel: NetId, sel_n: NetId) -> NetId {
+        let pick_a = self.nand2(a, sel_n);
+        let pick_b = self.nand2(b, sel);
+        self.nand2(pick_a, pick_b)
+    }
+
+    /// Full adder; returns `(sum, carry_out)`. The carry chain is NAND-
+    /// mapped (`cout = NAND(NAND(a,b), NAND(a⊕b, cin))`) — two fast cheap
+    /// levels per bit instead of AND+OR.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let axb = self.xor2(a, b);
+        let sum = self.xor2(axb, cin);
+        let g_n = self.nand2(a, b);
+        let p_n = self.nand2(axb, cin);
+        let cout = self.nand2(g_n, p_n);
+        (sum, cout)
+    }
+
+    /// Half adder; returns `(sum, carry_out)`.
+    pub fn half_adder(&mut self, a: NetId, b: NetId) -> (NetId, NetId) {
+        let sum = self.xor2(a, b);
+        let carry = self.and2(a, b);
+        (sum, carry)
+    }
+
+    /// Finalizes the netlist: checks the recorded errors and verifies the
+    /// combinational graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error, or
+    /// [`NetlistError::CombinationalCycle`] if combinational gates form a
+    /// loop.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        // Every net consumed by a gate or exported as an output must have a
+        // driver (forward nets whose DFF was never created are the usual
+        // culprit).
+        for gate in &self.gates {
+            for &input in &gate.inputs {
+                if !self.driven[input.index()] {
+                    return Err(NetlistError::UndrivenNet(input));
+                }
+            }
+        }
+        for nets in self.outputs.values() {
+            for &net in nets {
+                if !self.driven[net.index()] {
+                    return Err(NetlistError::UndrivenNet(net));
+                }
+            }
+        }
+        let topo = topo_sort(self.net_count, &self.gates)?;
+        Ok(Netlist {
+            name: self.name,
+            net_count: self.net_count,
+            gates: self.gates,
+            regions: self.regions,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            const0: self.const0,
+            const1: self.const1,
+            topo,
+        })
+    }
+}
+
+/// Kahn's algorithm over the combinational subgraph. Sequential outputs
+/// (DFF/latch Q) are sources; sequential inputs (D pins) are sinks.
+fn topo_sort(net_count: u32, gates: &[Gate]) -> Result<Vec<u32>, NetlistError> {
+    // driver_of[net] = combinational gate index driving it, if any.
+    let mut driver_of: Vec<Option<u32>> = vec![None; net_count as usize];
+    for (i, gate) in gates.iter().enumerate() {
+        if !gate.is_sequential() {
+            driver_of[gate.output.index()] = Some(i as u32);
+        }
+    }
+
+    let mut indegree: Vec<u32> = vec![0; gates.len()];
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); gates.len()];
+    for (i, gate) in gates.iter().enumerate() {
+        if gate.is_sequential() {
+            continue;
+        }
+        for input in &gate.inputs {
+            if let Some(driver) = driver_of[input.index()] {
+                indegree[i] += 1;
+                dependents[driver as usize].push(i as u32);
+            }
+        }
+    }
+
+    let mut ready: Vec<u32> = (0..gates.len() as u32)
+        .filter(|&i| !gates[i as usize].is_sequential() && indegree[i as usize] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(gates.len());
+    while let Some(i) = ready.pop() {
+        order.push(i);
+        for &dep in &dependents[i as usize] {
+            indegree[dep as usize] -= 1;
+            if indegree[dep as usize] == 0 {
+                ready.push(dep);
+            }
+        }
+    }
+
+    let comb_total = gates.iter().filter(|g| !g.is_sequential()).count();
+    if order.len() != comb_total {
+        // Some combinational gate never became ready: find one on a cycle.
+        let stuck = (0..gates.len())
+            .find(|&i| !gates[i].is_sequential() && indegree[i] > 0)
+            .expect("a stuck gate must exist when the order is incomplete");
+        return Err(NetlistError::CombinationalCycle(gates[stuck].output));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_half_adder() {
+        let mut b = NetlistBuilder::new("ha");
+        let a = b.input_bit("a");
+        let c = b.input_bit("b");
+        let (s, co) = b.half_adder(a, c);
+        b.output("s", vec![s]);
+        b.output("co", vec![co]);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.sequential_count(), 0);
+        assert_eq!(nl.input("a").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn topo_sort_detects_cycles() {
+        // The builder API cannot express a combinational cycle (every gate
+        // output is a fresh net allocated after its inputs), so the check in
+        // `topo_sort` is defense-in-depth for hand-made gate lists — e.g.
+        // netlists reconstructed from serialized form. Exercise it directly.
+        use crate::ir::{Gate, NetId};
+        let gates = vec![
+            // g0: INV n1 -> n0 ; g1: INV n0 -> n1 — a 2-gate loop.
+            Gate { kind: CellKind::Inv, inputs: vec![NetId(1)], output: NetId(0) },
+            Gate { kind: CellKind::Inv, inputs: vec![NetId(0)], output: NetId(1) },
+        ];
+        assert!(matches!(
+            topo_sort(2, &gates),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn builder_cannot_express_multiple_drivers_accidentally() {
+        // Every primitive allocates a fresh output net, so the only way to
+        // double-drive is impossible through the public API; ports + gates
+        // never alias. A full build therefore succeeds.
+        let mut b = NetlistBuilder::new("clean");
+        let a = b.input_bit("a");
+        let x = b.inv(a);
+        let y = b.inv(a);
+        let z = b.and2(x, y);
+        b.output("z", vec![z]);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_ports() {
+        let mut b = NetlistBuilder::new("dup");
+        let _ = b.input("x", 2);
+        let _ = b.input("x", 2);
+        assert!(matches!(b.finish(), Err(NetlistError::DuplicatePort(_))));
+    }
+
+    #[test]
+    fn dffs_break_timing_loops() {
+        // Two register ranks with an inverter between them: sequential
+        // cells are topological sources/sinks, so no combinational cycle
+        // exists even though state feeds state. (True single-rank
+        // feedback loops use forward_net + dff_into; see words::register_en.)
+        let mut b = NetlistBuilder::new("toggle");
+        let a = b.input_bit("seed");
+        let q_feedbackless = b.dff(a); // q of a pipeline register
+        let d = b.inv(q_feedbackless);
+        let q2 = b.dff(d); // second rank; no combinational cycle
+        b.output("q", vec![q2]);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.sequential_count(), 2);
+    }
+
+    #[test]
+    fn mux2_selects() {
+        let mut b = NetlistBuilder::new("mux");
+        let a = b.input_bit("a");
+        let c = b.input_bit("b");
+        let s = b.input_bit("s");
+        let sn = b.inv(s);
+        let y = b.mux2(a, c, s, sn);
+        b.output("y", vec![y]);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.gate_count(), 4); // inv + 2 and + or
+    }
+}

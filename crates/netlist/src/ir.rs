@@ -1,0 +1,270 @@
+//! Gate-level netlist intermediate representation.
+//!
+//! A [`Netlist`] is a directed graph of standard-cell instances
+//! ([`Gate`]s) connected by nets ([`NetId`]s). Every gate is one of the
+//! eleven cells of the printed standard-cell libraries
+//! ([`printed_pdk::CellKind`]), so a netlist maps one-to-one onto printable
+//! hardware and can be costed directly from Table 2 data.
+//!
+//! Netlists are built with [`crate::builder::NetlistBuilder`], simulated
+//! with [`crate::sim::Simulator`], and costed with
+//! [`crate::analysis`].
+
+use printed_pdk::CellKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of one net (wire) in a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The raw index of this net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of one gate instance in a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// The raw index of this gate.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Functional region a gate belongs to, used for the paper's per-component
+/// breakdowns (Figure 8 partitions core cost into Combinational vs
+/// Registers; memories are separate models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// Combinational logic (datapath + control).
+    Combinational,
+    /// Architectural and pipeline registers.
+    Registers,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Region::Combinational => "combinational",
+            Region::Registers => "registers",
+        })
+    }
+}
+
+/// One standard-cell instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Which library cell this instantiates.
+    pub kind: CellKind,
+    /// Input nets, in cell-pin order:
+    /// - `Inv`, `Dff`, `DffNr`: `[a]` (clock/reset pins are implicit)
+    /// - two-input combinational cells: `[a, b]`
+    /// - `Latch`: `[s, r]`
+    /// - `TsBuf`: `[a, en]`
+    pub inputs: Vec<NetId>,
+    /// The single output net this gate drives.
+    pub output: NetId,
+}
+
+impl Gate {
+    /// Whether the gate holds state across clock edges.
+    pub fn is_sequential(&self) -> bool {
+        self.kind.is_sequential()
+    }
+}
+
+/// Errors produced while constructing or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net is driven by more than one gate output (or a gate and a port).
+    MultipleDrivers(NetId),
+    /// A net is used (as a gate input or output port) but nothing drives it
+    /// — typically a forward net whose flip-flop was never created.
+    UndrivenNet(NetId),
+    /// The combinational portion of the netlist contains a cycle through
+    /// the given net.
+    CombinationalCycle(NetId),
+    /// A gate was given the wrong number of input pins.
+    ArityMismatch {
+        /// The offending cell kind.
+        kind: CellKind,
+        /// Pins supplied.
+        got: usize,
+        /// Pins the cell has.
+        expected: usize,
+    },
+    /// Two buses that must be the same width differ.
+    WidthMismatch {
+        /// What was being connected.
+        context: &'static str,
+        /// Width of the first bus.
+        left: usize,
+        /// Width of the second bus.
+        right: usize,
+    },
+    /// A named port was declared twice.
+    DuplicatePort(String),
+    /// A referenced port does not exist.
+    UnknownPort(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
+            NetlistError::UndrivenNet(n) => write!(f, "net {n} is used but never driven"),
+            NetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through net {n}")
+            }
+            NetlistError::ArityMismatch { kind, got, expected } => {
+                write!(f, "cell {kind} takes {expected} inputs, got {got}")
+            }
+            NetlistError::WidthMismatch { context, left, right } => {
+                write!(f, "width mismatch in {context}: {left} vs {right}")
+            }
+            NetlistError::DuplicatePort(name) => write!(f, "duplicate port name {name:?}"),
+            NetlistError::UnknownPort(name) => write!(f, "unknown port {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A complete gate-level design.
+///
+/// Construct with [`crate::builder::NetlistBuilder`]; the constructor
+/// validates single-driver and acyclicity invariants, so every `Netlist`
+/// in existence is simulable and costable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) net_count: u32,
+    pub(crate) gates: Vec<Gate>,
+    /// Region tag per gate, same indexing as `gates`.
+    pub(crate) regions: Vec<Region>,
+    /// Named input buses (LSB first).
+    pub(crate) inputs: BTreeMap<String, Vec<NetId>>,
+    /// Named output buses (LSB first).
+    pub(crate) outputs: BTreeMap<String, Vec<NetId>>,
+    /// Net hardwired to logic 0, if any gate or port uses it.
+    pub(crate) const0: Option<NetId>,
+    /// Net hardwired to logic 1, if any gate or port uses it.
+    pub(crate) const1: Option<NetId>,
+    /// Topological order of combinational gate indices (computed at build).
+    pub(crate) topo: Vec<u32>,
+}
+
+impl Netlist {
+    /// Human-readable design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_count as usize
+    }
+
+    /// All gate instances.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Region of the gate with the given index.
+    pub fn region(&self, gate: GateId) -> Region {
+        self.regions[gate.index()]
+    }
+
+    /// Total number of gates (the paper's "gate count").
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of sequential cells (DFF / DFFNR / latch instances).
+    pub fn sequential_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_sequential()).count()
+    }
+
+    /// Named input buses.
+    pub fn input_ports(&self) -> &BTreeMap<String, Vec<NetId>> {
+        &self.inputs
+    }
+
+    /// Named output buses.
+    pub fn output_ports(&self) -> &BTreeMap<String, Vec<NetId>> {
+        &self.outputs
+    }
+
+    /// Nets of a named input bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] if no such input exists.
+    pub fn input(&self, name: &str) -> Result<&[NetId], NetlistError> {
+        self.inputs
+            .get(name)
+            .map(Vec::as_slice)
+            .ok_or_else(|| NetlistError::UnknownPort(name.to_string()))
+    }
+
+    /// Nets of a named output bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] if no such output exists.
+    pub fn output(&self, name: &str) -> Result<&[NetId], NetlistError> {
+        self.outputs
+            .get(name)
+            .map(Vec::as_slice)
+            .ok_or_else(|| NetlistError::UnknownPort(name.to_string()))
+    }
+
+    /// The constant-0 net, if present.
+    pub fn const0(&self) -> Option<NetId> {
+        self.const0
+    }
+
+    /// The constant-1 net, if present.
+    pub fn const1(&self) -> Option<NetId> {
+        self.const1
+    }
+
+    /// Per-cell-kind instance counts, for Table-4-style reporting.
+    pub fn cell_counts(&self) -> BTreeMap<CellKind, usize> {
+        let mut counts = BTreeMap::new();
+        for gate in &self.gates {
+            *counts.entry(gate.kind).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Combinational gates in topological (evaluation) order.
+    pub(crate) fn topo_order(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.topo.iter().map(move |&i| (GateId(i), &self.gates[i as usize]))
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates ({} sequential), {} nets",
+            self.name,
+            self.gate_count(),
+            self.sequential_count(),
+            self.net_count()
+        )
+    }
+}

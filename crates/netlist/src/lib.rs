@@ -1,0 +1,54 @@
+//! # printed-netlist
+//!
+//! Gate-level netlist infrastructure for printed microprocessors: the Rust
+//! stand-in for the RTL + Synopsys Design Compiler flow of *Printed
+//! Microprocessors* (ISCA 2020).
+//!
+//! The crate provides:
+//!
+//! - an IR of standard-cell instances over the printed cell libraries
+//!   ([`ir`]),
+//! - a validated builder with gate and feedback primitives ([`builder`]),
+//! - word-level structural generators — adders, rotators, muxes, decoders,
+//!   register banks ([`words`]),
+//! - a functional gate-level simulator with toggle statistics ([`sim`]),
+//! - area / power / static-timing analysis producing Design-Compiler-style
+//!   characterizations ([`analysis`]), and
+//! - a constant-folding + dead-gate optimizer used by program-specific
+//!   core generation ([`opt`]).
+//!
+//! ```
+//! use printed_netlist::{analysis, words, NetlistBuilder};
+//! use printed_pdk::Technology;
+//!
+//! // A registered 8-bit adder, characterized in EGFET.
+//! let mut b = NetlistBuilder::new("acc8");
+//! let a = b.input("a", 8);
+//! let c = b.input("b", 8);
+//! let cin = b.const0();
+//! let sum = words::ripple_adder(&mut b, &a, &c, cin);
+//! let q = words::register(&mut b, &sum.sum, false);
+//! b.output("acc", q);
+//! let netlist = b.finish()?;
+//!
+//! let ch = analysis::characterize(&netlist, Technology::Egfet.library());
+//! println!("{} gates, {:.2} Hz", ch.gate_count, ch.fmax.as_hertz());
+//! # Ok::<(), printed_netlist::NetlistError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod builder;
+pub mod ir;
+pub mod opt;
+pub mod sim;
+pub mod variation;
+pub mod vcd;
+pub mod words;
+
+pub use analysis::{ActivityModel, AreaReport, Characterization, PowerReport, TimingReport};
+pub use builder::NetlistBuilder;
+pub use ir::{Gate, GateId, Netlist, NetlistError, NetId, Region};
+pub use sim::{ActivityStats, Simulator};

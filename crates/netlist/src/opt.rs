@@ -1,0 +1,442 @@
+//! Netlist optimization: constant propagation and dead-gate elimination.
+//!
+//! The paper's program-specific cores (Section 7) get smaller not only
+//! because registers shrink, but because "the amount of combinational
+//! logic (e.g. BAR select muxes and address resolution logic) may be
+//! removed" once inputs are known constants at print time. This pass is
+//! the synthesis-side half of that story: it folds gates whose inputs are
+//! tied to constants, rewrites single-input simplifications (`AND(a,1) →
+//! a`, `NAND(a,1) → INV(a)`, …), and then sweeps gates whose outputs reach
+//! neither a primary output nor a flip-flop.
+//!
+//! ```
+//! use printed_netlist::{opt, NetlistBuilder};
+//!
+//! let mut b = NetlistBuilder::new("foldable");
+//! let a = b.input_bit("a");
+//! let one = b.const1();
+//! let x = b.and2(a, one);   // folds to a wire
+//! let y = b.xor2(x, one);   // strength-reduces to INV(a)
+//! b.output("y", vec![y]);
+//! let nl = b.finish()?;
+//! let optimized = opt::optimize(&nl);
+//! assert_eq!(optimized.gate_count(), 1); // a single inverter remains
+//! # Ok::<(), printed_netlist::NetlistError>(())
+//! ```
+
+use crate::builder::NetlistBuilder;
+use crate::ir::{Netlist, NetId, Region};
+use printed_pdk::CellKind;
+use std::collections::BTreeMap;
+
+/// What the folder knows about a net while rewriting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Known {
+    /// Constant 0.
+    Zero,
+    /// Constant 1.
+    One,
+    /// Equal to some already-rewritten net in the new netlist.
+    Net(NetId),
+}
+
+/// Statistics from one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Gates in the input netlist.
+    pub gates_before: usize,
+    /// Gates surviving in the output netlist.
+    pub gates_after: usize,
+}
+
+impl OptStats {
+    /// Gates removed by folding and sweeping.
+    pub fn removed(&self) -> usize {
+        self.gates_before - self.gates_after
+    }
+}
+
+/// Optimizes a netlist; see the module docs. Port names and widths are
+/// preserved exactly.
+pub fn optimize(netlist: &Netlist) -> Netlist {
+    optimize_with_stats(netlist).0
+}
+
+/// Like [`optimize`], also returning before/after statistics.
+pub fn optimize_with_stats(netlist: &Netlist) -> (Netlist, OptStats) {
+    let mut b = NetlistBuilder::new(netlist.name().to_string());
+    let mut known: BTreeMap<NetId, Known> = BTreeMap::new();
+
+    // Ports are recreated verbatim.
+    for (name, nets) in netlist.input_ports() {
+        let new_nets = b.input(name.clone(), nets.len());
+        for (&old, &new) in nets.iter().zip(&new_nets) {
+            known.insert(old, Known::Net(new));
+        }
+    }
+    if let Some(c0) = netlist.const0() {
+        known.insert(c0, Known::Zero);
+    }
+    if let Some(c1) = netlist.const1() {
+        known.insert(c1, Known::One);
+    }
+
+    // Sequential cells first: allocate forward nets for every Q so that
+    // combinational logic (which may read Q) can be rewritten in one pass.
+    let mut seq_gates: Vec<(usize, NetId)> = Vec::new(); // (old gate idx, new q)
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if gate.is_sequential() {
+            let q = b.forward_net();
+            known.insert(gate.output, Known::Net(q));
+            seq_gates.push((i, q));
+        }
+    }
+
+    // Rewrite combinational gates in topological order, folding constants.
+    for (_, gate) in netlist.topo_order() {
+        let ins: Vec<Known> = gate
+            .inputs
+            .iter()
+            .map(|n| *known.get(n).expect("topological order guarantees inputs are rewritten"))
+            .collect();
+        let result = fold_gate(&mut b, gate.kind, &ins);
+        known.insert(gate.output, result);
+    }
+
+    // Close sequential feedback loops. Latches keep both pins; DFFs fold a
+    // constant D into… still a DFF (state must exist), so just materialize.
+    for (i, q) in seq_gates {
+        let gate = &netlist.gates()[i];
+        match gate.kind {
+            CellKind::Dff | CellKind::DffNr => {
+                let d = materialize(&mut b, *known.get(&gate.inputs[0]).expect("driven"));
+                if gate.kind == CellKind::Dff {
+                    b.dff_into(d, q);
+                } else {
+                    b.dff_nr_into(d, q);
+                }
+            }
+            CellKind::Latch => {
+                let s = materialize(&mut b, known[&gate.inputs[0]]);
+                let r = materialize(&mut b, known[&gate.inputs[1]]);
+                b.latch_into(s, r, q);
+            }
+            _ => unreachable!("seq_gates only holds sequential cells"),
+        }
+    }
+
+    // Outputs: materialize each (constants become tie cells).
+    for (name, nets) in netlist.output_ports() {
+        let new_nets: Vec<NetId> = nets
+            .iter()
+            .map(|n| materialize(&mut b, *known.get(n).expect("outputs are driven")))
+            .collect();
+        b.output(name.clone(), new_nets);
+    }
+
+    let folded = b
+        .finish()
+        .expect("rewriting a valid netlist preserves validity");
+    let swept = sweep(&folded);
+    let stats = OptStats {
+        gates_before: netlist.gate_count(),
+        gates_after: swept.gate_count(),
+    };
+    (swept, stats)
+}
+
+/// Turns a folded value into a concrete net in the new netlist.
+fn materialize(b: &mut NetlistBuilder, value: Known) -> NetId {
+    match value {
+        Known::Zero => b.const0(),
+        Known::One => b.const1(),
+        Known::Net(n) => n,
+    }
+}
+
+/// Folds one gate given knowledge about its inputs. Returns what is known
+/// about the output.
+fn fold_gate(b: &mut NetlistBuilder, kind: CellKind, ins: &[Known]) -> Known {
+    use Known::{Net, One, Zero};
+    match kind {
+        CellKind::Inv => match ins[0] {
+            Zero => One,
+            One => Zero,
+            Net(a) => Net(b.inv(a)),
+        },
+        CellKind::And2 => match (ins[0], ins[1]) {
+            (Zero, _) | (_, Zero) => Zero,
+            (One, x) | (x, One) => x,
+            (Net(a), Net(c)) => Net(b.and2(a, c)),
+        },
+        CellKind::Or2 => match (ins[0], ins[1]) {
+            (One, _) | (_, One) => One,
+            (Zero, x) | (x, Zero) => x,
+            (Net(a), Net(c)) => Net(b.or2(a, c)),
+        },
+        CellKind::Nand2 => match (ins[0], ins[1]) {
+            (Zero, _) | (_, Zero) => One,
+            (One, x) | (x, One) => fold_gate(b, CellKind::Inv, &[x]),
+            (Net(a), Net(c)) => Net(b.nand2(a, c)),
+        },
+        CellKind::Nor2 => match (ins[0], ins[1]) {
+            (One, _) | (_, One) => Zero,
+            (Zero, x) | (x, Zero) => fold_gate(b, CellKind::Inv, &[x]),
+            (Net(a), Net(c)) => Net(b.nor2(a, c)),
+        },
+        CellKind::Xor2 => match (ins[0], ins[1]) {
+            (Zero, x) | (x, Zero) => x,
+            (One, x) | (x, One) => fold_gate(b, CellKind::Inv, &[x]),
+            (Net(a), Net(c)) => Net(b.xor2(a, c)),
+        },
+        CellKind::Xnor2 => match (ins[0], ins[1]) {
+            (One, x) | (x, One) => x,
+            (Zero, x) | (x, Zero) => fold_gate(b, CellKind::Inv, &[x]),
+            (Net(a), Net(c)) => Net(b.xnor2(a, c)),
+        },
+        CellKind::TsBuf => match (ins[0], ins[1]) {
+            // Always-enabled tsbuf is a wire; always-disabled holds reset
+            // state (0) forever.
+            (x, One) => x,
+            (_, Zero) => Zero,
+            (a, Net(en)) => {
+                let a = materialize(b, a);
+                Net(b.tsbuf(a, en))
+            }
+        },
+        CellKind::Dff | CellKind::DffNr | CellKind::Latch => {
+            unreachable!("sequential cells are rewritten separately")
+        }
+    }
+}
+
+/// Removes gates whose outputs reach neither a primary output nor a
+/// sequential element. Runs to a fixpoint.
+fn sweep(netlist: &Netlist) -> Netlist {
+    // Mark live nets backwards from outputs and sequential inputs.
+    let mut live = vec![false; netlist.net_count()];
+    for nets in netlist.output_ports().values() {
+        for n in nets {
+            live[n.index()] = true;
+        }
+    }
+    // Iterate: a gate is live if its output is live; its inputs then become
+    // live. Sequential gates are pessimistically live only if their Q is
+    // transitively observable — handled by the same fixpoint because their
+    // D-input edges participate like any other gate.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for gate in netlist.gates() {
+            if live[gate.output.index()] {
+                for inp in &gate.inputs {
+                    if !live[inp.index()] {
+                        live[inp.index()] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut b = NetlistBuilder::new(netlist.name().to_string());
+    let mut map: BTreeMap<NetId, NetId> = BTreeMap::new();
+    for (name, nets) in netlist.input_ports() {
+        let new = b.input(name.clone(), nets.len());
+        for (&old, &n) in nets.iter().zip(&new) {
+            map.insert(old, n);
+        }
+    }
+    if let Some(c0) = netlist.const0() {
+        if live[c0.index()] {
+            let n = b.const0();
+            map.insert(c0, n);
+        }
+    }
+    if let Some(c1) = netlist.const1() {
+        if live[c1.index()] {
+            let n = b.const1();
+            map.insert(c1, n);
+        }
+    }
+    // Forward nets for live sequential gates.
+    let mut live_seq: Vec<usize> = Vec::new();
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if gate.is_sequential() && live[gate.output.index()] {
+            let q = b.forward_net();
+            map.insert(gate.output, q);
+            live_seq.push(i);
+        }
+    }
+    for (_, gate) in netlist.topo_order() {
+        if !live[gate.output.index()] {
+            continue;
+        }
+        let ins: Vec<NetId> = gate.inputs.iter().map(|n| map[n]).collect();
+        let out = match gate.kind {
+            CellKind::TsBuf => b.tsbuf(ins[0], ins[1]),
+            kind => b.gate(kind, ins),
+        };
+        map.insert(gate.output, out);
+    }
+    for &i in &live_seq {
+        let gate = &netlist.gates()[i];
+        let q = map[&gate.output];
+        match gate.kind {
+            CellKind::Dff => b.dff_into(map[&gate.inputs[0]], q),
+            CellKind::DffNr => b.dff_nr_into(map[&gate.inputs[0]], q),
+            CellKind::Latch => b.latch_into(map[&gate.inputs[0]], map[&gate.inputs[1]], q),
+            _ => unreachable!("live_seq only holds sequential cells"),
+        }
+    }
+    for (name, nets) in netlist.output_ports() {
+        b.output(name.clone(), nets.iter().map(|n| map[n]).collect());
+    }
+    // Sequential cells are re-tagged Registers automatically, which is the
+    // only region distinction the analyses use.
+    b.finish().expect("sweeping a valid netlist preserves validity")
+}
+
+/// Region helper retained for documentation completeness.
+#[allow(dead_code)]
+fn region_of(kind: CellKind) -> Region {
+    if kind.is_sequential() {
+        Region::Registers
+    } else {
+        Region::Combinational
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::words;
+
+    #[test]
+    fn folds_constant_and_gate() {
+        let mut b = NetlistBuilder::new("k");
+        let a = b.input_bit("a");
+        let one = b.const1();
+        let zero = b.const0();
+        let x = b.and2(a, one); // = a
+        let y = b.or2(x, zero); // = a
+        let z = b.xor2(y, one); // = !a
+        b.output("z", vec![z]);
+        let nl = b.finish().unwrap();
+        let (opt, stats) = optimize_with_stats(&nl);
+        assert_eq!(opt.gate_count(), 1, "single INV should remain");
+        assert_eq!(stats.removed(), 2);
+
+        let mut sim = Simulator::new(&opt);
+        sim.set_input("a", 1).unwrap();
+        sim.settle();
+        assert_eq!(sim.read_output("z").unwrap(), 0);
+        sim.set_input("a", 0).unwrap();
+        sim.settle();
+        assert_eq!(sim.read_output("z").unwrap(), 1);
+    }
+
+    #[test]
+    fn sweeps_dead_logic() {
+        let mut b = NetlistBuilder::new("dead");
+        let a = b.input_bit("a");
+        let used = b.inv(a);
+        let _dead = b.xor2(a, used); // never observed
+        let _dead2 = b.dff(a); // unobserved state
+        b.output("y", vec![used]);
+        let nl = b.finish().unwrap();
+        let opt = optimize(&nl);
+        assert_eq!(opt.gate_count(), 1);
+        assert_eq!(opt.sequential_count(), 0);
+    }
+
+    #[test]
+    fn optimizing_an_adder_with_constant_operand_shrinks_it() {
+        // An 8-bit adder with b tied to zero folds to a wire.
+        let mut b = NetlistBuilder::new("a_plus_0");
+        let a = b.input("a", 8);
+        let zero = b.const0();
+        let zeros = vec![zero; 8];
+        let out = words::ripple_adder(&mut b, &a, &zeros, zero);
+        b.output("sum", out.sum);
+        let nl = b.finish().unwrap();
+        let opt = optimize(&nl);
+        assert_eq!(opt.gate_count(), 0, "a + 0 is a wire");
+
+        let mut sim = Simulator::new(&opt);
+        sim.set_input("a", 123).unwrap();
+        sim.settle();
+        assert_eq!(sim.read_output("sum").unwrap(), 123);
+    }
+
+    #[test]
+    fn optimization_preserves_sequential_behaviour() {
+        // Toggle divider with a redundant AND(1) in the loop.
+        let mut b = NetlistBuilder::new("div");
+        let q = b.forward_net();
+        let one = b.const1();
+        let masked = b.and2(q, one);
+        let d = b.inv(masked);
+        b.dff_into(d, q);
+        b.output("q", vec![q]);
+        let nl = b.finish().unwrap();
+        let opt = optimize(&nl);
+        assert!(opt.gate_count() < nl.gate_count());
+
+        let mut sim = Simulator::new(&opt);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            sim.step();
+            seen.push(sim.read_output("q").unwrap());
+        }
+        assert_eq!(seen, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn random_netlists_behave_identically_after_optimization() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            // Random DAG over 3 inputs with random constants mixed in.
+            let mut b = NetlistBuilder::new(format!("rand{trial}"));
+            let inputs = b.input("x", 3);
+            let mut pool: Vec<NetId> = inputs.clone();
+            pool.push(b.const0());
+            pool.push(b.const1());
+            for _ in 0..24 {
+                let a = pool[rng.gen_range(0..pool.len())];
+                let c = pool[rng.gen_range(0..pool.len())];
+                let out = match rng.gen_range(0..7) {
+                    0 => b.inv(a),
+                    1 => b.and2(a, c),
+                    2 => b.or2(a, c),
+                    3 => b.xor2(a, c),
+                    4 => b.nand2(a, c),
+                    5 => b.nor2(a, c),
+                    _ => b.xnor2(a, c),
+                };
+                pool.push(out);
+            }
+            let outs: Vec<NetId> = (0..4).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            b.output("y", outs);
+            let nl = b.finish().unwrap();
+            let opt = optimize(&nl);
+            assert!(opt.gate_count() <= nl.gate_count());
+            for stim in 0..8u64 {
+                let mut s1 = Simulator::new(&nl);
+                let mut s2 = Simulator::new(&opt);
+                s1.set_input("x", stim).unwrap();
+                s2.set_input("x", stim).unwrap();
+                s1.settle();
+                s2.settle();
+                assert_eq!(
+                    s1.read_output("y").unwrap(),
+                    s2.read_output("y").unwrap(),
+                    "trial {trial} stim {stim}"
+                );
+            }
+        }
+    }
+}

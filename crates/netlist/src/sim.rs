@@ -1,0 +1,358 @@
+//! Functional gate-level simulation.
+//!
+//! [`Simulator`] evaluates a [`Netlist`] cycle by cycle: combinational
+//! gates are evaluated once per pass in topological order (computed at
+//! build time), sequential cells update on [`Simulator::step`]. The
+//! simulator also counts output toggles per gate, which gives *measured*
+//! switching-activity factors for the power model — the printed-hardware
+//! analogue of running Design Compiler with simulated activity, as the
+//! paper does (§8, footnote 6).
+//!
+//! Semantics:
+//! - `Dff` / `DffNr` capture D on [`Simulator::step`]; both reset to 0 at
+//!   construction (`DffNr` additionally resets via
+//!   [`Simulator::reset`]).
+//! - `Latch` (SR) updates on `step`: `q' = s ? 1 : (r ? 0 : q)`.
+//! - `TsBuf` drives its input when enabled and holds its last driven value
+//!   otherwise (modeling the bus keeper printed designs use).
+
+use crate::ir::{Netlist, NetlistError, NetId};
+use printed_pdk::CellKind;
+
+/// Per-gate switching statistics gathered during simulation.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityStats {
+    /// Output toggles observed per gate (indexed like `Netlist::gates`).
+    pub toggles: Vec<u64>,
+    /// Clock cycles simulated.
+    pub cycles: u64,
+}
+
+impl ActivityStats {
+    /// Average toggles per gate per cycle — the measured activity factor.
+    /// Returns `None` before any cycle has been simulated.
+    pub fn average_activity(&self) -> Option<f64> {
+        if self.cycles == 0 || self.toggles.is_empty() {
+            return None;
+        }
+        let total: u64 = self.toggles.iter().sum();
+        Some(total as f64 / (self.toggles.len() as f64 * self.cycles as f64))
+    }
+
+    /// Activity factor of one gate. Returns `None` before any cycle.
+    pub fn gate_activity(&self, gate: usize) -> Option<f64> {
+        if self.cycles == 0 {
+            return None;
+        }
+        Some(self.toggles[gate] as f64 / self.cycles as f64)
+    }
+}
+
+/// Gate-level simulator over a borrowed netlist.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    /// Current logic value of every net.
+    values: Vec<bool>,
+    /// Internal state per gate: DFF/latch contents, TSBUF hold value.
+    state: Vec<bool>,
+    /// Net value snapshot at the previous step, for toggle counting.
+    prev_values: Vec<bool>,
+    stats: ActivityStats,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with all nets low, all state reset, and the
+    /// constant nets tied to their values.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let mut sim = Simulator {
+            netlist,
+            values: vec![false; netlist.net_count()],
+            state: vec![false; netlist.gate_count()],
+            prev_values: vec![false; netlist.net_count()],
+            stats: ActivityStats {
+                toggles: vec![0; netlist.gate_count()],
+                cycles: 0,
+            },
+        };
+        if let Some(c1) = netlist.const1() {
+            sim.values[c1.index()] = true;
+        }
+        sim
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Sets a named input bus from the low bits of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] for a missing port and
+    /// [`NetlistError::WidthMismatch`] if the bus is wider than 64 bits.
+    pub fn set_input(&mut self, name: &str, value: u64) -> Result<(), NetlistError> {
+        let nets: Vec<NetId> = self.netlist.input(name)?.to_vec();
+        if nets.len() > 64 {
+            return Err(NetlistError::WidthMismatch {
+                context: "set_input",
+                left: nets.len(),
+                right: 64,
+            });
+        }
+        for (bit, net) in nets.iter().enumerate() {
+            self.values[net.index()] = value >> bit & 1 == 1;
+        }
+        Ok(())
+    }
+
+    /// Reads a named output bus as an integer (LSB-first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] for a missing port and
+    /// [`NetlistError::WidthMismatch`] if the bus is wider than 64 bits.
+    pub fn read_output(&self, name: &str) -> Result<u64, NetlistError> {
+        let nets = self.netlist.output(name)?;
+        if nets.len() > 64 {
+            return Err(NetlistError::WidthMismatch {
+                context: "read_output",
+                left: nets.len(),
+                right: 64,
+            });
+        }
+        Ok(self.read_bus(nets))
+    }
+
+    /// Reads any bus of nets as an integer (LSB-first).
+    pub fn read_bus(&self, nets: &[NetId]) -> u64 {
+        nets.iter()
+            .enumerate()
+            .fold(0, |acc, (bit, net)| acc | (self.values[net.index()] as u64) << bit)
+    }
+
+    /// Reads a single net.
+    pub fn read_net(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Propagates values through the combinational logic (one topological
+    /// pass reaches the fixpoint).
+    pub fn settle(&mut self) {
+        // Collect evaluation results per gate to appease the borrow checker
+        // would cost allocation; instead index via raw loops.
+        let gates = self.netlist.gates();
+        for (gate_id, gate) in self.netlist.topo_order() {
+            let gi = gate_id.index();
+            let out = match gate.kind {
+                CellKind::Inv => !self.values[gate.inputs[0].index()],
+                CellKind::Nand2 => {
+                    !(self.values[gate.inputs[0].index()] && self.values[gate.inputs[1].index()])
+                }
+                CellKind::Nor2 => {
+                    !(self.values[gate.inputs[0].index()] || self.values[gate.inputs[1].index()])
+                }
+                CellKind::And2 => {
+                    self.values[gate.inputs[0].index()] && self.values[gate.inputs[1].index()]
+                }
+                CellKind::Or2 => {
+                    self.values[gate.inputs[0].index()] || self.values[gate.inputs[1].index()]
+                }
+                CellKind::Xor2 => {
+                    self.values[gate.inputs[0].index()] ^ self.values[gate.inputs[1].index()]
+                }
+                CellKind::Xnor2 => {
+                    !(self.values[gate.inputs[0].index()] ^ self.values[gate.inputs[1].index()])
+                }
+                CellKind::TsBuf => {
+                    let en = self.values[gate.inputs[1].index()];
+                    if en {
+                        self.state[gi] = self.values[gate.inputs[0].index()];
+                    }
+                    self.state[gi]
+                }
+                CellKind::Dff | CellKind::DffNr | CellKind::Latch => {
+                    unreachable!("sequential cells are not in the topological order")
+                }
+            };
+            self.values[gate.output.index()] = out;
+        }
+        let _ = gates;
+    }
+
+    /// Advances one clock cycle: settles combinational logic, captures
+    /// sequential state on the rising edge, publishes the new state, and
+    /// settles again. Updates toggle statistics.
+    pub fn step(&mut self) {
+        self.settle();
+        // Rising edge: capture next state for every sequential cell.
+        for (i, gate) in self.netlist.gates().iter().enumerate() {
+            match gate.kind {
+                CellKind::Dff | CellKind::DffNr => {
+                    self.state[i] = self.values[gate.inputs[0].index()];
+                }
+                CellKind::Latch => {
+                    let s = self.values[gate.inputs[0].index()];
+                    let r = self.values[gate.inputs[1].index()];
+                    if s {
+                        self.state[i] = true;
+                    } else if r {
+                        self.state[i] = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Publish Q outputs.
+        for (i, gate) in self.netlist.gates().iter().enumerate() {
+            if gate.is_sequential() {
+                self.values[gate.output.index()] = self.state[i];
+            }
+        }
+        self.settle();
+        // Toggle accounting: one comparison per gate output per cycle.
+        for (i, gate) in self.netlist.gates().iter().enumerate() {
+            let idx = gate.output.index();
+            if self.values[idx] != self.prev_values[idx] {
+                self.stats.toggles[i] += 1;
+            }
+        }
+        self.prev_values.copy_from_slice(&self.values);
+        self.stats.cycles += 1;
+    }
+
+    /// Runs `n` clock cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Asynchronously resets every `DffNr` (and, as a simulation
+    /// convenience, plain `Dff` and latch state too) to 0, then settles.
+    pub fn reset(&mut self) {
+        for (i, gate) in self.netlist.gates().iter().enumerate() {
+            if gate.is_sequential() {
+                self.state[i] = false;
+                self.values[gate.output.index()] = false;
+            }
+        }
+        self.settle();
+    }
+
+    /// Switching statistics accumulated so far.
+    pub fn stats(&self) -> &ActivityStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn toggle_flipflop_divides_clock() {
+        // q' = !q via forward net.
+        let mut b = NetlistBuilder::new("divider");
+        let q = b.forward_net();
+        let d = b.inv(q);
+        b.dff_into(d, q);
+        b.output("q", vec![q]);
+        let nl = b.finish().unwrap();
+
+        let mut sim = Simulator::new(&nl);
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            sim.step();
+            seen.push(sim.read_output("q").unwrap());
+        }
+        assert_eq!(seen, vec![1, 0, 1, 0, 1, 0]);
+        // The DFF output toggles every cycle: activity factor 1.0; the
+        // inverter misses only the very first cycle.
+        assert_eq!(sim.stats().gate_activity(1), Some(1.0)); // the DFF
+        assert!(sim.stats().average_activity().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn constants_hold_their_values() {
+        let mut b = NetlistBuilder::new("consts");
+        let one = b.const1();
+        let zero = b.const0();
+        let x = b.and2(one, one);
+        let y = b.or2(zero, zero);
+        b.output("x", vec![x]);
+        b.output("y", vec![y]);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.settle();
+        assert_eq!(sim.read_output("x").unwrap(), 1);
+        assert_eq!(sim.read_output("y").unwrap(), 0);
+    }
+
+    #[test]
+    fn tsbuf_holds_when_disabled() {
+        let mut b = NetlistBuilder::new("ts");
+        let a = b.input_bit("a");
+        let en = b.input_bit("en");
+        let y = b.tsbuf(a, en);
+        b.output("y", vec![y]);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("a", 1).unwrap();
+        sim.set_input("en", 1).unwrap();
+        sim.settle();
+        assert_eq!(sim.read_output("y").unwrap(), 1);
+        sim.set_input("a", 0).unwrap();
+        sim.set_input("en", 0).unwrap();
+        sim.settle();
+        assert_eq!(sim.read_output("y").unwrap(), 1, "holds last driven value");
+    }
+
+    #[test]
+    fn latch_sets_and_resets() {
+        let mut b = NetlistBuilder::new("srl");
+        let s = b.input_bit("s");
+        let r = b.input_bit("r");
+        let q = b.latch(s, r);
+        b.output("q", vec![q]);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("s", 1).unwrap();
+        sim.step();
+        assert_eq!(sim.read_output("q").unwrap(), 1);
+        sim.set_input("s", 0).unwrap();
+        sim.step();
+        assert_eq!(sim.read_output("q").unwrap(), 1, "holds");
+        sim.set_input("r", 1).unwrap();
+        sim.step();
+        assert_eq!(sim.read_output("q").unwrap(), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut b = NetlistBuilder::new("reg");
+        let d = b.input_bit("d");
+        let q = b.dff_nr(d);
+        b.output("q", vec![q]);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("d", 1).unwrap();
+        sim.step();
+        assert_eq!(sim.read_output("q").unwrap(), 1);
+        sim.reset();
+        assert_eq!(sim.read_output("q").unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_port_is_an_error() {
+        let mut b = NetlistBuilder::new("empty");
+        let a = b.input_bit("a");
+        b.output("y", vec![a]);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        assert!(sim.set_input("nope", 0).is_err());
+        assert!(sim.read_output("nope").is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! VCD (Value Change Dump) export for gate-level simulations.
+//!
+//! Lets printed-core simulations be inspected in any standard waveform
+//! viewer (GTKWave etc.): record the named ports of a [`Simulator`] cycle
+//! by cycle and emit IEEE-1364 VCD text. The timescale maps one simulated
+//! clock cycle to one time unit.
+//!
+//! ```
+//! use printed_netlist::{vcd::VcdRecorder, NetlistBuilder, Simulator};
+//!
+//! let mut b = NetlistBuilder::new("toggle");
+//! let q = b.forward_net();
+//! let d = b.inv(q);
+//! b.dff_into(d, q);
+//! b.output("q", vec![q]);
+//! let nl = b.finish()?;
+//!
+//! let mut sim = Simulator::new(&nl);
+//! let mut rec = VcdRecorder::new(&nl);
+//! for _ in 0..4 {
+//!     sim.step();
+//!     rec.sample(&sim);
+//! }
+//! let vcd = rec.render("toggle");
+//! assert!(vcd.contains("$var wire 1"));
+//! assert!(vcd.contains("#0"));
+//! # Ok::<(), printed_netlist::NetlistError>(())
+//! ```
+
+use crate::ir::{Netlist, NetId};
+use crate::sim::Simulator;
+use std::fmt::Write as _;
+
+/// One tracked signal: a named port bus.
+#[derive(Debug, Clone)]
+struct Signal {
+    name: String,
+    nets: Vec<NetId>,
+    id: String,
+}
+
+/// Records port values across cycles and renders a VCD document.
+#[derive(Debug, Clone)]
+pub struct VcdRecorder {
+    signals: Vec<Signal>,
+    /// Samples per signal per cycle.
+    history: Vec<Vec<u64>>,
+}
+
+/// VCD identifier codes: printable ASCII starting at `!`.
+fn id_code(index: usize) -> String {
+    let mut index = index;
+    let mut out = String::new();
+    loop {
+        out.push((b'!' + (index % 94) as u8) as char);
+        index /= 94;
+        if index == 0 {
+            break;
+        }
+        index -= 1;
+    }
+    out
+}
+
+impl VcdRecorder {
+    /// Creates a recorder tracking every named input and output bus of
+    /// the netlist.
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut signals = Vec::new();
+        for (name, nets) in netlist.input_ports() {
+            signals.push(Signal {
+                name: name.clone(),
+                nets: nets.clone(),
+                id: String::new(),
+            });
+        }
+        for (name, nets) in netlist.output_ports() {
+            // Outputs may alias input nets (pass-through); give them their
+            // own signal regardless, viewers handle duplicates fine.
+            signals.push(Signal {
+                name: format!("{name}_o"),
+                nets: nets.clone(),
+                id: String::new(),
+            });
+        }
+        for (i, sig) in signals.iter_mut().enumerate() {
+            sig.id = id_code(i);
+        }
+        VcdRecorder { signals, history: Vec::new() }
+    }
+
+    /// Number of recorded cycles.
+    pub fn cycles(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Samples the simulator's current port values as one cycle.
+    pub fn sample(&mut self, sim: &Simulator<'_>) {
+        let row = self
+            .signals
+            .iter()
+            .map(|sig| sim.read_bus(&sig.nets))
+            .collect();
+        self.history.push(row);
+    }
+
+    /// Renders the recording as VCD text.
+    pub fn render(&self, module: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$date reproduction run $end");
+        let _ = writeln!(out, "$version printed-netlist vcd $end");
+        let _ = writeln!(out, "$timescale 1 us $end");
+        let _ = writeln!(out, "$scope module {module} $end");
+        for sig in &self.signals {
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                sig.nets.len(),
+                sig.id,
+                sig.name
+            );
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+
+        let mut last: Vec<Option<u64>> = vec![None; self.signals.len()];
+        for (cycle, row) in self.history.iter().enumerate() {
+            let mut emitted_time = false;
+            for (i, (&value, sig)) in row.iter().zip(&self.signals).enumerate() {
+                if last[i] == Some(value) {
+                    continue;
+                }
+                if !emitted_time {
+                    let _ = writeln!(out, "#{cycle}");
+                    emitted_time = true;
+                }
+                if sig.nets.len() == 1 {
+                    let _ = writeln!(out, "{}{}", value & 1, sig.id);
+                } else {
+                    let _ = writeln!(out, "b{:b} {}", value, sig.id);
+                }
+                last[i] = Some(value);
+            }
+        }
+        let _ = writeln!(out, "#{}", self.history.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn counter2() -> Netlist {
+        // 2-bit counter: q0 toggles, q1 toggles when q0 is 1.
+        let mut b = NetlistBuilder::new("ctr");
+        let q0 = b.forward_net();
+        let q1 = b.forward_net();
+        let d0 = b.inv(q0);
+        let d1 = b.xor2(q1, q0);
+        b.dff_into(d0, q0);
+        b.dff_into(d1, q1);
+        b.output("count", vec![q0, q1]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn vcd_contains_header_and_changes() {
+        let nl = counter2();
+        let mut sim = Simulator::new(&nl);
+        let mut rec = VcdRecorder::new(&nl);
+        for _ in 0..4 {
+            sim.step();
+            rec.sample(&sim);
+        }
+        assert_eq!(rec.cycles(), 4);
+        let vcd = rec.render("ctr");
+        assert!(vcd.contains("$timescale 1 us $end"));
+        assert!(vcd.contains("$var wire 2"));
+        assert!(vcd.contains("count_o"));
+        // The 2-bit counter sequence 1,2,3,0 must appear as binary dumps.
+        assert!(vcd.contains("b1 "), "{vcd}");
+        assert!(vcd.contains("b10 "), "{vcd}");
+        assert!(vcd.contains("b11 "), "{vcd}");
+    }
+
+    #[test]
+    fn unchanged_values_are_not_reemitted() {
+        let mut b = NetlistBuilder::new("const");
+        let one = b.const1();
+        let q = b.dff(one);
+        b.output("q", vec![q]);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let mut rec = VcdRecorder::new(&nl);
+        for _ in 0..5 {
+            sim.step();
+            rec.sample(&sim);
+        }
+        let vcd = rec.render("const");
+        // q goes high once at cycle 0 and never changes again.
+        let changes = vcd.matches("\n1").count();
+        assert_eq!(changes, 1, "{vcd}");
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..500 {
+            let id = id_code(i);
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(id));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based verification of the structural generators: every
+//! datapath block must agree with the arithmetic it claims to implement,
+//! for arbitrary operands, and the optimizer must preserve behaviour.
+
+use proptest::prelude::*;
+use printed_netlist::{opt, words, NetlistBuilder, Netlist, NetId, Simulator};
+
+fn eval(nl: &Netlist, inputs: &[(&str, u64)], output: &str) -> u64 {
+    let mut sim = Simulator::new(nl);
+    for (name, v) in inputs {
+        sim.set_input(name, *v).unwrap();
+    }
+    sim.settle();
+    sim.read_output(output).unwrap()
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ripple_adder_is_addition(width in 1usize..=32, a: u64, b: u64, cin: bool) {
+        let mut bld = NetlistBuilder::new("add");
+        let abus = bld.input("a", width);
+        let bbus = bld.input("b", width);
+        let cbit = bld.input_bit("cin");
+        let out = words::ripple_adder(&mut bld, &abus, &bbus, cbit);
+        bld.output("sum", out.sum);
+        bld.output("cout", vec![out.carry_out]);
+        let nl = bld.finish().unwrap();
+
+        let (a, b) = (a & mask(width), b & mask(width));
+        let full = a as u128 + b as u128 + cin as u128;
+        let got = eval(&nl, &[("a", a), ("b", b), ("cin", cin as u64)], "sum");
+        prop_assert_eq!(got, (full as u64) & mask(width));
+        let cout = eval(&nl, &[("a", a), ("b", b), ("cin", cin as u64)], "cout");
+        prop_assert_eq!(cout, (full >> width) as u64 & 1);
+    }
+
+    #[test]
+    fn carry_select_equals_ripple(width in 2usize..=32, block in 1usize..=8, a: u64, b: u64, cin: bool) {
+        let build = |select: bool| {
+            let mut bld = NetlistBuilder::new("add");
+            let abus = bld.input("a", width);
+            let bbus = bld.input("b", width);
+            let cbit = bld.input_bit("cin");
+            let out = if select {
+                words::carry_select_adder(&mut bld, &abus, &bbus, cbit, block)
+            } else {
+                words::ripple_adder(&mut bld, &abus, &bbus, cbit)
+            };
+            bld.output("sum", out.sum);
+            bld.output("cout", vec![out.carry_out]);
+            bld.output("ovf", vec![out.overflow]);
+            bld.finish().unwrap()
+        };
+        let sel = build(true);
+        let rip = build(false);
+        let (a, b) = (a & mask(width), b & mask(width));
+        let inputs = [("a", a), ("b", b), ("cin", cin as u64)];
+        for port in ["sum", "cout", "ovf"] {
+            prop_assert_eq!(eval(&sel, &inputs, port), eval(&rip, &inputs, port), "{}", port);
+        }
+    }
+
+    #[test]
+    fn incrementer_adds_enable(width in 1usize..=24, a: u64, en: bool) {
+        let mut bld = NetlistBuilder::new("inc");
+        let abus = bld.input("a", width);
+        let ebit = bld.input_bit("en");
+        let out = words::incrementer(&mut bld, &abus, ebit);
+        bld.output("y", out);
+        let nl = bld.finish().unwrap();
+        let a = a & mask(width);
+        let got = eval(&nl, &[("a", a), ("en", en as u64)], "y");
+        prop_assert_eq!(got, a.wrapping_add(en as u64) & mask(width));
+    }
+
+    #[test]
+    fn rotates_invert_each_other(width in 2usize..=32, a: u64) {
+        // RL then RR (plain rotates) must be the identity.
+        let mut bld = NetlistBuilder::new("rot");
+        let abus = bld.input("a", width);
+        let zero = bld.const0();
+        let rl = words::rotate_left(&mut bld, &abus, zero, zero);
+        let rr = words::rotate_right(&mut bld, &rl.word, zero, zero, zero);
+        bld.output("y", rr.word);
+        let nl = bld.finish().unwrap();
+        let a = a & mask(width);
+        prop_assert_eq!(eval(&nl, &[("a", a)], "y"), a);
+    }
+
+    #[test]
+    fn mux_tree_selects(width in 1usize..=16, n_words in 1usize..=8, sel in 0usize..8, seed: u64) {
+        let sel = sel % n_words;
+        let sel_bits = if n_words == 1 { 0 } else { (usize::BITS - (n_words - 1).leading_zeros()) as usize };
+        let mut bld = NetlistBuilder::new("mux");
+        let word_buses: Vec<Vec<NetId>> =
+            (0..n_words).map(|i| bld.input(format!("w{i}"), width)).collect();
+        let sel_bus = bld.input("sel", sel_bits.max(1));
+        let y = words::mux_tree(&mut bld, &word_buses, &sel_bus);
+        bld.output("y", y);
+        let nl = bld.finish().unwrap();
+
+        let mut sim = Simulator::new(&nl);
+        let mut values = Vec::new();
+        let mut state = seed.max(1);
+        for i in 0..n_words {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = state & mask(width);
+            values.push(v);
+            sim.set_input(&format!("w{i}"), v).unwrap();
+        }
+        sim.set_input("sel", sel as u64).unwrap();
+        sim.settle();
+        prop_assert_eq!(sim.read_output("y").unwrap(), values[sel]);
+    }
+
+    #[test]
+    fn decoder_is_one_hot(bits in 1usize..=5, code: u64, en: bool) {
+        let mut bld = NetlistBuilder::new("dec");
+        let sel = bld.input("sel", bits);
+        let ebit = bld.input_bit("en");
+        let outs = words::decoder(&mut bld, &sel, ebit);
+        bld.output("y", outs);
+        let nl = bld.finish().unwrap();
+        let code = code & mask(bits);
+        let got = eval(&nl, &[("sel", code), ("en", en as u64)], "y");
+        prop_assert_eq!(got, if en { 1 << code } else { 0 });
+    }
+
+    #[test]
+    fn optimizer_preserves_random_logic(ops in prop::collection::vec((0u8..7, any::<u8>(), any::<u8>()), 1..40), stim in prop::collection::vec(any::<u64>(), 4)) {
+        let mut bld = NetlistBuilder::new("rand");
+        let inputs = bld.input("x", 4);
+        let mut pool: Vec<NetId> = inputs.clone();
+        pool.push(bld.const0());
+        pool.push(bld.const1());
+        for &(op, ai, bi) in &ops {
+            let a = pool[ai as usize % pool.len()];
+            let b = pool[bi as usize % pool.len()];
+            let out = match op {
+                0 => bld.inv(a),
+                1 => bld.and2(a, b),
+                2 => bld.or2(a, b),
+                3 => bld.xor2(a, b),
+                4 => bld.nand2(a, b),
+                5 => bld.nor2(a, b),
+                _ => bld.xnor2(a, b),
+            };
+            pool.push(out);
+        }
+        let outs: Vec<NetId> = pool.iter().rev().take(4).copied().collect();
+        bld.output("y", outs);
+        let nl = bld.finish().unwrap();
+        let optimized = opt::optimize(&nl);
+        prop_assert!(optimized.gate_count() <= nl.gate_count());
+        for &s in &stim {
+            let s = s & 0xF;
+            prop_assert_eq!(
+                eval(&nl, &[("x", s)], "y"),
+                eval(&optimized, &[("x", s)], "y")
+            );
+        }
+    }
+
+    #[test]
+    fn optimizer_is_idempotent(ops in prop::collection::vec((0u8..7, any::<u8>(), any::<u8>()), 1..30)) {
+        let mut bld = NetlistBuilder::new("idem");
+        let inputs = bld.input("x", 4);
+        let mut pool: Vec<NetId> = inputs.clone();
+        pool.push(bld.const0());
+        pool.push(bld.const1());
+        for &(op, ai, bi) in &ops {
+            let a = pool[ai as usize % pool.len()];
+            let b = pool[bi as usize % pool.len()];
+            let out = match op {
+                0 => bld.inv(a),
+                1 => bld.and2(a, b),
+                2 => bld.or2(a, b),
+                3 => bld.xor2(a, b),
+                4 => bld.nand2(a, b),
+                5 => bld.nor2(a, b),
+                _ => bld.xnor2(a, b),
+            };
+            pool.push(out);
+        }
+        let outs: Vec<NetId> = pool.iter().rev().take(2).copied().collect();
+        bld.output("y", outs);
+        let nl = bld.finish().unwrap();
+        let once = opt::optimize(&nl);
+        let twice = opt::optimize(&once);
+        prop_assert_eq!(once.gate_count(), twice.gate_count(), "folding must reach a fixpoint");
+        prop_assert_eq!(once.cell_counts(), twice.cell_counts());
+    }
+
+    #[test]
+    fn reductions_match_bit_math(width in 1usize..=24, a: u64) {
+        let mut bld = NetlistBuilder::new("red");
+        let abus = bld.input("a", width);
+        let any_bit = words::or_reduce(&mut bld, &abus);
+        let all_bit = words::and_reduce(&mut bld, &abus);
+        let zero_bit = words::zero_detect(&mut bld, &abus);
+        bld.output("any", vec![any_bit]);
+        bld.output("all", vec![all_bit]);
+        bld.output("zero", vec![zero_bit]);
+        let nl = bld.finish().unwrap();
+        let a = a & mask(width);
+        prop_assert_eq!(eval(&nl, &[("a", a)], "any"), (a != 0) as u64);
+        prop_assert_eq!(eval(&nl, &[("a", a)], "all"), (a == mask(width)) as u64);
+        prop_assert_eq!(eval(&nl, &[("a", a)], "zero"), (a == 0) as u64);
+    }
+}

@@ -1,0 +1,86 @@
+//! Calibration constants that bridge cell-level data (Table 2) to
+//! synthesis-level results (Table 4).
+//!
+//! The paper obtains core-level area/power/f_max from Synopsys Design
+//! Compiler runs we cannot reproduce. Two effects make naive cell-level
+//! roll-ups miss the published core-level numbers, and each gets one
+//! explicit, documented constant here rather than being smeared invisibly
+//! through the models:
+//!
+//! 1. **Static power.** Table 2 reports only switching energy, but EGFET's
+//!    transistor–resistor logic burns a resistor pull-up current whenever a
+//!    stage output is low. We charge each cell `stage_count × per-stage`
+//!    static power. The per-stage values below make the four Table 4
+//!    baseline cores land on the published power numbers (EGFET: e.g.
+//!    light8080 41.7 mW total splits roughly half static / half dynamic).
+//!
+//! 2. **Timing derate.** Table 2 CNT-TFT delays are worst-case single-cell
+//!    figures dominated by the slow pseudo-CMOS falling edge into a probe
+//!    load; Design Compiler's typical-corner path delays are roughly an
+//!    order of magnitude faster. Using raw Table 2 delays for CNT-TFT would
+//!    make Table 4's published f_max values (e.g. 57 kHz light8080)
+//!    unreachable. The derate below rescales per-level delay for
+//!    synthesized-netlist timing. EGFET delays need no derate — published
+//!    EGFET f_max values are consistent with Table 2 delays as-is.
+//!
+//! Both constants are *technology-level* (shared by every core, benchmark
+//! and experiment), so they cannot manufacture any of the paper's
+//! architectural conclusions: all cross-core comparisons use the same
+//! constants on both sides.
+
+/// EGFET static power per internal cell stage, in µW.
+///
+/// Calibrated so that the Table 4 EGFET baseline powers are reproduced:
+/// with ~1.9–12 k gate inventories, static power contributes roughly half
+/// of total core power at f_max.
+pub const EGFET_STATIC_PER_STAGE_UW: f64 = 7.0;
+
+/// CNT-TFT static power per internal cell stage, in µW.
+///
+/// Pseudo-CMOS leaks far less per stage than a resistor pull-up, but the
+/// paper's CNT powers (≥1.2 W for every baseline) show a large
+/// frequency-proportional term plus a non-trivial floor.
+pub const CNT_STATIC_PER_STAGE_UW: f64 = 25.0;
+
+/// Per-switch energy derate for synthesized EGFET designs (none needed).
+pub const EGFET_ENERGY_DERATE: f64 = 1.0;
+
+/// Per-switch energy derate for synthesized CNT-TFT designs.
+///
+/// Table 2 CNT energies are worst-case single-cell figures into a probe
+/// load; with them taken raw, every Table 4 CNT baseline lands ~2× above
+/// its published power. A 0.5 derate (typical-corner internal loads)
+/// reproduces the published CNT powers (e.g. light8080: 1.52 W modeled vs
+/// 1.517 W published).
+pub const CNT_ENERGY_DERATE: f64 = 0.5;
+
+/// Per-level timing derate for synthesized EGFET paths (none needed).
+pub const EGFET_TIMING_DERATE: f64 = 1.0;
+
+/// Per-level timing derate for synthesized CNT-TFT paths.
+///
+/// Derived from Table 4: the light8080 netlist depth implied by its EGFET
+/// f_max (≈45 NAND-equivalent levels) reaches the published CNT f_max of
+/// 57.2 kHz only if per-level CNT delay is ≈0.1× the Table 2 average.
+pub const CNT_TIMING_DERATE: f64 = 0.1;
+
+/// Default switching-activity factor.
+///
+/// Section 8, footnote 6: "The average simulated activity factor for our
+/// cores, required for computing energy calculation is 0.88, calculated by
+/// Design Compiler."
+pub const DEFAULT_ACTIVITY_FACTOR: f64 = 0.88;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_physical() {
+        assert!(EGFET_STATIC_PER_STAGE_UW > 0.0);
+        assert!(CNT_STATIC_PER_STAGE_UW > 0.0);
+        assert!(EGFET_TIMING_DERATE > 0.0 && EGFET_TIMING_DERATE <= 1.0);
+        assert!(CNT_TIMING_DERATE > 0.0 && CNT_TIMING_DERATE <= 1.0);
+        assert!(DEFAULT_ACTIVITY_FACTOR > 0.0 && DEFAULT_ACTIVITY_FACTOR <= 1.0);
+    }
+}

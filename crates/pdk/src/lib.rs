@@ -1,0 +1,33 @@
+//! # printed-pdk
+//!
+//! Process design kit for low-voltage printed electronics, reproducing the
+//! foundations of *Printed Microprocessors* (ISCA 2020): the EGFET and
+//! CNT-TFT standard-cell libraries (Table 2), the printed-process comparison
+//! (Table 1), the target application catalog (Table 3), and printed battery
+//! models (Figures 4/5, Table 8).
+//!
+//! Everything downstream — the netlist analyzer, the memory models, the
+//! TP-ISA cores and the baselines — consumes this crate's cell data.
+//!
+//! ```
+//! use printed_pdk::{CellKind, Technology};
+//!
+//! let lib = Technology::Egfet.library();
+//! let nand = lib.cell(CellKind::Nand2);
+//! println!("a printed NAND2 occupies {:.3}", nand.area);
+//! assert!(nand.area.as_mm2() > 0.1); // printed cells are *large*
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod battery;
+pub mod calibration;
+pub mod cells;
+pub mod process;
+pub mod yield_model;
+pub mod units;
+
+pub use cells::{CellCharacteristics, CellKind, CellLibrary, Technology};
+pub use units::{Area, Charge, Current, Energy, Frequency, Power, Time, Voltage};

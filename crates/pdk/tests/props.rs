@@ -1,0 +1,91 @@
+//! Property-based checks of the PDK: unit algebra and battery arithmetic,
+//! plus Debug/Display sanity.
+
+use proptest::prelude::*;
+use printed_pdk::battery::Battery;
+use printed_pdk::units::{Area, Charge, Energy, Frequency, Power, Time, Voltage};
+use printed_pdk::{CellKind, Technology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn energy_power_time_triangle(e in 1e-9f64..1e3, t in 1e-6f64..1e6) {
+        // E = (E / t) × t, through the typed API.
+        let energy = Energy::from_joules(e);
+        let time = Time::from_secs(t);
+        let power: Power = energy / time;
+        let back: Energy = power * time;
+        prop_assert!((back.as_joules() - e).abs() / e < 1e-12);
+    }
+
+    #[test]
+    fn frequency_period_involution(hz in 1e-3f64..1e9) {
+        let f = Frequency::from_hertz(hz);
+        prop_assert!((f.period().frequency().as_hertz() - hz).abs() / hz < 1e-12);
+    }
+
+    #[test]
+    fn battery_lifetime_scales_inverse_linearly(
+        mah in 1.0f64..1000.0,
+        volts in 0.5f64..5.0,
+        mw in 0.1f64..1000.0,
+        duty in 0.01f64..1.0,
+    ) {
+        let battery = Battery {
+            name: "prop",
+            capacity: Charge::from_milliamp_hours(mah),
+            voltage: Voltage::from_volts(volts),
+            max_power: Power::from_milliwatts(mw),
+        };
+        let p = Power::from_milliwatts(mw);
+        let full = battery.lifetime(p, 1.0).unwrap();
+        let scaled = battery.lifetime(p, duty).unwrap();
+        prop_assert!((scaled / full - 1.0 / duty).abs() < 1e-9);
+        // Energy budget consistency: lifetime × power = budget.
+        let spent: Energy = p * full;
+        prop_assert!((spent / battery.energy_budget() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cells_required_covers_the_load(load_mw in 0.1f64..10_000.0) {
+        let battery = printed_pdk::battery::BLUESPARK_30;
+        let load = Power::from_milliwatts(load_mw);
+        let n = battery.cells_required(load);
+        prop_assert!(battery.max_power * n as f64 >= load);
+        if n > 1 {
+            let one_less = battery.max_power * (n - 1) as f64;
+            prop_assert!(one_less < load);
+        }
+    }
+
+    #[test]
+    fn area_conversions_round_trip(mm2 in 1e-6f64..1e6) {
+        let a = Area::from_mm2(mm2);
+        prop_assert!((Area::from_cm2(a.as_cm2()).as_mm2() - mm2).abs() / mm2 < 1e-12);
+    }
+
+    #[test]
+    fn quantity_ordering_is_total_on_positives(a in 0.0f64..1e12, b in 0.0f64..1e12) {
+        let (x, y) = (Time::from_secs(a), Time::from_secs(b));
+        prop_assert_eq!(x.max(y).as_secs(), a.max(b));
+        prop_assert_eq!(x.min(y).as_secs(), a.min(b));
+    }
+}
+
+#[test]
+fn cell_data_has_nonempty_debug_and_display() {
+    // C-DEBUG-NONEMPTY: every public data type renders usefully.
+    for tech in Technology::ALL {
+        let lib = tech.library();
+        for kind in CellKind::ALL {
+            let cell = lib.cell(kind);
+            assert!(!format!("{cell:?}").is_empty());
+            assert!(format!("{kind}").starts_with(char::is_alphabetic));
+        }
+        assert!(!format!("{tech}").is_empty());
+    }
+    for battery in &printed_pdk::battery::PRINTED_BATTERIES {
+        assert!(format!("{battery}").contains("mAh"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Baseline showdown: runs the benchmark suite on the four baseline
+//! CPUs (with real instruction-set simulation) and compares against the
+//! best TP-ISA systems — reproducing the Section 8 baseline results
+//! ("The light8080 core takes 44.6 s and 3.66 J to execute an 8-bit
+//! multiply…").
+//!
+//! ```sh
+//! cargo run --release --example baseline_showdown
+//! ```
+
+use printed_microprocessors::baselines::kernels::{self as bk, Bench};
+use printed_microprocessors::baselines::BaselineCpu;
+use printed_microprocessors::core::kernels::{self, Kernel};
+use printed_microprocessors::core::CoreConfig;
+use printed_microprocessors::eval::System;
+use printed_microprocessors::memory::Sram;
+use printed_microprocessors::pdk::battery::BLUESPARK_30;
+use printed_microprocessors::pdk::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== baseline execution on EGFET (Section 8) ==");
+    println!(
+        "{:>8} {:>11} {:>9} {:>9} {:>10} {:>10} {:>9}",
+        "bench", "cpu", "bytes", "cycles", "time [s]", "E [J]", "battery%"
+    );
+    let battery_j = BLUESPARK_30.energy_budget().as_joules();
+    for bench in Bench::ALL {
+        for cpu in BaselineCpu::ALL {
+            let run = bk::run(bench, cpu);
+            let inv = cpu.inventory(Technology::Egfet);
+            let time = run.cycles as f64 / inv.fmax().as_hertz();
+            // Whole-system power: core + RAM-resident program image
+            // (Table 5 convention).
+            let imem = Sram::with_contents(
+                Technology::Egfet,
+                8,
+                vec![0u64; run.program_bytes],
+            )?;
+            let power = inv.power() + imem.array_power();
+            let energy = power.as_watts() * time;
+            println!(
+                "{:>8} {:>11} {:>9} {:>9} {:>10.1} {:>10.2} {:>8.1}%",
+                bench.to_string(),
+                cpu.name(),
+                run.program_bytes,
+                run.cycles,
+                time,
+                energy,
+                100.0 * energy / battery_j,
+            );
+        }
+    }
+
+    println!("\n== the same work on TP-ISA systems ==");
+    let pairs = [
+        (Kernel::Mult, 8usize),
+        (Kernel::Div, 8),
+        (Kernel::InSort, 16),
+        (Kernel::IntAvg, 16),
+        (Kernel::THold, 16),
+        (Kernel::Crc8, 8),
+        (Kernel::DTree, 8),
+    ];
+    for (kernel, width) in pairs {
+        let prog = kernels::generate(kernel, width, width)?;
+        let system = System::standard(CoreConfig::new(1, width, 2), prog, Technology::Egfet, 1)?;
+        let r = system.run();
+        println!(
+            "{:>12}: {:>7} cycles, {:>8.2} s, {:>9.4} J ({:.2}% of a 30 mAh battery)",
+            r.kernel,
+            r.cycles,
+            r.exec_time.as_secs(),
+            r.energy_j.total(),
+            100.0 * r.energy_j.total() / battery_j,
+        );
+    }
+
+    // The paper's §8 anchor: light8080 8-bit multiply.
+    let mult = bk::run(Bench::Mult, BaselineCpu::Light8080);
+    let inv = BaselineCpu::Light8080.inventory(Technology::Egfet);
+    let time = mult.cycles as f64 / inv.fmax().as_hertz();
+    println!(
+        "\nlight8080 8-bit multiply: {:.1} s (paper: 44.6 s) — \
+         an order of magnitude behind the best TP-ISA core, as published",
+        time
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Design-space exploration: regenerates Figure 7 (all 24 TP-ISA cores)
+//! and compares against the four baseline CPUs of Table 4.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use printed_microprocessors::baselines::BaselineCpu;
+use printed_microprocessors::eval::figure7;
+use printed_microprocessors::pdk::Technology;
+
+fn main() {
+    for tech in Technology::ALL {
+        println!("=== {tech} design space (Figure 7) ===");
+        println!(
+            "{:>9} {:>6} {:>5} {:>12} {:>11} {:>11}",
+            "core", "gates", "DFFs", "fmax [Hz]", "area [cm2]", "power [mW]"
+        );
+        let points = figure7(tech);
+        for p in &points {
+            println!(
+                "{:>9} {:>6} {:>5} {:>12.2} {:>11.3} {:>11.2}",
+                p.name,
+                p.gate_count,
+                p.sequential,
+                p.fmax.as_hertz(),
+                p.area.as_cm2(),
+                p.power.as_milliwatts()
+            );
+        }
+
+        println!("--- baselines (Table 4) ---");
+        for cpu in BaselineCpu::ALL {
+            let inv = cpu.inventory(tech);
+            println!(
+                "{:>11}: {:>6} gates, fmax {:>10.2} Hz, {:>8.3} cm2, {:>9.2} mW",
+                cpu.name(),
+                inv.gates,
+                inv.fmax().as_hertz(),
+                inv.area().as_cm2(),
+                inv.power().as_milliwatts()
+            );
+        }
+
+        // The paper's headline comparison.
+        let best_8bit = points
+            .iter()
+            .filter(|p| p.datawidth == 8 && p.pipeline_stages == 1)
+            .min_by(|a, b| a.area.partial_cmp(&b.area).unwrap())
+            .expect("8-bit cores exist");
+        let light8080 = BaselineCpu::Light8080.inventory(tech);
+        println!(
+            "smallest 8-bit TP-ISA core ({}) vs light8080: {:.1}x smaller, {:.1}x lower power\n",
+            best_8bit.name,
+            light8080.area() / best_8bit.area,
+            light8080.power() / best_8bit.power,
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! The "fab-in-a-box" story end-to-end: take a program, specialize the
+//! hardware to it (Section 7), and emit a fabrication order — the core
+//! geometry, the narrowed ROM image, and the battery budget — the way an
+//! on-demand inkjet print shop would.
+//!
+//! ```sh
+//! cargo run --release --example print_shop
+//! ```
+
+use printed_microprocessors::core::specific::{CoreSpec, NarrowEncoding};
+use printed_microprocessors::core::{asm::assemble, generate, CoreConfig};
+use printed_microprocessors::netlist::{analysis, opt};
+use printed_microprocessors::pdk::battery::BLUESPARK_30;
+use printed_microprocessors::pdk::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The customer's program: debounce a door sensor and count openings.
+    let source = "
+        ; mem[0] = raw sample (written by the sensor ADC)
+        ; mem[1] = debounce counter, mem[2] = open count, mem[3] = one
+            STORE [3], #1
+            STORE [1], #0
+            STORE [2], #0
+        sample:
+            TEST  [0], [3]        ; door bit set?
+            BRN   reset, Z
+            ADD   [1], [3]        ; debounce++
+            STORE [4], #3
+            CMP   [1], [4]        ; three consecutive samples?
+            BRN   sample, Z
+            ADD   [2], [3]        ; count an opening
+            STORE [1], #0
+            JMP   sample
+        reset:
+            STORE [1], #0
+            JMP   sample
+        ";
+    let program = assemble(source)?;
+    println!("customer program: {} instructions", program.instructions.len());
+
+    // Static analysis shrinks the architecture to this program.
+    let config = CoreConfig::new(1, 8, 2);
+    let spec = CoreSpec::program_specific(config, &program.instructions, "door_counter");
+    println!("\nfabrication order — core `{}`:", spec.name());
+    println!("  PC           : {} bits (standard: 8)", spec.pc_bits);
+    println!(
+        "  BARs         : {} printed ({} bits each; standard: 1 x 8)",
+        spec.bars.saturating_sub(1),
+        spec.bar_bits
+    );
+    println!("  flags        : {} of 4", spec.flag_count());
+    println!("  instruction  : {} bits (standard: 24)", spec.instruction_bits());
+    println!("  data memory  : {} words", spec.dmem_words);
+
+    // Gate-level netlist, constant-folded for the known-constant inputs.
+    let raw = generate(&spec);
+    let folded = opt::optimize(&raw);
+    let lib = Technology::Egfet.library();
+    let ch = analysis::characterize(&folded, lib);
+    println!("\nprinted core: {} cells ({} DFFs) after folding ({} before)",
+        ch.gate_count, ch.sequential_count, raw.gate_count());
+    println!(
+        "  {:.2} cm^2, f_max {:.1} Hz, {:.2} mW",
+        ch.area.total.as_cm2(),
+        ch.fmax.as_hertz(),
+        ch.power.total().as_milliwatts()
+    );
+
+    // The ROM image the printer will dot onto the crossbar.
+    let words = NarrowEncoding::new(spec.clone()).encode_program(&program.instructions)?;
+    println!("\ncrosspoint ROM image ({}-bit words):", spec.instruction_bits());
+    for (addr, word) in words.iter().enumerate() {
+        println!("  {addr:3}: {word:0width$b}", width = spec.instruction_bits());
+    }
+
+    // Battery budget at the application duty cycle (1 sample/second).
+    let power = ch.power.total();
+    let duty = 1.0 / ch.fmax.as_hertz(); // one instruction burst per second
+    let life = BLUESPARK_30
+        .lifetime(power, duty.min(1.0))
+        .expect("positive power");
+    println!(
+        "\non a Blue Spark 30 mAh cell at 1 sample/s: ~{:.0} days of monitoring",
+        life.as_hours() / 24.0
+    );
+    Ok(())
+}

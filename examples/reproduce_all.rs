@@ -1,0 +1,149 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! ```sh
+//! cargo run --release --example reproduce_all
+//! ```
+//!
+//! The output of this binary is the source of truth for EXPERIMENTS.md.
+
+use printed_microprocessors::core::{generate_standard, CoreConfig};
+use printed_microprocessors::eval::{figure7, figure8, headline, lifetime, tables};
+use printed_microprocessors::netlist::analysis;
+use printed_microprocessors::pdk::battery::BLUESPARK_30;
+use printed_microprocessors::pdk::Technology;
+
+fn main() {
+    println!("{}", tables::table1());
+    println!("{}", tables::table2());
+
+    let netlist = generate_standard(&CoreConfig::new(1, 8, 2));
+    let egfet_ips = analysis::timing(&netlist, Technology::Egfet.library()).fmax().as_hertz();
+    let cnt_ips = analysis::timing(&netlist, Technology::CntTft.library()).fmax().as_hertz();
+    println!("{}", tables::table3(egfet_ips, cnt_ips));
+
+    println!("{}", tables::table4());
+    println!("{}", tables::table5());
+    println!("{}", tables::table6());
+    println!("{}", tables::table7());
+
+    // Figures 4 and 5: spot values at three duty points.
+    for (fig, tech) in [(4, Technology::Egfet), (5, Technology::CntTft)] {
+        println!("== Figure {fig}: lifetime on Blue Spark 30 mAh ({tech}) ==");
+        for cpu in printed_microprocessors::baselines::BaselineCpu::ALL {
+            let full = lifetime::full_duty_lifetime(cpu, tech, &BLUESPARK_30);
+            println!(
+                "{:>11}: {:>8.2} h at duty 1.0, {:>9.1} h at duty 0.01",
+                cpu.name(),
+                full.as_hours(),
+                full.as_hours() * 100.0
+            );
+        }
+        println!();
+    }
+
+    // Figure 7.
+    for tech in Technology::ALL {
+        println!("== Figure 7 ({tech}) ==");
+        println!(
+            "{:>9} {:>6} {:>5} {:>12} {:>11} {:>11}",
+            "core", "gates", "DFFs", "fmax [Hz]", "area [cm2]", "power [mW]"
+        );
+        for p in figure7(tech) {
+            println!(
+                "{:>9} {:>6} {:>5} {:>12.2} {:>11.3} {:>11.2}",
+                p.name,
+                p.gate_count,
+                p.sequential,
+                p.fmax.as_hertz(),
+                p.area.as_cm2(),
+                p.power.as_milliwatts()
+            );
+        }
+        println!();
+    }
+
+    // Figure 8 (EGFET) and its derived Table 8 + headline ratios.
+    let cells = figure8(Technology::Egfet);
+    println!("== Figure 8 (EGFET): A cm2 | E mJ | t s, split C/R/IM/DM ==");
+    for c in &cells {
+        let tag = if c.program_specific {
+            " PS"
+        } else if c.rom_mlc {
+            "MLC"
+        } else {
+            "   "
+        };
+        println!(
+            "{:>14} w{:<2}{} | A {:6.2} ({:5.2}/{:4.2}/{:5.2}/{:5.2}) | E {:9.2} ({:8.2}/{:6.2}/{:7.2}/{:7.2}) | t {:8.2}",
+            c.kernel,
+            c.core_width,
+            tag,
+            c.result.area_cm2.total(),
+            c.result.area_cm2.combinational,
+            c.result.area_cm2.registers,
+            c.result.area_cm2.imem,
+            c.result.area_cm2.dmem,
+            c.result.energy_j.total() * 1e3,
+            c.result.energy_j.combinational * 1e3,
+            c.result.energy_j.registers * 1e3,
+            c.result.energy_j.imem * 1e3,
+            c.result.energy_j.dmem * 1e3,
+            c.result.exec_time.as_secs(),
+        );
+    }
+    println!();
+
+    println!("== Table 8: iterations on a 1 V / 30 mAh battery ==");
+    for r in tables::table8_rows(&cells) {
+        println!("{:>10}: STD {:>8}  PS {:>8}", r.kernel, r.standard, r.program_specific);
+    }
+    println!();
+
+    println!("== Application-to-core matching (extension of Table 3 / §4) ==");
+    for r in printed_microprocessors::eval::feasibility::catalog() {
+        println!(
+            "{:>24} -> {:>7} in {:>7} ({:>9.1} IPS, {:>8.2} mW)",
+            r.application,
+            r.core,
+            r.technology.to_string(),
+            r.ips.as_hertz(),
+            r.power.as_milliwatts()
+        );
+    }
+    println!();
+
+    println!("== Manufacturing (yield + variation, extension of §3.1) ==");
+    for width in [4usize, 8, 16, 32] {
+        let nl = printed_microprocessors::core::generate_standard(&CoreConfig::new(1, width, 2));
+        let r = printed_microprocessors::eval::manufacturing::report(
+            format!("p1_{width}_2"),
+            &nl,
+            Technology::Egfet,
+            0.9999,
+            0.15,
+        );
+        println!(
+            "{:>8}: {:>5} devices, yield {:>5.1}% -> {:>5.2} prints/unit, 95% clock {:>6.2} Hz (nominal {:.2})",
+            r.name,
+            r.devices,
+            r.yield_ * 100.0,
+            r.prints_per_unit,
+            r.guard_banded_fmax.as_hertz(),
+            r.fmax.nominal.as_hertz()
+        );
+    }
+    println!();
+
+    let rvr = headline::rom_vs_ram();
+    println!(
+        "ROM vs RAM: power x{:.2} (paper 5.77), area x{:.2} (16.8), delay x{:.2} (2.42)",
+        rvr.power, rvr.area, rvr.delay
+    );
+    let improvements = headline::ps_improvements(&cells);
+    let h = headline::ps_headline(&improvements);
+    println!(
+        "program-specific ISA: up to x{:.2} core power, x{:.2} core area, x{:.2} energy \
+         (paper: 4.18 / 1.93 / 2.59)",
+        h.max_power, h.max_area, h.max_energy
+    );
+}

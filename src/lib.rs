@@ -1,0 +1,47 @@
+//! # printed-microprocessors
+//!
+//! A full reproduction of *Printed Microprocessors* (Bleier et al.,
+//! ISCA 2020) as a Rust workspace: the TP-ISA printed microprocessor
+//! design space, the EGFET / CNT-TFT standard-cell libraries, crosspoint
+//! instruction ROMs, program-specific ISA specialization, and the four
+//! baseline CPUs the paper characterizes — plus the experiment engine
+//! that regenerates every table and figure.
+//!
+//! This meta-crate re-exports the workspace members:
+//!
+//! - [`pdk`] — standard cells, processes, applications, batteries,
+//! - [`netlist`] — gate-level IR, generators, simulation, analysis,
+//! - [`memory`] — crosspoint ROM, SRAM, WORM baseline,
+//! - [`core`] — TP-ISA: ISA, assembler, simulator, core generator,
+//!   program-specific specialization, benchmark kernels,
+//! - [`baselines`] — light8080 / Z80 / ZPU / openMSP430 simulators,
+//!   assemblers, inventories, and benchmark programs,
+//! - [`eval`] — tables, figures, lifetime analysis, headline ratios.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use printed_microprocessors::core::{asm::assemble, CoreConfig, Machine};
+//!
+//! // Assemble and run a TP-ISA program on the paper's p1_8_2 core.
+//! let prog = assemble("
+//!     STORE [0], #41
+//!     STORE [1], #1
+//!     ADD   [0], [1]
+//!     HALT
+//! ").map_err(|e| e.to_string())?;
+//! let mut m = Machine::new(CoreConfig::default(), prog.instructions, 16);
+//! m.run(1000).map_err(|e| e.to_string())?;
+//! assert_eq!(m.dmem().read(0).unwrap(), 42);
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use printed_baselines as baselines;
+pub use printed_core as core;
+pub use printed_eval as eval;
+pub use printed_memory as memory;
+pub use printed_netlist as netlist;
+pub use printed_pdk as pdk;

@@ -1,0 +1,90 @@
+//! Heavyweight end-to-end sweeps: the full Figure 8 matrix in both
+//! technologies (every cell's golden result is verified inside
+//! `System::run`), plus the manufacturing pipeline over the whole design
+//! space.
+
+use printed_microprocessors::eval::{figure8, figures::figure8_core_widths};
+use printed_microprocessors::pdk::Technology;
+
+#[test]
+fn figure8_full_matrix_egfet() {
+    let cells = figure8(Technology::Egfet);
+    // Expected cell count: for each benchmark/width, one standard cell per
+    // supported core width, plus PS at native width, plus MLC for dTree.
+    assert!(cells.len() >= 50, "got {} cells", cells.len());
+    // Every benchmark appears.
+    for bench in printed_microprocessors::core::kernels::Kernel::ALL {
+        assert!(
+            cells.iter().any(|c| c.bench == bench),
+            "{bench} missing from Figure 8"
+        );
+    }
+    // Native-width cores are the fastest standard cores at every width.
+    for bench in printed_microprocessors::core::kernels::Kernel::ALL {
+        for &dw in bench.data_widths() {
+            let group: Vec<_> = cells
+                .iter()
+                .filter(|c| c.bench == bench && c.data_width == dw && !c.program_specific && !c.rom_mlc)
+                .collect();
+            if group.len() < 2 {
+                continue;
+            }
+            let fastest = group
+                .iter()
+                .min_by(|a, b| {
+                    a.result.exec_time.partial_cmp(&b.result.exec_time).unwrap()
+                })
+                .unwrap();
+            assert_eq!(
+                fastest.core_width, dw,
+                "{bench}{dw}: the native-width core must be fastest"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure8_runs_on_cnt_tft_too() {
+    let cells = figure8(Technology::CntTft);
+    assert!(cells.len() >= 50);
+    // §8: CNT results are orders of magnitude faster than EGFET.
+    let egfet = figure8(Technology::Egfet);
+    for (c, e) in cells.iter().zip(&egfet) {
+        assert_eq!(c.kernel, e.kernel);
+        assert!(
+            c.result.exec_time.as_secs() * 10.0 < e.result.exec_time.as_secs(),
+            "{}: CNT {:.4}s vs EGFET {:.2}s",
+            c.kernel,
+            c.result.exec_time.as_secs(),
+            e.result.exec_time.as_secs()
+        );
+    }
+}
+
+#[test]
+fn figure8_core_width_rules() {
+    assert_eq!(figure8_core_widths(4), vec![4]);
+    assert_eq!(figure8_core_widths(16), vec![4, 8, 16]);
+}
+
+#[test]
+fn manufacturing_sweep_over_design_space() {
+    use printed_microprocessors::core::{generate_standard, CoreConfig};
+    use printed_microprocessors::eval::manufacturing;
+
+    let mut last_devices = 0;
+    for width in [4usize, 8, 16, 32] {
+        let nl = generate_standard(&CoreConfig::new(1, width, 2));
+        let r = manufacturing::report(
+            format!("p1_{width}_2"),
+            &nl,
+            Technology::Egfet,
+            0.9999,
+            0.15,
+        );
+        assert!(r.devices > last_devices, "devices grow with width");
+        last_devices = r.devices;
+        assert!(r.yield_ > 0.0 && r.yield_ <= 1.0);
+        assert!(r.guard_banded_fmax.as_hertz() > 0.0);
+    }
+}
