@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The repository's CI gate. Run before pushing.
+#
+#   ./ci.sh            # format check + clippy + full test suite
+#
+# Everything runs offline; the shims/ directory stands in for the few
+# external crates (see Cargo.toml [workspace.dependencies]).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "CI green."

@@ -102,12 +102,7 @@ impl Asm430 {
         byte: bool,
         ext: &[u16],
     ) -> &mut Self {
-        let w = opcode << 12
-            | src << 8
-            | ad << 7
-            | (byte as u16) << 6
-            | as_mode << 4
-            | dst;
+        let w = opcode << 12 | src << 8 | ad << 7 | (byte as u16) << 6 | as_mode << 4 | dst;
         self.emit(w);
         for &x in ext {
             self.emit(x);

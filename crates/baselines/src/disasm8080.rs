@@ -34,14 +34,10 @@ pub fn disassemble_one(mem: &[u8], offset: usize, addr: u16) -> Disassembled {
 
     let (text, len): (String, u8) = match op {
         0x76 => ("HLT".into(), 1),
-        0x40..=0x7F => (
-            format!("MOV {}, {}", REGS[(op >> 3 & 7) as usize], REGS[(op & 7) as usize]),
-            1,
-        ),
-        0x80..=0xBF => (
-            format!("{} {}", ALU[(op >> 3 & 7) as usize], REGS[(op & 7) as usize]),
-            1,
-        ),
+        0x40..=0x7F => {
+            (format!("MOV {}, {}", REGS[(op >> 3 & 7) as usize], REGS[(op & 7) as usize]), 1)
+        }
+        0x80..=0xBF => (format!("{} {}", ALU[(op >> 3 & 7) as usize], REGS[(op & 7) as usize]), 1),
         0x00 | 0x08 | 0x10 | 0x18 | 0x20 | 0x28 | 0x30 | 0x38 => ("NOP".into(), 1),
         0x01 | 0x11 | 0x21 | 0x31 => {
             (format!("LXI {}, {}", PAIRS[(op >> 4 & 3) as usize], d16()), 3)
@@ -138,19 +134,11 @@ mod tests {
     #[test]
     fn round_trips_through_the_assembler() {
         let mut a = Asm8080::new(0x100);
-        a.mvi(Reg::A, 0x2A)
-            .lxi(RegPair::HL, 0x2000)
-            .add_m()
-            .jnz("end")
-            .label("end")
-            .hlt();
+        a.mvi(Reg::A, 0x2A).lxi(RegPair::HL, 0x2000).add_m().jnz("end").label("end").hlt();
         let image = a.assemble().unwrap();
         let listing = disassemble(&image, 0x100);
         let texts: Vec<&str> = listing.iter().map(|d| d.text.as_str()).collect();
-        assert_eq!(
-            texts,
-            vec!["MVI A, 0x2A", "LXI H, 0x2000", "ADD M", "JNZ 0x0109", "HLT"]
-        );
+        assert_eq!(texts, vec!["MVI A, 0x2A", "LXI H, 0x2000", "ADD M", "JNZ 0x0109", "HLT"]);
         // Lengths cover the image exactly.
         let total: usize = listing.iter().map(|d| d.len as usize).sum();
         assert_eq!(total, image.len());
@@ -172,11 +160,7 @@ mod tests {
         for bench in Bench::ALL {
             let image = k8080::image(bench);
             let listing = disassemble(&image, 0x100);
-            assert_eq!(
-                listing.last().unwrap().text,
-                "HLT",
-                "{bench} should end with HLT"
-            );
+            assert_eq!(listing.last().unwrap().text, "HLT", "{bench} should end with HLT");
             // Instruction count matches the byte stream exactly.
             let total: usize = listing.iter().map(|d| d.len as usize).sum();
             assert_eq!(total, image.len(), "{bench}");

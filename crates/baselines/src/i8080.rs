@@ -269,7 +269,7 @@ impl Cpu8080 {
     fn set_szp(&mut self, v: u8) {
         self.flags.s = v & 0x80 != 0;
         self.flags.z = v == 0;
-        self.flags.p = v.count_ones() % 2 == 0;
+        self.flags.p = v.count_ones().is_multiple_of(2);
     }
 
     fn add(&mut self, b: u8, carry: bool) {

@@ -10,6 +10,7 @@
 //! the PDK, so all cross-technology and core-vs-core comparisons run
 //! through the same cost model as the TP-ISA cores.
 
+use printed_netlist::{lint, Netlist, NetlistBuilder};
 use printed_pdk::units::{Area, Frequency, Power};
 use printed_pdk::{CellKind, CellLibrary, Technology};
 use serde::{Deserialize, Serialize};
@@ -50,12 +51,8 @@ pub enum BaselineCpu {
 
 impl BaselineCpu {
     /// All four baselines, in Table 4 order.
-    pub const ALL: [BaselineCpu; 4] = [
-        BaselineCpu::OpenMsp430,
-        BaselineCpu::Z80,
-        BaselineCpu::Light8080,
-        BaselineCpu::ZpuSmall,
-    ];
+    pub const ALL: [BaselineCpu; 4] =
+        [BaselineCpu::OpenMsp430, BaselineCpu::Z80, BaselineCpu::Light8080, BaselineCpu::ZpuSmall];
 
     /// Display name as in Table 4.
     pub fn name(self) -> &'static str {
@@ -118,8 +115,7 @@ impl BaselineCpu {
         let avg_comb_area = mix_average(egfet, |l, k| l.cell(k).area.as_mm2());
         let dff_area = egfet.cell(CellKind::Dff).area.as_mm2();
         let total_mm2 = egfet_area_cm2 * 100.0;
-        let n_dff = ((total_mm2 - egfet_gates as f64 * avg_comb_area)
-            / (dff_area - avg_comb_area))
+        let n_dff = ((total_mm2 - egfet_gates as f64 * avg_comb_area) / (dff_area - avg_comb_area))
             .round()
             .max(0.0) as usize;
 
@@ -188,16 +184,14 @@ impl CellInventory {
     pub fn power_at(&self, clock: Frequency) -> Power {
         let lib = self.lib();
         let alpha = printed_pdk::calibration::DEFAULT_ACTIVITY_FACTOR;
-        let avg_comb_energy =
-            mix_average(lib, |l, k| l.synthesis_energy(k).as_nanojoules());
+        let avg_comb_energy = mix_average(lib, |l, k| l.synthesis_energy(k).as_nanojoules());
         let dff_energy = lib.synthesis_energy(CellKind::Dff).as_nanojoules();
         let dynamic_nj_per_cycle =
             self.combinational() as f64 * avg_comb_energy + self.sequential as f64 * dff_energy;
         let dynamic =
             printed_pdk::units::Energy::from_nanojoules(dynamic_nj_per_cycle * alpha) * clock;
 
-        let avg_comb_static =
-            mix_average(lib, |l, k| l.cell(k).static_power.as_microwatts());
+        let avg_comb_static = mix_average(lib, |l, k| l.cell(k).static_power.as_microwatts());
         let dff_static = lib.cell(CellKind::Dff).static_power.as_microwatts();
         let static_ = Power::from_microwatts(
             self.combinational() as f64 * avg_comb_static + self.sequential as f64 * dff_static,
@@ -208,6 +202,81 @@ impl CellInventory {
     /// Power at f_max — the Table 4 number.
     pub fn power(&self) -> Power {
         self.power_at(self.fmax())
+    }
+
+    /// A concrete gate-level netlist with this inventory's shape: the
+    /// exact total gate count, the calibrated sequential/combinational
+    /// split, and combinational cells drawn round-robin from
+    /// [`COMB_MIX`]'s proportions.
+    ///
+    /// The baselines have no RTL in this repository (their Verilog never
+    /// ran through our flow — the inventory *is* the model), so this is
+    /// the structure the DRC engine checks: a scan-chain-style design
+    /// where every cell is live and observable. Gate-exact cell counts
+    /// mean the per-cell lint rules (fanout, contention, reset) exercise
+    /// the same cell population the cost model charges for.
+    pub fn representative_netlist(&self) -> Netlist {
+        let mut b = NetlistBuilder::new(format!(
+            "{}_{}",
+            self.cpu.name(),
+            match self.technology {
+                Technology::Egfet => "egfet",
+                Technology::CntTft => "cnt",
+            }
+        ));
+        let si = b.input_bit("si");
+        let mut prev = si;
+        let mut cur = si;
+
+        // Expand COMB_MIX into a per-cell quota at this inventory's size,
+        // then emit a chain cycling through the kinds so consecutive
+        // cells differ (as synthesized control logic does). Rounding
+        // residue lands on NAND2, the mix's plurality cell.
+        let comb = self.combinational();
+        let mut quotas: Vec<(CellKind, usize)> = COMB_MIX
+            .iter()
+            .map(|&(kind, frac)| (kind, (comb as f64 * frac).floor() as usize))
+            .collect();
+        let assigned: usize = quotas.iter().map(|&(_, n)| n).sum();
+        for (kind, quota) in &mut quotas {
+            if *kind == CellKind::Nand2 {
+                *quota += comb - assigned;
+            }
+        }
+        let mut emitted = 0;
+        while emitted < comb {
+            for (kind, quota) in &mut quotas {
+                if *quota == 0 {
+                    continue;
+                }
+                *quota -= 1;
+                emitted += 1;
+                let next = match kind {
+                    CellKind::Inv => b.inv(cur),
+                    // Data rides `cur`; `prev` gates the enable, keeping
+                    // every TSBUF a lone driver (no shared bus).
+                    CellKind::TsBuf => b.tsbuf(cur, prev),
+                    kind => b.gate(*kind, vec![cur, prev]),
+                };
+                prev = cur;
+                cur = next;
+            }
+        }
+
+        // Sequential rank: DFFs chained after the combinational cloud,
+        // like the scan path stitched through a synthesized core.
+        for _ in 0..self.sequential {
+            cur = b.dff(cur);
+        }
+        b.output("so", vec![cur]);
+        b.finish().expect("representative netlists are valid by construction")
+    }
+
+    /// Design-rule-checks the representative netlist against this
+    /// inventory's technology library.
+    pub fn lint(&self, config: &lint::LintConfig) -> lint::LintReport {
+        let netlist = self.representative_netlist();
+        lint::lint(&netlist, self.technology.library(), config)
     }
 }
 
@@ -315,5 +384,38 @@ mod tests {
     fn comb_mix_sums_to_one() {
         let total: f64 = COMB_MIX.iter().map(|&(_, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn representative_netlists_match_the_inventory() {
+        for cpu in BaselineCpu::ALL {
+            let inv = cpu.inventory(Technology::Egfet);
+            let netlist = inv.representative_netlist();
+            let counts = netlist.cell_counts();
+            let total: usize = counts.values().sum();
+            assert_eq!(total, inv.gates, "{}: total gate count", cpu.name());
+            assert_eq!(
+                counts.get(&CellKind::Dff).copied().unwrap_or(0),
+                inv.sequential,
+                "{}: DFF count",
+                cpu.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_baselines_lint_clean_of_errors_in_both_technologies() {
+        let config = lint::LintConfig::default();
+        for technology in [Technology::Egfet, Technology::CntTft] {
+            for cpu in BaselineCpu::ALL {
+                let report = cpu.inventory(technology).lint(&config);
+                assert!(
+                    !report.has_errors(),
+                    "{} ({technology:?}) has lint errors:\n{}",
+                    cpu.name(),
+                    report.render_text()
+                );
+            }
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! Code at `0x0100`, input data at `0x2000`, results at `0x2100`
 //! (counter scratch shares the result page).
 
-use super::{data, tree, Bench, BaselineRun};
+use super::{data, tree, BaselineRun, Bench};
 use crate::asm8080::Asm8080;
 use crate::i8080::{Cond, Cpu8080, Reg, RegPair};
 use crate::inventory::BaselineCpu;
@@ -208,8 +208,7 @@ pub fn run(bench: Bench, as_z80: bool) -> BaselineRun {
         Bench::Mult => mem_init.push((DATA, vec![data::MULT_A, data::MULT_B])),
         Bench::Div => mem_init.push((DATA, vec![data::DIV_A, data::DIV_B])),
         Bench::InSort | Bench::IntAvg | Bench::THold => {
-            let bytes: Vec<u8> =
-                data::ARRAY16.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let bytes: Vec<u8> = data::ARRAY16.iter().flat_map(|v| v.to_le_bytes()).collect();
             mem_init.push((DATA, bytes));
         }
         Bench::Crc8 => mem_init.push((DATA, data::CRC_MSG.to_vec())),

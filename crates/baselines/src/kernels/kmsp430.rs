@@ -5,7 +5,7 @@
 //! compact of the baselines, matching Table 5's relative footprints.
 //! Code at `0x4400`, inputs at `0x2000`, results at `0x2100`.
 
-use super::{data, tree, Bench, BaselineRun};
+use super::{data, tree, BaselineRun, Bench};
 use crate::asm430::Asm430;
 use crate::inventory::BaselineCpu;
 use crate::msp430::CpuMsp430;

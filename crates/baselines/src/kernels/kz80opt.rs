@@ -7,7 +7,7 @@
 //! reproduction — they exist to measure what the shared-image methodology
 //! leaves on the table.
 
-use super::{data, Bench, BaselineRun};
+use super::{data, BaselineRun, Bench};
 use crate::inventory::BaselineCpu;
 use crate::z80::CpuZ80;
 
@@ -109,11 +109,7 @@ pub fn run(bench: Bench) -> BaselineRun {
             assert_eq!(got, data::MULT_EXPECTED, "Z80-opt mult");
         }
         Bench::Crc8 => {
-            assert_eq!(
-                cpu.core.mem[RESULT as usize],
-                data::crc8(&data::CRC_MSG),
-                "Z80-opt crc8"
-            );
+            assert_eq!(cpu.core.mem[RESULT as usize], data::crc8(&data::CRC_MSG), "Z80-opt crc8");
         }
         _ => unreachable!(),
     }
@@ -135,7 +131,12 @@ mod tests {
     fn optimized_mult_is_smaller_and_faster_than_shared_image() {
         let opt = run(Bench::Mult);
         let shared = k8080::run(Bench::Mult, true);
-        assert!(opt.program_bytes < shared.program_bytes, "{} vs {}", opt.program_bytes, shared.program_bytes);
+        assert!(
+            opt.program_bytes < shared.program_bytes,
+            "{} vs {}",
+            opt.program_bytes,
+            shared.program_bytes
+        );
         assert!(opt.cycles < shared.cycles, "{} vs {}", opt.cycles, shared.cycles);
     }
 

@@ -8,7 +8,7 @@
 //! Layout (byte addresses, word-aligned): array at `0x200`, message at
 //! `0x300`, variables at `0x400`, results at `0x500`. Code at 0.
 
-use super::{data, tree, Bench, BaselineRun};
+use super::{data, tree, BaselineRun, Bench};
 use crate::inventory::BaselineCpu;
 use crate::zpu::{AsmZpu, CpuZpu};
 
@@ -131,8 +131,7 @@ fn div(a: &mut AsmZpu) {
 
 /// Bubble sort of 16 32-bit words at ARRAY (values are the 16-bit data).
 fn insort(a: &mut AsmZpu) {
-    let (vi, vpass, vaddr, vei, vei1) =
-        (VARS, VARS + 4, VARS + 8, VARS + 12, VARS + 16);
+    let (vi, vpass, vaddr, vei, vei1) = (VARS, VARS + 4, VARS + 8, VARS + 12, VARS + 16);
     set(a, vpass, 15);
     a.label("pass");
     set(a, vi, 0);

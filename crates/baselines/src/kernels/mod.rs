@@ -116,8 +116,8 @@ pub mod data {
 
     /// The 16-element 16-bit array for inSort / intAvg / tHold.
     pub const ARRAY16: [u16; 16] = [
-        0x3A21, 0x9B04, 0x1234, 0xFFE0, 0x0007, 0x8001, 0x4C4C, 0x2B9A,
-        0xD00D, 0x0B10, 0x7777, 0x5AA5, 0xC3C3, 0x00FF, 0x9000, 0x1F1F,
+        0x3A21, 0x9B04, 0x1234, 0xFFE0, 0x0007, 0x8001, 0x4C4C, 0x2B9A, 0xD00D, 0x0B10, 0x7777,
+        0x5AA5, 0xC3C3, 0x00FF, 0x9000, 0x1F1F,
     ];
 
     /// Threshold for tHold.
@@ -142,8 +142,8 @@ pub mod data {
 
     /// The 16-byte CRC message.
     pub const CRC_MSG: [u8; 16] = [
-        0x31, 0x80, 0x07, 0xFE, 0x55, 0xAA, 0x10, 0x9C, 0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02,
-        0x03, 0x04,
+        0x31, 0x80, 0x07, 0xFE, 0x55, 0xAA, 0x10, 0x9C, 0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03,
+        0x04,
     ];
 
     /// Reference CRC-8 (poly 0x07, init 0).

@@ -279,14 +279,14 @@ impl CpuMsp430 {
         let cond = word >> 10 & 7;
         let offset = ((word & 0x3FF) << 6) as i16 >> 6; // sign-extend 10 bits
         let take = match cond {
-            0 => !self.flag(SrBits::Z),                               // JNE
-            1 => self.flag(SrBits::Z),                                // JEQ
-            2 => !self.flag(SrBits::C),                               // JNC
-            3 => self.flag(SrBits::C),                                // JC
-            4 => self.flag(SrBits::N),                                // JN
-            5 => self.flag(SrBits::N) == self.flag(SrBits::V),        // JGE
-            6 => self.flag(SrBits::N) != self.flag(SrBits::V),        // JL
-            _ => true,                                                // JMP
+            0 => !self.flag(SrBits::Z),                        // JNE
+            1 => self.flag(SrBits::Z),                         // JEQ
+            2 => !self.flag(SrBits::C),                        // JNC
+            3 => self.flag(SrBits::C),                         // JC
+            4 => self.flag(SrBits::N),                         // JN
+            5 => self.flag(SrBits::N) == self.flag(SrBits::V), // JGE
+            6 => self.flag(SrBits::N) != self.flag(SrBits::V), // JL
+            _ => true,                                         // JMP
         };
         if take {
             let target = self.regs[PC].wrapping_add((offset as u16).wrapping_mul(2));
@@ -401,7 +401,7 @@ impl CpuMsp430 {
                 self.set_nz(r, byte);
                 r
             }
-            0x7 | 0x8 | 0x9 => {
+            0x7..=0x9 => {
                 // SUBC / SUB / CMP: dst - src (+ carry - 1 for SUBC).
                 let sub_in = match opcode {
                     0x7 => self.flag(SrBits::C) as u32, // SUBC: d + ~s + C

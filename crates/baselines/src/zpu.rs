@@ -69,7 +69,7 @@ pub struct CpuZpu {
 impl CpuZpu {
     /// A machine with `mem_bytes` of memory; the stack starts at the top.
     pub fn new(mem_bytes: usize) -> Self {
-        assert!(mem_bytes % 4 == 0 && mem_bytes >= 64, "memory must be word-aligned");
+        assert!(mem_bytes.is_multiple_of(4) && mem_bytes >= 64, "memory must be word-aligned");
         CpuZpu {
             mem: vec![0; mem_bytes],
             pc: 0,
@@ -356,20 +356,14 @@ impl CpuZpu {
             18 => {
                 // LOADB.
                 let addr = self.pop()?;
-                let v = *self
-                    .mem
-                    .get(addr as usize)
-                    .ok_or(FaultZpu::BadAddress { addr })? as u32;
+                let v = *self.mem.get(addr as usize).ok_or(FaultZpu::BadAddress { addr })? as u32;
                 self.push(v)?;
             }
             19 => {
                 // STOREB.
                 let addr = self.pop()?;
                 let v = self.pop()?;
-                let slot = self
-                    .mem
-                    .get_mut(addr as usize)
-                    .ok_or(FaultZpu::BadAddress { addr })?;
+                let slot = self.mem.get_mut(addr as usize).ok_or(FaultZpu::BadAddress { addr })?;
                 *slot = v as u8;
             }
             20 => {

@@ -3,12 +3,12 @@
 //! MSP430 ALU must match reference arithmetic, and the ZPU stack
 //! discipline must hold.
 
-use proptest::prelude::*;
 use printed_baselines::asm430::Asm430;
 use printed_baselines::i8080::{Cpu8080, Reg};
 use printed_baselines::msp430::{CpuMsp430, SrBits};
 use printed_baselines::z80::CpuZ80;
 use printed_baselines::zpu::{AsmZpu, CpuZpu};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

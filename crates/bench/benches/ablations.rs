@@ -44,7 +44,8 @@ fn folding_ablation() {
     println!("\n== ablation: constant folding on program-specific cores ==");
     for bench in [Kernel::Mult, Kernel::DTree] {
         let prog = kernels::generate(bench, 8, 8).unwrap();
-        let spec = CoreSpec::program_specific(CoreConfig::new(1, 8, 2), &prog.instructions, &prog.name);
+        let spec =
+            CoreSpec::program_specific(CoreConfig::new(1, 8, 2), &prog.instructions, &prog.name);
         let raw = generate(&spec);
         let (folded, stats) = opt::optimize_with_stats(&raw);
         println!(
@@ -80,9 +81,7 @@ fn bench(c: &mut Criterion) {
     let prog = kernels::generate(Kernel::Mult, 8, 8).unwrap();
     let spec = CoreSpec::program_specific(CoreConfig::new(1, 8, 2), &prog.instructions, &prog.name);
     let raw = generate(&spec);
-    c.bench_function("ablation_constant_folding", |b| {
-        b.iter(|| opt::optimize(&raw).gate_count())
-    });
+    c.bench_function("ablation_constant_folding", |b| b.iter(|| opt::optimize(&raw).gate_count()));
 }
 
 criterion_group!(benches, bench);

@@ -17,9 +17,7 @@ fn bench(c: &mut Criterion) {
                     curve
                         .samples
                         .iter()
-                        .min_by(|a, b| {
-                            (a.0 - duty).abs().partial_cmp(&(b.0 - duty).abs()).unwrap()
-                        })
+                        .min_by(|a, b| (a.0 - duty).abs().partial_cmp(&(b.0 - duty).abs()).unwrap())
                         .map(|&(_, t)| t.as_hours())
                         .unwrap_or(f64::NAN)
                 };

@@ -30,12 +30,7 @@ fn bench(c: &mut Criterion) {
         }
     });
     c.bench_function("fig6_isa_roundtrip", |b| {
-        b.iter(|| {
-            instructions
-                .iter()
-                .map(|&i| enc.decode(enc.encode(i).unwrap()).unwrap())
-                .count()
-        })
+        b.iter(|| instructions.iter().map(|&i| enc.decode(enc.encode(i).unwrap()).unwrap()).count())
     });
 }
 

@@ -31,9 +31,7 @@ fn bench(c: &mut Criterion) {
     });
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);
-    g.bench_function("fig7_design_space_egfet", |b| {
-        b.iter(|| figure7(Technology::Egfet).len())
-    });
+    g.bench_function("fig7_design_space_egfet", |b| b.iter(|| figure7(Technology::Egfet).len()));
     g.finish();
 }
 

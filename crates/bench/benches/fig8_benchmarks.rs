@@ -49,13 +49,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("fig8_one_cell_mult8", |b| {
         b.iter(|| {
-            let sys = System::standard(
-                CoreConfig::new(1, 8, 2),
-                kernel.clone(),
-                Technology::Egfet,
-                1,
-            )
-            .unwrap();
+            let sys =
+                System::standard(CoreConfig::new(1, 8, 2), kernel.clone(), Technology::Egfet, 1)
+                    .unwrap();
             sys.run().cycles
         })
     });

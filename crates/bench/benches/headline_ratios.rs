@@ -2,14 +2,16 @@
 //! the program-specific ISA improvements.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use printed_eval::headline::{ps_headline, ps_improvements, rom_vs_ram};
 use printed_eval::figure8;
+use printed_eval::headline::{ps_headline, ps_improvements, rom_vs_ram};
 use printed_pdk::Technology;
 
 fn bench(c: &mut Criterion) {
     let r = rom_vs_ram();
-    println!("\nROM vs RAM: power x{:.2} (paper 5.77), area x{:.2} (16.8), delay x{:.2} (2.42)",
-        r.power, r.area, r.delay);
+    println!(
+        "\nROM vs RAM: power x{:.2} (paper 5.77), area x{:.2} (16.8), delay x{:.2} (2.42)",
+        r.power, r.area, r.delay
+    );
 
     let cells = figure8(Technology::Egfet);
     let improvements = ps_improvements(&cells);

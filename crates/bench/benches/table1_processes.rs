@@ -7,9 +7,7 @@ static PRINT: Once = Once::new();
 
 fn bench(c: &mut Criterion) {
     PRINT.call_once(|| println!("\n{}", printed_eval::tables::table1()));
-    c.bench_function("table1_processes", |b| {
-        b.iter(|| printed_eval::tables::table1().len())
-    });
+    c.bench_function("table1_processes", |b| b.iter(|| printed_eval::tables::table1().len()));
 }
 
 criterion_group!(benches, bench);

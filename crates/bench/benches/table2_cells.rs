@@ -7,9 +7,7 @@ static PRINT: Once = Once::new();
 
 fn bench(c: &mut Criterion) {
     PRINT.call_once(|| println!("\n{}", printed_eval::tables::table2()));
-    c.bench_function("table2_cells", |b| {
-        b.iter(|| printed_eval::tables::table2().len())
-    });
+    c.bench_function("table2_cells", |b| b.iter(|| printed_eval::tables::table2().len()));
 }
 
 criterion_group!(benches, bench);

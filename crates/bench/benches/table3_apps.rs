@@ -19,9 +19,7 @@ fn rates() -> (f64, f64) {
 fn bench(c: &mut Criterion) {
     let (egfet, cnt) = rates();
     PRINT.call_once(|| println!("\n{}", printed_eval::tables::table3(egfet, cnt)));
-    c.bench_function("table3_apps", |b| {
-        b.iter(|| printed_eval::tables::table3(egfet, cnt).len())
-    });
+    c.bench_function("table3_apps", |b| b.iter(|| printed_eval::tables::table3(egfet, cnt).len()));
 }
 
 criterion_group!(benches, bench);

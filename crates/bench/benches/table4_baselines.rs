@@ -7,9 +7,7 @@ static PRINT: Once = Once::new();
 
 fn bench(c: &mut Criterion) {
     PRINT.call_once(|| println!("\n{}", printed_eval::tables::table4()));
-    c.bench_function("table4_baselines", |b| {
-        b.iter(|| printed_eval::tables::table4_rows().len())
-    });
+    c.bench_function("table4_baselines", |b| b.iter(|| printed_eval::tables::table4_rows().len()));
 }
 
 criterion_group!(benches, bench);

@@ -8,9 +8,7 @@ static PRINT: Once = Once::new();
 
 fn bench(c: &mut Criterion) {
     PRINT.call_once(|| println!("\n{}", printed_eval::tables::table5()));
-    c.bench_function("table5_imem", |b| {
-        b.iter(|| printed_eval::tables::table5_cells().len())
-    });
+    c.bench_function("table5_imem", |b| b.iter(|| printed_eval::tables::table5_cells().len()));
 }
 
 criterion_group!(benches, bench);

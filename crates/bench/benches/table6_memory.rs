@@ -25,9 +25,7 @@ fn bench(c: &mut Criterion) {
             cmp.area_ratio()
         );
     });
-    c.bench_function("table6_memory", |b| {
-        b.iter(|| structural_estimate(16, 9, 1).transistors)
-    });
+    c.bench_function("table6_memory", |b| b.iter(|| structural_estimate(16, 9, 1).transistors));
 }
 
 criterion_group!(benches, bench);

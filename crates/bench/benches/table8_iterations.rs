@@ -3,8 +3,8 @@
 //! EGFET matrix once, then measures the reduction step.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use printed_eval::tables::table8_rows;
 use printed_eval::figure8;
+use printed_eval::tables::table8_rows;
 use printed_pdk::Technology;
 
 fn bench(c: &mut Criterion) {

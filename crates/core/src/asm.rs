@@ -195,9 +195,7 @@ fn parse_number(s: &str) -> Result<u8, AsmErrorKind> {
 
 fn parse_immediate(s: &str) -> Result<u8, AsmErrorKind> {
     let s = s.trim();
-    let digits = s
-        .strip_prefix('#')
-        .ok_or_else(|| AsmErrorKind::BadOperand(s.to_string()))?;
+    let digits = s.strip_prefix('#').ok_or_else(|| AsmErrorKind::BadOperand(s.to_string()))?;
     parse_number(digits)
 }
 
@@ -308,10 +306,7 @@ fn parse_statement(
                 .strip_prefix('b')
                 .or_else(|| ops[0].strip_prefix('B'))
                 .ok_or_else(|| AsmErrorKind::BadOperand(ops[0].to_string()))?;
-            Ok(Instruction::SetBar {
-                bar: parse_number(bar_text)?,
-                imm: parse_immediate(ops[1])?,
-            })
+            Ok(Instruction::SetBar { bar: parse_number(bar_text)?, imm: parse_immediate(ops[1])? })
         }
         "BR" | "BRN" => {
             if ops.len() != 2 {

@@ -29,7 +29,10 @@ impl CoreConfig {
     /// outside `1..=3`, or the BAR count is not a power of two in `1..=8`.
     pub fn new(pipeline_stages: usize, datawidth: usize, bars: u8) -> Self {
         assert!((2..=64).contains(&datawidth), "datawidth {datawidth} out of range");
-        assert!((1..=3).contains(&pipeline_stages), "pipeline depth {pipeline_stages} out of range");
+        assert!(
+            (1..=3).contains(&pipeline_stages),
+            "pipeline depth {pipeline_stages} out of range"
+        );
         assert!(
             bars.is_power_of_two() && (1..=8).contains(&bars),
             "BAR count {bars} must be a power of two in 1..=8"

@@ -21,7 +21,8 @@ use crate::isa::Flags;
 #[cfg(test)]
 use crate::isa::Instruction;
 use crate::specific::CoreSpec;
-use printed_netlist::{words, Netlist, NetlistBuilder, NetId, Simulator};
+use printed_netlist::{lint, words, NetId, Netlist, NetlistBuilder, Simulator};
+use printed_pdk::Technology;
 use serde::{Deserialize, Serialize};
 
 /// Field layout of an instruction word under a [`CoreSpec`] (LSB-first
@@ -49,7 +50,44 @@ impl InstrLayout {
 /// - outputs `pc` (instruction address), `addr_a`, `addr_b` (data memory
 ///   addresses), `wdata`, `we` (write port), and `flags` (for
 ///   observability).
+///
+/// Every netlist is design-rule-checked before it is returned (see
+/// [`generate_checked`]); lint errors fail generation.
+///
+/// # Panics
+///
+/// Panics if the generated netlist has a [`lint::Severity::Error`]
+/// finding — a generator bug, not a caller error.
 pub fn generate(spec: &CoreSpec) -> Netlist {
+    match generate_checked(spec, Technology::Egfet) {
+        Ok(netlist) => netlist,
+        Err(report) => panic!("generated core fails DRC:\n{}", report.render_text()),
+    }
+}
+
+/// Like [`generate`], returning the netlist only if it is free of lint
+/// errors in the given technology; otherwise the full [`lint::LintReport`]
+/// explains what is wrong. Warnings never fail generation.
+///
+/// # Errors
+///
+/// Returns the lint report if any [`lint::Severity::Error`] finding fires.
+pub fn generate_checked(
+    spec: &CoreSpec,
+    technology: Technology,
+) -> Result<Netlist, lint::LintReport> {
+    let netlist = build(spec);
+    let report = lint::lint(&netlist, technology.library(), &lint::LintConfig::default());
+    if report.has_errors() {
+        Err(report)
+    } else {
+        Ok(netlist)
+    }
+}
+
+/// Builds the raw netlist; [`generate`] / [`generate_checked`] wrap this
+/// with the DRC gate.
+fn build(spec: &CoreSpec) -> Netlist {
     let w = spec.datawidth;
     let layout = spec.instr_layout();
     let mut b = NetlistBuilder::new(spec.name());
@@ -88,15 +126,10 @@ pub fn generate(spec: &CoreSpec) -> Netlist {
     // Flags present in this spec, in C, Z, S, V order.
     let flag_masks = spec.present_flags();
     let flag_q: Vec<NetId> = flag_masks.iter().map(|_| b.forward_net()).collect();
-    let carry_q = flag_masks
-        .iter()
-        .position(|&m| m == Flags::C)
-        .map(|i| flag_q[i])
-        .unwrap_or(zero);
+    let carry_q = flag_masks.iter().position(|&m| m == Flags::C).map(|i| flag_q[i]).unwrap_or(zero);
     // BAR registers 1..bars (BAR0 is hardwired zero).
     let printed_bars = spec.bars.saturating_sub(1) as usize;
-    let bar_q: Vec<Vec<NetId>> =
-        (0..printed_bars).map(|_| b.forward_bus(spec.bar_bits)).collect();
+    let bar_q: Vec<Vec<NetId>> = (0..printed_bars).map(|_| b.forward_bus(spec.bar_bits)).collect();
 
     // --- Effective addresses ---------------------------------------------
     let ea_bits = spec.ea_bits();
@@ -168,16 +201,8 @@ pub fn generate(spec: &CoreSpec) -> Netlist {
 
     // Result mux indexed directly by the low three opcode bits
     // (ADD=1, AND=2, OR=3, XOR=4, NOT=5, RL=6, RR=7; slot 0 unused).
-    let words8: Vec<Vec<NetId>> = vec![
-        addsub.sum.clone(),
-        addsub.sum.clone(),
-        and_w,
-        or_w,
-        xor_w,
-        not_w,
-        rl.word,
-        rr.word,
-    ];
+    let words8: Vec<Vec<NetId>> =
+        vec![addsub.sum.clone(), addsub.sum.clone(), and_w, or_w, xor_w, not_w, rl.word, rr.word];
     let result = words::mux_tree(&mut b, &words8, &opcode[..3]);
 
     // --- Flags --------------------------------------------------------------
@@ -209,15 +234,12 @@ pub fn generate(spec: &CoreSpec) -> Netlist {
 
     // --- Branch resolution and PC ------------------------------------------
     // Mask field: low bits of (executed) operand 2, one per present flag.
-    let masked: Vec<NetId> = flag_masks
-        .iter()
-        .enumerate()
-        .map(|(i, _)| b.and2(flag_q[i], x_op2[i]))
-        .collect();
+    let masked: Vec<NetId> =
+        flag_masks.iter().enumerate().map(|(i, _)| b.and2(flag_q[i], x_op2[i])).collect();
     let any_set = if masked.is_empty() { zero } else { words::or_reduce(&mut b, &masked) };
     let taken_if = b.xor2(any_set, x_abit); // A = negate (BRN)
-    // In pipelined cores the branch executes one stage late, from the
-    // latched instruction; the decode here uses the executed stage's copy.
+                                            // In pipelined cores the branch executes one stage late, from the
+                                            // latched instruction; the decode here uses the executed stage's copy.
     let (x_is_br, x_op1) = if spec.pipeline_stages >= 2 {
         let ctrl = layout.op2_bits + layout.op1_bits;
         let x_opcode = instr_x[ctrl + 4..ctrl + 8].to_vec();
@@ -268,11 +290,8 @@ pub fn generate(spec: &CoreSpec) -> Netlist {
     imm_ext.resize(w.max(layout.op2_bits), zero);
     imm_ext.truncate(w);
     let is_store_n = b.inv(is_store);
-    let wdata_pre: Vec<NetId> = result
-        .iter()
-        .zip(&imm_ext)
-        .map(|(&r, &i)| b.mux2(r, i, is_store, is_store_n))
-        .collect();
+    let wdata_pre: Vec<NetId> =
+        result.iter().zip(&imm_ext).map(|(&r, &i)| b.mux2(r, i, is_store, is_store_n)).collect();
 
     let (wdata, we, ea1_out) = if spec.pipeline_stages >= 3 {
         let wdata_r = words::register(&mut b, &wdata_pre, false);
@@ -300,6 +319,19 @@ pub fn generate_standard(config: &CoreConfig) -> Netlist {
     generate(&CoreSpec::standard(*config))
 }
 
+/// Design-rule-checked variant of [`generate_standard`]; see
+/// [`generate_checked`].
+///
+/// # Errors
+///
+/// Returns the lint report if any [`lint::Severity::Error`] finding fires.
+pub fn generate_standard_checked(
+    config: &CoreConfig,
+    technology: Technology,
+) -> Result<Netlist, lint::LintReport> {
+    generate_checked(&CoreSpec::standard(*config), technology)
+}
+
 /// A gate-level TP-ISA system: the generated single-cycle core netlist
 /// co-simulated with a software-modeled instruction ROM and data memory.
 /// Used to verify the netlist against the ISS.
@@ -323,10 +355,7 @@ impl<'a> GateLevelMachine<'a> {
     /// Panics if the spec is not single-cycle (multi-stage cores are
     /// characterization-only).
     pub fn new(netlist: &'a Netlist, spec: CoreSpec, program: Vec<u64>, dmem_words: usize) -> Self {
-        assert_eq!(
-            spec.pipeline_stages, 1,
-            "gate-level co-simulation supports single-cycle cores"
-        );
+        assert_eq!(spec.pipeline_stages, 1, "gate-level co-simulation supports single-cycle cores");
         GateLevelMachine {
             sim: Simulator::new(netlist),
             spec,
@@ -404,11 +433,12 @@ impl<'a> GateLevelMachine<'a> {
         self.sim.step();
         if we {
             if let Some(slot) = self.dmem.get_mut(wb_addr) {
-                *slot = wdata & if self.spec.datawidth == 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << self.spec.datawidth) - 1
-                };
+                *slot = wdata
+                    & if self.spec.datawidth == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << self.spec.datawidth) - 1
+                    };
             }
         }
         // Halt idiom: PC unchanged by an unconditional self-branch.
@@ -451,13 +481,25 @@ mod tests {
         // §5.2: the smallest 8-bit TP-ISA core is 5.2× smaller than the
         // light8080 (1948 gates) → a few hundred gates.
         let nl = generate_standard(&CoreConfig::new(1, 8, 2));
-        assert!(
-            (200..900).contains(&nl.gate_count()),
-            "p1_8_2 gate count {}",
-            nl.gate_count()
-        );
+        assert!((200..900).contains(&nl.gate_count()), "p1_8_2 gate count {}", nl.gate_count());
         // Register cost: PC(8) + flags(4) + BAR(8) = 20 sequential cells.
         assert_eq!(nl.sequential_count(), 20);
+    }
+
+    #[test]
+    fn every_design_point_passes_drc_in_both_technologies() {
+        // The acceptance bar for the DRC gate: all 24 sweep points of
+        // Figure 7 generate without a single lint error, under both
+        // libraries' drive models.
+        for technology in [Technology::Egfet, Technology::CntTft] {
+            for config in CoreConfig::design_space() {
+                let netlist =
+                    generate_standard_checked(&config, technology).unwrap_or_else(|report| {
+                        panic!("{} ({technology:?}):\n{}", config.name(), report.render_text())
+                    });
+                assert_eq!(netlist.name(), config.name());
+            }
+        }
     }
 
     #[test]
@@ -541,11 +583,7 @@ mod tests {
         iss.run(1000).unwrap();
         assert!(gate.is_halted() && iss.is_halted());
         for addr in 0..32 {
-            assert_eq!(
-                gate.dmem()[addr],
-                iss.dmem().read(addr).unwrap(),
-                "dmem[{addr}] diverged"
-            );
+            assert_eq!(gate.dmem()[addr], iss.dmem().read(addr).unwrap(), "dmem[{addr}] diverged");
         }
         assert_eq!(gate.flags(), iss.flags());
     }

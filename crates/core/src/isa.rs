@@ -283,13 +283,9 @@ impl Instruction {
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Instruction::Alu { op, dst, src } => {
-                if op.is_unary() {
-                    write!(f, "{} {dst}, {src}", op.mnemonic())
-                } else {
-                    write!(f, "{} {dst}, {src}", op.mnemonic())
-                }
-            }
+            // Unary ops print both operands too: the encoding always
+            // carries dst and src, and the assembler round-trips them.
+            Instruction::Alu { op, dst, src } => write!(f, "{} {dst}, {src}", op.mnemonic()),
             Instruction::Store { dst, imm } => write!(f, "STORE {dst}, #{imm}"),
             Instruction::SetBar { bar, imm } => write!(f, "SETBAR b{bar}, #{imm}"),
             Instruction::Branch { negate, target, mask } => {
@@ -679,8 +675,14 @@ mod tests {
     #[test]
     fn undefined_words_fail_to_decode() {
         let enc = Encoding::default();
-        assert!(matches!(enc.decode(0x0 << 20), Err(IsaError::BadOpcode(_)) | Err(IsaError::BadControl { .. })));
-        assert!(matches!(enc.decode(0xF00000), Err(IsaError::BadOpcode(0xF)) | Err(IsaError::BadControl { .. })));
+        assert!(matches!(
+            enc.decode(0x0 << 20),
+            Err(IsaError::BadOpcode(_)) | Err(IsaError::BadControl { .. })
+        ));
+        assert!(matches!(
+            enc.decode(0xF00000),
+            Err(IsaError::BadOpcode(0xF)) | Err(IsaError::BadControl { .. })
+        ));
         // ADD opcode with W=0,C=1 is undefined.
         let word = (Opcode::Add as u32) << 20 | 1 << 18;
         assert!(matches!(enc.decode(word), Err(IsaError::BadControl { .. })));

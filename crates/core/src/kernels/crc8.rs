@@ -44,7 +44,7 @@ pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelPro
     let cnt = one + 1;
     let dmem_words = cnt as usize + 1;
 
-    let mut rng = InputRng::new(0x4352_43); // "CRC"
+    let mut rng = InputRng::new(0x43_52_43); // "CRC"
     let message: Vec<u8> = (0..MESSAGE_BYTES).map(|_| rng.next_bits(8) as u8).collect();
     let expected = crc8_reference(&message) as u64;
 
@@ -77,21 +77,17 @@ pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelPro
     }
     asm.halt();
 
-    let inputs: Vec<(u8, u64)> = message
-        .iter()
-        .enumerate()
-        .map(|(i, &b)| (msg + i as u8, b as u64))
-        .collect();
+    let inputs: Vec<(u8, u64)> =
+        message.iter().enumerate().map(|(i, &b)| (msg + i as u8, b as u64)).collect();
 
     Ok(KernelProgram {
         name: format!("crc8_w{core_width}"),
         kernel: Kernel::Crc8,
         core_width,
         data_width,
-        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
-            kernel: Kernel::Crc8,
-            instructions: n,
-        })?,
+        instructions: asm
+            .finish()
+            .map_err(|n| KernelError::ProgramTooLong { kernel: Kernel::Crc8, instructions: n })?,
         dmem_words,
         inputs,
         result: (crc, 1),
@@ -120,9 +116,6 @@ mod tests {
 
     #[test]
     fn crc8_rejects_narrow_cores() {
-        assert!(matches!(
-            generate(Kernel::Crc8, 4, 8),
-            Err(KernelError::UnsupportedWidths { .. })
-        ));
+        assert!(matches!(generate(Kernel::Crc8, 4, 8), Err(KernelError::UnsupportedWidths { .. })));
     }
 }

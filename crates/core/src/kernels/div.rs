@@ -24,7 +24,7 @@ pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelPro
     let cnt_outer = cnt + 1;
     let dmem_words = cnt_outer as usize + 1;
 
-    let mut rng = InputRng::new(0x4449_56); // "DIV"
+    let mut rng = InputRng::new(0x44_49_56); // "DIV"
     let a = rng.next_bits(data_width);
     let mut b = rng.next_bits(data_width.min(core_width * n) / 2).max(1);
     if b == 0 {
@@ -69,10 +69,9 @@ pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelPro
         kernel: Kernel::Div,
         core_width,
         data_width,
-        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
-            kernel: Kernel::Div,
-            instructions: n,
-        })?,
+        instructions: asm
+            .finish()
+            .map_err(|n| KernelError::ProgramTooLong { kernel: Kernel::Div, instructions: n })?,
         dmem_words,
         inputs,
         result: (a_addr, 2 * n),

@@ -113,10 +113,9 @@ pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelPro
         kernel: Kernel::DTree,
         core_width,
         data_width,
-        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
-            kernel: Kernel::DTree,
-            instructions: n,
-        })?,
+        instructions: asm
+            .finish()
+            .map_err(|n| KernelError::ProgramTooLong { kernel: Kernel::DTree, instructions: n })?,
         dmem_words,
         inputs,
         result: (layout.out, 1),

@@ -79,10 +79,9 @@ pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelPro
         kernel: Kernel::InSort,
         core_width,
         data_width,
-        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
-            kernel: Kernel::InSort,
-            instructions: n,
-        })?,
+        instructions: asm
+            .finish()
+            .map_err(|n| KernelError::ProgramTooLong { kernel: Kernel::InSort, instructions: n })?,
         dmem_words,
         inputs,
         result: (elems, ELEMENTS * n),

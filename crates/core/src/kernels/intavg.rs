@@ -5,9 +5,7 @@
 //! The paper: "The inSort, intAvg, and threshold benchmarks act on arrays
 //! of 16 data words stored in memory."
 
-use super::{
-    split_words, words_per_element, InputRng, Kernel, KernelError, KernelProgram, TpAsm,
-};
+use super::{split_words, words_per_element, InputRng, Kernel, KernelError, KernelProgram, TpAsm};
 use crate::isa::AluOp;
 
 /// Number of elements (fixed by the paper).
@@ -24,7 +22,7 @@ pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelPro
     let one = zero_w + 1;
     let dmem_words = one as usize + 1;
 
-    let mut rng = InputRng::new(0x4156_47); // "AVG"
+    let mut rng = InputRng::new(0x41_56_47); // "AVG"
     let values: Vec<u64> = (0..ELEMENTS).map(|_| rng.next_bits(data_width)).collect();
     let total: u64 = values.iter().sum();
     let average = total / ELEMENTS as u64;
@@ -61,10 +59,9 @@ pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelPro
         kernel: Kernel::IntAvg,
         core_width,
         data_width,
-        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
-            kernel: Kernel::IntAvg,
-            instructions: n,
-        })?,
+        instructions: asm
+            .finish()
+            .map_err(|n| KernelError::ProgramTooLong { kernel: Kernel::IntAvg, instructions: n })?,
         dmem_words,
         inputs,
         result: (sum, n),

@@ -121,7 +121,10 @@ impl fmt::Display for KernelError {
                 write!(f, "{kernel} needs {instructions} instructions; TP-ISA allows 256")
             }
             KernelError::UnsupportedWidths { kernel, core_width, data_width } => {
-                write!(f, "{kernel} does not support {data_width}-bit data on a {core_width}-bit core")
+                write!(
+                    f,
+                    "{kernel} does not support {data_width}-bit data on a {core_width}-bit core"
+                )
             }
         }
     }
@@ -185,7 +188,11 @@ impl KernelProgram {
 /// # Errors
 ///
 /// See [`KernelError`].
-pub fn generate(kernel: Kernel, core_width: usize, data_width: usize) -> Result<KernelProgram, KernelError> {
+pub fn generate(
+    kernel: Kernel,
+    core_width: usize,
+    data_width: usize,
+) -> Result<KernelProgram, KernelError> {
     if !kernel.data_widths().contains(&data_width) {
         return Err(KernelError::UnsupportedWidths { kernel, core_width, data_width });
     }
@@ -376,6 +383,7 @@ impl TpAsm {
     ///
     /// The body must not rely on flags across its boundary (the counter
     /// updates clobber them).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn repeat(
         &mut self,
         prefix: &str,
@@ -467,7 +475,8 @@ pub(crate) mod testutil {
         for i in 0..words {
             let got = m.dmem().read(addr as usize + i).unwrap();
             assert_eq!(
-                got, prog.expected[i],
+                got,
+                prog.expected[i],
                 "{}: result word {i} (addr {}) mismatch",
                 prog.name,
                 addr as usize + i

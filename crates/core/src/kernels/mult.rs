@@ -59,10 +59,9 @@ pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelPro
         kernel: Kernel::Mult,
         core_width,
         data_width,
-        instructions: asm.finish().map_err(|n| KernelError::ProgramTooLong {
-            kernel: Kernel::Mult,
-            instructions: n,
-        })?,
+        instructions: asm
+            .finish()
+            .map_err(|n| KernelError::ProgramTooLong { kernel: Kernel::Mult, instructions: n })?,
         dmem_words,
         inputs,
         result: (r_addr, n),

@@ -36,12 +36,14 @@ pub mod asm;
 pub mod config;
 pub mod generator;
 pub mod isa;
-pub mod sim;
 pub mod kernels;
+pub mod sim;
 pub mod specific;
 
 pub use config::CoreConfig;
-pub use generator::{generate, generate_standard, GateLevelMachine};
+pub use generator::{
+    generate, generate_checked, generate_standard, generate_standard_checked, GateLevelMachine,
+};
 pub use isa::{AluOp, Encoding, Flags, Instruction, IsaError, Operand};
 pub use sim::{ExecError, Machine, RunSummary, StepOutcome};
 pub use specific::{analyze, CoreSpec, NarrowEncoding, ProgramAnalysis};

@@ -11,9 +11,9 @@
 //! unconditional branch to self, which the simulator detects.
 
 use crate::config::CoreConfig;
-use crate::isa::{alu_reference, Flags, Instruction, Operand};
 #[cfg(test)]
 use crate::isa::AluOp;
+use crate::isa::{alu_reference, Flags, Instruction, Operand};
 use printed_memory::{MemoryError, Sram};
 use printed_pdk::Technology;
 use serde::{Deserialize, Serialize};
@@ -450,10 +450,8 @@ mod tests {
 
     #[test]
     fn writes_to_bar0_are_ignored() {
-        let prog = vec![
-            I::SetBar { bar: 0, imm: 0x10 },
-            I::Store { dst: Operand::indexed(0, 2), imm: 7 },
-        ];
+        let prog =
+            vec![I::SetBar { bar: 0, imm: 0x10 }, I::Store { dst: Operand::indexed(0, 2), imm: 7 }];
         let m = run(CoreConfig::default(), prog, &[]);
         assert_eq!(m.dmem().read(2).unwrap(), 7, "BAR0 still reads zero");
     }
@@ -483,11 +481,7 @@ mod tests {
             I::Alu { op: AluOp::Add, dst: Operand::direct(0), src: Operand::direct(2) },
             I::Alu { op: AluOp::Adc, dst: Operand::direct(1), src: Operand::direct(3) },
         ];
-        let m = run(
-            CoreConfig::default(),
-            prog,
-            &[(0, 0xFF), (1, 0x01), (2, 0x01), (3, 0x01)],
-        );
+        let m = run(CoreConfig::default(), prog, &[(0, 0xFF), (1, 0x01), (2, 0x01), (3, 0x01)]);
         assert_eq!(m.dmem().read(0).unwrap(), 0x00);
         assert_eq!(m.dmem().read(1).unwrap(), 0x03);
     }
@@ -526,10 +520,11 @@ mod tests {
 
     #[test]
     fn pc_overrun_is_an_error() {
-        let mut m = Machine::new(CoreConfig::default(), vec![I::Store {
-            dst: Operand::direct(0),
-            imm: 1,
-        }], 16);
+        let mut m = Machine::new(
+            CoreConfig::default(),
+            vec![I::Store { dst: Operand::direct(0), imm: 1 }],
+            16,
+        );
         assert!(m.step().is_ok());
         assert!(matches!(m.step(), Err(ExecError::PcOutOfRange { .. })));
     }
@@ -537,10 +532,7 @@ mod tests {
     #[test]
     fn runaway_programs_hit_the_cycle_limit() {
         // An infinite loop that is not the halt idiom (it has work in it).
-        let prog = vec![
-            I::Store { dst: Operand::direct(0), imm: 1 },
-            I::jump(0),
-        ];
+        let prog = vec![I::Store { dst: Operand::direct(0), imm: 1 }, I::jump(0)];
         let mut m = Machine::new(CoreConfig::default(), prog, 16);
         assert!(matches!(m.run(1000), Err(ExecError::CycleLimitExceeded { .. })));
     }
@@ -564,5 +556,4 @@ mod tests {
         assert_eq!(m.dmem().read(0).unwrap(), 0, "4-bit add wraps");
         assert!(m.flags().c);
     }
-
 }

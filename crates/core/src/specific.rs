@@ -253,17 +253,12 @@ pub fn analyze(program: &[Instruction]) -> ProgramAnalysis {
     let bar_bits = if keep_bars { bits_for(max_addr).max(1) } else { 0 };
 
     // Operand widths.
-    let bar_sel_bits = if keep_bars {
-        (bars as usize).next_power_of_two().trailing_zeros() as usize
-    } else {
-        0
-    };
+    let bar_sel_bits =
+        if keep_bars { (bars as usize).next_power_of_two().trailing_zeros() as usize } else { 0 };
     let offset_bits = bits_for(max_offset as u64).max(1);
     let mem_operand_bits = bar_sel_bits + offset_bits;
-    let flag_count = [Flags::C, Flags::Z, Flags::S, Flags::V]
-        .iter()
-        .filter(|&&m| flags_mask & m != 0)
-        .count();
+    let flag_count =
+        [Flags::C, Flags::Z, Flags::S, Flags::V].iter().filter(|&&m| flags_mask & m != 0).count();
 
     let mut op1_bits = mem_operand_bits;
     if has_branch {
@@ -277,23 +272,13 @@ pub fn analyze(program: &[Instruction]) -> ProgramAnalysis {
         op2_bits = op2_bits.max(bits_for(max_imm as u64));
     }
     if has_setbar {
-        op2_bits = op2_bits
-            .max(bar_bits.max(1))
-            .max(bits_for(max_setbar_imm as u64).max(1));
+        op2_bits = op2_bits.max(bar_bits.max(1)).max(bits_for(max_setbar_imm as u64).max(1));
     }
     if has_branch {
         op2_bits = op2_bits.max(flag_count.max(1));
     }
 
-    ProgramAnalysis {
-        pc_bits,
-        bars,
-        bar_bits,
-        flags_mask,
-        op1_bits,
-        op2_bits,
-        dmem_words,
-    }
+    ProgramAnalysis { pc_bits, bars, bar_bits, flags_mask, op1_bits, op2_bits, dmem_words }
 }
 
 /// Encoder for a (narrowed) instruction format described by a
@@ -397,15 +382,9 @@ impl NarrowEncoding {
                 }
                 (0x9, 0, 0, 0, 0, bar, imm)
             }
-            Instruction::Branch { negate, target, mask } => (
-                0xA,
-                0,
-                0,
-                negate as u64,
-                1,
-                target as u64,
-                self.compress_mask(mask),
-            ),
+            Instruction::Branch { negate, target, mask } => {
+                (0xA, 0, 0, negate as u64, 1, target as u64, self.compress_mask(mask))
+            }
         };
         debug_assert!(op1 >> layout.op1_bits == 0, "operand 1 overflow in {inst}");
         debug_assert!(op2 >> layout.op2_bits == 0, "operand 2 overflow in {inst}");

@@ -2,13 +2,13 @@
 //! algebra, pipeline-invariance of architectural results, and ISS vs
 //! gate-level equivalence on random programs.
 
-use proptest::prelude::*;
-use printed_core::kernels::split_words;
 use printed_core::isa::alu_reference;
+use printed_core::kernels::split_words;
 use printed_core::specific::{CoreSpec, NarrowEncoding};
 use printed_core::{
     generate, AluOp, CoreConfig, Encoding, Flags, GateLevelMachine, Instruction, Machine, Operand,
 };
+use proptest::prelude::*;
 
 /// Strategy helpers live in the test because the crate API shouldn't
 /// export proptest machinery.
@@ -21,14 +21,16 @@ mod strategies {
 
     pub fn operand(bars: u8) -> impl Strategy<Value = Operand> {
         let offset_bits = 8 - (bars as usize).next_power_of_two().trailing_zeros() as u8;
-        (0..bars, 0u8..(1 << offset_bits.min(7)))
-            .prop_map(|(bar, offset)| Operand { bar, offset })
+        (0..bars, 0u8..(1 << offset_bits.min(7))).prop_map(|(bar, offset)| Operand { bar, offset })
     }
 
     pub fn instruction(bars: u8) -> impl Strategy<Value = Instruction> {
         prop_oneof![
-            (alu_op(), operand(bars), operand(bars))
-                .prop_map(|(op, dst, src)| Instruction::Alu { op, dst, src }),
+            (alu_op(), operand(bars), operand(bars)).prop_map(|(op, dst, src)| Instruction::Alu {
+                op,
+                dst,
+                src
+            }),
             (operand(bars), any::<u8>()).prop_map(|(dst, imm)| Instruction::Store { dst, imm }),
             (0..bars, any::<u8>()).prop_map(|(bar, imm)| Instruction::SetBar { bar, imm }),
             (any::<bool>(), any::<u8>(), 0u8..16)

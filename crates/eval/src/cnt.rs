@@ -143,19 +143,11 @@ pub fn icache_study(system: &System, entries: usize) -> IcacheStudy {
     let xnor = lib.cell(CellKind::Xnor2);
     let storage_cells = entries * (instr_bits + tag_bits);
     let match_cells = entries * system.spec.pc_bits;
-    let added_area =
-        dff.area * storage_cells as f64 + xnor.area * match_cells as f64;
-    let added_power = dff.static_power * storage_cells as f64
-        + xnor.static_power * match_cells as f64;
+    let added_area = dff.area * storage_cells as f64 + xnor.area * match_cells as f64;
+    let added_power =
+        dff.static_power * storage_cells as f64 + xnor.static_power * match_cells as f64;
 
-    IcacheStudy {
-        entries,
-        hit_rate,
-        base_cycle,
-        cached_cycle,
-        added_area,
-        added_power,
-    }
+    IcacheStudy { entries, hit_rate, base_cycle, cached_cycle, added_area, added_power }
 }
 
 #[cfg(test)]
@@ -229,8 +221,7 @@ mod tests {
         // perfect cache gains little — why the paper suggests it only
         // for CNT-TFT.
         let prog = kernels::generate(Kernel::Mult, 8, 8).unwrap();
-        let egfet =
-            System::standard(CoreConfig::new(1, 8, 2), prog, Technology::Egfet, 1).unwrap();
+        let egfet = System::standard(CoreConfig::new(1, 8, 2), prog, Technology::Egfet, 1).unwrap();
         let study = icache_study(&egfet, 16);
         assert!(study.speedup() < 1.1, "EGFET speedup {:.3}", study.speedup());
 

@@ -38,10 +38,7 @@ const WIDTHS: [usize; 4] = [4, 8, 16, 32];
 /// an application. Returns `None` if even CNT-TFT cannot sustain the
 /// sample rate (does not occur for Table 3).
 pub fn recommend(app: &Application) -> Option<Recommendation> {
-    let width = WIDTHS
-        .into_iter()
-        .find(|&w| w >= app.precision_bits as usize)
-        .unwrap_or(32);
+    let width = WIDTHS.into_iter().find(|&w| w >= app.precision_bits as usize).unwrap_or(32);
     let config = CoreConfig::new(1, width, 2);
     let netlist = generate_standard(&config);
     // EGFET (inkjet, cheap) first; CNT-TFT only when the rate demands it.
@@ -63,10 +60,7 @@ pub fn recommend(app: &Application) -> Option<Recommendation> {
 
 /// Recommendations for the whole Table 3 catalog.
 pub fn catalog() -> Vec<Recommendation> {
-    printed_pdk::apps::TABLE3
-        .iter()
-        .filter_map(recommend)
-        .collect()
+    printed_pdk::apps::TABLE3.iter().filter_map(recommend).collect()
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 
 use crate::system::{BenchmarkResult, System};
 use printed_core::kernels::{self, Kernel, KernelProgram};
-use printed_core::{generate_standard, CoreConfig};
+use printed_core::{generate_standard_checked, CoreConfig};
 use printed_netlist::analysis;
 use printed_pdk::units::{Area, Frequency, Power};
 use printed_pdk::Technology;
@@ -33,12 +33,16 @@ pub struct DesignPoint {
 }
 
 /// Sweeps the full 24-point design space of Figure 7 in one technology.
+/// Every design point is design-rule-checked against the sweep's
+/// technology; a lint error fails the sweep.
 pub fn figure7(technology: Technology) -> Vec<DesignPoint> {
     let lib = technology.library();
     CoreConfig::design_space()
         .into_iter()
         .map(|config| {
-            let netlist = generate_standard(&config);
+            let netlist = generate_standard_checked(&config, technology).unwrap_or_else(|report| {
+                panic!("design point fails DRC:\n{}", report.render_text())
+            });
             let ch = analysis::characterize(&netlist, lib);
             DesignPoint {
                 name: config.name(),
@@ -147,10 +151,7 @@ mod tests {
 
         // §5.2: the largest TP-ISA core is smaller than the smallest
         // pre-existing core (light8080, 11.15 cm² EGFET).
-        let largest = points
-            .iter()
-            .max_by(|a, b| a.area.partial_cmp(&b.area).unwrap())
-            .unwrap();
+        let largest = points.iter().max_by(|a, b| a.area.partial_cmp(&b.area).unwrap()).unwrap();
         assert!(
             largest.area.as_cm2() < 11.15,
             "largest TP-ISA core {} is {:.2} cm²",
@@ -160,10 +161,7 @@ mod tests {
 
         // §5.2: the fastest TP-ISA core beats the fastest baseline
         // (light8080 at 17.39 Hz); p1_4_4 leads.
-        let fastest = points
-            .iter()
-            .max_by(|a, b| a.fmax.partial_cmp(&b.fmax).unwrap())
-            .unwrap();
+        let fastest = points.iter().max_by(|a, b| a.fmax.partial_cmp(&b.fmax).unwrap()).unwrap();
         assert!(fastest.fmax.as_hertz() > 17.39, "{}", fastest.name);
         assert_eq!(fastest.datawidth, 4);
 

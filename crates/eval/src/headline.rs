@@ -91,9 +91,7 @@ pub struct PsHeadline {
 
 /// Reduces per-kernel improvements to the headline maxima.
 pub fn ps_headline(improvements: &[PsImprovement]) -> PsHeadline {
-    let fold = |f: fn(&PsImprovement) -> f64| {
-        improvements.iter().map(f).fold(0.0_f64, f64::max)
-    };
+    let fold = |f: fn(&PsImprovement) -> f64| improvements.iter().map(f).fold(0.0_f64, f64::max);
     PsHeadline {
         max_power: fold(|i| i.core_power_ratio),
         max_area: fold(|i| i.core_area_ratio),
@@ -139,7 +137,9 @@ impl HarvardVsVonNeumann {
 ///
 /// Panics if the kernel's encoded program cannot be stored (an internal
 /// bug; kernel programs always fit the standard encoding).
-pub fn harvard_vs_von_neumann(kernel: &printed_core::kernels::KernelProgram) -> HarvardVsVonNeumann {
+pub fn harvard_vs_von_neumann(
+    kernel: &printed_core::kernels::KernelProgram,
+) -> HarvardVsVonNeumann {
     use printed_core::specific::{CoreSpec, NarrowEncoding};
     use printed_core::CoreConfig;
     use printed_memory::{CrossbarRom, Sram};

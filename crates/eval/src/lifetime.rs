@@ -36,9 +36,8 @@ pub fn lifetime_figure(technology: Technology) -> Vec<LifetimeCurve> {
             let samples = duty_cycle_sweep()
                 .into_iter()
                 .map(|duty| {
-                    let life = battery
-                        .lifetime(power, duty)
-                        .expect("nonzero power at nonzero duty");
+                    let life =
+                        battery.lifetime(power, duty).expect("nonzero power at nonzero duty");
                     (duty, life)
                 })
                 .collect();
@@ -65,12 +64,7 @@ mod tests {
     fn egfet_full_duty_lifetimes_are_under_two_hours() {
         for cpu in BaselineCpu::ALL {
             let life = full_duty_lifetime(cpu, Technology::Egfet, &BLUESPARK_30);
-            assert!(
-                life.as_hours() < 2.0,
-                "{}: {:.2} h at full duty",
-                cpu.name(),
-                life.as_hours()
-            );
+            assert!(life.as_hours() < 2.0, "{}: {:.2} h at full duty", cpu.name(), life.as_hours());
         }
     }
 

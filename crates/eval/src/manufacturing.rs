@@ -85,8 +85,7 @@ mod tests {
         // openMSP430 inventory needs orders of magnitude more prints.
         let tpisa = generate_standard(&CoreConfig::new(1, 8, 2));
         let tpisa_devices = netlist_devices(&tpisa, Technology::Egfet);
-        let msp_devices =
-            inventory_devices(&BaselineCpu::OpenMsp430.inventory(Technology::Egfet));
+        let msp_devices = inventory_devices(&BaselineCpu::OpenMsp430.inventory(Technology::Egfet));
         assert!(msp_devices > 5 * tpisa_devices);
 
         let y_tpisa = printed_pdk::yield_model::circuit_yield(tpisa_devices, 0.9999);

@@ -1,5 +1,6 @@
 //! Minimal text-table rendering for experiment output.
 
+use printed_pdk::Technology;
 use std::fmt;
 
 /// A simple aligned text table.
@@ -128,16 +129,54 @@ pub fn lifetime_csv(curves: &[crate::lifetime::LifetimeCurve]) -> String {
     let mut out = String::from("cpu,battery,duty,lifetime_hours\n");
     for curve in curves {
         for &(duty, t) in &curve.samples {
-            out.push_str(&format!(
-                "{},{},{},{}\n",
-                curve.cpu,
-                curve.battery,
-                duty,
-                t.as_hours()
-            ));
+            out.push_str(&format!("{},{},{},{}\n", curve.cpu, curve.battery, duty, t.as_hours()));
         }
     }
     out
+}
+
+/// Design-rule-check summary: every design point of the Figure 7 sweep
+/// plus all four baseline cores, linted against the given technology's
+/// cell library. One row per design with its diagnostic counts — the
+/// evaluation's evidence that everything it costs out is DRC-clean.
+pub fn lint_summary(technology: Technology) -> TextTable {
+    use printed_baselines::BaselineCpu;
+    use printed_core::{generate_standard_checked, CoreConfig};
+    use printed_netlist::lint;
+
+    let lib = technology.library();
+    let config = lint::LintConfig::default();
+    let mut table = TextTable::new(
+        format!("Lint summary ({technology:?})"),
+        &["design", "gates", "errors", "warnings", "infos"],
+    );
+    let push = |table: &mut TextTable, report: &lint::LintReport, gates: usize| {
+        table.row(vec![
+            report.design.clone(),
+            gates.to_string(),
+            report.count(lint::Severity::Error).to_string(),
+            report.count(lint::Severity::Warn).to_string(),
+            report.count(lint::Severity::Info).to_string(),
+        ]);
+    };
+    for core_config in CoreConfig::design_space() {
+        let (report, gates) = match generate_standard_checked(&core_config, technology) {
+            Ok(netlist) => {
+                let gates = netlist.cell_counts().values().sum();
+                (lint::lint(&netlist, lib, &config), gates)
+            }
+            // Generation refuses DRC errors; surface the failing report
+            // with no gate count rather than hiding the design point.
+            Err(report) => (report, 0),
+        };
+        push(&mut table, &report, gates);
+    }
+    for cpu in BaselineCpu::ALL {
+        let inventory = cpu.inventory(technology);
+        let report = inventory.lint(&config);
+        push(&mut table, &report, inventory.gates);
+    }
+    table
 }
 
 /// Formats a float with engineering-friendly precision.
@@ -194,6 +233,22 @@ mod tests {
         let curves = crate::lifetime::lifetime_figure(Technology::Egfet);
         let csv = lifetime_csv(&curves);
         assert!(csv.lines().count() > 16 * 10, "all sweep samples exported");
+    }
+
+    #[test]
+    fn lint_summary_covers_every_design_and_reports_zero_errors() {
+        for technology in [Technology::Egfet, Technology::CntTft] {
+            let table = lint_summary(technology);
+            // 24 sweep points + 4 baselines.
+            assert_eq!(table.len(), 28);
+            let rendered = table.to_string();
+            for line in rendered.lines().skip(3) {
+                let cols: Vec<&str> = line.split_whitespace().collect();
+                assert_eq!(cols[2], "0", "nonzero error count in row: {line}");
+            }
+            assert!(rendered.contains("light8080"));
+            assert!(rendered.contains("p1_8_2"));
+        }
     }
 
     #[test]

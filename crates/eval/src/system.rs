@@ -194,11 +194,7 @@ impl System {
     /// Area breakdown in cm² (Figure 8 top row).
     pub fn area_breakdown(&self) -> Breakdown {
         let report = analysis::area(&self.netlist, self.lib());
-        let comb = report
-            .by_region
-            .get(&Region::Combinational)
-            .copied()
-            .unwrap_or(Area::ZERO);
+        let comb = report.by_region.get(&Region::Combinational).copied().unwrap_or(Area::ZERO);
         let regs = report.by_region.get(&Region::Registers).copied().unwrap_or(Area::ZERO);
         Breakdown {
             combinational: comb.as_cm2(),
@@ -266,11 +262,7 @@ impl System {
         // Energy: per-region core dynamic + static over runtime; memory
         // access energy per event + static over runtime.
         let power = analysis::power(&self.netlist, lib, self.frequency(), Default::default());
-        let comb_p = power
-            .by_region
-            .get(&Region::Combinational)
-            .copied()
-            .unwrap_or(Power::ZERO);
+        let comb_p = power.by_region.get(&Region::Combinational).copied().unwrap_or(Power::ZERO);
         let regs_p = power.by_region.get(&Region::Registers).copied().unwrap_or(Power::ZERO);
         let imem_e: Energy = self.rom.access_energy() * summary.imem_reads as f64
             + self.rom.static_power() * exec_time;
@@ -345,9 +337,7 @@ mod tests {
         let kernel = kernels::generate(Kernel::Mult, 8, 8).unwrap();
         let config = CoreConfig::new(1, 8, 2);
         match flavor {
-            CoreFlavor::Standard => {
-                System::standard(config, kernel, Technology::Egfet, 1).unwrap()
-            }
+            CoreFlavor::Standard => System::standard(config, kernel, Technology::Egfet, 1).unwrap(),
             CoreFlavor::ProgramSpecific => {
                 System::program_specific(config, kernel, Technology::Egfet, 1).unwrap()
             }

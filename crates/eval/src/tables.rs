@@ -289,16 +289,16 @@ pub struct Table8Row {
 /// program-specific core, on a 1 V / 30 mAh battery.
 pub fn table8_rows(cells: &[Figure8Cell]) -> Vec<Table8Row> {
     let mut rows = Vec::new();
-    let mut keys: Vec<(tp_kernels::Kernel, usize)> = cells
-        .iter()
-        .map(|c| (c.bench, c.data_width))
-        .collect();
+    let mut keys: Vec<(tp_kernels::Kernel, usize)> =
+        cells.iter().map(|c| (c.bench, c.data_width)).collect();
     keys.sort();
     keys.dedup();
     for (bench, data_width) in keys {
         let std_best = cells
             .iter()
-            .filter(|c| c.bench == bench && c.data_width == data_width && !c.program_specific && !c.rom_mlc)
+            .filter(|c| {
+                c.bench == bench && c.data_width == data_width && !c.program_specific && !c.rom_mlc
+            })
             .min_by(|a, b| {
                 a.result.energy_j.total().partial_cmp(&b.result.energy_j.total()).unwrap()
             });

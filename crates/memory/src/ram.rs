@@ -28,7 +28,11 @@ impl Sram {
     /// # Errors
     ///
     /// Returns [`MemoryError::WordTooWide`] if `word_bits` is 0 or over 64.
-    pub fn new(technology: Technology, words: usize, word_bits: usize) -> Result<Self, MemoryError> {
+    pub fn new(
+        technology: Technology,
+        words: usize,
+        word_bits: usize,
+    ) -> Result<Self, MemoryError> {
         if word_bits == 0 || word_bits > 64 {
             return Err(MemoryError::WordTooWide(word_bits));
         }
@@ -78,10 +82,8 @@ impl Sram {
     /// Returns [`MemoryError::AddressOutOfRange`] past the array.
     pub fn write(&mut self, addr: usize, value: u64) -> Result<(), MemoryError> {
         let words = self.contents.len();
-        let slot = self
-            .contents
-            .get_mut(addr)
-            .ok_or(MemoryError::AddressOutOfRange { addr, words })?;
+        let slot =
+            self.contents.get_mut(addr).ok_or(MemoryError::AddressOutOfRange { addr, words })?;
         *slot = if self.word_bits == 64 { value } else { value & ((1u64 << self.word_bits) - 1) };
         Ok(())
     }

@@ -166,7 +166,7 @@ impl CrossbarRom {
     pub fn access_delay(&self) -> Time {
         let mut d = self.cell().delay;
         if let Some(adc) = self.adc() {
-            d = d + adc.delay;
+            d += adc.delay;
         }
         d
     }
@@ -276,11 +276,7 @@ mod tests {
         let slc = CrossbarRom::new(Technology::Egfet, 24, 1, prog.clone()).unwrap();
         let mlc = CrossbarRom::new(Technology::Egfet, 24, 2, prog).unwrap();
         let saving = 1.0 - mlc.area() / slc.area();
-        assert!(
-            (0.25..0.32).contains(&saving),
-            "MLC area saving was {:.1}%",
-            saving * 100.0
-        );
+        assert!((0.25..0.32).contains(&saving), "MLC area saving was {:.1}%", saving * 100.0);
     }
 
     #[test]

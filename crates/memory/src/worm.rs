@@ -99,11 +99,7 @@ mod tests {
     fn crossbar_is_about_a_third_of_worm_area() {
         let cmp = WormComparison::reference();
         // §6: 62.1 mm² WORM vs 20.42 mm² crossbar ≈ 3×.
-        assert!(
-            (2.6..3.5).contains(&cmp.area_ratio()),
-            "area ratio {:.2}",
-            cmp.area_ratio()
-        );
+        assert!((2.6..3.5).contains(&cmp.area_ratio()), "area ratio {:.2}", cmp.area_ratio());
         assert!(cmp.crossbar_transistors < cmp.worm.transistors());
     }
 

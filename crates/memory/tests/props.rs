@@ -1,8 +1,8 @@
 //! Property-based checks of the printed memory models.
 
-use proptest::prelude::*;
 use printed_memory::{CrossbarRom, Sram};
 use printed_pdk::Technology;
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -118,9 +118,7 @@ pub fn area(netlist: &Netlist, lib: &CellLibrary) -> AreaReport {
     for (i, gate) in netlist.gates().iter().enumerate() {
         let a = lib.cell(gate.kind).area;
         total += a;
-        *by_region
-            .entry(netlist.region(crate::ir::GateId(i as u32)))
-            .or_insert(Area::ZERO) += a;
+        *by_region.entry(netlist.region(crate::ir::GateId(i as u32))).or_insert(Area::ZERO) += a;
     }
     AreaReport { total, by_region }
 }
@@ -145,9 +143,8 @@ pub fn power(
         let stat_p = cell.static_power;
         dynamic += dyn_p;
         static_ += stat_p;
-        *by_region
-            .entry(netlist.region(crate::ir::GateId(i as u32)))
-            .or_insert(Power::ZERO) += dyn_p + stat_p;
+        *by_region.entry(netlist.region(crate::ir::GateId(i as u32))).or_insert(Power::ZERO) +=
+            dyn_p + stat_p;
     }
     PowerReport { dynamic, static_, by_region }
 }
@@ -347,7 +344,8 @@ mod tests {
         let lib = Technology::Egfet.library();
         let t = timing(&nl, lib);
         assert_eq!(t.logic_depth, 4);
-        let expected = lib.synthesis_delay(CellKind::Dff) + lib.synthesis_delay(CellKind::Inv) * 3.0;
+        let expected =
+            lib.synthesis_delay(CellKind::Dff) + lib.synthesis_delay(CellKind::Inv) * 3.0;
         assert!((t.critical_path.as_micros() - expected.as_micros()).abs() < 1e-9);
     }
 

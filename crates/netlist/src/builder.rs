@@ -19,7 +19,7 @@
 //! # Ok::<(), printed_netlist::NetlistError>(())
 //! ```
 
-use crate::ir::{Gate, Netlist, NetlistError, NetId, Region};
+use crate::ir::{Gate, NetId, Netlist, NetlistError, Region};
 use printed_pdk::CellKind;
 use std::collections::BTreeMap;
 
@@ -142,19 +142,11 @@ impl NetlistBuilder {
     pub fn gate(&mut self, kind: CellKind, inputs: Vec<NetId>) -> NetId {
         let expected = kind.input_count();
         if inputs.len() != expected {
-            self.record_error(NetlistError::ArityMismatch {
-                kind,
-                got: inputs.len(),
-                expected,
-            });
+            self.record_error(NetlistError::ArityMismatch { kind, got: inputs.len(), expected });
         }
         let output = self.fresh_net();
         self.mark_driven(output);
-        let region = if kind.is_sequential() {
-            Region::Registers
-        } else {
-            self.current_region
-        };
+        let region = if kind.is_sequential() { Region::Registers } else { self.current_region };
         self.gates.push(Gate { kind, inputs, output });
         self.regions.push(region);
         output
@@ -330,7 +322,8 @@ impl NetlistBuilder {
 
 /// Kahn's algorithm over the combinational subgraph. Sequential outputs
 /// (DFF/latch Q) are sources; sequential inputs (D pins) are sinks.
-fn topo_sort(net_count: u32, gates: &[Gate]) -> Result<Vec<u32>, NetlistError> {
+/// Also used by [`Netlist::validate`] to re-check acyclicity.
+pub(crate) fn topo_sort(net_count: u32, gates: &[Gate]) -> Result<Vec<u32>, NetlistError> {
     // driver_of[net] = combinational gate index driving it, if any.
     let mut driver_of: Vec<Option<u32>> = vec![None; net_count as usize];
     for (i, gate) in gates.iter().enumerate() {
@@ -408,10 +401,7 @@ mod tests {
             Gate { kind: CellKind::Inv, inputs: vec![NetId(1)], output: NetId(0) },
             Gate { kind: CellKind::Inv, inputs: vec![NetId(0)], output: NetId(1) },
         ];
-        assert!(matches!(
-            topo_sort(2, &gates),
-            Err(NetlistError::CombinationalCycle(_))
-        ));
+        assert!(matches!(topo_sort(2, &gates), Err(NetlistError::CombinationalCycle(_))));
     }
 
     #[test]

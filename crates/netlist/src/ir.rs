@@ -241,6 +241,65 @@ impl Netlist {
         self.const1
     }
 
+    /// Re-checks every construction invariant on the finished netlist:
+    /// cell arities, the single-driver rule, no undriven uses, and
+    /// combinational acyclicity.
+    ///
+    /// [`crate::builder::NetlistBuilder::finish`] establishes these
+    /// invariants, so a `Netlist` built through the public API always
+    /// passes; this re-check guards transformation passes
+    /// ([`crate::opt::optimize_with_stats`] calls it on its output) and
+    /// any future path that constructs netlists another way.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`NetlistError`].
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let mut driven = vec![false; self.net_count()];
+        let mut drive = |net: NetId| -> Result<(), NetlistError> {
+            if driven[net.index()] {
+                return Err(NetlistError::MultipleDrivers(net));
+            }
+            driven[net.index()] = true;
+            Ok(())
+        };
+        for nets in self.inputs.values() {
+            for &net in nets {
+                drive(net)?;
+            }
+        }
+        for net in [self.const0, self.const1].into_iter().flatten() {
+            drive(net)?;
+        }
+        for gate in &self.gates {
+            let expected = gate.kind.input_count();
+            if gate.inputs.len() != expected {
+                return Err(NetlistError::ArityMismatch {
+                    kind: gate.kind,
+                    got: gate.inputs.len(),
+                    expected,
+                });
+            }
+            drive(gate.output)?;
+        }
+        for gate in &self.gates {
+            for &input in &gate.inputs {
+                if !driven[input.index()] {
+                    return Err(NetlistError::UndrivenNet(input));
+                }
+            }
+        }
+        for nets in self.outputs.values() {
+            for &net in nets {
+                if !driven[net.index()] {
+                    return Err(NetlistError::UndrivenNet(net));
+                }
+            }
+        }
+        crate::builder::topo_sort(self.net_count, &self.gates)?;
+        Ok(())
+    }
+
     /// Per-cell-kind instance counts, for Table-4-style reporting.
     pub fn cell_counts(&self) -> BTreeMap<CellKind, usize> {
         let mut counts = BTreeMap::new();

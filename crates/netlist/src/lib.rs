@@ -13,9 +13,11 @@
 //!   register banks ([`words`]),
 //! - a functional gate-level simulator with toggle statistics ([`sim`]),
 //! - area / power / static-timing analysis producing Design-Compiler-style
-//!   characterizations ([`analysis`]), and
+//!   characterizations ([`analysis`]),
 //! - a constant-folding + dead-gate optimizer used by program-specific
-//!   core generation ([`opt`]).
+//!   core generation ([`opt`]), and
+//! - a design-rule checker / linter parameterized by the target cell
+//!   library ([`lint`]).
 //!
 //! ```
 //! use printed_netlist::{analysis, words, NetlistBuilder};
@@ -42,6 +44,7 @@
 pub mod analysis;
 pub mod builder;
 pub mod ir;
+pub mod lint;
 pub mod opt;
 pub mod sim;
 pub mod variation;
@@ -50,5 +53,6 @@ pub mod words;
 
 pub use analysis::{ActivityModel, AreaReport, Characterization, PowerReport, TimingReport};
 pub use builder::NetlistBuilder;
-pub use ir::{Gate, GateId, Netlist, NetlistError, NetId, Region};
+pub use ir::{Gate, GateId, NetId, Netlist, NetlistError, Region};
+pub use lint::{lint, Diagnostic, LintConfig, LintReport, Rule, Severity};
 pub use sim::{ActivityStats, Simulator};

@@ -1,0 +1,1021 @@
+//! Design-rule checking (DRC / lint) for printed gate-level netlists.
+//!
+//! A [`Netlist`] is structurally valid by construction (single driver,
+//! acyclic — see [`Netlist::validate`]), but structural validity says
+//! nothing about whether the design is *printable and sane*: a NAND
+//! driving twelve loads works in the simulator and dies on foil, an SR
+//! latch with both pins tied high is a contention short, and a resetless
+//! DFF powers up in an unknown state. This module checks those rules.
+//!
+//! The checks are parameterized by the target [`CellLibrary`], because the
+//! technologies genuinely differ: EGFET's transistor–resistor stages drive
+//! about half the fanout of pseudo-CMOS CNT-TFT cells
+//! ([`CellLibrary::max_fanout`]), so the same netlist can be clean in
+//! CNT-TFT and flagged in EGFET.
+//!
+//! ```
+//! use printed_netlist::{lint, NetlistBuilder};
+//! use printed_pdk::Technology;
+//!
+//! let mut b = NetlistBuilder::new("demo");
+//! let a = b.input_bit("a");
+//! let one = b.const1();
+//! let x = b.and2(a, one); // constant input: the optimizer would fold this
+//! b.output("y", vec![x]);
+//! let nl = b.finish()?;
+//!
+//! let report = lint::lint(&nl, Technology::Egfet.library(), &lint::LintConfig::default());
+//! assert!(!report.has_errors());
+//! assert_eq!(report.count(lint::Severity::Warn), 1);
+//! # Ok::<(), printed_netlist::NetlistError>(())
+//! ```
+
+use crate::ir::{Gate, GateId, NetId, Netlist};
+use printed_pdk::{CellKind, CellLibrary};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Variants are ordered most-severe-first so that sorting diagnostics
+/// ascending puts errors at the top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// A defect: the netlist will not work as printed hardware.
+    Error,
+    /// Suspicious or wasteful, but functional.
+    Warn,
+    /// Informational.
+    Info,
+}
+
+impl Severity {
+    fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The design rules the linter checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Rule {
+    /// A cell output drives more loads than the PDK drive model allows.
+    FanoutExceedsDrive,
+    /// A gate's output reaches no primary output (dead logic).
+    DeadLogic,
+    /// A resetless sequential cell's power-up X is observable.
+    UnresettableState,
+    /// A gate the constant folder would remove or strength-reduce.
+    ConstFoldableGate,
+    /// An inverter driven by another inverter (redundant pair).
+    RedundantInverterPair,
+    /// An SR latch whose S and R pins contend.
+    LatchContention,
+    /// Tri-state drivers on one bus with non-exclusive enables.
+    TristateContention,
+    /// A primary output pinned to a net already at its fanout budget.
+    OutputPortLoad,
+}
+
+impl Rule {
+    /// Every rule, in documentation order.
+    pub const ALL: [Rule; 8] = [
+        Rule::FanoutExceedsDrive,
+        Rule::DeadLogic,
+        Rule::UnresettableState,
+        Rule::ConstFoldableGate,
+        Rule::RedundantInverterPair,
+        Rule::LatchContention,
+        Rule::TristateContention,
+        Rule::OutputPortLoad,
+    ];
+
+    /// Stable kebab-case identifier (used in text and JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::FanoutExceedsDrive => "fanout-exceeds-drive",
+            Rule::DeadLogic => "dead-logic",
+            Rule::UnresettableState => "unresettable-state",
+            Rule::ConstFoldableGate => "const-foldable-gate",
+            Rule::RedundantInverterPair => "redundant-inverter-pair",
+            Rule::LatchContention => "latch-contention",
+            Rule::TristateContention => "tristate-contention",
+            Rule::OutputPortLoad => "output-port-load",
+        }
+    }
+
+    /// Severity the rule reports at unless overridden by [`LintConfig`].
+    ///
+    /// Contention rules are errors — the printed circuit shorts. The rest
+    /// are warnings: the design works, but wastes area, power, or margin.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Rule::LatchContention | Rule::TristateContention => Severity::Error,
+            _ => Severity::Warn,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Locus {
+    /// A gate instance.
+    Gate(GateId),
+    /// A net.
+    Net(NetId),
+}
+
+impl fmt::Display for Locus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Locus::Gate(g) => write!(f, "g{}", g.index()),
+            Locus::Net(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Severity after applying the [`LintConfig`].
+    pub severity: Severity,
+    /// The gate or net the finding anchors to.
+    pub locus: Locus,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] @{}: {}", self.severity, self.rule, self.locus, self.message)
+    }
+}
+
+/// Which rules run and at what severity.
+///
+/// The default configuration runs every rule at its
+/// [`Rule::default_severity`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    disabled: BTreeSet<Rule>,
+    overrides: BTreeMap<Rule, Severity>,
+}
+
+impl LintConfig {
+    /// The default configuration: all rules, default severities.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Disables a rule entirely.
+    pub fn disable(mut self, rule: Rule) -> Self {
+        self.disabled.insert(rule);
+        self
+    }
+
+    /// Overrides a rule's severity.
+    pub fn severity(mut self, rule: Rule, severity: Severity) -> Self {
+        self.overrides.insert(rule, severity);
+        self
+    }
+
+    /// The severity a rule reports at, or `None` if disabled.
+    pub fn effective_severity(&self, rule: Rule) -> Option<Severity> {
+        if self.disabled.contains(&rule) {
+            return None;
+        }
+        Some(self.overrides.get(&rule).copied().unwrap_or_else(|| rule.default_severity()))
+    }
+}
+
+/// The result of linting one netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Design name (from [`Netlist::name`]).
+    pub design: String,
+    /// Findings, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of findings at the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Whether there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings produced by one rule.
+    pub fn by_rule(&self, rule: Rule) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// Renders the report as human-readable text, one finding per line.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "lint {}: {} error(s), {} warning(s), {} info\n",
+            self.design,
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        );
+        for d in &self.diagnostics {
+            out.push_str(&format!("  {d}\n"));
+        }
+        out
+    }
+
+    /// Renders the report as JSON:
+    ///
+    /// ```json
+    /// {"design":"...","summary":{"error":0,"warn":2,"info":0},
+    ///  "diagnostics":[{"rule":"dead-logic","severity":"warn",
+    ///                  "locus":{"gate":3},"message":"..."}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"design\":\"{}\",", escape_json(&self.design)));
+        out.push_str(&format!(
+            "\"summary\":{{\"error\":{},\"warn\":{},\"info\":{}}},",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        ));
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let locus = match d.locus {
+                Locus::Gate(g) => format!("{{\"gate\":{}}}", g.index()),
+                Locus::Net(n) => format!("{{\"net\":{}}}", n.index()),
+            };
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"severity\":\"{}\",\"locus\":{},\"message\":\"{}\"}}",
+                d.rule,
+                d.severity,
+                locus,
+                escape_json(&d.message),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// What constant propagation knows about a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Known {
+    Zero,
+    One,
+    Var,
+}
+
+impl Known {
+    fn invert(self) -> Known {
+        match self {
+            Known::Zero => Known::One,
+            Known::One => Known::Zero,
+            Known::Var => Known::Var,
+        }
+    }
+}
+
+/// Shared per-netlist facts the rules draw on.
+struct Facts {
+    /// Gate index driving each net, if a gate (rather than a port or
+    /// constant) drives it.
+    driver: Vec<Option<u32>>,
+    /// Number of gate input pins loading each net.
+    fanout: Vec<u32>,
+    /// Constant-propagation verdict per net, mirroring
+    /// [`crate::opt`]'s folder exactly.
+    known: Vec<Known>,
+    /// Whether [`crate::opt::optimize`] would remove or strength-reduce
+    /// the gate (same indexing as `gates`).
+    foldable: Vec<bool>,
+    /// Whether the net transitively reaches a primary output.
+    live: Vec<bool>,
+}
+
+impl Facts {
+    fn compute(netlist: &Netlist) -> Facts {
+        let nets = netlist.net_count();
+        let mut driver: Vec<Option<u32>> = vec![None; nets];
+        let mut fanout: Vec<u32> = vec![0; nets];
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            driver[gate.output.index()] = Some(i as u32);
+            for input in &gate.inputs {
+                fanout[input.index()] += 1;
+            }
+        }
+
+        // Constant propagation over the combinational gates in evaluation
+        // order. Sequential outputs are Var: even a DFF with constant D is
+        // not a constant net (its first cycle holds the reset value).
+        let mut known = vec![Known::Var; nets];
+        if let Some(c0) = netlist.const0() {
+            known[c0.index()] = Known::Zero;
+        }
+        if let Some(c1) = netlist.const1() {
+            known[c1.index()] = Known::One;
+        }
+        let mut foldable = vec![false; netlist.gate_count()];
+        for (gid, gate) in netlist.topo_order() {
+            let ins: Vec<Known> = gate.inputs.iter().map(|n| known[n.index()]).collect();
+            let (out, folds) = fold_verdict(gate.kind, &ins);
+            known[gate.output.index()] = out;
+            foldable[gid.index()] = folds;
+        }
+
+        // Liveness: a net is live if an output port exports it, or a live
+        // gate reads it. Fixpoint over all gates (sequential included, so
+        // state feeding observable logic is live).
+        let mut live = vec![false; nets];
+        for nets in netlist.output_ports().values() {
+            for n in nets {
+                live[n.index()] = true;
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for gate in netlist.gates() {
+                if live[gate.output.index()] {
+                    for input in &gate.inputs {
+                        if !live[input.index()] {
+                            live[input.index()] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        Facts { driver, fanout, known, foldable, live }
+    }
+}
+
+/// Mirrors [`crate::opt`]'s `fold_gate` without rewriting: returns what is
+/// known about the output and whether the folder would eliminate or
+/// strength-reduce the gate.
+fn fold_verdict(kind: CellKind, ins: &[Known]) -> (Known, bool) {
+    use Known::{One, Var, Zero};
+    match kind {
+        CellKind::Inv => match ins[0] {
+            Var => (Var, false),
+            k => (k.invert(), true),
+        },
+        CellKind::And2 => match (ins[0], ins[1]) {
+            (Zero, _) | (_, Zero) => (Zero, true),
+            (One, x) | (x, One) => (x, true),
+            _ => (Var, false),
+        },
+        CellKind::Or2 => match (ins[0], ins[1]) {
+            (One, _) | (_, One) => (One, true),
+            (Zero, x) | (x, Zero) => (x, true),
+            _ => (Var, false),
+        },
+        CellKind::Nand2 => match (ins[0], ins[1]) {
+            (Zero, _) | (_, Zero) => (One, true),
+            (One, x) | (x, One) => (x.invert(), true),
+            _ => (Var, false),
+        },
+        CellKind::Nor2 => match (ins[0], ins[1]) {
+            (One, _) | (_, One) => (Zero, true),
+            (Zero, x) | (x, Zero) => (x.invert(), true),
+            _ => (Var, false),
+        },
+        CellKind::Xor2 => match (ins[0], ins[1]) {
+            (Zero, x) | (x, Zero) => (x, true),
+            (One, x) | (x, One) => (x.invert(), true),
+            _ => (Var, false),
+        },
+        CellKind::Xnor2 => match (ins[0], ins[1]) {
+            (One, x) | (x, One) => (x, true),
+            (Zero, x) | (x, Zero) => (x.invert(), true),
+            _ => (Var, false),
+        },
+        // The folder only eliminates a TSBUF when its *enable* is
+        // constant; a constant data pin keeps the gate.
+        CellKind::TsBuf => match (ins[0], ins[1]) {
+            (x, One) => (x, true),
+            (_, Zero) => (Zero, true),
+            _ => (Var, false),
+        },
+        CellKind::Dff | CellKind::DffNr | CellKind::Latch => (Var, false),
+    }
+}
+
+/// Lints a netlist against a technology's cell library.
+///
+/// Runs every rule enabled in `config` and returns the findings sorted
+/// most-severe-first. See the module docs for the rule catalogue.
+pub fn lint(netlist: &Netlist, lib: &CellLibrary, config: &LintConfig) -> LintReport {
+    let facts = Facts::compute(netlist);
+    let mut diagnostics = Vec::new();
+    let mut emit = |rule: Rule, locus: Locus, message: String| {
+        if let Some(severity) = config.effective_severity(rule) {
+            diagnostics.push(Diagnostic { rule, severity, locus, message });
+        }
+    };
+
+    check_fanout(netlist, lib, &facts, &mut emit);
+    check_dead_logic(netlist, &facts, &mut emit);
+    check_unresettable_state(netlist, &facts, &mut emit);
+    check_const_foldable(netlist, &facts, &mut emit);
+    check_redundant_inverters(netlist, &facts, &mut emit);
+    check_latch_contention(netlist, &facts, &mut emit);
+    check_tristate_contention(netlist, &facts, &mut emit);
+    check_output_port_load(netlist, lib, &facts, &mut emit);
+
+    diagnostics.sort_by_key(|d| (d.severity, d.rule, d.locus));
+    LintReport { design: netlist.name().to_string(), diagnostics }
+}
+
+/// Rule 1: every cell output must stay within the PDK's fanout budget.
+/// Constant nets are exempt — tie cells are replicated per load at
+/// place-and-route, so a heavily shared const net costs area, not drive.
+fn check_fanout(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    facts: &Facts,
+    emit: &mut impl FnMut(Rule, Locus, String),
+) {
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let load = facts.fanout[gate.output.index()] as usize;
+        let budget = lib.max_fanout(gate.kind);
+        if load > budget {
+            emit(
+                Rule::FanoutExceedsDrive,
+                Locus::Gate(GateId(i as u32)),
+                format!(
+                    "{} output {} drives {load} loads; {} allows {budget}",
+                    gate.kind,
+                    gate.output,
+                    lib.technology(),
+                ),
+            );
+        }
+    }
+    let budget = lib.max_input_fanout();
+    for (name, nets) in netlist.input_ports() {
+        for (bit, net) in nets.iter().enumerate() {
+            let load = facts.fanout[net.index()] as usize;
+            if load > budget {
+                emit(
+                    Rule::FanoutExceedsDrive,
+                    Locus::Net(*net),
+                    format!(
+                        "input {name}[{bit}] drives {load} loads; \
+                         buffered external drivers allow {budget}"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 2: gates whose outputs reach no primary output are dead weight —
+/// printed area and static power with no observable effect.
+fn check_dead_logic(netlist: &Netlist, facts: &Facts, emit: &mut impl FnMut(Rule, Locus, String)) {
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if !facts.live[gate.output.index()] {
+            emit(
+                Rule::DeadLogic,
+                Locus::Gate(GateId(i as u32)),
+                format!("{} output {} reaches no primary output", gate.kind, gate.output),
+            );
+        }
+    }
+}
+
+/// Rule 3: DFF (no reset pin) and SR latches power up in an unknown state.
+/// If that state is observable, the circuit's post-reset behaviour is
+/// undefined until software initializes it — flag each such cell.
+fn check_unresettable_state(
+    netlist: &Netlist,
+    facts: &Facts,
+    emit: &mut impl FnMut(Rule, Locus, String),
+) {
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let resetless = matches!(gate.kind, CellKind::Dff | CellKind::Latch);
+        if resetless && facts.live[gate.output.index()] {
+            emit(
+                Rule::UnresettableState,
+                Locus::Gate(GateId(i as u32)),
+                format!(
+                    "{} {} has no reset; its power-up X is observable — \
+                     initialize architecturally or use DFFNRX1",
+                    gate.kind, gate.output,
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 4: gates the constant folder ([`crate::opt::optimize`]) would
+/// remove or strength-reduce. Verdicts mirror the folder exactly, so an
+/// optimized netlist never triggers this rule.
+fn check_const_foldable(
+    netlist: &Netlist,
+    facts: &Facts,
+    emit: &mut impl FnMut(Rule, Locus, String),
+) {
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if facts.foldable[i] {
+            emit(
+                Rule::ConstFoldableGate,
+                Locus::Gate(GateId(i as u32)),
+                format!(
+                    "{} output {} has constant input(s); the optimizer would fold it",
+                    gate.kind, gate.output,
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 5: an inverter fed by another inverter is a wire plus two cells of
+/// area and delay. Flags the outer inverter of each pair.
+fn check_redundant_inverters(
+    netlist: &Netlist,
+    facts: &Facts,
+    emit: &mut impl FnMut(Rule, Locus, String),
+) {
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if gate.kind != CellKind::Inv {
+            continue;
+        }
+        let Some(driver) = facts.driver[gate.inputs[0].index()] else { continue };
+        if netlist.gates()[driver as usize].kind == CellKind::Inv {
+            emit(
+                Rule::RedundantInverterPair,
+                Locus::Gate(GateId(i as u32)),
+                format!(
+                    "INVX1 output {} inverts INVX1 output {} — the pair is a wire",
+                    gate.output, gate.inputs[0],
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 6: an SR latch with both pins provably asserted is a printed
+/// short: both internal stages fight and the output is metastable. Fires
+/// when constant propagation proves S = R = 1, and (as a warning-level
+/// variant in the message) when S and R are literally the same net.
+fn check_latch_contention(
+    netlist: &Netlist,
+    facts: &Facts,
+    emit: &mut impl FnMut(Rule, Locus, String),
+) {
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if gate.kind != CellKind::Latch {
+            continue;
+        }
+        let (s, r) = (gate.inputs[0], gate.inputs[1]);
+        let both_high =
+            facts.known[s.index()] == Known::One && facts.known[r.index()] == Known::One;
+        if both_high || s == r {
+            let why = if both_high {
+                "S and R are both tied to constant 1".to_string()
+            } else {
+                format!("S and R are the same net {s}; any 1 asserts both")
+            };
+            emit(
+                Rule::LatchContention,
+                Locus::Gate(GateId(i as u32)),
+                format!("LATCHX1 output {}: {why}", gate.output),
+            );
+        }
+    }
+}
+
+/// Rule 7: tri-state buffers merging onto one node must have mutually
+/// exclusive enables. With the IR's single-driver discipline a shared bus
+/// is modeled by TSBUF outputs converging on a merge gate; two drivers in
+/// such a group contend if they share an enable net or both enables are
+/// provably 1.
+fn check_tristate_contention(
+    netlist: &Netlist,
+    facts: &Facts,
+    emit: &mut impl FnMut(Rule, Locus, String),
+) {
+    let tsbuf_driver = |net: NetId| -> Option<&Gate> {
+        let i = facts.driver[net.index()]? as usize;
+        let gate = &netlist.gates()[i];
+        (gate.kind == CellKind::TsBuf).then_some(gate)
+    };
+    for (i, merge) in netlist.gates().iter().enumerate() {
+        let drivers: Vec<&Gate> = merge.inputs.iter().filter_map(|&n| tsbuf_driver(n)).collect();
+        if drivers.len() < 2 {
+            continue;
+        }
+        for (a_idx, a) in drivers.iter().enumerate() {
+            for b in &drivers[a_idx + 1..] {
+                let (en_a, en_b) = (a.inputs[1], b.inputs[1]);
+                let contention = en_a == en_b
+                    || (facts.known[en_a.index()] == Known::One
+                        && facts.known[en_b.index()] == Known::One);
+                if contention {
+                    let why = if en_a == en_b {
+                        format!("share enable {en_a}")
+                    } else {
+                        "are both enabled by constant 1".to_string()
+                    };
+                    emit(
+                        Rule::TristateContention,
+                        Locus::Gate(GateId(i as u32)),
+                        format!(
+                            "TSBUFX1 outputs {} and {} merge at {} and {why}",
+                            a.output, b.output, merge.output,
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rule 8: exporting a net that is already at its driver's fanout budget
+/// adds the external pin load on top — the output edge degrades off-chip.
+fn check_output_port_load(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    facts: &Facts,
+    emit: &mut impl FnMut(Rule, Locus, String),
+) {
+    let is_const = |net: NetId| netlist.const0() == Some(net) || netlist.const1() == Some(net);
+    let mut flagged: BTreeSet<NetId> = BTreeSet::new();
+    for (name, nets) in netlist.output_ports() {
+        for (bit, &net) in nets.iter().enumerate() {
+            if is_const(net) || flagged.contains(&net) {
+                continue;
+            }
+            let budget = match facts.driver[net.index()] {
+                Some(g) => lib.max_fanout(netlist.gates()[g as usize].kind),
+                None => lib.max_input_fanout(), // input port feed-through
+            };
+            let internal = facts.fanout[net.index()] as usize;
+            if internal + 1 > budget {
+                flagged.insert(net);
+                emit(
+                    Rule::OutputPortLoad,
+                    Locus::Net(net),
+                    format!(
+                        "output {name}[{bit}] pins net {net} already driving \
+                         {internal} internal loads (budget {budget}); \
+                         add a buffer before the port"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use printed_pdk::Technology;
+
+    fn egfet() -> &'static CellLibrary {
+        Technology::Egfet.library()
+    }
+
+    fn run(netlist: &Netlist) -> LintReport {
+        lint(netlist, egfet(), &LintConfig::default())
+    }
+
+    #[test]
+    fn clean_netlist_is_clean() {
+        let mut b = NetlistBuilder::new("clean");
+        let a = b.input_bit("a");
+        let c = b.input_bit("b");
+        let y = b.nand2(a, c);
+        b.output("y", vec![y]);
+        let report = run(&b.finish().unwrap());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn fanout_rule_respects_the_drive_model() {
+        // One INVX1 driving 6 loads: over EGFET's budget of 4, within
+        // CNT-TFT's budget of 8 — the PDK parameterization must matter.
+        let mut b = NetlistBuilder::new("fanout");
+        let a = b.input_bit("a");
+        let hub = b.inv(a);
+        let sinks: Vec<_> = (0..6).map(|_| b.inv(hub)).collect();
+        b.output("y", sinks);
+        let nl = b.finish().unwrap();
+
+        let egfet_report = run(&nl);
+        assert_eq!(egfet_report.by_rule(Rule::FanoutExceedsDrive).count(), 1);
+        assert!(!egfet_report.has_errors(), "fanout is a warning");
+
+        let cnt_report = lint(&nl, Technology::CntTft.library(), &LintConfig::default());
+        assert_eq!(cnt_report.by_rule(Rule::FanoutExceedsDrive).count(), 0);
+    }
+
+    #[test]
+    fn fanout_rule_checks_input_ports_but_not_constants() {
+        let mut b = NetlistBuilder::new("in_fanout");
+        let a = b.input_bit("a");
+        let zero = b.const0();
+        // 9 loads on the input (budget 8) and 9 on const0 (exempt).
+        let from_a: Vec<_> = (0..9).map(|_| b.inv(a)).collect();
+        let from_zero: Vec<_> = (0..9).map(|_| b.or2(zero, a)).collect();
+        b.output("ya", from_a);
+        b.output("yz", from_zero);
+        let report = run(&b.finish().unwrap());
+        let findings: Vec<_> = report.by_rule(Rule::FanoutExceedsDrive).collect();
+        assert_eq!(findings.len(), 1, "{}", report.render_text());
+        assert!(findings[0].message.contains("input a[0]"));
+    }
+
+    #[test]
+    fn dead_logic_rule_finds_unobservable_gates() {
+        let mut b = NetlistBuilder::new("dead");
+        let a = b.input_bit("a");
+        let used = b.inv(a);
+        let _dead = b.xor2(a, used);
+        b.output("y", vec![used]);
+        let report = run(&b.finish().unwrap());
+        let findings: Vec<_> = report.by_rule(Rule::DeadLogic).collect();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("XOR2X1"));
+    }
+
+    #[test]
+    fn unresettable_state_rule_flags_live_resetless_dffs() {
+        let mut b = NetlistBuilder::new("xprop");
+        let a = b.input_bit("a");
+        let q_bad = b.dff(a); // resetless, observable
+        let q_ok = b.dff_nr(a); // has reset
+        let y = b.and2(q_bad, q_ok);
+        b.output("y", vec![y]);
+        let report = run(&b.finish().unwrap());
+        assert_eq!(report.by_rule(Rule::UnresettableState).count(), 1);
+
+        // A dead resetless DFF is dead logic, not an X-propagation hazard.
+        let mut b = NetlistBuilder::new("xdead");
+        let a = b.input_bit("a");
+        let _unused = b.dff(a);
+        let y = b.inv(a);
+        b.output("y", vec![y]);
+        let report = run(&b.finish().unwrap());
+        assert_eq!(report.by_rule(Rule::UnresettableState).count(), 0);
+        assert_eq!(report.by_rule(Rule::DeadLogic).count(), 1);
+    }
+
+    #[test]
+    fn const_foldable_rule_mirrors_the_optimizer() {
+        let mut b = NetlistBuilder::new("fold");
+        let a = b.input_bit("a");
+        let one = b.const1();
+        let x = b.and2(a, one); // foldable to a wire
+        let y = b.xor2(x, one); // foldable to INV — and transitively const-fed
+        b.output("y", vec![y]);
+        let nl = b.finish().unwrap();
+        let report = run(&nl);
+        assert_eq!(report.by_rule(Rule::ConstFoldableGate).count(), 2);
+
+        // After optimization the rule must be silent.
+        let report = run(&crate::opt::optimize(&nl));
+        assert_eq!(report.by_rule(Rule::ConstFoldableGate).count(), 0);
+    }
+
+    #[test]
+    fn tsbuf_with_constant_data_is_not_foldable() {
+        // The folder keeps a TSBUF whose data (not enable) is constant;
+        // the rule must agree.
+        let mut b = NetlistBuilder::new("tsdata");
+        let en = b.input_bit("en");
+        let one = b.const1();
+        let y = b.tsbuf(one, en);
+        b.output("y", vec![y]);
+        let report = run(&b.finish().unwrap());
+        assert_eq!(report.by_rule(Rule::ConstFoldableGate).count(), 0);
+
+        let mut b = NetlistBuilder::new("tsen");
+        let a = b.input_bit("a");
+        let one = b.const1();
+        let y = b.tsbuf(a, one);
+        b.output("y", vec![y]);
+        let report = run(&b.finish().unwrap());
+        assert_eq!(report.by_rule(Rule::ConstFoldableGate).count(), 1);
+    }
+
+    #[test]
+    fn redundant_inverter_rule_flags_the_outer_inverter() {
+        let mut b = NetlistBuilder::new("invinv");
+        let a = b.input_bit("a");
+        let n1 = b.inv(a);
+        let n2 = b.inv(n1);
+        b.output("y", vec![n2]);
+        let report = run(&b.finish().unwrap());
+        let findings: Vec<_> = report.by_rule(Rule::RedundantInverterPair).collect();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].locus, Locus::Gate(GateId(1)));
+    }
+
+    #[test]
+    fn latch_contention_from_constants_is_an_error() {
+        let mut b = NetlistBuilder::new("sr_short");
+        let one = b.const1();
+        let q = b.latch(one, one);
+        b.output("q", vec![q]);
+        let report = run(&b.finish().unwrap());
+        assert!(report.has_errors());
+        assert_eq!(report.by_rule(Rule::LatchContention).count(), 1);
+
+        // Same net on S and R is also contention (whenever it is 1).
+        let mut b = NetlistBuilder::new("sr_alias");
+        let a = b.input_bit("a");
+        let q = b.latch(a, a);
+        b.output("q", vec![q]);
+        let report = run(&b.finish().unwrap());
+        assert_eq!(report.by_rule(Rule::LatchContention).count(), 1);
+
+        // A properly complemented latch is fine.
+        let mut b = NetlistBuilder::new("sr_ok");
+        let a = b.input_bit("a");
+        let an = b.inv(a);
+        let q = b.latch(a, an);
+        b.output("q", vec![q]);
+        let report = run(&b.finish().unwrap());
+        assert_eq!(report.by_rule(Rule::LatchContention).count(), 0);
+    }
+
+    #[test]
+    fn tristate_contention_flags_non_exclusive_enables() {
+        // Two TSBUFs merged onto one node, sharing an enable: both drive
+        // whenever en is high.
+        let mut b = NetlistBuilder::new("bus_short");
+        let d0 = b.input_bit("d0");
+        let d1 = b.input_bit("d1");
+        let en = b.input_bit("en");
+        let t0 = b.tsbuf(d0, en);
+        let t1 = b.tsbuf(d1, en);
+        let bus = b.or2(t0, t1);
+        b.output("bus", vec![bus]);
+        let report = run(&b.finish().unwrap());
+        assert!(report.has_errors());
+        assert_eq!(report.by_rule(Rule::TristateContention).count(), 1);
+
+        // Complementary enables are exclusive: clean.
+        let mut b = NetlistBuilder::new("bus_ok");
+        let d0 = b.input_bit("d0");
+        let d1 = b.input_bit("d1");
+        let en = b.input_bit("en");
+        let en_n = b.inv(en);
+        let t0 = b.tsbuf(d0, en);
+        let t1 = b.tsbuf(d1, en_n);
+        let bus = b.or2(t0, t1);
+        b.output("bus", vec![bus]);
+        let report = run(&b.finish().unwrap());
+        assert_eq!(report.by_rule(Rule::TristateContention).count(), 0);
+    }
+
+    #[test]
+    fn output_port_load_rule_flags_saturated_nets() {
+        // A NAND at exactly its EGFET budget (4 loads) also exported as an
+        // output: the pin is the fifth load.
+        let mut b = NetlistBuilder::new("port_load");
+        let a = b.input_bit("a");
+        let c = b.input_bit("b");
+        let hub = b.nand2(a, c);
+        let sinks: Vec<_> = (0..4).map(|_| b.inv(hub)).collect();
+        b.output("y", sinks);
+        b.output("hub", vec![hub]);
+        let nl = b.finish().unwrap();
+        let report = run(&nl);
+        assert_eq!(report.by_rule(Rule::OutputPortLoad).count(), 1);
+        // No plain fanout violation: 4 internal loads is within budget.
+        assert_eq!(report.by_rule(Rule::FanoutExceedsDrive).count(), 0);
+    }
+
+    #[test]
+    fn config_disables_rules_and_overrides_severity() {
+        let mut b = NetlistBuilder::new("cfg");
+        let a = b.input_bit("a");
+        let one = b.const1();
+        let x = b.and2(a, one);
+        b.output("y", vec![x]);
+        let nl = b.finish().unwrap();
+
+        let off = LintConfig::new().disable(Rule::ConstFoldableGate);
+        assert!(lint(&nl, egfet(), &off).is_clean());
+
+        let strict = LintConfig::new().severity(Rule::ConstFoldableGate, Severity::Error);
+        assert!(lint(&nl, egfet(), &strict).has_errors());
+
+        let info = LintConfig::new().severity(Rule::ConstFoldableGate, Severity::Info);
+        let report = lint(&nl, egfet(), &info);
+        assert_eq!(report.count(Severity::Info), 1);
+        assert_eq!(report.count(Severity::Warn), 0);
+    }
+
+    #[test]
+    fn report_sorts_errors_first_and_renders() {
+        let mut b = NetlistBuilder::new("mixed");
+        let a = b.input_bit("a");
+        let one = b.const1();
+        let q = b.latch(one, one); // error
+        let x = b.and2(a, one); // warning
+        let y = b.and2(q, x);
+        b.output("y", vec![y]);
+        let report = run(&b.finish().unwrap());
+        assert!(report.diagnostics.len() >= 2);
+        assert_eq!(report.diagnostics[0].severity, Severity::Error);
+
+        let text = report.render_text();
+        assert!(text.contains("lint mixed:"));
+        assert!(text.contains("error[latch-contention]"));
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed() {
+        let mut b = NetlistBuilder::new("json \"quoted\"");
+        let a = b.input_bit("a");
+        let one = b.const1();
+        let x = b.and2(a, one);
+        b.output("y", vec![x]);
+        let report = run(&b.finish().unwrap());
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"design\":\"json \\\"quoted\\\"\""));
+        assert!(json.contains("\"summary\":{\"error\":0,\"warn\":1,\"info\":0}"));
+        assert!(json.contains("\"rule\":\"const-foldable-gate\""));
+        assert!(json.contains("\"locus\":{\"gate\":0}"));
+        // Balanced braces/brackets outside strings — cheap well-formedness.
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' if in_str => escaped = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn every_rule_has_a_distinct_stable_name() {
+        let names: BTreeSet<_> = Rule::ALL.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), Rule::ALL.len());
+        for rule in Rule::ALL {
+            assert!(rule.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

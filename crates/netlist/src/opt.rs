@@ -25,7 +25,7 @@
 //! ```
 
 use crate::builder::NetlistBuilder;
-use crate::ir::{Netlist, NetId, Region};
+use crate::ir::{NetId, Netlist, Region};
 use printed_pdk::CellKind;
 use std::collections::BTreeMap;
 
@@ -66,6 +66,9 @@ pub fn optimize(netlist: &Netlist) -> Netlist {
 pub fn optimize_with_stats(netlist: &Netlist) -> (Netlist, OptStats) {
     let mut b = NetlistBuilder::new(netlist.name().to_string());
     let mut known: BTreeMap<NetId, Known> = BTreeMap::new();
+    // inv_of[n] = x when net n (in the new netlist) is INV(x): lets the
+    // folder collapse inverter chains (INV(INV(x)) → x).
+    let mut inv_of: BTreeMap<NetId, NetId> = BTreeMap::new();
 
     // Ports are recreated verbatim.
     for (name, nets) in netlist.input_ports() {
@@ -99,7 +102,7 @@ pub fn optimize_with_stats(netlist: &Netlist) -> (Netlist, OptStats) {
             .iter()
             .map(|n| *known.get(n).expect("topological order guarantees inputs are rewritten"))
             .collect();
-        let result = fold_gate(&mut b, gate.kind, &ins);
+        let result = fold_gate(&mut b, gate.kind, &ins, &mut inv_of);
         known.insert(gate.output, result);
     }
 
@@ -134,14 +137,10 @@ pub fn optimize_with_stats(netlist: &Netlist) -> (Netlist, OptStats) {
         b.output(name.clone(), new_nets);
     }
 
-    let folded = b
-        .finish()
-        .expect("rewriting a valid netlist preserves validity");
+    let folded = b.finish().expect("rewriting a valid netlist preserves validity");
     let swept = sweep(&folded);
-    let stats = OptStats {
-        gates_before: netlist.gate_count(),
-        gates_after: swept.gate_count(),
-    };
+    swept.validate().expect("optimizer output re-passes construction invariants");
+    let stats = OptStats { gates_before: netlist.gate_count(), gates_after: swept.gate_count() };
     (swept, stats)
 }
 
@@ -155,14 +154,27 @@ fn materialize(b: &mut NetlistBuilder, value: Known) -> NetId {
 }
 
 /// Folds one gate given knowledge about its inputs. Returns what is known
-/// about the output.
-fn fold_gate(b: &mut NetlistBuilder, kind: CellKind, ins: &[Known]) -> Known {
+/// about the output. `inv_of` maps already-created inverter outputs to
+/// their sources so inverter pairs collapse to wires.
+fn fold_gate(
+    b: &mut NetlistBuilder,
+    kind: CellKind,
+    ins: &[Known],
+    inv_of: &mut BTreeMap<NetId, NetId>,
+) -> Known {
     use Known::{Net, One, Zero};
     match kind {
         CellKind::Inv => match ins[0] {
             Zero => One,
             One => Zero,
-            Net(a) => Net(b.inv(a)),
+            Net(a) => {
+                if let Some(&source) = inv_of.get(&a) {
+                    return Net(source);
+                }
+                let out = b.inv(a);
+                inv_of.insert(out, a);
+                Net(out)
+            }
         },
         CellKind::And2 => match (ins[0], ins[1]) {
             (Zero, _) | (_, Zero) => Zero,
@@ -176,22 +188,22 @@ fn fold_gate(b: &mut NetlistBuilder, kind: CellKind, ins: &[Known]) -> Known {
         },
         CellKind::Nand2 => match (ins[0], ins[1]) {
             (Zero, _) | (_, Zero) => One,
-            (One, x) | (x, One) => fold_gate(b, CellKind::Inv, &[x]),
+            (One, x) | (x, One) => fold_gate(b, CellKind::Inv, &[x], inv_of),
             (Net(a), Net(c)) => Net(b.nand2(a, c)),
         },
         CellKind::Nor2 => match (ins[0], ins[1]) {
             (One, _) | (_, One) => Zero,
-            (Zero, x) | (x, Zero) => fold_gate(b, CellKind::Inv, &[x]),
+            (Zero, x) | (x, Zero) => fold_gate(b, CellKind::Inv, &[x], inv_of),
             (Net(a), Net(c)) => Net(b.nor2(a, c)),
         },
         CellKind::Xor2 => match (ins[0], ins[1]) {
             (Zero, x) | (x, Zero) => x,
-            (One, x) | (x, One) => fold_gate(b, CellKind::Inv, &[x]),
+            (One, x) | (x, One) => fold_gate(b, CellKind::Inv, &[x], inv_of),
             (Net(a), Net(c)) => Net(b.xor2(a, c)),
         },
         CellKind::Xnor2 => match (ins[0], ins[1]) {
             (One, x) | (x, One) => x,
-            (Zero, x) | (x, Zero) => fold_gate(b, CellKind::Inv, &[x]),
+            (Zero, x) | (x, Zero) => fold_gate(b, CellKind::Inv, &[x], inv_of),
             (Net(a), Net(c)) => Net(b.xnor2(a, c)),
         },
         CellKind::TsBuf => match (ins[0], ins[1]) {

@@ -16,7 +16,7 @@
 //! - `TsBuf` drives its input when enabled and holds its last driven value
 //!   otherwise (modeling the bus keeper printed designs use).
 
-use crate::ir::{Netlist, NetlistError, NetId};
+use crate::ir::{NetId, Netlist, NetlistError};
 use printed_pdk::CellKind;
 
 /// Per-gate switching statistics gathered during simulation.
@@ -70,10 +70,7 @@ impl<'a> Simulator<'a> {
             values: vec![false; netlist.net_count()],
             state: vec![false; netlist.gate_count()],
             prev_values: vec![false; netlist.net_count()],
-            stats: ActivityStats {
-                toggles: vec![0; netlist.gate_count()],
-                cycles: 0,
-            },
+            stats: ActivityStats { toggles: vec![0; netlist.gate_count()], cycles: 0 },
         };
         if let Some(c1) = netlist.const1() {
             sim.values[c1.index()] = true;

@@ -119,8 +119,7 @@ fn timing_with_variation(
     }
     for gate in netlist.gates() {
         if gate.is_sequential() {
-            arrival[gate.output.index()] =
-                lib.synthesis_delay(gate.kind) * lognormal(rng, sigma);
+            arrival[gate.output.index()] = lib.synthesis_delay(gate.kind) * lognormal(rng, sigma);
         }
     }
     for (_, gate) in netlist.topo_order() {
@@ -128,8 +127,7 @@ fn timing_with_variation(
         for input in &gate.inputs {
             t = t.max(arrival[input.index()]);
         }
-        arrival[gate.output.index()] =
-            t + lib.synthesis_delay(gate.kind) * lognormal(rng, sigma);
+        arrival[gate.output.index()] = t + lib.synthesis_delay(gate.kind) * lognormal(rng, sigma);
     }
 
     let mut critical = Time::ZERO;

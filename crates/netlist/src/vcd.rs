@@ -27,7 +27,7 @@
 //! # Ok::<(), printed_netlist::NetlistError>(())
 //! ```
 
-use crate::ir::{Netlist, NetId};
+use crate::ir::{NetId, Netlist};
 use crate::sim::Simulator;
 use std::fmt::Write as _;
 
@@ -68,11 +68,7 @@ impl VcdRecorder {
     pub fn new(netlist: &Netlist) -> Self {
         let mut signals = Vec::new();
         for (name, nets) in netlist.input_ports() {
-            signals.push(Signal {
-                name: name.clone(),
-                nets: nets.clone(),
-                id: String::new(),
-            });
+            signals.push(Signal { name: name.clone(), nets: nets.clone(), id: String::new() });
         }
         for (name, nets) in netlist.output_ports() {
             // Outputs may alias input nets (pass-through); give them their
@@ -96,11 +92,7 @@ impl VcdRecorder {
 
     /// Samples the simulator's current port values as one cycle.
     pub fn sample(&mut self, sim: &Simulator<'_>) {
-        let row = self
-            .signals
-            .iter()
-            .map(|sig| sim.read_bus(&sig.nets))
-            .collect();
+        let row = self.signals.iter().map(|sig| sim.read_bus(&sig.nets)).collect();
         self.history.push(row);
     }
 
@@ -112,13 +104,7 @@ impl VcdRecorder {
         let _ = writeln!(out, "$timescale 1 us $end");
         let _ = writeln!(out, "$scope module {module} $end");
         for sig in &self.signals {
-            let _ = writeln!(
-                out,
-                "$var wire {} {} {} $end",
-                sig.nets.len(),
-                sig.id,
-                sig.name
-            );
+            let _ = writeln!(out, "$var wire {} {} {} $end", sig.nets.len(), sig.id, sig.name);
         }
         let _ = writeln!(out, "$upscope $end");
         let _ = writeln!(out, "$enddefinitions $end");

@@ -128,11 +128,7 @@ pub fn carry_select_adder(
         start = end;
     }
 
-    AdderOutputs {
-        sum,
-        carry_out: carry,
-        overflow: overflow.expect("at least one block"),
-    }
+    AdderOutputs { sum, carry_out: carry, overflow: overflow.expect("at least one block") }
 }
 
 /// Adder/subtractor with width-appropriate structure: ripple-carry up to
@@ -203,11 +199,7 @@ pub fn mux2_word(
 ) -> Vec<NetId> {
     assert_eq!(a_bus.len(), b_bus.len(), "mux operand widths differ");
     let sel_n = b.inv(sel);
-    a_bus
-        .iter()
-        .zip(b_bus)
-        .map(|(&x, &y)| b.mux2(x, y, sel, sel_n))
-        .collect()
+    a_bus.iter().zip(b_bus).map(|(&x, &y)| b.mux2(x, y, sel, sel_n)).collect()
 }
 
 /// Mux tree selecting one of `words.len()` equal-width words by binary
@@ -234,11 +226,8 @@ pub fn mux_tree(b: &mut NetlistBuilder, words: &[Vec<NetId>], sel: &[NetId]) -> 
         let sel_n = b.inv(s);
         for chunk in &mut iter {
             if chunk.len() == 2 {
-                let merged: Vec<NetId> = chunk[0]
-                    .iter()
-                    .zip(&chunk[1])
-                    .map(|(&x, &y)| b.mux2(x, y, s, sel_n))
-                    .collect();
+                let merged: Vec<NetId> =
+                    chunk[0].iter().zip(&chunk[1]).map(|(&x, &y)| b.mux2(x, y, s, sel_n)).collect();
                 next.push(merged);
             } else {
                 next.push(chunk[0].clone());
@@ -401,11 +390,7 @@ pub fn popcount(b: &mut NetlistBuilder, bus: &[NetId]) -> Vec<NetId> {
 /// layer per shift bit. The paper sizes this at "152 cells and 1109 cells
 /// for 8-bit and 32-bit respectively" to justify rotate-only TP-ISA
 /// (§5.1); this generator reproduces those magnitudes (see the tests).
-pub fn barrel_shift_right(
-    b: &mut NetlistBuilder,
-    bus: &[NetId],
-    amount: &[NetId],
-) -> Vec<NetId> {
+pub fn barrel_shift_right(b: &mut NetlistBuilder, bus: &[NetId], amount: &[NetId]) -> Vec<NetId> {
     assert!(!bus.is_empty(), "barrel shift of empty bus");
     let zero = b.const0();
     let mut current = bus.to_vec();
@@ -426,10 +411,7 @@ pub fn barrel_shift_right(
 /// larger DFFNR cell (asynchronous reset), which the paper charges
 /// separately (Table 2).
 pub fn register(b: &mut NetlistBuilder, d_bus: &[NetId], with_reset: bool) -> Vec<NetId> {
-    d_bus
-        .iter()
-        .map(|&d| if with_reset { b.dff_nr(d) } else { b.dff(d) })
-        .collect()
+    d_bus.iter().map(|&d| if with_reset { b.dff_nr(d) } else { b.dff(d) }).collect()
 }
 
 /// A register with a write-enable implemented as a recirculating mux in
@@ -503,15 +485,9 @@ mod tests {
         b.output("ovf", vec![out.overflow]);
         let nl = b.finish().unwrap();
         // 42 - 17 = 25 (sub=1, cin=1).
-        assert_eq!(
-            eval_comb(&nl, &[("a", 42), ("b", 17), ("sub", 1), ("cin", 1)], "sum"),
-            25
-        );
+        assert_eq!(eval_comb(&nl, &[("a", 42), ("b", 17), ("sub", 1), ("cin", 1)], "sum"), 25);
         // carry_out = 1 means no borrow.
-        assert_eq!(
-            eval_comb(&nl, &[("a", 42), ("b", 17), ("sub", 1), ("cin", 1)], "cout"),
-            1
-        );
+        assert_eq!(eval_comb(&nl, &[("a", 42), ("b", 17), ("sub", 1), ("cin", 1)], "cout"), 1);
         // 100 - (-28) overflows signed 8-bit: 100 + 28 = 128.
         assert_eq!(
             eval_comb(
@@ -742,11 +718,7 @@ mod tests {
         b.output("y", y);
         let nl = b.finish().unwrap();
         for (v, s) in [(0xFFu64, 3u64), (0x80, 7), (0xA5, 0), (0xA5, 4)] {
-            assert_eq!(
-                eval_comb(&nl, &[("a", v), ("amt", s)], "y"),
-                v >> s,
-                "{v:#x} >> {s}"
-            );
+            assert_eq!(eval_comb(&nl, &[("a", v), ("amt", s)], "y"), v >> s, "{v:#x} >> {s}");
         }
     }
 

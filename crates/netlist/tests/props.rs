@@ -2,8 +2,9 @@
 //! datapath block must agree with the arithmetic it claims to implement,
 //! for arbitrary operands, and the optimizer must preserve behaviour.
 
+use printed_netlist::{lint, opt, words, NetId, Netlist, NetlistBuilder, Simulator};
+use printed_pdk::Technology;
 use proptest::prelude::*;
-use printed_netlist::{opt, words, NetlistBuilder, Netlist, NetId, Simulator};
 
 fn eval(nl: &Netlist, inputs: &[(&str, u64)], output: &str) -> u64 {
     let mut sim = Simulator::new(nl);
@@ -201,6 +202,48 @@ proptest! {
         let twice = opt::optimize(&once);
         prop_assert_eq!(once.gate_count(), twice.gate_count(), "folding must reach a fixpoint");
         prop_assert_eq!(once.cell_counts(), twice.cell_counts());
+    }
+
+    #[test]
+    fn optimizer_output_is_lint_clean_of_foldable_gates(ops in prop::collection::vec((0u8..8, any::<u8>(), any::<u8>()), 1..40)) {
+        // Whatever random logic we throw at it — including nets pinned to
+        // the constant rails and back-to-back inverter chains — the
+        // optimizer's output must carry nothing the const-foldable and
+        // redundant-inverter lint rules can still flag: the linter's
+        // foldability oracle and the folder agree on what is removable.
+        let mut bld = NetlistBuilder::new("lintclean");
+        let inputs = bld.input("x", 4);
+        let mut pool: Vec<NetId> = inputs.clone();
+        pool.push(bld.const0());
+        pool.push(bld.const1());
+        for &(op, ai, bi) in &ops {
+            let a = pool[ai as usize % pool.len()];
+            let b = pool[bi as usize % pool.len()];
+            let out = match op {
+                0 | 7 => bld.inv(a), // double weight: provoke INV chains
+                1 => bld.and2(a, b),
+                2 => bld.or2(a, b),
+                3 => bld.xor2(a, b),
+                4 => bld.nand2(a, b),
+                5 => bld.nor2(a, b),
+                _ => bld.xnor2(a, b),
+            };
+            pool.push(out);
+        }
+        let outs: Vec<NetId> = pool.iter().rev().take(4).copied().collect();
+        bld.output("y", outs);
+        let nl = bld.finish().unwrap();
+        let optimized = opt::optimize(&nl);
+        for technology in [Technology::Egfet, Technology::CntTft] {
+            let report = lint::lint(&optimized, technology.library(), &lint::LintConfig::default());
+            for rule in [lint::Rule::ConstFoldableGate, lint::Rule::RedundantInverterPair] {
+                let hits: Vec<_> = report.by_rule(rule).collect();
+                prop_assert!(
+                    hits.is_empty(),
+                    "optimize() left {rule} findings ({technology:?}): {hits:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -228,6 +228,8 @@ pub struct CellLibrary {
     /// Factor applied to Table 2 switching energies in synthesis context
     /// (see [`crate::calibration`]).
     energy_derate: f64,
+    /// Relative output drive (1.0 for X1, 4.0 for X4).
+    drive_strength: f64,
 }
 
 impl CellLibrary {
@@ -257,11 +259,46 @@ impl CellLibrary {
         self.cell(kind).switch_energy * self.energy_derate
     }
 
+    /// Relative output drive strength of this library's cells (1.0 for the
+    /// X1 cells the paper analyzes with, 4.0 for the footnote-3 X4 cells).
+    pub fn drive_strength(&self) -> f64 {
+        self.drive_strength
+    }
+
+    /// Maximum fanout a cell of `kind` can drive without violating the
+    /// technology's drive model.
+    ///
+    /// Table 2 characterizes cells into a single typical load; how many
+    /// loads an output can actually drive before its edges degrade beyond
+    /// the timing derate differs sharply between the two technologies.
+    /// EGFET's transistor–resistor stages pull up through a fixed printed
+    /// resistor, so the rise edge slows roughly linearly in the number of
+    /// gate loads sharing that current. Pseudo-CMOS CNT-TFT stages drive
+    /// actively and tolerate roughly twice the load. Sequential cells and
+    /// the tri-state buffer end in a buffered output stage and drive twice
+    /// their technology's base fanout; higher drive strengths (X4) scale
+    /// the budget by the width ratio.
+    pub fn max_fanout(&self, kind: CellKind) -> usize {
+        let base = match self.technology {
+            Technology::Egfet => 4,
+            Technology::CntTft => 8,
+        };
+        let buffered = match kind {
+            CellKind::Dff | CellKind::DffNr | CellKind::Latch | CellKind::TsBuf => 2,
+            _ => 1,
+        };
+        ((base * buffered) as f64 * self.drive_strength) as usize
+    }
+
+    /// Fanout budget for nets driven by primary inputs rather than by a
+    /// cell — external drivers (pads, test equipment, an upstream printed
+    /// block) are assumed buffered, so they get the sequential-cell budget.
+    pub fn max_input_fanout(&self) -> usize {
+        self.max_fanout(CellKind::Dff)
+    }
+
     fn index(kind: CellKind) -> usize {
-        CellKind::ALL
-            .iter()
-            .position(|&k| k == kind)
-            .expect("CellKind::ALL covers every variant")
+        CellKind::ALL.iter().position(|&k| k == kind).expect("CellKind::ALL covers every variant")
     }
 }
 
@@ -302,10 +339,12 @@ struct DriveScaling {
     energy: f64,
     delay: f64,
     static_power: f64,
+    /// Transistor width ratio relative to X1 — the library's drive strength.
+    drive: f64,
 }
 
 const X1_SCALING: DriveScaling =
-    DriveScaling { area: 1.0, energy: 1.0, delay: 1.0, static_power: 1.0 };
+    DriveScaling { area: 1.0, energy: 1.0, delay: 1.0, static_power: 1.0, drive: 1.0 };
 
 /// The X4 drive strength of the paper's footnote 3 ("We also developed an
 /// X4 library; however, we perform all analysis in this paper using X1
@@ -314,7 +353,7 @@ const X1_SCALING: DriveScaling =
 /// energy, and 4× the pull-up/leakage current — which is exactly why the
 /// paper sticks with X1.
 const X4_SCALING: DriveScaling =
-    DriveScaling { area: 2.2, energy: 4.0, delay: 0.4, static_power: 4.0 };
+    DriveScaling { area: 2.2, energy: 4.0, delay: 0.4, static_power: 4.0, drive: 4.0 };
 
 const fn build_cell(
     row: (CellKind, f64, f64, f64, f64),
@@ -359,6 +398,7 @@ const fn build_library(
         ],
         timing_derate,
         energy_derate,
+        drive_strength: scale.drive,
     }
 }
 
@@ -457,10 +497,7 @@ mod tests {
                 cnt.cell(kind).average_delay() < egfet.cell(kind).average_delay(),
                 "{kind} delay"
             );
-            assert!(
-                cnt.cell(kind).switch_energy < egfet.cell(kind).switch_energy,
-                "{kind} energy"
-            );
+            assert!(cnt.cell(kind).switch_energy < egfet.cell(kind).switch_energy, "{kind} energy");
         }
     }
 
@@ -499,6 +536,33 @@ mod tests {
                 assert!(x4.cell(kind).area > x1.cell(kind).area);
             }
         }
+    }
+
+    #[test]
+    fn fanout_budgets_follow_the_drive_model() {
+        let egfet = Technology::Egfet.library();
+        let cnt = Technology::CntTft.library();
+        // Pseudo-CMOS CNT-TFT drives roughly twice the load of EGFET's
+        // transistor–resistor stages — the limits must differ per PDK.
+        for kind in CellKind::ALL {
+            assert!(
+                cnt.max_fanout(kind) > egfet.max_fanout(kind),
+                "{kind}: CNT-TFT must out-drive EGFET"
+            );
+        }
+        // Buffered outputs (sequential cells, TSBUF) out-drive plain logic.
+        assert!(egfet.max_fanout(CellKind::Dff) > egfet.max_fanout(CellKind::Nand2));
+        assert!(egfet.max_fanout(CellKind::TsBuf) > egfet.max_fanout(CellKind::Inv));
+        // X4 widens the budget by the drive ratio.
+        for tech in Technology::ALL {
+            assert_eq!(tech.library_x4().drive_strength(), 4.0);
+            assert_eq!(
+                tech.library_x4().max_fanout(CellKind::Inv),
+                4 * tech.library().max_fanout(CellKind::Inv)
+            );
+        }
+        // Primary inputs get the buffered budget.
+        assert_eq!(egfet.max_input_fanout(), egfet.max_fanout(CellKind::Dff));
     }
 
     #[test]

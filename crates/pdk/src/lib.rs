@@ -26,8 +26,8 @@ pub mod battery;
 pub mod calibration;
 pub mod cells;
 pub mod process;
-pub mod yield_model;
 pub mod units;
+pub mod yield_model;
 
 pub use cells::{CellCharacteristics, CellKind, CellLibrary, Technology};
 pub use units::{Area, Charge, Current, Energy, Frequency, Power, Time, Voltage};

@@ -30,7 +30,9 @@ impl ProcessingRoute {
     pub fn is_additive(self) -> bool {
         matches!(
             self,
-            ProcessingRoute::Inkjet | ProcessingRoute::SolutionInkjet | ProcessingRoute::GravureInkjet
+            ProcessingRoute::Inkjet
+                | ProcessingRoute::SolutionInkjet
+                | ProcessingRoute::GravureInkjet
         )
     }
 }
@@ -142,11 +144,8 @@ mod tests {
 
     #[test]
     fn only_egfet_cnt_and_sam_are_battery_compatible() {
-        let compatible: Vec<&str> = TABLE1
-            .iter()
-            .filter(|p| p.battery_compatible())
-            .map(|p| p.name)
-            .collect();
+        let compatible: Vec<&str> =
+            TABLE1.iter().filter(|p| p.battery_compatible()).map(|p| p.name).collect();
         assert_eq!(compatible, vec!["EGFET", "Carbon Nanotube", "SAM OTFT"]);
     }
 

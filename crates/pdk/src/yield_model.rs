@@ -48,8 +48,8 @@ pub fn cell_devices(kind: CellKind, technology: Technology) -> DeviceCount {
         CellKind::Inv => (1, 1),
         CellKind::Nand2 => (2, 1),
         CellKind::Nor2 => (2, 1),
-        CellKind::And2 => (3, 2),  // NAND + INV
-        CellKind::Or2 => (3, 2),   // NOR + INV
+        CellKind::And2 => (3, 2), // NAND + INV
+        CellKind::Or2 => (3, 2),  // NOR + INV
         CellKind::Xor2 => (8, 3),
         CellKind::Xnor2 => (9, 3),
         CellKind::Latch => (4, 2),
@@ -61,9 +61,7 @@ pub fn cell_devices(kind: CellKind, technology: Technology) -> DeviceCount {
         Technology::Egfet => DeviceCount { transistors: pulldown, resistors: stages },
         // Pseudo-CMOS quadruples the inverter core (double-stacked
         // pull-ups) — charge 2x the pull-down plus 2 bias devices/stage.
-        Technology::CntTft => {
-            DeviceCount { transistors: 2 * pulldown + 2 * stages, resistors: 0 }
-        }
+        Technology::CntTft => DeviceCount { transistors: 2 * pulldown + 2 * stages, resistors: 0 },
     }
 }
 
@@ -95,10 +93,7 @@ pub fn inventory_devices<I>(cells: I, technology: Technology) -> usize
 where
     I: IntoIterator<Item = (CellKind, usize)>,
 {
-    cells
-        .into_iter()
-        .map(|(kind, count)| cell_devices(kind, technology).total() * count)
-        .sum()
+    cells.into_iter().map(|(kind, count)| cell_devices(kind, technology).total() * count).sum()
 }
 
 #[cfg(test)]
@@ -143,10 +138,8 @@ mod tests {
 
     #[test]
     fn inventory_roll_up_sums_cells() {
-        let devices = inventory_devices(
-            [(CellKind::Nand2, 10), (CellKind::Dff, 2)],
-            Technology::Egfet,
-        );
+        let devices =
+            inventory_devices([(CellKind::Nand2, 10), (CellKind::Dff, 2)], Technology::Egfet);
         assert_eq!(devices, 10 * 3 + 2 * 20);
     }
 

@@ -1,10 +1,10 @@
 //! Property-based checks of the PDK: unit algebra and battery arithmetic,
 //! plus Debug/Display sanity.
 
-use proptest::prelude::*;
 use printed_pdk::battery::Battery;
 use printed_pdk::units::{Area, Charge, Energy, Frequency, Power, Time, Voltage};
 use printed_pdk::{CellKind, Technology};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

@@ -31,11 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let time = run.cycles as f64 / inv.fmax().as_hertz();
             // Whole-system power: core + RAM-resident program image
             // (Table 5 convention).
-            let imem = Sram::with_contents(
-                Technology::Egfet,
-                8,
-                vec![0u64; run.program_bytes],
-            )?;
+            let imem = Sram::with_contents(Technology::Egfet, 8, vec![0u64; run.program_bytes])?;
             let power = inv.power() + imem.array_power();
             let energy = power.as_watts() * time;
             println!(

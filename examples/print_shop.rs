@@ -57,8 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let folded = opt::optimize(&raw);
     let lib = Technology::Egfet.library();
     let ch = analysis::characterize(&folded, lib);
-    println!("\nprinted core: {} cells ({} DFFs) after folding ({} before)",
-        ch.gate_count, ch.sequential_count, raw.gate_count());
+    println!(
+        "\nprinted core: {} cells ({} DFFs) after folding ({} before)",
+        ch.gate_count,
+        ch.sequential_count,
+        raw.gate_count()
+    );
     println!(
         "  {:.2} cm^2, f_max {:.1} Hz, {:.2} mW",
         ch.area.total.as_cm2(),
@@ -76,9 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Battery budget at the application duty cycle (1 sample/second).
     let power = ch.power.total();
     let duty = 1.0 / ch.fmax.as_hertz(); // one instruction burst per second
-    let life = BLUESPARK_30
-        .lifetime(power, duty.min(1.0))
-        .expect("positive power");
+    let life = BLUESPARK_30.lifetime(power, duty.min(1.0)).expect("positive power");
     println!(
         "\non a Blue Spark 30 mAh cell at 1 sample/s: ~{:.0} days of monitoring",
         life.as_hours() / 24.0

@@ -5,10 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
+use printed_microprocessors::core::specific::CoreSpec;
 use printed_microprocessors::core::{
     asm::assemble, generate_standard, CoreConfig, GateLevelMachine, Machine,
 };
-use printed_microprocessors::core::specific::CoreSpec;
 use printed_microprocessors::netlist::analysis;
 use printed_microprocessors::pdk::Technology;
 

@@ -7,7 +7,7 @@
 //! The output of this binary is the source of truth for EXPERIMENTS.md.
 
 use printed_microprocessors::core::{generate_standard, CoreConfig};
-use printed_microprocessors::eval::{figure7, figure8, headline, lifetime, tables};
+use printed_microprocessors::eval::{figure7, figure8, headline, lifetime, report, tables};
 use printed_microprocessors::netlist::analysis;
 use printed_microprocessors::pdk::battery::BLUESPARK_30;
 use printed_microprocessors::pdk::Technology;
@@ -60,6 +60,11 @@ fn main() {
             );
         }
         println!();
+    }
+
+    // DRC: every sweep point and baseline, linted per technology.
+    for tech in Technology::ALL {
+        println!("{}", report::lint_summary(tech));
     }
 
     // Figure 8 (EGFET) and its derived Table 8 + headline ratios.

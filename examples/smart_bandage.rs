@@ -32,9 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for flavor in [CoreFlavor::Standard, CoreFlavor::ProgramSpecific] {
         let system = match flavor {
-            CoreFlavor::Standard => {
-                System::standard(config, kernel.clone(), Technology::Egfet, 1)?
-            }
+            CoreFlavor::Standard => System::standard(config, kernel.clone(), Technology::Egfet, 1)?,
             CoreFlavor::ProgramSpecific => {
                 System::program_specific(config, kernel.clone(), Technology::Egfet, 1)?
             }

@@ -1,0 +1,215 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The real proptest cannot be fetched (no registry access), so this crate
+//! reimplements the API surface the test suites rely on:
+//!
+//! - the [`proptest!`] macro with `#![proptest_config(...)]`, parameters
+//!   written `name in strategy` or `name: Type`, and multiple `#[test]`
+//!   functions per block,
+//! - [`strategy::Strategy`] with `prop_map`, implemented for integer and
+//!   float ranges, tuples, and boxed strategies,
+//! - [`any`] via an [`Arbitrary`] trait for the primitive types,
+//! - `prop::collection::vec`, `prop::sample::select`, and [`prop_oneof!`],
+//! - [`prop_assert!`] / [`prop_assert_eq!`] (plain assertions here).
+//!
+//! Unlike the real proptest there is no shrinking and no failure
+//! persistence: cases are generated from a deterministic per-test seed, so
+//! failures reproduce exactly on rerun.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+/// Deterministic case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Seeds the generator from a test name, so each test gets a distinct
+    /// but reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+/// Runner configuration; only `cases` is meaningful in this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                use rand::RngCore;
+                rng.0.next_u64() as $ty
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::RngCore;
+        rng.0.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::RngCore;
+        (rng.0.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Strategy producing any value of `T` (see [`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// Vector of values from `element`, with length drawn from `size`
+        /// (a `usize` for exact length, or a `Range<usize>`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Uniformly selects one of the given values.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select(options)
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig,
+    };
+}
+
+/// Plain assertion; the real proptest records failures for shrinking,
+/// this shim just panics (the deterministic seed reproduces the case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Inequality assertion; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// The proptest entry macro: wraps `#[test]` functions whose parameters
+/// are drawn from strategies each case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $crate::__proptest_case!(__rng, [ $($params)* ] $body);
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, [] $body:block) => { $body };
+    ($rng:ident, [,] $body:block) => { $body };
+    ($rng:ident, [$var:ident in $strategy:expr, $($rest:tt)*] $body:block) => {{
+        let $var = $crate::strategy::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_case!($rng, [$($rest)*] $body)
+    }};
+    ($rng:ident, [$var:ident in $strategy:expr] $body:block) => {{
+        let $var = $crate::strategy::Strategy::sample(&($strategy), &mut $rng);
+        $body
+    }};
+    ($rng:ident, [$var:ident : $ty:ty, $($rest:tt)*] $body:block) => {{
+        let $var: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_case!($rng, [$($rest)*] $body)
+    }};
+    ($rng:ident, [$var:ident : $ty:ty] $body:block) => {{
+        let $var: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $body
+    }};
+}

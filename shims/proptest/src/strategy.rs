@@ -1,0 +1,251 @@
+//! Strategy trait and combinators for the offline proptest shim.
+
+use crate::{Arbitrary, TestRng};
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Something that can generate values of its `Value` type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors proptest's `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Boxes a strategy for use in heterogeneous unions ([`crate::prop_oneof!`]).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy for "any value of T"; see [`crate::any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+/// Mapped strategy; see [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Length specification for [`VecStrategy`]: an exact size or a range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() + 1 }
+    }
+}
+
+/// Vector strategy; see [`crate::prop::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.min + 1 == self.size.max {
+            self.size.min
+        } else {
+            rng.0.gen_range(self.size.min..self.size.max)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Uniform selection from a fixed set; see [`crate::prop::sample::select`].
+#[derive(Debug, Clone)]
+pub struct Select<T>(pub(crate) Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0[rng.0.gen_range(0..self.0.len())].clone()
+    }
+}
+
+/// Uniform choice between boxed strategies; built by [`crate::prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.arms[rng.0.gen_range(0..self.arms.len())].sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = crate::TestRng::from_name("compose");
+        let s = (1usize..=4, 0u8..10).prop_map(|(a, b)| a * 100 + b as usize);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((100..=409).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_respects_sizes() {
+        let mut rng = crate::TestRng::from_name("sizes");
+        let exact = prop::collection::vec(any::<u64>(), 4);
+        assert_eq!(exact.sample(&mut rng).len(), 4);
+        let ranged = prop::collection::vec(any::<bool>(), 1..8);
+        for _ in 0..50 {
+            let len = ranged.sample(&mut rng).len();
+            assert!((1..8).contains(&len));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = crate::TestRng::from_name("arms");
+        let s = prop_oneof![(0u8..1).prop_map(|_| "lo"), (0u8..1).prop_map(|_| "hi"),];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(s.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_all_param_forms(a in 1usize..10, b: u64, c in prop::sample::select(vec![1, 2, 3]), d: bool) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(c >= 1 && c <= 3);
+            let _ = (b, d);
+        }
+
+        #[test]
+        fn trailing_comma_params_accepted(
+            x in 0.5f64..2.0,
+            y in 1u8..=4,
+        ) {
+            prop_assert!(x >= 0.5 && x < 2.0);
+            prop_assert!((1..=4).contains(&y));
+        }
+    }
+}

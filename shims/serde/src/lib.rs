@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds in an environment with no crates.io access, so the
+//! real serde cannot be fetched. Nothing in the workspace actually
+//! serializes data (the derives only mark types as serializable for future
+//! API stability), so this shim provides:
+//!
+//! - [`Serialize`] / [`Deserialize`] marker traits with blanket
+//!   implementations, so any type satisfies serde-style bounds, and
+//! - re-exported no-op derive macros accepting the standard syntax.
+//!
+//! Swapping back to the real serde is a one-line change in the workspace
+//! `Cargo.toml` once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type implements it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every type implements it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,22 @@
+//! No-op stand-in for `serde_derive`, used because this workspace builds
+//! in an offline environment with no registry access.
+//!
+//! The derive macros accept the usual `#[derive(Serialize, Deserialize)]`
+//! syntax (including `#[serde(...)]` helper attributes) and expand to
+//! nothing. The sibling `serde` shim provides blanket implementations of
+//! the `Serialize` / `Deserialize` marker traits, so derived types still
+//! satisfy serde-style bounds.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -15,11 +15,8 @@ fn gate_level_check(kernel: Kernel, width: usize) {
     let spec = CoreSpec::standard(config);
     let netlist = generate(&spec);
     let enc = config.encoding();
-    let words: Vec<u64> = prog
-        .instructions
-        .iter()
-        .map(|&i| enc.encode(i).unwrap() as u64)
-        .collect();
+    let words: Vec<u64> =
+        prog.instructions.iter().map(|&i| enc.encode(i).unwrap() as u64).collect();
     let mut gm = GateLevelMachine::new(&netlist, spec, words, prog.dmem_words);
     for &(addr, v) in &prog.inputs {
         gm.write_dmem(addr as usize, v);
@@ -62,9 +59,7 @@ fn program_specific_cores_work_at_gate_level() {
         let spec = CoreSpec::program_specific(config, &prog.instructions, &prog.name);
         let raw = generate(&spec);
         let netlist = opt::optimize(&raw);
-        let words = NarrowEncoding::new(spec.clone())
-            .encode_program(&prog.instructions)
-            .unwrap();
+        let words = NarrowEncoding::new(spec.clone()).encode_program(&prog.instructions).unwrap();
         let mut gm = GateLevelMachine::new(&netlist, spec, words, prog.dmem_words);
         for &(addr, v) in &prog.inputs {
             gm.write_dmem(addr as usize, v);

@@ -14,26 +14,23 @@ fn figure8_full_matrix_egfet() {
     assert!(cells.len() >= 50, "got {} cells", cells.len());
     // Every benchmark appears.
     for bench in printed_microprocessors::core::kernels::Kernel::ALL {
-        assert!(
-            cells.iter().any(|c| c.bench == bench),
-            "{bench} missing from Figure 8"
-        );
+        assert!(cells.iter().any(|c| c.bench == bench), "{bench} missing from Figure 8");
     }
     // Native-width cores are the fastest standard cores at every width.
     for bench in printed_microprocessors::core::kernels::Kernel::ALL {
         for &dw in bench.data_widths() {
             let group: Vec<_> = cells
                 .iter()
-                .filter(|c| c.bench == bench && c.data_width == dw && !c.program_specific && !c.rom_mlc)
+                .filter(|c| {
+                    c.bench == bench && c.data_width == dw && !c.program_specific && !c.rom_mlc
+                })
                 .collect();
             if group.len() < 2 {
                 continue;
             }
             let fastest = group
                 .iter()
-                .min_by(|a, b| {
-                    a.result.exec_time.partial_cmp(&b.result.exec_time).unwrap()
-                })
+                .min_by(|a, b| a.result.exec_time.partial_cmp(&b.result.exec_time).unwrap())
                 .unwrap();
             assert_eq!(
                 fastest.core_width, dw,
@@ -75,13 +72,8 @@ fn manufacturing_sweep_over_design_space() {
     let mut last_devices = 0;
     for width in [4usize, 8, 16, 32] {
         let nl = generate_standard(&CoreConfig::new(1, width, 2));
-        let r = manufacturing::report(
-            format!("p1_{width}_2"),
-            &nl,
-            Technology::Egfet,
-            0.9999,
-            0.15,
-        );
+        let r =
+            manufacturing::report(format!("p1_{width}_2"), &nl, Technology::Egfet, 0.9999, 0.15);
         assert!(r.devices > last_devices, "devices grow with width");
         last_devices = r.devices;
         assert!(r.yield_ > 0.0 && r.yield_ <= 1.0);

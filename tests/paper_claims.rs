@@ -65,10 +65,7 @@ fn order_of_magnitude_power_improvement() {
         .unwrap();
     let light8080 = BaselineCpu::Light8080.inventory(Technology::Egfet);
     let ratio = light8080.power().as_milliwatts() / best_8bit_power;
-    assert!(
-        ratio > 3.0,
-        "TP-ISA 8-bit core should be far below light8080 power (got {ratio:.1}x)"
-    );
+    assert!(ratio > 3.0, "TP-ISA 8-bit core should be far below light8080 power (got {ratio:.1}x)");
 }
 
 /// §8: single-cycle cores beat pipelined cores at the application level
@@ -77,10 +74,9 @@ fn order_of_magnitude_power_improvement() {
 #[test]
 fn single_stage_pipelines_win_at_application_level() {
     let kernel = kernels::generate(Kernel::Mult, 8, 8).unwrap();
-    let p1 = System::standard(CoreConfig::new(1, 8, 2), kernel.clone(), Technology::Egfet, 1)
-        .unwrap();
-    let p3 =
-        System::standard(CoreConfig::new(3, 8, 2), kernel, Technology::Egfet, 1).unwrap();
+    let p1 =
+        System::standard(CoreConfig::new(1, 8, 2), kernel.clone(), Technology::Egfet, 1).unwrap();
+    let p3 = System::standard(CoreConfig::new(3, 8, 2), kernel, Technology::Egfet, 1).unwrap();
     let r1 = p1.run();
     let r3 = p3.run();
     assert!(r3.cycles > r1.cycles, "stalls make the 3-stage core take more cycles");
@@ -110,10 +106,8 @@ fn program_specific_always_wins_at_matched_width() {
             continue;
         };
         let config = CoreConfig::new(1, width, 2);
-        let std_sys =
-            System::standard(config, kernel.clone(), Technology::Egfet, 1).unwrap();
-        let ps_sys =
-            System::program_specific(config, kernel, Technology::Egfet, 1).unwrap();
+        let std_sys = System::standard(config, kernel.clone(), Technology::Egfet, 1).unwrap();
+        let ps_sys = System::program_specific(config, kernel, Technology::Egfet, 1).unwrap();
         let s = std_sys.run();
         let p = ps_sys.run();
         assert!(
