@@ -20,4 +20,7 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "==> fault-injection campaign smoke"
+cargo run --release --example fault_injection >/dev/null
+
 echo "CI green."

@@ -21,7 +21,7 @@ use crate::isa::Flags;
 #[cfg(test)]
 use crate::isa::Instruction;
 use crate::specific::CoreSpec;
-use printed_netlist::{lint, words, NetId, Netlist, NetlistBuilder, Simulator};
+use printed_netlist::{lint, words, NetId, Netlist, NetlistBuilder, NetlistError, Simulator};
 use printed_pdk::Technology;
 use serde::{Deserialize, Serialize};
 
@@ -355,14 +355,30 @@ impl<'a> GateLevelMachine<'a> {
     /// Panics if the spec is not single-cycle (multi-stage cores are
     /// characterization-only).
     pub fn new(netlist: &'a Netlist, spec: CoreSpec, program: Vec<u64>, dmem_words: usize) -> Self {
+        Self::with_simulator(Simulator::new(netlist), spec, program, dmem_words)
+    }
+
+    /// Like [`GateLevelMachine::new`], but over a pre-built simulator —
+    /// the hook fault campaigns use to run programs on a core with
+    /// faults already injected (see [`crate::workload::ProgramWorkload`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is not single-cycle (multi-stage cores are
+    /// characterization-only).
+    pub fn with_simulator(
+        sim: Simulator<'a>,
+        spec: CoreSpec,
+        program: Vec<u64>,
+        dmem_words: usize,
+    ) -> Self {
         assert_eq!(spec.pipeline_stages, 1, "gate-level co-simulation supports single-cycle cores");
-        GateLevelMachine {
-            sim: Simulator::new(netlist),
-            spec,
-            program,
-            dmem: vec![0; dmem_words],
-            halted: false,
-        }
+        GateLevelMachine { sim, spec, program, dmem: vec![0; dmem_words], halted: false }
+    }
+
+    /// The underlying gate-level simulator.
+    pub fn simulator(&self) -> &Simulator<'a> {
+        &self.sim
     }
 
     /// Data memory contents.
@@ -411,26 +427,31 @@ impl<'a> GateLevelMachine<'a> {
     }
 
     /// Runs one clock cycle: fetch, execute, memory writeback.
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures — [`NetlistError::Unsettled`] if
+    /// the logic oscillates (possible under injected faults).
+    pub fn step(&mut self) -> Result<(), NetlistError> {
         if self.halted {
-            return;
+            return Ok(());
         }
         let pc = self.pc() as usize;
         let word = self.program.get(pc).copied().unwrap_or(0);
-        self.sim.set_input("instr", word).expect("core exposes instr");
-        self.sim.settle();
+        self.sim.set_input("instr", word)?;
+        self.sim.settle()?;
         // Addresses are combinational on the instruction and BAR state.
-        let addr_a = self.sim.read_output("addr_a").expect("addr_a") as usize;
-        let addr_b = self.sim.read_output("addr_b").expect("addr_b") as usize;
+        let addr_a = self.sim.read_output("addr_a")? as usize;
+        let addr_b = self.sim.read_output("addr_b")? as usize;
         let ra = self.dmem.get(addr_a).copied().unwrap_or(0);
         let rb = self.dmem.get(addr_b).copied().unwrap_or(0);
-        self.sim.set_input("rdata_a", ra).expect("rdata_a");
-        self.sim.set_input("rdata_b", rb).expect("rdata_b");
-        self.sim.settle();
-        let we = self.sim.read_output("we").expect("we") == 1;
-        let wdata = self.sim.read_output("wdata").expect("wdata");
-        let wb_addr = self.sim.read_output("wb_addr").expect("wb_addr") as usize;
-        self.sim.step();
+        self.sim.set_input("rdata_a", ra)?;
+        self.sim.set_input("rdata_b", rb)?;
+        self.sim.settle()?;
+        let we = self.sim.read_output("we")? == 1;
+        let wdata = self.sim.read_output("wdata")?;
+        let wb_addr = self.sim.read_output("wb_addr")? as usize;
+        self.sim.step()?;
         if we {
             if let Some(slot) = self.dmem.get_mut(wb_addr) {
                 *slot = wdata
@@ -445,16 +466,21 @@ impl<'a> GateLevelMachine<'a> {
         if self.pc() as usize == pc {
             self.halted = true;
         }
+        Ok(())
     }
 
     /// Runs until halted or `max_cycles` elapse; returns cycles run.
-    pub fn run(&mut self, max_cycles: u64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation failure from any cycle.
+    pub fn run(&mut self, max_cycles: u64) -> Result<u64, NetlistError> {
         let mut cycles = 0;
         while !self.halted && cycles < max_cycles {
-            self.step();
+            self.step()?;
             cycles += 1;
         }
-        cycles
+        Ok(cycles)
     }
 
     /// Switching statistics of the underlying gate-level simulation.
@@ -550,7 +576,7 @@ mod tests {
         let nl = generate_standard(&config);
         let words = encode_program(&config, &prog.instructions);
         let mut gm = GateLevelMachine::new(&nl, CoreSpec::standard(config), words, 16);
-        gm.run(100);
+        gm.run(100).unwrap();
         assert!(gm.is_halted());
         assert_eq!(gm.dmem()[0], 42);
         assert!(gm.flags().bits() != 0 || gm.dmem()[0] == 42);
@@ -579,7 +605,7 @@ mod tests {
         let words = encode_program(&config, &prog.instructions);
         let mut gate = GateLevelMachine::new(&nl, CoreSpec::standard(config), words, 32);
         let mut iss = Machine::new(config, prog.instructions.clone(), 32);
-        gate.run(1000);
+        gate.run(1000).unwrap();
         iss.run(1000).unwrap();
         assert!(gate.is_halted() && iss.is_halted());
         for addr in 0..32 {
@@ -604,7 +630,7 @@ mod tests {
         let nl = generate_standard(&config);
         let words = encode_program(&config, &prog.instructions);
         let mut gate = GateLevelMachine::new(&nl, CoreSpec::standard(config), words, 64);
-        gate.run(100);
+        gate.run(100).unwrap();
         assert_eq!(gate.dmem()[0x11], 11);
         assert_eq!(gate.dmem()[0x22], 22);
         assert_eq!(gate.dmem()[0x33], 33);

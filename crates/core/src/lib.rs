@@ -39,6 +39,7 @@ pub mod isa;
 pub mod kernels;
 pub mod sim;
 pub mod specific;
+pub mod workload;
 
 pub use config::CoreConfig;
 pub use generator::{
@@ -47,3 +48,4 @@ pub use generator::{
 pub use isa::{AluOp, Encoding, Flags, Instruction, IsaError, Operand};
 pub use sim::{ExecError, Machine, RunSummary, StepOutcome};
 pub use specific::{analyze, CoreSpec, NarrowEncoding, ProgramAnalysis};
+pub use workload::ProgramWorkload;

@@ -1,0 +1,220 @@
+//! Program-level workloads for fault-injection campaigns on TP-ISA cores.
+//!
+//! [`ProgramWorkload`] adapts the gate-level co-simulation harness
+//! ([`crate::generator::GateLevelMachine`]) to the campaign engine in
+//! [`printed_netlist::fault`]: each fault run boots the core netlist
+//! (with the fault pre-injected), executes an encoded TP-ISA program, and
+//! signs the architectural outcome — final data memory, PC, and flags —
+//! so the campaign can tell a masked defect from silent data corruption.
+//!
+//! ```
+//! use printed_core::workload::ProgramWorkload;
+//! use printed_core::{generate_standard, CoreConfig};
+//! use printed_netlist::fault::{run_campaign, CampaignConfig, StuckAtSpace};
+//!
+//! let config = CoreConfig::new(1, 4, 2);
+//! let netlist = generate_standard(&config);
+//! let workload = ProgramWorkload::smoke(config);
+//! let campaign = CampaignConfig {
+//!     stuck_at: StuckAtSpace::Sampled(4),
+//!     ..CampaignConfig::default()
+//! };
+//! let result = run_campaign(&netlist, &workload, &campaign)?;
+//! assert_eq!(result.runs.len(), 4);
+//! # Ok::<(), printed_netlist::fault::CampaignError>(())
+//! ```
+
+use crate::config::CoreConfig;
+use crate::generator::GateLevelMachine;
+use crate::isa::{Instruction, IsaError};
+use crate::kernels::KernelProgram;
+use crate::specific::CoreSpec;
+use printed_netlist::fault::{Observation, Workload};
+use printed_netlist::{NetlistError, Simulator, TMR_ERROR_PORT};
+
+/// A fixed TP-ISA program run as a fault-campaign workload on a
+/// single-cycle core netlist (standard or TMR-hardened).
+#[derive(Debug, Clone)]
+pub struct ProgramWorkload {
+    spec: CoreSpec,
+    program: Vec<u64>,
+    dmem_words: usize,
+    inputs: Vec<(usize, u64)>,
+}
+
+impl ProgramWorkload {
+    /// Encodes `instructions` for the standard layout of `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IsaError`] if an instruction does not encode
+    /// under the config's field widths.
+    pub fn new(
+        config: CoreConfig,
+        instructions: &[Instruction],
+        dmem_words: usize,
+    ) -> Result<Self, IsaError> {
+        let enc = config.encoding();
+        let program = instructions
+            .iter()
+            .map(|&i| enc.encode(i).map(|w| w as u64))
+            .collect::<Result<Vec<u64>, IsaError>>()?;
+        Ok(ProgramWorkload {
+            spec: CoreSpec::standard(config),
+            program,
+            dmem_words,
+            inputs: Vec::new(),
+        })
+    }
+
+    /// Wraps a generated benchmark kernel, preloading its input words.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IsaError`] if the kernel does not encode under
+    /// the config's field widths.
+    pub fn from_kernel(kernel: &KernelProgram, config: CoreConfig) -> Result<Self, IsaError> {
+        assert_eq!(
+            config.datawidth, kernel.core_width,
+            "kernel was generated for a {}-bit core",
+            kernel.core_width
+        );
+        let mut workload = Self::new(config, &kernel.instructions, kernel.dmem_words)?;
+        workload.inputs =
+            kernel.inputs.iter().map(|&(addr, value)| (addr as usize, value)).collect();
+        Ok(workload)
+    }
+
+    /// A short branch-free arithmetic/logic/rotate program whose
+    /// immediates and addresses fit every design point down to the 4-bit
+    /// cores — the standard stimulus for design-space fault campaigns,
+    /// where full benchmark kernels would make exhaustive stuck-at
+    /// enumeration too slow.
+    pub fn smoke(config: CoreConfig) -> Self {
+        let src = "
+            STORE [0], #5
+            STORE [1], #3
+            ADD   [0], [1]
+            NOT   [2], [0]
+            XOR   [3], [3]
+            RL    [4], [1]
+            HALT
+        ";
+        let prog = crate::asm::assemble(src).expect("smoke program assembles");
+        Self::new(config, &prog.instructions, 8).expect("smoke program encodes everywhere")
+    }
+
+    /// Static instruction count of the encoded program.
+    pub fn instruction_count(&self) -> usize {
+        self.program.len()
+    }
+}
+
+impl Workload for ProgramWorkload {
+    fn run(&self, sim: Simulator<'_>, cycle_budget: u64) -> Result<Observation, NetlistError> {
+        let has_detect = sim.netlist().output_ports().contains_key(TMR_ERROR_PORT);
+        let mut machine = GateLevelMachine::with_simulator(
+            sim,
+            self.spec.clone(),
+            self.program.clone(),
+            self.dmem_words,
+        );
+        for &(addr, value) in &self.inputs {
+            machine.write_dmem(addr, value);
+        }
+        let mut cycles = 0;
+        let mut detected = false;
+        while !machine.is_halted() && cycles < cycle_budget {
+            machine.step()?;
+            cycles += 1;
+            if has_detect && machine.simulator().read_output(TMR_ERROR_PORT)? != 0 {
+                detected = true;
+            }
+        }
+        // The architectural signature: all of data memory plus PC and
+        // flags. Any divergence from the golden run is data corruption.
+        let mut signature = machine.dmem().to_vec();
+        signature.push(machine.pc());
+        signature.push(machine.flags().bits() as u64);
+        Ok(Observation { signature, completed: machine.is_halted(), cycles, detected })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_standard;
+    use printed_netlist::fault::{
+        classify_fault, run_campaign, CampaignConfig, Fault, FaultKind, Outcome, StuckAtSpace,
+    };
+    use printed_netlist::{tmr, GateId, TmrOptions};
+
+    #[test]
+    fn smoke_program_encodes_on_every_single_cycle_design_point() {
+        for config in CoreConfig::design_space() {
+            if config.pipeline_stages != 1 {
+                continue;
+            }
+            let w = ProgramWorkload::smoke(config);
+            assert!(w.instruction_count() >= 7, "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn fault_free_smoke_run_halts_with_the_expected_result() {
+        let config = CoreConfig::new(1, 8, 2);
+        let nl = generate_standard(&config);
+        let w = ProgramWorkload::smoke(config);
+        let obs = w.run(Simulator::new(&nl), 1000).unwrap();
+        assert!(obs.completed);
+        assert!(!obs.detected);
+        // STORE/ADD: dmem[0] = 5 + 3.
+        assert_eq!(obs.signature[0], 8);
+        assert_eq!(obs.signature[1], 3);
+        // NOT [2],[0] = !8 (8-bit).
+        assert_eq!(obs.signature[2], 0xF7);
+        assert_eq!(obs.signature[3], 0);
+    }
+
+    #[test]
+    fn campaign_on_a_tiny_core_masks_some_faults_and_corrupts_others() {
+        let config = CoreConfig::new(1, 4, 2);
+        let nl = generate_standard(&config);
+        let w = ProgramWorkload::smoke(config);
+        let campaign = CampaignConfig {
+            stuck_at: StuckAtSpace::Sampled(40),
+            seu_samples: 8,
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign(&nl, &w, &campaign).unwrap();
+        assert_eq!(result.runs.len(), 48);
+        let counts = result.counts();
+        assert!(counts.masked > 0, "some faults must be architecturally masked: {counts:?}");
+        assert!(counts.sdc + counts.hang > 0, "some faults must break the program: {counts:?}");
+    }
+
+    #[test]
+    fn tmr_core_masks_an_seu_that_corrupts_the_plain_core() {
+        let config = CoreConfig::new(1, 4, 2);
+        let nl = generate_standard(&config);
+        let hardened = tmr(&nl, TmrOptions::default()).unwrap();
+        let w = ProgramWorkload::smoke(config);
+        // Find an SEU that visibly corrupts the plain core: flip each
+        // architectural register at cycle 2 until one produces SDC.
+        let seu = (0..nl.gate_count())
+            .filter(|&i| nl.gates()[i].is_sequential())
+            .map(|i| Fault { gate: GateId::from_index(i), kind: FaultKind::Seu { cycle: 2 } })
+            .find(|&f| classify_fault(&nl, &w, f, 1000).unwrap() != Outcome::Masked)
+            .expect("some register upset corrupts the unhardened core");
+        // Every single-register SEU on the hardened core is voted away.
+        let campaign = CampaignConfig {
+            stuck_at: StuckAtSpace::None,
+            seu_samples: 12,
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign(&hardened, &w, &campaign).unwrap();
+        let counts = result.counts();
+        assert_eq!(counts.masked, counts.total(), "TMR masks every single SEU: {counts:?}");
+        let _ = seu;
+    }
+}

@@ -180,7 +180,7 @@ proptest! {
             gate.write_dmem(addr, s & 0xFF);
         }
         iss.run(10_000).unwrap();
-        gate.run(10_000);
+        gate.run(10_000).unwrap();
         prop_assert!(gate.is_halted());
         for addr in 0..256 {
             prop_assert_eq!(

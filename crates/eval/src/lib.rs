@@ -11,6 +11,8 @@
 //! - [`tables`]: Tables 1–8,
 //! - [`lifetime`]: battery-lifetime curves (Figures 4 and 5),
 //! - [`headline`]: the abstract's improvement ratios,
+//! - [`robustness`]: fault-injection campaigns, functional yield, and
+//!   TMR hardening cost across the design space,
 //! - [`report`]: text-table rendering.
 
 #![warn(missing_docs)]
@@ -23,8 +25,10 @@ pub mod headline;
 pub mod lifetime;
 pub mod manufacturing;
 pub mod report;
+pub mod robustness;
 pub mod system;
 pub mod tables;
 
 pub use figures::{figure7, figure8, DesignPoint, Figure8Cell};
+pub use robustness::{RobustnessOptions, RobustnessRow, TmrComparison};
 pub use system::{BenchmarkResult, Breakdown, CoreFlavor, System};

@@ -8,7 +8,7 @@
 //! process variation?*
 
 use printed_baselines::CellInventory;
-use printed_netlist::variation::{fmax_distribution, FmaxDistribution};
+use printed_netlist::variation::{fmax_distribution, FmaxDistribution, VariationError};
 use printed_netlist::Netlist;
 use printed_pdk::units::Frequency;
 use printed_pdk::yield_model::{self, cell_devices};
@@ -48,6 +48,10 @@ pub fn inventory_devices(inventory: &CellInventory) -> usize {
 
 /// Builds the full manufacturing report for a generated core netlist.
 ///
+/// # Errors
+///
+/// Returns a [`VariationError`] if `delay_sigma` is negative.
+///
 /// # Panics
 ///
 /// Panics if `device_yield` is outside `(0, 1]` (see
@@ -58,18 +62,18 @@ pub fn report(
     technology: Technology,
     device_yield: f64,
     delay_sigma: f64,
-) -> ManufacturingReport {
+) -> Result<ManufacturingReport, VariationError> {
     let devices = netlist_devices(netlist, technology);
     let yield_ = yield_model::circuit_yield(devices, device_yield);
-    let fmax = fmax_distribution(netlist, technology.library(), delay_sigma, 64, 0x5EED);
-    ManufacturingReport {
+    let fmax = fmax_distribution(netlist, technology.library(), delay_sigma, 64, 0x5EED)?;
+    Ok(ManufacturingReport {
         name: name.into(),
         devices,
         yield_,
         prints_per_unit: 1.0 / yield_.max(f64::MIN_POSITIVE),
-        guard_banded_fmax: fmax.guard_banded(0.95),
+        guard_banded_fmax: fmax.guard_banded(0.95)?,
         fmax,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -97,7 +101,7 @@ mod tests {
     #[test]
     fn report_is_internally_consistent() {
         let nl = generate_standard(&CoreConfig::new(1, 8, 2));
-        let r = report("p1_8_2", &nl, Technology::Egfet, 0.9999, 0.15);
+        let r = report("p1_8_2", &nl, Technology::Egfet, 0.9999, 0.15).unwrap();
         assert!(r.devices > 500);
         assert!((r.prints_per_unit * r.yield_ - 1.0).abs() < 1e-9);
         assert!(r.guard_banded_fmax <= r.fmax.max);

@@ -320,7 +320,7 @@ mod tests {
         for i in 0..64u64 {
             sim.set_input("a", i % 4).unwrap();
             sim.set_input("b", 1).unwrap();
-            sim.step();
+            sim.step().unwrap();
         }
         let f = Frequency::from_hertz(10.0);
         let uniform = power(&nl, lib, f, ActivityModel::Uniform(0.88));

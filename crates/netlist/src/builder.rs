@@ -23,6 +23,157 @@ use crate::ir::{Gate, NetId, Netlist, NetlistError, Region};
 use printed_pdk::CellKind;
 use std::collections::BTreeMap;
 
+/// Name of the single-bit error-detection output added by [`tmr`] when
+/// [`TmrOptions::error_output`] is set: high whenever the three register
+/// replicas disagree. Excluded from workload signatures by
+/// [`crate::fault::PatternWorkload`] and used to classify faults as
+/// detected.
+pub const TMR_ERROR_PORT: &str = "tmr_err";
+
+/// Options for the [`tmr`] transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmrOptions {
+    /// Emit the [`TMR_ERROR_PORT`] output (an OR-tree over per-register
+    /// replica-mismatch detectors). Costs two XOR2 + one OR2 per register
+    /// plus the reduction tree.
+    pub error_output: bool,
+}
+
+impl Default for TmrOptions {
+    fn default() -> Self {
+        TmrOptions { error_output: true }
+    }
+}
+
+/// Appends a two-input combinational gate driving a fresh net.
+fn push_comb(
+    gates: &mut Vec<Gate>,
+    regions: &mut Vec<Region>,
+    net_count: &mut u32,
+    kind: CellKind,
+    a: NetId,
+    b: NetId,
+) -> NetId {
+    let output = NetId(*net_count);
+    *net_count += 1;
+    gates.push(Gate { kind, inputs: vec![a, b], output });
+    regions.push(Region::Combinational);
+    output
+}
+
+/// Triple-modular-redundancy transform: every sequential cell
+/// (`Dff`/`DffNr`/`Latch`) is triplicated and its fanout rewired through a
+/// majority voter built from library cells
+/// (`maj = NAND(AND(NAND(q0,q1), NAND(q0,q2)), NAND(q1,q2))`), so any
+/// single replica upset — and any single stuck-at inside one replica — is
+/// corrected in place. Because all three replicas recapture the same
+/// (voted) D input on the next edge, an upset replica self-heals after one
+/// cycle.
+///
+/// With [`TmrOptions::error_output`], a [`TMR_ERROR_PORT`] output is added
+/// that goes high whenever the replicas disagree, enabling
+/// detected-error classification in fault campaigns.
+///
+/// Combinational logic is left untouched, so the transform hardens state
+/// (the SEU target) at a cost of `2× registers + ~5 voter gates per
+/// register`, measurable through [`crate::analysis`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::DuplicatePort`] if the design already has an
+/// output named [`TMR_ERROR_PORT`], or any invariant violation found while
+/// re-validating the transformed netlist.
+pub fn tmr(netlist: &Netlist, options: TmrOptions) -> Result<Netlist, NetlistError> {
+    if options.error_output && netlist.outputs.contains_key(TMR_ERROR_PORT) {
+        return Err(NetlistError::DuplicatePort(TMR_ERROR_PORT.to_string()));
+    }
+    let mut net_count = netlist.net_count;
+    let mut gates = netlist.gates.clone();
+    let mut regions = netlist.regions.clone();
+    let mut const0 = netlist.const0;
+    let mut outputs = netlist.outputs.clone();
+
+    let sequential: Vec<usize> = (0..gates.len()).filter(|&i| gates[i].is_sequential()).collect();
+    let mut mismatches = Vec::with_capacity(sequential.len());
+    for &i in &sequential {
+        let kind = gates[i].kind;
+        let inputs = gates[i].inputs.clone();
+        let q = gates[i].output;
+        // Replica outputs: the original cell is retargeted to q0, two
+        // copies drive q1/q2, and the voter reclaims the original q net
+        // so every consumer (including feedback into D) sees the voted
+        // value.
+        let q0 = NetId(net_count);
+        let q1 = NetId(net_count + 1);
+        let q2 = NetId(net_count + 2);
+        net_count += 3;
+        gates[i].output = q0;
+        for replica in [q1, q2] {
+            gates.push(Gate { kind, inputs: inputs.clone(), output: replica });
+            regions.push(Region::Registers);
+        }
+        let n01 = push_comb(&mut gates, &mut regions, &mut net_count, CellKind::Nand2, q0, q1);
+        let n02 = push_comb(&mut gates, &mut regions, &mut net_count, CellKind::Nand2, q0, q2);
+        let n12 = push_comb(&mut gates, &mut regions, &mut net_count, CellKind::Nand2, q1, q2);
+        let both = push_comb(&mut gates, &mut regions, &mut net_count, CellKind::And2, n01, n02);
+        gates.push(Gate { kind: CellKind::Nand2, inputs: vec![both, n12], output: q });
+        regions.push(Region::Combinational);
+        if options.error_output {
+            let x01 = push_comb(&mut gates, &mut regions, &mut net_count, CellKind::Xor2, q0, q1);
+            let x02 = push_comb(&mut gates, &mut regions, &mut net_count, CellKind::Xor2, q0, q2);
+            mismatches.push(push_comb(
+                &mut gates,
+                &mut regions,
+                &mut net_count,
+                CellKind::Or2,
+                x01,
+                x02,
+            ));
+        }
+    }
+
+    if options.error_output {
+        // Balanced OR reduction of the per-register mismatch bits.
+        let mut layer = mismatches;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(if let [a, b] = *pair {
+                    push_comb(&mut gates, &mut regions, &mut net_count, CellKind::Or2, a, b)
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        let err_net = match layer.first() {
+            Some(&net) => net,
+            // A purely combinational design never mismatches: tie low.
+            None => *const0.get_or_insert_with(|| {
+                let n = NetId(net_count);
+                net_count += 1;
+                n
+            }),
+        };
+        outputs.insert(TMR_ERROR_PORT.to_string(), vec![err_net]);
+    }
+
+    let topo = topo_sort(net_count, &gates)?;
+    let hardened = Netlist {
+        name: format!("{}_tmr", netlist.name),
+        net_count,
+        gates,
+        regions,
+        inputs: netlist.inputs.clone(),
+        outputs,
+        const0,
+        const1: netlist.const1,
+        topo,
+    };
+    hardened.validate()?;
+    Ok(hardened)
+}
+
 /// Incrementally builds a [`Netlist`], enforcing the single-driver rule and
 /// checking for combinational cycles when [`NetlistBuilder::finish`] is
 /// called.
@@ -440,6 +591,107 @@ mod tests {
         b.output("q", vec![q2]);
         let nl = b.finish().unwrap();
         assert_eq!(nl.sequential_count(), 2);
+    }
+
+    fn two_bit_counter() -> Netlist {
+        let mut b = NetlistBuilder::new("cnt2");
+        let q0 = b.forward_net();
+        let q1 = b.forward_net();
+        let d0 = b.inv(q0);
+        let d1 = b.xor2(q1, q0);
+        b.dff_into(d0, q0);
+        b.dff_into(d1, q1);
+        b.output("count", vec![q0, q1]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn tmr_preserves_behavior_and_stays_quiet_fault_free() {
+        use crate::sim::Simulator;
+        let base = two_bit_counter();
+        let hard = tmr(&base, TmrOptions::default()).unwrap();
+        assert_eq!(hard.sequential_count(), 3 * base.sequential_count());
+        assert_eq!(hard.name(), "cnt2_tmr");
+        assert!(hard.output_ports().contains_key(TMR_ERROR_PORT));
+        let mut a = Simulator::new(&base);
+        let mut h = Simulator::new(&hard);
+        for _ in 0..8 {
+            a.step().unwrap();
+            h.step().unwrap();
+            assert_eq!(a.read_output("count").unwrap(), h.read_output("count").unwrap());
+            assert_eq!(h.read_output(TMR_ERROR_PORT).unwrap(), 0, "no mismatch fault-free");
+        }
+    }
+
+    #[test]
+    fn tmr_masks_detects_and_self_heals_a_single_seu() {
+        use crate::fault::{Fault, FaultKind, FaultMap};
+        use crate::ir::GateId;
+        use crate::sim::Simulator;
+        let base = two_bit_counter();
+        let hard = tmr(&base, TmrOptions::default()).unwrap();
+        let replica = hard
+            .gates()
+            .iter()
+            .position(|g| g.is_sequential())
+            .expect("hardened counter has registers") as u32;
+
+        let mut golden = Simulator::new(&hard);
+        let mut upset = Simulator::new(&hard);
+        upset.inject(FaultMap::single(
+            &hard,
+            Fault { gate: GateId(replica), kind: FaultKind::Seu { cycle: 2 } },
+        ));
+        for cycle in 0..8u64 {
+            golden.step().unwrap();
+            upset.step().unwrap();
+            assert_eq!(
+                golden.read_output("count").unwrap(),
+                upset.read_output("count").unwrap(),
+                "voter masks the upset at cycle {cycle}"
+            );
+            let err = upset.read_output(TMR_ERROR_PORT).unwrap();
+            if cycle == 2 {
+                assert_eq!(err, 1, "mismatch detected on the upset cycle");
+            } else {
+                assert_eq!(err, 0, "replicas re-converge after one edge (cycle {cycle})");
+            }
+        }
+    }
+
+    #[test]
+    fn tmr_without_error_output_adds_no_port() {
+        let base = two_bit_counter();
+        let hard = tmr(&base, TmrOptions { error_output: false }).unwrap();
+        assert!(!hard.output_ports().contains_key(TMR_ERROR_PORT));
+        // 2 replicas + 5 voter gates per register, nothing else.
+        assert_eq!(hard.gate_count(), base.gate_count() + 7 * base.sequential_count());
+    }
+
+    #[test]
+    fn tmr_on_combinational_design_ties_error_low() {
+        use crate::sim::Simulator;
+        let mut b = NetlistBuilder::new("comb");
+        let a = b.input_bit("a");
+        let y = b.inv(a);
+        b.output("y", vec![y]);
+        let base = b.finish().unwrap();
+        let hard = tmr(&base, TmrOptions::default()).unwrap();
+        let mut sim = Simulator::new(&hard);
+        sim.settle().unwrap();
+        assert_eq!(sim.read_output(TMR_ERROR_PORT).unwrap(), 0);
+    }
+
+    #[test]
+    fn tmr_rejects_a_colliding_error_port() {
+        let mut b = NetlistBuilder::new("clash");
+        let a = b.input_bit("a");
+        b.output(TMR_ERROR_PORT, vec![a]);
+        let base = b.finish().unwrap();
+        assert_eq!(
+            tmr(&base, TmrOptions::default()),
+            Err(NetlistError::DuplicatePort(TMR_ERROR_PORT.to_string()))
+        );
     }
 
     #[test]

@@ -1,0 +1,831 @@
+//! Fault models, fault-injection campaigns, and vulnerability statistics.
+//!
+//! Section 3.1 of the paper reports 90–99 % *device* yield for printed
+//! EGFETs, yet the classic circuit-yield model (`Y = y^n`, see
+//! [`printed_pdk::yield_model`]) treats every defective device as fatal.
+//! In reality many defects are architecturally masked: a stuck-at fault
+//! on a gate that a workload never sensitizes does not change the output.
+//! This module turns the gate-level [`Simulator`] into a robustness
+//! instrument that measures exactly that.
+//!
+//! Fault models:
+//! - **stuck-at-0 / stuck-at-1** on any gate output (a shorted or open
+//!   printed device permanently forcing the node), and
+//! - **single-event upsets (SEU)**: a transient bit-flip of a `Dff`,
+//!   `DffNr`, or `Latch` state on a chosen clock edge.
+//!
+//! A [`FaultMap`] carries the injected faults; [`run_campaign`] enumerates
+//! single-fault runs of a [`Workload`] and classifies each as
+//! [`Outcome::Masked`], [`Outcome::SilentDataCorruption`],
+//! [`Outcome::Hang`], or [`Outcome::Detected`] against the fault-free
+//! golden run. Campaigns are deterministic under a fixed seed.
+//!
+//! ```
+//! use printed_netlist::fault::{
+//!     run_campaign, CampaignConfig, PatternWorkload, StuckAtSpace,
+//! };
+//! use printed_netlist::NetlistBuilder;
+//!
+//! // A toggle flip-flop with its inverter.
+//! let mut b = NetlistBuilder::new("divider");
+//! let q = b.forward_net();
+//! let d = b.inv(q);
+//! b.dff_into(d, q);
+//! b.output("q", vec![q]);
+//! let nl = b.finish()?;
+//!
+//! let workload = PatternWorkload { cycles: 8, seed: 1 };
+//! let config = CampaignConfig {
+//!     stuck_at: StuckAtSpace::Exhaustive,
+//!     seu_samples: 4,
+//!     ..CampaignConfig::default()
+//! };
+//! let result = run_campaign(&nl, &workload, &config).expect("golden run completes");
+//! // Two stuck-at polarities per gate plus the sampled SEUs.
+//! assert_eq!(result.runs.len(), 2 * nl.gate_count() + 4);
+//! # Ok::<(), printed_netlist::NetlistError>(())
+//! ```
+
+use crate::builder::TMR_ERROR_PORT;
+use crate::ir::{GateId, Netlist, NetlistError};
+use crate::sim::Simulator;
+use printed_pdk::{yield_model, CellKind, Technology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of a single injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Gate output permanently forced low.
+    StuckAt0,
+    /// Gate output permanently forced high.
+    StuckAt1,
+    /// Transient bit-flip of a sequential cell's stored state on the
+    /// rising edge of the given cycle (0-based).
+    Seu {
+        /// Clock cycle on which the state flips.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StuckAt0 => f.write_str("sa0"),
+            FaultKind::StuckAt1 => f.write_str("sa1"),
+            FaultKind::Seu { cycle } => write!(f, "seu@{cycle}"),
+        }
+    }
+}
+
+/// One injected fault: a kind applied to a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The gate whose output (or state) is faulted.
+    pub gate: GateId,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on gate g{}", self.kind, self.gate.index())
+    }
+}
+
+/// The fault set a [`Simulator`] applies while evaluating a netlist.
+///
+/// Build one sized for a netlist with [`FaultMap::new`] (or
+/// [`FaultMap::single`] for the common one-fault case), then hand it to
+/// [`Simulator::inject`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultMap {
+    /// Forced output value per gate, indexed like `Netlist::gates`.
+    pub(crate) stuck: Vec<Option<bool>>,
+    /// Cycle index → gate indices whose stored state flips on that edge.
+    pub(crate) seu: BTreeMap<u64, Vec<u32>>,
+}
+
+impl FaultMap {
+    /// An empty fault map sized for `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        FaultMap { stuck: vec![None; netlist.gate_count()], seu: BTreeMap::new() }
+    }
+
+    /// A map containing exactly one fault.
+    pub fn single(netlist: &Netlist, fault: Fault) -> Self {
+        let mut map = FaultMap::new(netlist);
+        map.add(fault);
+        map
+    }
+
+    /// Adds a fault to the map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's gate index is outside the netlist the map
+    /// was sized for.
+    pub fn add(&mut self, fault: Fault) {
+        match fault.kind {
+            FaultKind::StuckAt0 => self.stuck[fault.gate.index()] = Some(false),
+            FaultKind::StuckAt1 => self.stuck[fault.gate.index()] = Some(true),
+            FaultKind::Seu { cycle } => {
+                assert!(fault.gate.index() < self.stuck.len(), "gate index out of range");
+                self.seu.entry(cycle).or_default().push(fault.gate.0);
+            }
+        }
+    }
+
+    /// Whether the map holds no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.stuck.iter().all(Option::is_none) && self.seu.is_empty()
+    }
+}
+
+/// What one workload run produced, for comparison against the golden run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// Workload-defined output trace or result words; any difference from
+    /// the golden signature is data corruption.
+    pub signature: Vec<u64>,
+    /// Whether the workload ran to completion within its cycle budget.
+    pub completed: bool,
+    /// Clock cycles actually simulated.
+    pub cycles: u64,
+    /// Whether an error-detection output (e.g. the TMR mismatch port)
+    /// fired during the run.
+    pub detected: bool,
+}
+
+/// A deterministic stimulus applied to a netlist under test.
+///
+/// The campaign engine creates a fresh [`Simulator`] per fault (with the
+/// fault pre-injected) and hands it over; the workload drives inputs,
+/// steps the clock, and reports an [`Observation`]. Implementations must
+/// be deterministic: the same netlist and budget must always produce the
+/// same observation, or fault classification is meaningless.
+pub trait Workload {
+    /// Runs the stimulus to completion or until `cycle_budget` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures ([`NetlistError::Unsettled`], port
+    /// errors); the campaign engine classifies a failing faulty run as a
+    /// hang.
+    fn run(&self, sim: Simulator<'_>, cycle_budget: u64) -> Result<Observation, NetlistError>;
+}
+
+/// A generic workload for netlists without a program-level harness:
+/// drives every input port with seeded pseudo-random values each cycle
+/// and signs every output port each cycle.
+///
+/// If the netlist carries a TMR error-detection port
+/// ([`TMR_ERROR_PORT`]), that port is excluded from the signature and
+/// instead sets [`Observation::detected`] when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternWorkload {
+    /// Cycles of random stimulus (clamped to the campaign cycle budget).
+    pub cycles: u64,
+    /// Seed for the input pattern stream.
+    pub seed: u64,
+}
+
+impl Workload for PatternWorkload {
+    fn run(&self, mut sim: Simulator<'_>, cycle_budget: u64) -> Result<Observation, NetlistError> {
+        let in_ports: Vec<String> = sim.netlist().input_ports().keys().cloned().collect();
+        let out_ports: Vec<String> = sim
+            .netlist()
+            .output_ports()
+            .keys()
+            .filter(|name| name.as_str() != TMR_ERROR_PORT)
+            .cloned()
+            .collect();
+        let has_detect = sim.netlist().output_ports().contains_key(TMR_ERROR_PORT);
+        let cycles = self.cycles.min(cycle_budget);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut signature = Vec::new();
+        let mut detected = false;
+        for _ in 0..cycles {
+            for port in &in_ports {
+                sim.set_input(port, rng.gen::<u64>())?;
+            }
+            sim.step()?;
+            for port in &out_ports {
+                signature.push(sim.read_output(port)?);
+            }
+            if has_detect && sim.read_output(TMR_ERROR_PORT)? != 0 {
+                detected = true;
+            }
+        }
+        Ok(Observation { signature, completed: true, cycles, detected })
+    }
+}
+
+/// How one faulty run compares to the golden run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Outcome {
+    /// Output signature identical to the golden run — the fault is
+    /// architecturally masked (possibly by active correction, e.g. TMR).
+    Masked,
+    /// An error-detection output fired; the failure is not silent.
+    Detected,
+    /// The workload did not complete within the cycle budget.
+    Hang,
+    /// The run completed but produced a different signature.
+    SilentDataCorruption,
+}
+
+impl Outcome {
+    /// Short stable name, used in CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::Detected => "detected",
+            Outcome::Hang => "hang",
+            Outcome::SilentDataCorruption => "sdc",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome tallies for a set of fault runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Runs with golden-identical signatures.
+    pub masked: usize,
+    /// Runs flagged by an error-detection output.
+    pub detected: usize,
+    /// Runs that exceeded the cycle budget.
+    pub hang: usize,
+    /// Runs that completed with corrupted output.
+    pub sdc: usize,
+}
+
+impl OutcomeCounts {
+    /// Tallies one outcome.
+    pub fn add(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Masked => self.masked += 1,
+            Outcome::Detected => self.detected += 1,
+            Outcome::Hang => self.hang += 1,
+            Outcome::SilentDataCorruption => self.sdc += 1,
+        }
+    }
+
+    /// Total runs tallied.
+    pub fn total(&self) -> usize {
+        self.masked + self.detected + self.hang + self.sdc
+    }
+
+    /// Fraction of runs that were masked (0 when no runs were tallied).
+    pub fn masked_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.masked as f64 / self.total() as f64
+        }
+    }
+
+    /// Fault coverage: fraction of runs that were masked *or* detected —
+    /// i.e. not a silent failure mode.
+    pub fn coverage(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.masked + self.detected) as f64 / self.total() as f64
+        }
+    }
+}
+
+/// How the stuck-at fault space is explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StuckAtSpace {
+    /// Both polarities on every gate output.
+    Exhaustive,
+    /// A seeded random sample of the given size.
+    Sampled(usize),
+    /// No stuck-at faults (SEU-only campaign).
+    None,
+}
+
+/// Campaign parameters. All sampling is seeded, so a config fully
+/// determines the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Hard cycle cap for any single run. Faulty runs are additionally
+    /// capped at `4 × golden cycles + 8` so a wedged design is declared a
+    /// hang quickly.
+    pub cycle_budget: u64,
+    /// Stuck-at exploration strategy.
+    pub stuck_at: StuckAtSpace,
+    /// Monte-Carlo SEU samples (uniform over sequential gates × golden
+    /// cycles).
+    pub seu_samples: usize,
+    /// Seed for all sampled fault selection.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            cycle_budget: 10_000,
+            stuck_at: StuckAtSpace::Exhaustive,
+            seu_samples: 0,
+            seed: 0xFA17,
+        }
+    }
+}
+
+/// One classified fault run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRun {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Library cell of the faulted gate, for per-class statistics.
+    pub cell: CellKind,
+    /// Classification against the golden run.
+    pub outcome: Outcome,
+}
+
+/// Result of a full fault-injection campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Name of the netlist under test.
+    pub design: String,
+    /// Gate count of the netlist under test.
+    pub gate_count: usize,
+    /// The fault-free reference observation.
+    pub golden: Observation,
+    /// Every classified fault run, in deterministic enumeration order.
+    pub runs: Vec<FaultRun>,
+}
+
+impl CampaignResult {
+    /// Outcome tallies over runs selected by `pred`.
+    fn counts_where(&self, pred: impl Fn(&FaultRun) -> bool) -> OutcomeCounts {
+        let mut counts = OutcomeCounts::default();
+        for run in self.runs.iter().filter(|r| pred(r)) {
+            counts.add(run.outcome);
+        }
+        counts
+    }
+
+    /// Outcome tallies over all runs.
+    pub fn counts(&self) -> OutcomeCounts {
+        self.counts_where(|_| true)
+    }
+
+    /// Outcome tallies over the stuck-at runs only.
+    pub fn stuck_counts(&self) -> OutcomeCounts {
+        self.counts_where(|r| !matches!(r.fault.kind, FaultKind::Seu { .. }))
+    }
+
+    /// Outcome tallies over the SEU runs only.
+    pub fn seu_counts(&self) -> OutcomeCounts {
+        self.counts_where(|r| matches!(r.fault.kind, FaultKind::Seu { .. }))
+    }
+
+    /// Per-cell-class vulnerability: outcome tallies keyed by library
+    /// cell. The paper's DFF-heavy cells dominate both device count and
+    /// fault impact, which this makes measurable.
+    pub fn by_cell_class(&self) -> BTreeMap<CellKind, OutcomeCounts> {
+        let mut classes: BTreeMap<CellKind, OutcomeCounts> = BTreeMap::new();
+        for run in &self.runs {
+            classes.entry(run.cell).or_default().add(run.outcome);
+        }
+        classes
+    }
+
+    /// Per-gate stuck-at tallies: `(masked, total)` indexed like
+    /// `Netlist::gates`. Gates the campaign never faulted have `total`
+    /// zero.
+    pub fn stuck_by_gate(&self) -> Vec<(usize, usize)> {
+        let mut per_gate = vec![(0usize, 0usize); self.gate_count];
+        for run in &self.runs {
+            if matches!(run.fault.kind, FaultKind::Seu { .. }) {
+                continue;
+            }
+            let slot = &mut per_gate[run.fault.gate.index()];
+            slot.1 += 1;
+            if run.outcome == Outcome::Masked {
+                slot.0 += 1;
+            }
+        }
+        per_gate
+    }
+
+    /// Deterministic CSV dump: one line per fault run, in enumeration
+    /// order. A fixed seed yields byte-identical output across runs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("design,gate,cell,fault,outcome\n");
+        for run in &self.runs {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                self.design,
+                run.fault.gate.index(),
+                run.cell,
+                run.fault.kind,
+                run.outcome
+            ));
+        }
+        out
+    }
+}
+
+/// Why a campaign could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The fault-free run did not complete within the cycle budget, so
+    /// there is no golden reference to classify against.
+    GoldenIncomplete {
+        /// Cycles the golden run consumed before giving up.
+        cycles: u64,
+    },
+    /// The fault-free run reported an error detection — the workload or
+    /// the detect port is miswired.
+    GoldenDetected,
+    /// The fault-free simulation failed outright.
+    Sim(NetlistError),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::GoldenIncomplete { cycles } => {
+                write!(f, "golden run did not complete within {cycles} cycles")
+            }
+            CampaignError::GoldenDetected => {
+                f.write_str("golden run fired the error-detection output")
+            }
+            CampaignError::Sim(e) => write!(f, "golden simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<NetlistError> for CampaignError {
+    fn from(e: NetlistError) -> Self {
+        CampaignError::Sim(e)
+    }
+}
+
+/// Classification precedence: a golden-identical signature is masked even
+/// if the detect port also fired (TMR corrected *and* reported); an
+/// incomplete run is a hang; anything else that completed with a
+/// different signature is silent data corruption.
+fn classify(golden: &Observation, observed: &Observation) -> Outcome {
+    if observed.completed && observed.signature == golden.signature {
+        Outcome::Masked
+    } else if observed.detected {
+        Outcome::Detected
+    } else if !observed.completed {
+        Outcome::Hang
+    } else {
+        Outcome::SilentDataCorruption
+    }
+}
+
+fn observe<W: Workload + ?Sized>(
+    netlist: &Netlist,
+    workload: &W,
+    fault: Option<Fault>,
+    cycle_budget: u64,
+) -> Result<Observation, NetlistError> {
+    let mut sim = Simulator::new(netlist);
+    if let Some(fault) = fault {
+        sim.inject(FaultMap::single(netlist, fault));
+    }
+    workload.run(sim, cycle_budget)
+}
+
+/// Classifies a single fault against the workload's golden run.
+///
+/// # Errors
+///
+/// Returns a [`CampaignError`] if the fault-free run fails or does not
+/// complete.
+pub fn classify_fault<W: Workload + ?Sized>(
+    netlist: &Netlist,
+    workload: &W,
+    fault: Fault,
+    cycle_budget: u64,
+) -> Result<Outcome, CampaignError> {
+    let golden = observe(netlist, workload, None, cycle_budget)?;
+    if !golden.completed {
+        return Err(CampaignError::GoldenIncomplete { cycles: golden.cycles });
+    }
+    let budget = faulty_budget(cycle_budget, golden.cycles);
+    Ok(match observe(netlist, workload, Some(fault), budget) {
+        Ok(observed) => classify(&golden, &observed),
+        // A fault that breaks simulation outright (oscillation) wedges
+        // the circuit: a hang.
+        Err(_) => Outcome::Hang,
+    })
+}
+
+/// Faulty runs get a tighter budget derived from the golden run length,
+/// so hangs are declared quickly.
+fn faulty_budget(cycle_budget: u64, golden_cycles: u64) -> u64 {
+    cycle_budget.min(golden_cycles.saturating_mul(4).saturating_add(8))
+}
+
+/// Runs a full single-fault campaign: the configured stuck-at space plus
+/// seeded Monte-Carlo SEU sampling over sequential state, each run
+/// classified against the fault-free golden run.
+///
+/// # Errors
+///
+/// Returns a [`CampaignError`] if the fault-free run fails, does not
+/// complete, or fires the detect port.
+pub fn run_campaign<W: Workload + ?Sized>(
+    netlist: &Netlist,
+    workload: &W,
+    config: &CampaignConfig,
+) -> Result<CampaignResult, CampaignError> {
+    let golden = observe(netlist, workload, None, config.cycle_budget)?;
+    if !golden.completed {
+        return Err(CampaignError::GoldenIncomplete { cycles: golden.cycles });
+    }
+    if golden.detected {
+        return Err(CampaignError::GoldenDetected);
+    }
+
+    let mut faults: Vec<Fault> = Vec::new();
+    match config.stuck_at {
+        StuckAtSpace::Exhaustive => {
+            for gi in 0..netlist.gate_count() as u32 {
+                faults.push(Fault { gate: GateId(gi), kind: FaultKind::StuckAt0 });
+                faults.push(Fault { gate: GateId(gi), kind: FaultKind::StuckAt1 });
+            }
+        }
+        StuckAtSpace::Sampled(samples) => {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x57AC_4A70);
+            for _ in 0..samples {
+                let gi = rng.gen_range(0..netlist.gate_count()) as u32;
+                let kind =
+                    if rng.gen_bool(0.5) { FaultKind::StuckAt1 } else { FaultKind::StuckAt0 };
+                faults.push(Fault { gate: GateId(gi), kind });
+            }
+        }
+        StuckAtSpace::None => {}
+    }
+    let sequential: Vec<u32> = (0..netlist.gate_count() as u32)
+        .filter(|&gi| netlist.gates()[gi as usize].is_sequential())
+        .collect();
+    if config.seu_samples > 0 && !sequential.is_empty() && golden.cycles > 0 {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5E11_BEEF);
+        for _ in 0..config.seu_samples {
+            let gi = sequential[rng.gen_range(0..sequential.len())];
+            let cycle = rng.gen_range(0..golden.cycles);
+            faults.push(Fault { gate: GateId(gi), kind: FaultKind::Seu { cycle } });
+        }
+    }
+
+    let budget = faulty_budget(config.cycle_budget, golden.cycles);
+    let mut runs = Vec::with_capacity(faults.len());
+    for fault in faults {
+        let outcome = match observe(netlist, workload, Some(fault), budget) {
+            Ok(observed) => classify(&golden, &observed),
+            Err(_) => Outcome::Hang,
+        };
+        runs.push(FaultRun { fault, cell: netlist.gates()[fault.gate.index()].kind, outcome });
+    }
+    Ok(CampaignResult {
+        design: netlist.name().to_string(),
+        gate_count: netlist.gate_count(),
+        golden,
+        runs,
+    })
+}
+
+/// Bridges a campaign to the PDK yield model: per-gate
+/// `(device count, masked fraction)` pairs for
+/// [`printed_pdk::yield_model::functional_yield`].
+///
+/// Gates the campaign sampled use their measured stuck-at masked
+/// fraction; unsampled gates fall back to their cell class's average,
+/// then to the campaign-wide average, then to zero (fail-pessimistic).
+pub fn yield_sites(
+    netlist: &Netlist,
+    technology: Technology,
+    result: &CampaignResult,
+) -> Vec<(usize, f64)> {
+    let per_gate = result.stuck_by_gate();
+    let mut class_masked: BTreeMap<CellKind, (usize, usize)> = BTreeMap::new();
+    let mut global = (0usize, 0usize);
+    for (gi, &(masked, total)) in per_gate.iter().enumerate() {
+        let entry = class_masked.entry(netlist.gates()[gi].kind).or_default();
+        entry.0 += masked;
+        entry.1 += total;
+        global.0 += masked;
+        global.1 += total;
+    }
+    let fraction = |masked: usize, total: usize| -> Option<f64> {
+        (total > 0).then(|| masked as f64 / total as f64)
+    };
+    let global_fraction = fraction(global.0, global.1).unwrap_or(0.0);
+    netlist
+        .gates()
+        .iter()
+        .enumerate()
+        .map(|(gi, gate)| {
+            let devices = yield_model::cell_devices(gate.kind, technology).total();
+            let (masked, total) = per_gate[gi];
+            let m = fraction(masked, total)
+                .or_else(|| class_masked.get(&gate.kind).and_then(|&(cm, ct)| fraction(cm, ct)))
+                .unwrap_or(global_fraction);
+            (devices, m)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::words;
+
+    /// A toggle flip-flop: q' = !q, q exported.
+    fn divider() -> Netlist {
+        let mut b = NetlistBuilder::new("divider");
+        let q = b.forward_net();
+        let d = b.inv(q);
+        b.dff_into(d, q);
+        b.output("q", vec![q]);
+        b.finish().unwrap()
+    }
+
+    /// A 4-bit registered accumulator: acc' = acc + in.
+    fn accumulator() -> Netlist {
+        let mut b = NetlistBuilder::new("acc4");
+        let inputs = b.input("in", 4);
+        let acc = b.forward_bus(4);
+        let cin = b.const0();
+        let sum = words::ripple_adder(&mut b, &acc, &inputs, cin);
+        for (d, q) in sum.sum.iter().zip(&acc) {
+            b.dff_into(*d, *q);
+        }
+        b.output("acc", acc);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn stuck_at_forces_combinational_output() {
+        let mut b = NetlistBuilder::new("inv");
+        let a = b.input_bit("a");
+        let y = b.inv(a);
+        b.output("y", vec![y]);
+        let nl = b.finish().unwrap();
+
+        let mut sim = Simulator::new(&nl);
+        sim.inject(FaultMap::single(&nl, Fault { gate: GateId(0), kind: FaultKind::StuckAt0 }));
+        sim.set_input("a", 0).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.read_output("y").unwrap(), 0, "inverter output forced low");
+        sim.clear_faults();
+        sim.settle().unwrap();
+        assert_eq!(sim.read_output("y").unwrap(), 1);
+    }
+
+    #[test]
+    fn stuck_at_forces_flipflop_output() {
+        let nl = divider();
+        let dff = nl.gates().iter().position(|g| g.is_sequential()).unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.inject(FaultMap::single(
+            &nl,
+            Fault { gate: GateId(dff as u32), kind: FaultKind::StuckAt1 },
+        ));
+        for _ in 0..4 {
+            sim.step().unwrap();
+            assert_eq!(sim.read_output("q").unwrap(), 1, "Q pinned high, no toggling");
+        }
+    }
+
+    #[test]
+    fn seu_flips_state_on_its_cycle_only() {
+        let nl = divider();
+        let dff = nl.gates().iter().position(|g| g.is_sequential()).unwrap();
+        // Fault-free: q = 1,0,1,0,...; flipping the DFF at cycle 2
+        // inverts the phase from that edge on.
+        let mut sim = Simulator::new(&nl);
+        sim.inject(FaultMap::single(
+            &nl,
+            Fault { gate: GateId(dff as u32), kind: FaultKind::Seu { cycle: 2 } },
+        ));
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            sim.step().unwrap();
+            seen.push(sim.read_output("q").unwrap());
+        }
+        assert_eq!(seen, vec![1, 0, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn campaign_classifies_and_covers_the_space() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 12, seed: 7 };
+        let config = CampaignConfig {
+            stuck_at: StuckAtSpace::Exhaustive,
+            seu_samples: 8,
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign(&nl, &workload, &config).unwrap();
+        assert_eq!(result.runs.len(), 2 * nl.gate_count() + 8);
+        let counts = result.counts();
+        assert_eq!(counts.total(), result.runs.len());
+        // A stuck-at on a carry gate of the top bit must corrupt data;
+        // a PatternWorkload never hangs, so everything else is masked
+        // or (without a detect port) sdc.
+        assert!(counts.sdc > 0, "some faults must corrupt the accumulator");
+        assert_eq!(counts.hang, 0);
+        assert_eq!(counts.detected, 0);
+        // Per-class stats tile the whole campaign.
+        let by_class: usize = result.by_cell_class().values().map(OutcomeCounts::total).sum();
+        assert_eq!(by_class, counts.total());
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_per_seed() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 3 };
+        let config = CampaignConfig {
+            stuck_at: StuckAtSpace::Sampled(24),
+            seu_samples: 6,
+            seed: 99,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&nl, &workload, &config).unwrap();
+        let b = run_campaign(&nl, &workload, &config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_csv(), b.to_csv(), "byte-identical CSV per seed");
+        let other = run_campaign(&nl, &workload, &CampaignConfig { seed: 100, ..config }).unwrap();
+        assert_ne!(
+            a.runs.iter().map(|r| r.fault).collect::<Vec<_>>(),
+            other.runs.iter().map(|r| r.fault).collect::<Vec<_>>(),
+            "different seeds sample different faults"
+        );
+    }
+
+    #[test]
+    fn yield_sites_interpolate_masking() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 12, seed: 7 };
+        let result = run_campaign(&nl, &workload, &CampaignConfig::default()).unwrap();
+        let sites = yield_sites(&nl, Technology::Egfet, &result);
+        assert_eq!(sites.len(), nl.gate_count());
+        for &(devices, masked) in &sites {
+            assert!(devices > 0);
+            assert!((0.0..=1.0).contains(&masked));
+        }
+        // Functional yield must beat the naive model whenever any site
+        // masks faults.
+        let devices: usize = sites.iter().map(|s| s.0).sum();
+        let naive = yield_model::circuit_yield(devices, 0.999);
+        let functional = yield_model::functional_yield(sites.iter().copied(), 0.999);
+        assert!(result.counts().masked > 0, "accumulator campaign masks some faults");
+        assert!(functional > naive);
+    }
+
+    #[test]
+    fn golden_must_complete() {
+        struct NeverCompletes;
+        impl Workload for NeverCompletes {
+            fn run(
+                &self,
+                _sim: Simulator<'_>,
+                cycle_budget: u64,
+            ) -> Result<Observation, NetlistError> {
+                Ok(Observation {
+                    signature: Vec::new(),
+                    completed: false,
+                    cycles: cycle_budget,
+                    detected: false,
+                })
+            }
+        }
+        let nl = divider();
+        let err = run_campaign(&nl, &NeverCompletes, &CampaignConfig::default()).unwrap_err();
+        assert!(matches!(err, CampaignError::GoldenIncomplete { .. }));
+    }
+
+    #[test]
+    fn classify_fault_matches_campaign() {
+        let nl = divider();
+        let workload = PatternWorkload { cycles: 6, seed: 1 };
+        let config = CampaignConfig { seu_samples: 0, ..CampaignConfig::default() };
+        let result = run_campaign(&nl, &workload, &config).unwrap();
+        for run in &result.runs {
+            let single = classify_fault(&nl, &workload, run.fault, config.cycle_budget).unwrap();
+            assert_eq!(single, run.outcome, "{}", run.fault);
+        }
+    }
+}

@@ -37,6 +37,12 @@ impl fmt::Display for NetId {
 pub struct GateId(pub(crate) u32);
 
 impl GateId {
+    /// A gate id from its raw index into [`Netlist::gates`] — the handle
+    /// fault injection uses to name a fault site.
+    pub fn from_index(index: usize) -> Self {
+        GateId(index as u32)
+    }
+
     /// The raw index of this gate.
     pub fn index(self) -> usize {
         self.0 as usize
@@ -118,6 +124,11 @@ pub enum NetlistError {
     DuplicatePort(String),
     /// A referenced port does not exist.
     UnknownPort(String),
+    /// The combinational logic failed to reach a fixpoint within the
+    /// simulator's bounded number of settle passes; the given net was
+    /// still changing on the last pass (oscillation or a stale
+    /// topological order).
+    Unsettled(NetId),
 }
 
 impl fmt::Display for NetlistError {
@@ -136,6 +147,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::DuplicatePort(name) => write!(f, "duplicate port name {name:?}"),
             NetlistError::UnknownPort(name) => write!(f, "unknown port {name:?}"),
+            NetlistError::Unsettled(n) => {
+                write!(f, "combinational logic failed to settle: net {n} keeps oscillating")
+            }
         }
     }
 }

@@ -15,9 +15,14 @@
 //! - area / power / static-timing analysis producing Design-Compiler-style
 //!   characterizations ([`analysis`]),
 //! - a constant-folding + dead-gate optimizer used by program-specific
-//!   core generation ([`opt`]), and
+//!   core generation ([`opt`]),
 //! - a design-rule checker / linter parameterized by the target cell
-//!   library ([`lint`]).
+//!   library ([`lint`]),
+//! - fault models and deterministic fault-injection campaigns — stuck-at
+//!   and SEU — with masked/SDC/hang/detected classification ([`fault`]),
+//!   and
+//! - a TMR hardening transform with majority voters and an error-detect
+//!   output ([`builder::tmr`]).
 //!
 //! ```
 //! use printed_netlist::{analysis, words, NetlistBuilder};
@@ -43,6 +48,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod fault;
 pub mod ir;
 pub mod lint;
 pub mod opt;
@@ -52,7 +58,12 @@ pub mod vcd;
 pub mod words;
 
 pub use analysis::{ActivityModel, AreaReport, Characterization, PowerReport, TimingReport};
-pub use builder::NetlistBuilder;
+pub use builder::{tmr, NetlistBuilder, TmrOptions, TMR_ERROR_PORT};
+pub use fault::{
+    run_campaign, CampaignConfig, CampaignError, CampaignResult, Fault, FaultKind, FaultMap,
+    Observation, Outcome, OutcomeCounts, PatternWorkload, StuckAtSpace, Workload,
+};
 pub use ir::{Gate, GateId, NetId, Netlist, NetlistError, Region};
 pub use lint::{lint, Diagnostic, LintConfig, LintReport, Rule, Severity};
 pub use sim::{ActivityStats, Simulator};
+pub use variation::{FmaxDistribution, VariationError};

@@ -342,10 +342,10 @@ mod tests {
 
         let mut sim = Simulator::new(&opt);
         sim.set_input("a", 1).unwrap();
-        sim.settle();
+        sim.settle().unwrap();
         assert_eq!(sim.read_output("z").unwrap(), 0);
         sim.set_input("a", 0).unwrap();
-        sim.settle();
+        sim.settle().unwrap();
         assert_eq!(sim.read_output("z").unwrap(), 1);
     }
 
@@ -378,7 +378,7 @@ mod tests {
 
         let mut sim = Simulator::new(&opt);
         sim.set_input("a", 123).unwrap();
-        sim.settle();
+        sim.settle().unwrap();
         assert_eq!(sim.read_output("sum").unwrap(), 123);
     }
 
@@ -399,7 +399,7 @@ mod tests {
         let mut sim = Simulator::new(&opt);
         let mut seen = Vec::new();
         for _ in 0..4 {
-            sim.step();
+            sim.step().unwrap();
             seen.push(sim.read_output("q").unwrap());
         }
         assert_eq!(seen, vec![1, 0, 1, 0]);
@@ -441,8 +441,8 @@ mod tests {
                 let mut s2 = Simulator::new(&opt);
                 s1.set_input("x", stim).unwrap();
                 s2.set_input("x", stim).unwrap();
-                s1.settle();
-                s2.settle();
+                s1.settle().unwrap();
+                s2.settle().unwrap();
                 assert_eq!(
                     s1.read_output("y").unwrap(),
                     s2.read_output("y").unwrap(),

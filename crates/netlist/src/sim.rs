@@ -1,12 +1,12 @@
 //! Functional gate-level simulation.
 //!
 //! [`Simulator`] evaluates a [`Netlist`] cycle by cycle: combinational
-//! gates are evaluated once per pass in topological order (computed at
-//! build time), sequential cells update on [`Simulator::step`]. The
-//! simulator also counts output toggles per gate, which gives *measured*
-//! switching-activity factors for the power model — the printed-hardware
-//! analogue of running Design Compiler with simulated activity, as the
-//! paper does (§8, footnote 6).
+//! gates are evaluated in topological order (computed at build time) and
+//! the pass is repeated until the values reach a fixpoint, sequential
+//! cells update on [`Simulator::step`]. The simulator also counts output
+//! toggles per gate, which gives *measured* switching-activity factors
+//! for the power model — the printed-hardware analogue of running Design
+//! Compiler with simulated activity, as the paper does (§8, footnote 6).
 //!
 //! Semantics:
 //! - `Dff` / `DffNr` capture D on [`Simulator::step`]; both reset to 0 at
@@ -15,7 +15,19 @@
 //! - `Latch` (SR) updates on `step`: `q' = s ? 1 : (r ? 0 : q)`.
 //! - `TsBuf` drives its input when enabled and holds its last driven value
 //!   otherwise (modeling the bus keeper printed designs use).
+//!
+//! Settling is bounded: if the combinational values are still changing
+//! after [`Simulator::MAX_SETTLE_PASSES`] passes — which a valid netlist
+//! never does, but a stale topological order or an adversarial fault can
+//! provoke — the simulator reports [`NetlistError::Unsettled`] instead of
+//! silently publishing a half-settled state.
+//!
+//! The simulator can also evaluate under injected faults: see
+//! [`crate::fault::FaultMap`] and [`Simulator::inject`]. Stuck-at faults
+//! force a gate's output net during settling; transient SEU faults flip
+//! stored state on a scheduled clock edge.
 
+use crate::fault::FaultMap;
 use crate::ir::{NetId, Netlist, NetlistError};
 use printed_pdk::CellKind;
 
@@ -59,9 +71,15 @@ pub struct Simulator<'a> {
     /// Net value snapshot at the previous step, for toggle counting.
     prev_values: Vec<bool>,
     stats: ActivityStats,
+    /// Injected faults applied during evaluation, if any.
+    faults: Option<FaultMap>,
 }
 
 impl<'a> Simulator<'a> {
+    /// Settle passes attempted before declaring the logic oscillating.
+    /// A valid netlist settles in one pass (plus one verification pass).
+    pub const MAX_SETTLE_PASSES: usize = 8;
+
     /// Creates a simulator with all nets low, all state reset, and the
     /// constant nets tied to their values.
     pub fn new(netlist: &'a Netlist) -> Self {
@@ -71,6 +89,7 @@ impl<'a> Simulator<'a> {
             state: vec![false; netlist.gate_count()],
             prev_values: vec![false; netlist.net_count()],
             stats: ActivityStats { toggles: vec![0; netlist.gate_count()], cycles: 0 },
+            faults: None,
         };
         if let Some(c1) = netlist.const1() {
             sim.values[c1.index()] = true;
@@ -81,6 +100,27 @@ impl<'a> Simulator<'a> {
     /// The netlist being simulated.
     pub fn netlist(&self) -> &Netlist {
         self.netlist
+    }
+
+    /// Injects a fault map; every subsequent evaluation applies it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map was built for a netlist with a different gate
+    /// count (see [`FaultMap::new`]).
+    pub fn inject(&mut self, faults: FaultMap) {
+        assert_eq!(
+            faults.stuck.len(),
+            self.netlist.gate_count(),
+            "fault map was built for a different netlist"
+        );
+        self.faults = Some(faults);
+    }
+
+    /// Removes any injected fault map (the netlist state is untouched;
+    /// call [`Simulator::reset`] to also clear stored state).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
     }
 
     /// Sets a named input bus from the low bits of `value`.
@@ -134,15 +174,13 @@ impl<'a> Simulator<'a> {
         self.values[net.index()]
     }
 
-    /// Propagates values through the combinational logic (one topological
-    /// pass reaches the fixpoint).
-    pub fn settle(&mut self) {
-        // Collect evaluation results per gate to appease the borrow checker
-        // would cost allocation; instead index via raw loops.
-        let gates = self.netlist.gates();
+    /// One topological evaluation pass; returns the last net whose value
+    /// changed, or `None` if the pass was a fixpoint.
+    fn settle_pass(&mut self) -> Option<NetId> {
+        let mut changed = None;
         for (gate_id, gate) in self.netlist.topo_order() {
             let gi = gate_id.index();
-            let out = match gate.kind {
+            let mut out = match gate.kind {
                 CellKind::Inv => !self.values[gate.inputs[0].index()],
                 CellKind::Nand2 => {
                     !(self.values[gate.inputs[0].index()] && self.values[gate.inputs[1].index()])
@@ -173,16 +211,50 @@ impl<'a> Simulator<'a> {
                     unreachable!("sequential cells are not in the topological order")
                 }
             };
-            self.values[gate.output.index()] = out;
+            if let Some(faults) = &self.faults {
+                if let Some(forced) = faults.stuck[gi] {
+                    out = forced;
+                }
+            }
+            let idx = gate.output.index();
+            if self.values[idx] != out {
+                self.values[idx] = out;
+                changed = Some(gate.output);
+            }
         }
-        let _ = gates;
+        changed
+    }
+
+    /// Propagates values through the combinational logic until a fixpoint
+    /// (one topological pass plus one verification pass for valid
+    /// netlists).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Unsettled`] if the values are still
+    /// changing after [`Simulator::MAX_SETTLE_PASSES`] passes.
+    pub fn settle(&mut self) -> Result<(), NetlistError> {
+        let mut last = None;
+        for _ in 0..Self::MAX_SETTLE_PASSES {
+            match self.settle_pass() {
+                None => return Ok(()),
+                Some(net) => last = Some(net),
+            }
+        }
+        Err(NetlistError::Unsettled(last.expect("a pass ran and changed a net")))
     }
 
     /// Advances one clock cycle: settles combinational logic, captures
-    /// sequential state on the rising edge, publishes the new state, and
-    /// settles again. Updates toggle statistics.
-    pub fn step(&mut self) {
-        self.settle();
+    /// sequential state on the rising edge (applying any scheduled SEU
+    /// bit-flips), publishes the new state, and settles again. Updates
+    /// toggle statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Unsettled`] if either settle phase fails
+    /// to converge.
+    pub fn step(&mut self) -> Result<(), NetlistError> {
+        self.settle()?;
         // Rising edge: capture next state for every sequential cell.
         for (i, gate) in self.netlist.gates().iter().enumerate() {
             match gate.kind {
@@ -201,13 +273,27 @@ impl<'a> Simulator<'a> {
                 _ => {}
             }
         }
-        // Publish Q outputs.
-        for (i, gate) in self.netlist.gates().iter().enumerate() {
-            if gate.is_sequential() {
-                self.values[gate.output.index()] = self.state[i];
+        // Scheduled single-event upsets flip the freshly captured state.
+        if let Some(faults) = &self.faults {
+            if let Some(hits) = faults.seu.get(&self.stats.cycles) {
+                for &gi in hits {
+                    self.state[gi as usize] = !self.state[gi as usize];
+                }
             }
         }
-        self.settle();
+        // Publish Q outputs (stuck-at faults force the output node).
+        for (i, gate) in self.netlist.gates().iter().enumerate() {
+            if gate.is_sequential() {
+                let mut q = self.state[i];
+                if let Some(faults) = &self.faults {
+                    if let Some(forced) = faults.stuck[i] {
+                        q = forced;
+                    }
+                }
+                self.values[gate.output.index()] = q;
+            }
+        }
+        self.settle()?;
         // Toggle accounting: one comparison per gate output per cycle.
         for (i, gate) in self.netlist.gates().iter().enumerate() {
             let idx = gate.output.index();
@@ -217,25 +303,41 @@ impl<'a> Simulator<'a> {
         }
         self.prev_values.copy_from_slice(&self.values);
         self.stats.cycles += 1;
+        Ok(())
     }
 
     /// Runs `n` clock cycles.
-    pub fn run(&mut self, n: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`NetlistError::Unsettled`] from any cycle.
+    pub fn run(&mut self, n: u64) -> Result<(), NetlistError> {
         for _ in 0..n {
-            self.step();
+            self.step()?;
         }
+        Ok(())
     }
 
     /// Asynchronously resets every `DffNr` (and, as a simulation
     /// convenience, plain `Dff` and latch state too) to 0, then settles.
-    pub fn reset(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Unsettled`] if settling fails to converge.
+    pub fn reset(&mut self) -> Result<(), NetlistError> {
         for (i, gate) in self.netlist.gates().iter().enumerate() {
             if gate.is_sequential() {
                 self.state[i] = false;
-                self.values[gate.output.index()] = false;
+                let mut q = false;
+                if let Some(faults) = &self.faults {
+                    if let Some(forced) = faults.stuck[i] {
+                        q = forced;
+                    }
+                }
+                self.values[gate.output.index()] = q;
             }
         }
-        self.settle();
+        self.settle()
     }
 
     /// Switching statistics accumulated so far.
@@ -248,6 +350,7 @@ impl<'a> Simulator<'a> {
 mod tests {
     use super::*;
     use crate::builder::NetlistBuilder;
+    use crate::ir::{Gate, Region};
 
     #[test]
     fn toggle_flipflop_divides_clock() {
@@ -262,7 +365,7 @@ mod tests {
         let mut sim = Simulator::new(&nl);
         let mut seen = Vec::new();
         for _ in 0..6 {
-            sim.step();
+            sim.step().unwrap();
             seen.push(sim.read_output("q").unwrap());
         }
         assert_eq!(seen, vec![1, 0, 1, 0, 1, 0]);
@@ -283,7 +386,7 @@ mod tests {
         b.output("y", vec![y]);
         let nl = b.finish().unwrap();
         let mut sim = Simulator::new(&nl);
-        sim.settle();
+        sim.settle().unwrap();
         assert_eq!(sim.read_output("x").unwrap(), 1);
         assert_eq!(sim.read_output("y").unwrap(), 0);
     }
@@ -299,11 +402,11 @@ mod tests {
         let mut sim = Simulator::new(&nl);
         sim.set_input("a", 1).unwrap();
         sim.set_input("en", 1).unwrap();
-        sim.settle();
+        sim.settle().unwrap();
         assert_eq!(sim.read_output("y").unwrap(), 1);
         sim.set_input("a", 0).unwrap();
         sim.set_input("en", 0).unwrap();
-        sim.settle();
+        sim.settle().unwrap();
         assert_eq!(sim.read_output("y").unwrap(), 1, "holds last driven value");
     }
 
@@ -317,13 +420,13 @@ mod tests {
         let nl = b.finish().unwrap();
         let mut sim = Simulator::new(&nl);
         sim.set_input("s", 1).unwrap();
-        sim.step();
+        sim.step().unwrap();
         assert_eq!(sim.read_output("q").unwrap(), 1);
         sim.set_input("s", 0).unwrap();
-        sim.step();
+        sim.step().unwrap();
         assert_eq!(sim.read_output("q").unwrap(), 1, "holds");
         sim.set_input("r", 1).unwrap();
-        sim.step();
+        sim.step().unwrap();
         assert_eq!(sim.read_output("q").unwrap(), 0);
     }
 
@@ -336,9 +439,9 @@ mod tests {
         let nl = b.finish().unwrap();
         let mut sim = Simulator::new(&nl);
         sim.set_input("d", 1).unwrap();
-        sim.step();
+        sim.step().unwrap();
         assert_eq!(sim.read_output("q").unwrap(), 1);
-        sim.reset();
+        sim.reset().unwrap();
         assert_eq!(sim.read_output("q").unwrap(), 0);
     }
 
@@ -351,5 +454,33 @@ mod tests {
         let mut sim = Simulator::new(&nl);
         assert!(sim.set_input("nope", 0).is_err());
         assert!(sim.read_output("nope").is_err());
+    }
+
+    #[test]
+    fn oscillating_logic_is_reported_not_silently_settled() {
+        // The builder cannot express a combinational self-loop, so build
+        // the pathological netlist directly: an inverter feeding itself.
+        // Every settle pass flips the net — the simulator must give up
+        // with `Unsettled` rather than publish whichever value the pass
+        // budget happened to land on.
+        let nl = Netlist {
+            name: "osc".to_string(),
+            net_count: 1,
+            gates: vec![Gate {
+                kind: printed_pdk::CellKind::Inv,
+                inputs: vec![NetId(0)],
+                output: NetId(0),
+            }],
+            regions: vec![Region::Combinational],
+            inputs: Default::default(),
+            outputs: Default::default(),
+            const0: None,
+            const1: None,
+            topo: vec![0],
+        };
+        let mut sim = Simulator::new(&nl);
+        assert_eq!(sim.settle(), Err(NetlistError::Unsettled(NetId(0))));
+        assert_eq!(sim.step(), Err(NetlistError::Unsettled(NetId(0))));
+        assert_eq!(sim.run(3), Err(NetlistError::Unsettled(NetId(0))));
     }
 }

@@ -17,6 +17,32 @@ use printed_pdk::CellLibrary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Invalid parameters for variation sampling or quantile extraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VariationError {
+    /// A quantile outside `[0, 1]` was requested.
+    QuantileOutOfRange(f64),
+    /// A distribution was queried or requested with zero samples.
+    NoSamples,
+    /// A negative variation sigma was supplied.
+    NegativeSigma(f64),
+}
+
+impl fmt::Display for VariationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariationError::QuantileOutOfRange(q) => {
+                write!(f, "quantile {q} is outside [0, 1]")
+            }
+            VariationError::NoSamples => f.write_str("need at least one sample"),
+            VariationError::NegativeSigma(s) => write!(f, "sigma {s} is negative"),
+        }
+    }
+}
+
+impl std::error::Error for VariationError {}
 
 /// Summary statistics of a sampled f_max distribution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,16 +63,22 @@ impl FmaxDistribution {
     /// The f_max that `quantile` of printed parts meet (e.g. 0.95 → the
     /// clock at which 95 % of prints work).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `quantile` is outside `[0, 1]` or no samples exist.
-    pub fn guard_banded(&self, quantile: f64) -> Frequency {
-        assert!((0.0..=1.0).contains(&quantile), "quantile out of range");
-        assert!(!self.samples.is_empty(), "no samples");
+    /// Returns [`VariationError::QuantileOutOfRange`] if `quantile` is
+    /// outside `[0, 1]` and [`VariationError::NoSamples`] if the
+    /// distribution is empty.
+    pub fn guard_banded(&self, quantile: f64) -> Result<Frequency, VariationError> {
+        if !(0.0..=1.0).contains(&quantile) {
+            return Err(VariationError::QuantileOutOfRange(quantile));
+        }
+        if self.samples.is_empty() {
+            return Err(VariationError::NoSamples);
+        }
         // `quantile` of parts meet a clock iff their own fmax is at least
         // that clock: take the (1 - quantile) quantile from the bottom.
         let idx = ((1.0 - quantile) * (self.samples.len() - 1) as f64).round() as usize;
-        self.samples[idx]
+        Ok(self.samples[idx])
     }
 
     /// Fraction of parts that meet a target clock.
@@ -68,18 +100,23 @@ fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
 /// Samples the f_max distribution of a netlist under per-gate lognormal
 /// delay variation.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `samples` is zero or `sigma` is negative.
+/// Returns [`VariationError::NoSamples`] if `samples` is zero and
+/// [`VariationError::NegativeSigma`] if `sigma` is negative.
 pub fn fmax_distribution(
     netlist: &Netlist,
     lib: &CellLibrary,
     sigma: f64,
     samples: usize,
     seed: u64,
-) -> FmaxDistribution {
-    assert!(samples > 0, "need at least one sample");
-    assert!(sigma >= 0.0, "sigma must be nonnegative");
+) -> Result<FmaxDistribution, VariationError> {
+    if samples == 0 {
+        return Err(VariationError::NoSamples);
+    }
+    if sigma < 0.0 {
+        return Err(VariationError::NegativeSigma(sigma));
+    }
     let nominal = crate::analysis::timing(netlist, lib).fmax();
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -92,13 +129,13 @@ pub fn fmax_distribution(
     sampled.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
 
     let mean_hz = sampled.iter().map(|f| f.as_hertz()).sum::<f64>() / samples as f64;
-    FmaxDistribution {
+    Ok(FmaxDistribution {
         nominal,
         mean: Frequency::from_hertz(mean_hz),
         min: sampled[0],
         max: *sampled.last().expect("samples nonempty"),
         samples: sampled,
-    }
+    })
 }
 
 /// One STA pass with per-gate delay multipliers.
@@ -171,7 +208,7 @@ mod tests {
     fn zero_sigma_reproduces_nominal() {
         let nl = adder();
         let lib = Technology::Egfet.library();
-        let d = fmax_distribution(&nl, lib, 0.0, 8, 42);
+        let d = fmax_distribution(&nl, lib, 0.0, 8, 42).unwrap();
         for f in &d.samples {
             assert!((f.as_hertz() / d.nominal.as_hertz() - 1.0).abs() < 1e-9);
         }
@@ -181,13 +218,13 @@ mod tests {
     fn variation_spreads_the_distribution() {
         let nl = adder();
         let lib = Technology::Egfet.library();
-        let d = fmax_distribution(&nl, lib, 0.2, 64, 7);
+        let d = fmax_distribution(&nl, lib, 0.2, 64, 7).unwrap();
         assert!(d.min < d.nominal, "slow tail exists");
         assert!(d.max > d.min);
         // Guard-banding: the 95%-yield clock is below the mean.
-        assert!(d.guard_banded(0.95) <= d.mean);
+        assert!(d.guard_banded(0.95).unwrap() <= d.mean);
         // The distribution is self-consistent.
-        let y = d.parametric_yield(d.guard_banded(0.90));
+        let y = d.parametric_yield(d.guard_banded(0.90).unwrap());
         assert!(y >= 0.89, "90% guard band should pass ~90% of parts (got {y})");
     }
 
@@ -195,10 +232,10 @@ mod tests {
     fn sampling_is_deterministic_per_seed() {
         let nl = adder();
         let lib = Technology::Egfet.library();
-        let a = fmax_distribution(&nl, lib, 0.15, 16, 99);
-        let b = fmax_distribution(&nl, lib, 0.15, 16, 99);
+        let a = fmax_distribution(&nl, lib, 0.15, 16, 99).unwrap();
+        let b = fmax_distribution(&nl, lib, 0.15, 16, 99).unwrap();
         assert_eq!(a, b);
-        let c = fmax_distribution(&nl, lib, 0.15, 16, 100);
+        let c = fmax_distribution(&nl, lib, 0.15, 16, 100).unwrap();
         assert_ne!(a.samples, c.samples);
     }
 
@@ -206,11 +243,26 @@ mod tests {
     fn more_variation_means_slower_guard_banded_clock() {
         let nl = adder();
         let lib = Technology::Egfet.library();
-        let tight = fmax_distribution(&nl, lib, 0.05, 64, 1);
-        let loose = fmax_distribution(&nl, lib, 0.30, 64, 1);
+        let tight = fmax_distribution(&nl, lib, 0.05, 64, 1).unwrap();
+        let loose = fmax_distribution(&nl, lib, 0.30, 64, 1).unwrap();
         assert!(
-            loose.guard_banded(0.95) < tight.guard_banded(0.95),
+            loose.guard_banded(0.95).unwrap() < tight.guard_banded(0.95).unwrap(),
             "more process variation demands a bigger guard band"
         );
+    }
+
+    #[test]
+    fn invalid_parameters_are_errors_not_panics() {
+        let nl = adder();
+        let lib = Technology::Egfet.library();
+        assert_eq!(fmax_distribution(&nl, lib, 0.1, 0, 1), Err(VariationError::NoSamples));
+        assert_eq!(
+            fmax_distribution(&nl, lib, -0.1, 4, 1),
+            Err(VariationError::NegativeSigma(-0.1))
+        );
+        let d = fmax_distribution(&nl, lib, 0.1, 4, 1).unwrap();
+        assert_eq!(d.guard_banded(1.5), Err(VariationError::QuantileOutOfRange(1.5)));
+        let empty = FmaxDistribution { samples: Vec::new(), ..d };
+        assert_eq!(empty.guard_banded(0.5), Err(VariationError::NoSamples));
     }
 }

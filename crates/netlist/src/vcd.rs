@@ -18,7 +18,7 @@
 //! let mut sim = Simulator::new(&nl);
 //! let mut rec = VcdRecorder::new(&nl);
 //! for _ in 0..4 {
-//!     sim.step();
+//!     sim.step()?;
 //!     rec.sample(&sim);
 //! }
 //! let vcd = rec.render("toggle");
@@ -157,7 +157,7 @@ mod tests {
         let mut sim = Simulator::new(&nl);
         let mut rec = VcdRecorder::new(&nl);
         for _ in 0..4 {
-            sim.step();
+            sim.step().unwrap();
             rec.sample(&sim);
         }
         assert_eq!(rec.cycles(), 4);
@@ -181,7 +181,7 @@ mod tests {
         let mut sim = Simulator::new(&nl);
         let mut rec = VcdRecorder::new(&nl);
         for _ in 0..5 {
-            sim.step();
+            sim.step().unwrap();
             rec.sample(&sim);
         }
         let vcd = rec.render("const");

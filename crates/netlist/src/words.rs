@@ -453,7 +453,7 @@ mod tests {
         for (name, value) in inputs {
             sim.set_input(name, *value).unwrap();
         }
-        sim.settle();
+        sim.settle().unwrap();
         sim.read_output(output).unwrap()
     }
 
@@ -753,14 +753,14 @@ mod tests {
         let mut sim = Simulator::new(&nl);
         sim.set_input("d", 9).unwrap();
         sim.set_input("en", 1).unwrap();
-        sim.step();
+        sim.step().unwrap();
         assert_eq!(sim.read_output("q").unwrap(), 9);
         sim.set_input("d", 3).unwrap();
         sim.set_input("en", 0).unwrap();
-        sim.step();
+        sim.step().unwrap();
         assert_eq!(sim.read_output("q").unwrap(), 9, "hold while disabled");
         sim.set_input("en", 1).unwrap();
-        sim.step();
+        sim.step().unwrap();
         assert_eq!(sim.read_output("q").unwrap(), 3, "load when enabled");
     }
 }

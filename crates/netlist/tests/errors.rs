@@ -154,6 +154,7 @@ fn every_variant_has_a_distinct_message() {
         NetlistError::WidthMismatch { context: "set_input", left: 65, right: 64 }.to_string(),
         NetlistError::DuplicatePort("x".into()).to_string(),
         NetlistError::UnknownPort("x".into()).to_string(),
+        NetlistError::Unsettled(n).to_string(),
     ];
     for (i, a) in messages.iter().enumerate() {
         assert!(!a.is_empty());

@@ -11,7 +11,7 @@ fn eval(nl: &Netlist, inputs: &[(&str, u64)], output: &str) -> u64 {
     for (name, v) in inputs {
         sim.set_input(name, *v).unwrap();
     }
-    sim.settle();
+    sim.settle().unwrap();
     sim.read_output(output).unwrap()
 }
 
@@ -122,7 +122,7 @@ proptest! {
             sim.set_input(&format!("w{i}"), v).unwrap();
         }
         sim.set_input("sel", sel as u64).unwrap();
-        sim.settle();
+        sim.settle().unwrap();
         prop_assert_eq!(sim.read_output("y").unwrap(), values[sel]);
     }
 

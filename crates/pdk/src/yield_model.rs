@@ -96,6 +96,42 @@ where
     cells.into_iter().map(|(kind, count)| cell_devices(kind, technology).total() * count).sum()
 }
 
+/// *Functional* yield: the probability a print still computes correctly,
+/// given per-site masking probabilities measured by fault injection.
+///
+/// Each site is `(devices, masked_fraction)` — typically one standard
+/// cell with its device count and the fraction of its stuck-at faults a
+/// workload masked. A site works outright with probability
+/// `y^devices`; a defective site (probability `1 - y^devices`) still
+/// yields a functional circuit with probability `masked_fraction`:
+///
+/// `Y_func = Π (y^d + (1 - y^d) · m)`
+///
+/// With every `m = 0` this reduces exactly to the naive
+/// [`circuit_yield`]; any nonzero masking makes it strictly larger — the
+/// quantitative version of "not every printed defect is fatal".
+///
+/// # Panics
+///
+/// Panics unless `device_yield` is in `(0, 1]`.
+pub fn functional_yield<I>(sites: I, device_yield: f64) -> f64
+where
+    I: IntoIterator<Item = (usize, f64)>,
+{
+    assert!(
+        device_yield > 0.0 && device_yield <= 1.0,
+        "device yield must be in (0,1], got {device_yield}"
+    );
+    sites
+        .into_iter()
+        .map(|(devices, masked)| {
+            let site_yield = device_yield.powi(devices as i32);
+            let masked = masked.clamp(0.0, 1.0);
+            site_yield + (1.0 - site_yield) * masked
+        })
+        .product()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +183,31 @@ mod tests {
     #[should_panic(expected = "device yield")]
     fn zero_yield_rejected() {
         let _ = circuit_yield(10, 0.0);
+    }
+
+    #[test]
+    fn functional_yield_reduces_to_naive_without_masking() {
+        let sites = [(3usize, 0.0), (20, 0.0), (9, 0.0)];
+        let devices: usize = sites.iter().map(|s| s.0).sum();
+        let func = functional_yield(sites, 0.999);
+        let naive = circuit_yield(devices, 0.999);
+        assert!((func / naive - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masking_strictly_improves_functional_yield() {
+        let none = functional_yield([(20usize, 0.0); 50], 0.999);
+        let some = functional_yield([(20usize, 0.4); 50], 0.999);
+        let all = functional_yield([(20usize, 1.0); 50], 0.999);
+        assert!(some > none);
+        assert!((all - 1.0).abs() < 1e-12, "fully masked sites cannot kill a print");
+        assert!(none > 0.0);
+    }
+
+    #[test]
+    fn out_of_range_masking_is_clamped() {
+        let clamped = functional_yield([(10usize, 1.5), (10, -0.5)], 0.99);
+        let exact = functional_yield([(10usize, 1.0), (10, 0.0)], 0.99);
+        assert!((clamped / exact - 1.0).abs() < 1e-12);
     }
 }

@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|&i| config.encoding().encode(i).map(u64::from))
         .collect::<Result<_, _>>()?;
     let mut gate_machine = GateLevelMachine::new(&netlist, spec, words, 16);
-    gate_machine.run(100_000);
+    gate_machine.run(100_000)?;
     println!("gate-level result: {}", gate_machine.dmem()[0]);
     assert_eq!(gate_machine.dmem()[0], result, "netlist must match the ISS");
 
@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut sim = Simulator::new(&netlist);
         let mut rec = VcdRecorder::new(&netlist);
         for _ in 0..8 {
-            sim.step();
+            sim.step()?;
             rec.sample(&sim);
         }
         let vcd = rec.render("p1_8_2");

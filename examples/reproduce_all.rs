@@ -126,7 +126,8 @@ fn main() {
             Technology::Egfet,
             0.9999,
             0.15,
-        );
+        )
+        .expect("manufacturing report with valid sigma");
         println!(
             "{:>8}: {:>5} devices, yield {:>5.1}% -> {:>5.2} prints/unit, 95% clock {:>6.2} Hz (nominal {:.2})",
             r.name,
@@ -138,6 +139,17 @@ fn main() {
         );
     }
     println!();
+
+    // Robustness: fault campaigns + functional yield + TMR cost (new
+    // extension; see DESIGN.md "Fault injection and TMR hardening").
+    {
+        use printed_microprocessors::eval::robustness;
+        let options = robustness::RobustnessOptions::default();
+        let tech = Technology::Egfet;
+        let rows = robustness::fault_summary(tech, &options);
+        println!("{}", robustness::fault_table(tech, &rows));
+        println!("{}", robustness::tmr_table(tech, &robustness::tmr_comparison(tech, &options)));
+    }
 
     let rvr = headline::rom_vs_ram();
     println!(

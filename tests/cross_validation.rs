@@ -21,7 +21,7 @@ fn gate_level_check(kernel: Kernel, width: usize) {
     for &(addr, v) in &prog.inputs {
         gm.write_dmem(addr as usize, v);
     }
-    gm.run(5_000_000);
+    gm.run(5_000_000).unwrap();
     assert!(gm.is_halted(), "{} must halt at gate level", prog.name);
     let (addr, n) = prog.result;
     for i in 0..n {
@@ -64,7 +64,7 @@ fn program_specific_cores_work_at_gate_level() {
         for &(addr, v) in &prog.inputs {
             gm.write_dmem(addr as usize, v);
         }
-        gm.run(5_000_000);
+        gm.run(5_000_000).unwrap();
         assert!(gm.is_halted(), "{}: PS netlist must halt", prog.name);
         let (addr, n) = prog.result;
         for i in 0..n {

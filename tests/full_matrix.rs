@@ -73,7 +73,8 @@ fn manufacturing_sweep_over_design_space() {
     for width in [4usize, 8, 16, 32] {
         let nl = generate_standard(&CoreConfig::new(1, width, 2));
         let r =
-            manufacturing::report(format!("p1_{width}_2"), &nl, Technology::Egfet, 0.9999, 0.15);
+            manufacturing::report(format!("p1_{width}_2"), &nl, Technology::Egfet, 0.9999, 0.15)
+                .unwrap();
         assert!(r.devices > last_devices, "devices grow with width");
         last_devices = r.devices;
         assert!(r.yield_ > 0.0 && r.yield_ <= 1.0);
