@@ -23,4 +23,10 @@ cargo test --workspace --quiet
 echo "==> fault-injection campaign smoke"
 cargo run --release --example fault_injection >/dev/null
 
+echo "==> obs smoke (PRINTED_OBS=summary campaign + JSON-lines export)"
+obs_out=$(PRINTED_OBS=summary cargo run --release --example fault_injection 2>&1 >/dev/null)
+grep -q "printed-obs summary" <<<"$obs_out" \
+    || { echo "obs summary missing from fault_injection output"; exit 1; }
+cargo test --release --quiet --test obs_smoke
+
 echo "CI green."

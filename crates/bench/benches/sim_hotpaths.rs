@@ -1,0 +1,162 @@
+//! Simulator hot-path benchmarks: the netlist settle/step loop, the
+//! gate-level co-simulation kernel loop, and the cost of disabled
+//! observability instrumentation.
+//!
+//! Besides the criterion-shim output, this harness writes
+//! `BENCH_sim.json` at the repository root with the measured numbers,
+//! and asserts that instrumentation with `PRINTED_OBS=off` stays
+//! unmeasurable (below [`OBS_OFF_THRESHOLD_NS`] per call site) — the
+//! guard that keeps observability off the simulator's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use printed_core::kernels::{self, Kernel};
+use printed_core::workload::ProgramWorkload;
+use printed_core::{generate_standard, CoreConfig};
+use printed_netlist::fault::Workload;
+use printed_netlist::Simulator;
+use printed_obs as obs;
+use std::path::Path;
+use std::time::Instant;
+
+/// Ceiling for one disabled instrumentation call site (span enter+drop
+/// plus one counter add). The real cost is a couple of relaxed atomic
+/// loads — single-digit nanoseconds; the margin absorbs CI noise.
+const OBS_OFF_THRESHOLD_NS: f64 = 200.0;
+
+/// Nanoseconds per iteration of `f` over `iters` runs.
+fn ns_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+struct Measurements {
+    sim_cycles: u64,
+    sim_ns_per_cycle: f64,
+    sim_gate_evals_per_sec: f64,
+    gl_kernel: String,
+    gl_cycles: u64,
+    gl_ns_per_cycle: f64,
+    obs_off_ns_per_op: f64,
+}
+
+impl Measurements {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"sim_hotpaths\",\n  \"netlist_sim\": {{\"design\": \"p1_8_2\", \
+             \"cycles\": {}, \"ns_per_cycle\": {:.1}, \"gate_evals_per_sec\": {:.0}}},\n  \
+             \"gate_level_machine\": {{\"kernel\": \"{}\", \"cycles\": {}, \
+             \"ns_per_cycle\": {:.1}}},\n  \"obs_off_overhead\": {{\"ns_per_op\": {:.2}, \
+             \"threshold_ns\": {:.1}, \"within_threshold\": {}}}\n}}\n",
+            self.sim_cycles,
+            self.sim_ns_per_cycle,
+            self.sim_gate_evals_per_sec,
+            self.gl_kernel,
+            self.gl_cycles,
+            self.gl_ns_per_cycle,
+            self.obs_off_ns_per_op,
+            OBS_OFF_THRESHOLD_NS,
+            self.obs_off_ns_per_op <= OBS_OFF_THRESHOLD_NS,
+        )
+    }
+}
+
+/// Raw netlist simulation throughput: clocking the paper's p1_8_2 core.
+fn measure_netlist_sim() -> (u64, f64, f64) {
+    let netlist = generate_standard(&CoreConfig::new(1, 8, 2));
+    let mut sim = Simulator::new(&netlist);
+    let cycles = 400u64;
+    let started = Instant::now();
+    sim.run(cycles).expect("core netlist settles");
+    let elapsed = started.elapsed();
+    let ns_per_cycle = elapsed.as_nanos() as f64 / cycles as f64;
+    let evals_per_sec = sim.stats().gate_evals as f64 / elapsed.as_secs_f64();
+    (cycles, ns_per_cycle, evals_per_sec)
+}
+
+/// Gate-level co-simulation of the shift-add multiply kernel on p1_8_2.
+fn measure_gate_level() -> (String, u64, f64) {
+    let config = CoreConfig::new(1, 8, 2);
+    let netlist = generate_standard(&config);
+    let kernel = kernels::generate(Kernel::Mult, 8, 8).expect("mult8 generates");
+    let name = kernel.name.clone();
+    let workload = ProgramWorkload::from_kernel(&kernel, config).expect("mult8 encodes");
+    let started = Instant::now();
+    let observation = workload.run(Simulator::new(&netlist), 20_000).expect("kernel runs");
+    assert!(observation.completed, "mult kernel must halt within budget");
+    let ns_per_cycle = started.elapsed().as_nanos() as f64 / observation.cycles as f64;
+    (name, observation.cycles, ns_per_cycle)
+}
+
+/// Per-call-site cost of disabled instrumentation: a span enter/drop
+/// plus a counter add, exactly as the simulator hot paths would pay it.
+fn measure_obs_off() -> f64 {
+    assert!(!obs::enabled(), "this measurement requires PRINTED_OBS to be off");
+    ns_per_iter(1_000_000, || {
+        let _span = obs::span!("bench.off.span");
+        obs::add("bench.off.counter", 1);
+        black_box(());
+    })
+}
+
+fn write_bench_json(m: &Measurements) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim.json");
+    std::fs::write(&path, m.to_json())
+        .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn bench(c: &mut Criterion) {
+    let (sim_cycles, sim_ns_per_cycle, sim_gate_evals_per_sec) = measure_netlist_sim();
+    let (gl_kernel, gl_cycles, gl_ns_per_cycle) = measure_gate_level();
+    let obs_off_ns_per_op = measure_obs_off();
+
+    let m = Measurements {
+        sim_cycles,
+        sim_ns_per_cycle,
+        sim_gate_evals_per_sec,
+        gl_kernel,
+        gl_cycles,
+        gl_ns_per_cycle,
+        obs_off_ns_per_op,
+    };
+    println!(
+        "netlist sim: {:.0} ns/cycle ({:.2e} gate evals/s); gate-level {}: {:.0} ns/cycle; \
+         obs off: {:.2} ns/op",
+        m.sim_ns_per_cycle,
+        m.sim_gate_evals_per_sec,
+        m.gl_kernel,
+        m.gl_ns_per_cycle,
+        m.obs_off_ns_per_op
+    );
+    write_bench_json(&m);
+    assert!(
+        m.obs_off_ns_per_op <= OBS_OFF_THRESHOLD_NS,
+        "disabled observability must stay unmeasurable: {:.2} ns/op exceeds {} ns",
+        m.obs_off_ns_per_op,
+        OBS_OFF_THRESHOLD_NS
+    );
+
+    let mut g = c.benchmark_group("sim_hotpaths");
+    g.sample_size(10);
+    let netlist = generate_standard(&CoreConfig::new(1, 8, 2));
+    g.bench_function("netlist_sim_step_x50", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&netlist);
+            sim.run(50).expect("settles");
+            sim.stats().cycles
+        })
+    });
+    let config = CoreConfig::new(1, 8, 2);
+    let kernel = kernels::generate(Kernel::Mult, 8, 8).expect("mult8 generates");
+    let workload = ProgramWorkload::from_kernel(&kernel, config).expect("mult8 encodes");
+    g.bench_function("gate_level_mult8", |b| {
+        b.iter(|| workload.run(Simulator::new(&netlist), 20_000).expect("kernel runs").cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -480,6 +480,10 @@ impl<'a> GateLevelMachine<'a> {
             self.step()?;
             cycles += 1;
         }
+        if printed_obs::enabled() {
+            printed_obs::add("core.gatelevel.cycles", cycles);
+            self.sim.publish_obs("core.gatelevel.sim");
+        }
         Ok(cycles)
     }
 

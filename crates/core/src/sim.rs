@@ -11,10 +11,9 @@
 //! unconditional branch to self, which the simulator detects.
 
 use crate::config::CoreConfig;
-#[cfg(test)]
-use crate::isa::AluOp;
-use crate::isa::{alu_reference, Flags, Instruction, Operand};
+use crate::isa::{alu_reference, AluOp, Flags, Instruction, Operand};
 use printed_memory::{MemoryError, Sram};
+use printed_obs as obs;
 use printed_pdk::Technology;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -110,6 +109,35 @@ impl RunSummary {
     }
 }
 
+/// Opcode-histogram slots: the 15 ALU operations (indexed by their
+/// discriminant) plus STORE, SETBAR, and BRANCH.
+const OPCODE_SLOTS: usize = AluOp::ALL.len() + 3;
+const OP_STORE: usize = AluOp::ALL.len();
+const OP_SETBAR: usize = AluOp::ALL.len() + 1;
+const OP_BRANCH: usize = AluOp::ALL.len() + 2;
+
+fn opcode_index(inst: &Instruction) -> usize {
+    match inst {
+        Instruction::Alu { op, .. } => *op as usize,
+        Instruction::Store { .. } => OP_STORE,
+        Instruction::SetBar { .. } => OP_SETBAR,
+        Instruction::Branch { .. } => OP_BRANCH,
+    }
+}
+
+fn opcode_name(slot: usize) -> &'static str {
+    match slot {
+        OP_STORE => "STORE",
+        OP_SETBAR => "SETBAR",
+        OP_BRANCH => "BRANCH",
+        _ => AluOp::ALL
+            .iter()
+            .find(|op| **op as usize == slot)
+            .map(|op| op.mnemonic())
+            .unwrap_or("?"),
+    }
+}
+
 /// Hazard bookkeeping for one in-flight instruction (pipeline model).
 #[derive(Debug, Clone, Default)]
 struct WriteSet {
@@ -128,6 +156,8 @@ pub struct Machine {
     bars: Vec<u8>,
     flags: Flags,
     summary: RunSummary,
+    /// Retired-instruction tallies per opcode slot (see [`opcode_index`]).
+    opcode_counts: [u64; OPCODE_SLOTS],
     /// Write sets of the youngest `pipeline_stages - 1` instructions,
     /// youngest first.
     in_flight: VecDeque<WriteSet>,
@@ -155,6 +185,7 @@ impl Machine {
             bars: vec![0; config.bars as usize],
             flags: Flags::default(),
             summary: RunSummary::default(),
+            opcode_counts: [0; OPCODE_SLOTS],
             in_flight: VecDeque::new(),
             halted: false,
         }
@@ -316,6 +347,7 @@ impl Machine {
         self.summary.cycles += stalls + 1;
         self.summary.instructions += 1;
         self.summary.imem_reads += 1;
+        self.opcode_counts[opcode_index(&inst)] += 1;
 
         let width = self.config.datawidth;
         let mut next_pc = pc.wrapping_add(1);
@@ -392,6 +424,47 @@ impl Machine {
         }
         Ok(self.summary)
     }
+
+    /// Retired-instruction counts per opcode, non-zero entries only, in
+    /// slot order (the 15 ALU mnemonics, then `STORE`/`SETBAR`/`BRANCH`).
+    pub fn opcode_histogram(&self) -> Vec<(&'static str, u64)> {
+        self.opcode_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(slot, &n)| (opcode_name(slot), n))
+            .collect()
+    }
+
+    /// Publishes execution statistics into `registry` under dotted
+    /// `prefix` names: counters `<prefix>.retired`, `<prefix>.cycles`,
+    /// `<prefix>.stalls`, per-opcode counters `<prefix>.op.<MNEMONIC>`,
+    /// and a gauge `<prefix>.cpi`.
+    ///
+    /// This publishes unconditionally; use [`Machine::publish_obs`] for
+    /// the `PRINTED_OBS`-gated global-registry variant.
+    pub fn publish_metrics(&self, registry: &obs::Registry, prefix: &str) {
+        registry.add(&format!("{prefix}.retired"), self.summary.instructions);
+        registry.add(&format!("{prefix}.cycles"), self.summary.cycles);
+        registry.add(&format!("{prefix}.stalls"), self.summary.stalls);
+        for (mnemonic, n) in self.opcode_histogram() {
+            registry.add(&format!("{prefix}.op.{mnemonic}"), n);
+        }
+        if self.summary.instructions > 0 {
+            registry.gauge(&format!("{prefix}.cpi"), self.summary.cpi());
+        }
+    }
+
+    /// Publishes execution statistics to the global observability
+    /// registry (see [`Machine::publish_metrics`]); a no-op unless
+    /// `PRINTED_OBS` enables recording. Call once per completed run —
+    /// recording is batched here so the per-instruction path stays
+    /// lock-free.
+    pub fn publish_obs(&self, prefix: &str) {
+        if obs::enabled() {
+            self.publish_metrics(obs::global(), prefix);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -426,6 +499,29 @@ mod tests {
         assert_eq!(m.dmem().read(0).unwrap(), 42);
         assert!(m.is_halted());
         assert_eq!(m.summary().cpi(), 1.0, "single-cycle core has CPI 1");
+    }
+
+    #[test]
+    fn opcode_histogram_counts_retired_instructions() {
+        let prog = vec![
+            I::Store { dst: Operand::direct(0), imm: 17 },
+            I::Store { dst: Operand::direct(1), imm: 25 },
+            I::Alu { op: AluOp::Add, dst: Operand::direct(0), src: Operand::direct(1) },
+        ];
+        let m = run(CoreConfig::default(), prog, &[]);
+        let hist = m.opcode_histogram();
+        // Two stores, one add, one halt branch.
+        assert!(hist.contains(&("STORE", 2)), "{hist:?}");
+        assert!(hist.contains(&("ADD", 1)), "{hist:?}");
+        assert!(hist.contains(&("BRANCH", 1)), "{hist:?}");
+        let total: u64 = hist.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, m.summary().instructions);
+
+        let reg = printed_obs::Registry::new();
+        m.publish_metrics(&reg, "t.core");
+        assert_eq!(reg.counter("t.core.retired"), Some(m.summary().instructions));
+        assert_eq!(reg.counter("t.core.op.STORE"), Some(2));
+        assert_eq!(reg.gauge_value("t.core.cpi"), Some(m.summary().cpi()));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub struct DesignPoint {
 /// Every design point is design-rule-checked against the sweep's
 /// technology; a lint error fails the sweep.
 pub fn figure7(technology: Technology) -> Vec<DesignPoint> {
+    let _span = printed_obs::span!("eval.figure7");
     let lib = technology.library();
     CoreConfig::design_space()
         .into_iter()
@@ -88,6 +89,7 @@ pub struct Figure8Cell {
 /// × supporting single-cycle core, plus the program-specific core at the
 /// native width, plus the dTree-ROMopt (2-bit MLC) variant.
 pub fn figure8(technology: Technology) -> Vec<Figure8Cell> {
+    let _span = printed_obs::span!("eval.figure8");
     let mut cells = Vec::new();
     for bench in Kernel::ALL {
         for &data_width in bench.data_widths() {

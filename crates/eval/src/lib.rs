@@ -13,7 +13,9 @@
 //! - [`headline`]: the abstract's improvement ratios,
 //! - [`robustness`]: fault-injection campaigns, functional yield, and
 //!   TMR hardening cost across the design space,
-//! - [`report`]: text-table rendering.
+//! - [`report`]: text-table rendering,
+//! - [`perf_report`]: observability spans per eval stage and the
+//!   `perf_summary` artifact (see DESIGN.md "Observability").
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,6 +26,7 @@ pub mod figures;
 pub mod headline;
 pub mod lifetime;
 pub mod manufacturing;
+pub mod perf_report;
 pub mod report;
 pub mod robustness;
 pub mod system;

@@ -1,0 +1,177 @@
+//! Performance reporting for the evaluation pipeline.
+//!
+//! [`stage`] wraps each phase of `reproduce_all` in an observability span
+//! and records the process peak working set after it, [`perf_summary`]
+//! renders the accumulated metrics as a per-stage text table, and
+//! [`perf_summary_csv`] dumps the full registry (counters, gauges,
+//! histograms, spans) as CSV for plotting pipelines — the perf analogue
+//! of the fault and lint summaries.
+//!
+//! Artifact writing goes through [`write_artifact`], which returns a
+//! typed [`ReportError`] instead of panicking so one failed write
+//! surfaces in the perf report rather than aborting the whole
+//! reproduction run.
+
+use crate::report::TextTable;
+use printed_obs as obs;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A failure producing a report artifact.
+#[derive(Debug)]
+pub enum ReportError {
+    /// Writing an artifact file failed.
+    Write {
+        /// The destination that could not be written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Write { path, source } => {
+                write!(f, "failed to write {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReportError::Write { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Writes a report artifact, converting I/O failures into a typed
+/// [`ReportError`] the caller can surface instead of panicking on.
+///
+/// # Errors
+///
+/// Returns [`ReportError::Write`] with the destination path on failure.
+pub fn write_artifact(path: impl AsRef<Path>, contents: &str) -> Result<(), ReportError> {
+    let path = path.as_ref();
+    std::fs::write(path, contents)
+        .map_err(|source| ReportError::Write { path: path.to_path_buf(), source })
+}
+
+/// Runs one evaluation stage under an observability span named `name`,
+/// then records the process peak working set (`<name>.peak_rss_kb`
+/// gauge). Since the peak is a process-wide high-water mark, the
+/// per-stage gauges show which stage grew it. Returns the closure's
+/// result; everything is a no-op when observability is off.
+pub fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let span = obs::SpanGuard::enter(name);
+    let result = f();
+    if let Some(path) = span.path().map(str::to_string) {
+        if let Some(kb) = obs::peak_rss_kb() {
+            obs::gauge(&format!("{path}.peak_rss_kb"), kb as f64);
+        }
+    }
+    drop(span);
+    result
+}
+
+/// Renders the registry's span timers as a per-stage text table: call
+/// count, total and mean wall time, and the stage's peak-working-set
+/// gauge where one was recorded (see [`stage`]).
+pub fn perf_summary(registry: &obs::Registry) -> TextTable {
+    let mut table = TextTable::new(
+        "Perf summary (per stage)",
+        &["stage", "count", "total_ms", "mean_ms", "peak_rss_kb"],
+    );
+    for (path, s) in registry.snapshot_spans() {
+        let rss = registry
+            .gauge_value(&format!("{path}.peak_rss_kb"))
+            .map_or_else(|| "-".to_string(), |v| format!("{v:.0}"));
+        table.row(vec![
+            path,
+            s.count.to_string(),
+            format!("{:.3}", s.total_ns as f64 / 1e6),
+            format!("{:.3}", s.mean_ns() / 1e6),
+            rss,
+        ]);
+    }
+    table
+}
+
+/// Dumps the full registry as CSV: one row per metric with a `kind`
+/// discriminator. Spans report nanosecond statistics; counters and
+/// gauges report a single `value`; histograms report count/sum/min/max.
+pub fn perf_summary_csv(registry: &obs::Registry) -> String {
+    let mut out = String::from("kind,name,count,sum,min,max,value\n");
+    for (name, v) in registry.snapshot_counters() {
+        out.push_str(&format!("counter,{name},,,,,{v}\n"));
+    }
+    for (name, v) in registry.snapshot_gauges() {
+        out.push_str(&format!("gauge,{name},,,,,{v}\n"));
+    }
+    for (name, h) in registry.snapshot_histograms() {
+        out.push_str(&format!("histogram,{name},{},{},{},{},\n", h.count, h.sum, h.min, h.max));
+    }
+    for (path, s) in registry.snapshot_spans() {
+        out.push_str(&format!(
+            "span,{path},{},{},{},{},\n",
+            s.count, s.total_ns, s.min_ns, s.max_ns
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_summary_lists_spans_with_rss_gauges() {
+        let reg = obs::Registry::new();
+        reg.record_span("eval.demo", 2_000_000);
+        reg.gauge("eval.demo.peak_rss_kb", 1234.0);
+        reg.record_span("eval.other", 500_000);
+        let table = perf_summary(&reg);
+        assert_eq!(table.len(), 2);
+        let text = table.to_string();
+        assert!(text.contains("eval.demo"));
+        assert!(text.contains("1234"));
+        assert!(text.contains('-'), "stage without an RSS gauge renders a dash");
+    }
+
+    #[test]
+    fn perf_summary_csv_covers_every_metric_kind() {
+        let reg = obs::Registry::new();
+        reg.add("c", 3);
+        reg.gauge("g", 0.5);
+        reg.record("h", 9);
+        reg.record_span("s", 100);
+        let csv = perf_summary_csv(&reg);
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        assert_eq!(csv.lines().count(), 5);
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), header_cols, "ragged row: {line}");
+        }
+        for kind in ["counter,c", "gauge,g", "histogram,h", "span,s"] {
+            assert!(csv.contains(kind), "missing {kind} in:\n{csv}");
+        }
+    }
+
+    #[test]
+    fn write_artifact_surfaces_failures_as_typed_errors() {
+        let err = write_artifact("/nonexistent-dir/perf.csv", "x").unwrap_err();
+        let ReportError::Write { path, .. } = &err;
+        assert!(path.ends_with("perf.csv"));
+        assert!(err.to_string().contains("failed to write"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn stage_returns_the_closure_result() {
+        // Observability is off by default in tests: the stage must still
+        // run the closure and pass its value through.
+        let value = stage("eval.test_stage", || 41 + 1);
+        assert_eq!(value, 42);
+    }
+}

@@ -144,6 +144,7 @@ pub fn lint_summary(technology: Technology) -> TextTable {
     use printed_core::{generate_standard_checked, CoreConfig};
     use printed_netlist::lint;
 
+    let _span = printed_obs::span!("eval.lint_summary");
     let lib = technology.library();
     let config = lint::LintConfig::default();
     let mut table = TextTable::new(

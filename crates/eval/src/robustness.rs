@@ -144,27 +144,34 @@ fn row_from_campaign(
 /// CPUs' representative netlists. Single-cycle TP-ISA points run the
 /// gate-level smoke program; multi-cycle points and baselines get seeded
 /// random stimulus.
-pub fn fault_summary(technology: Technology, options: &RobustnessOptions) -> Vec<RobustnessRow> {
+///
+/// # Errors
+///
+/// Propagates the first [`CampaignError`] — a design whose fault-free
+/// golden run fails, does not complete, or fires the detect port.
+pub fn fault_summary(
+    technology: Technology,
+    options: &RobustnessOptions,
+) -> Result<Vec<RobustnessRow>, CampaignError> {
+    let _span = printed_obs::span!("eval.robustness.fault_summary");
     let mut rows = Vec::new();
     for config in CoreConfig::design_space() {
         let netlist = generate_standard(&config);
         let row = if config.pipeline_stages == 1 {
             let workload = ProgramWorkload::smoke(config);
-            campaign_row(&netlist, &workload, technology, options)
+            campaign_row(&netlist, &workload, technology, options)?
         } else {
             let workload = PatternWorkload { cycles: options.pattern_cycles, seed: options.seed };
-            campaign_row(&netlist, &workload, technology, options)
+            campaign_row(&netlist, &workload, technology, options)?
         };
-        rows.push(row.expect("fault-free design-space cores complete their golden runs"));
+        rows.push(row);
     }
     for cpu in BaselineCpu::ALL {
         let netlist = cpu.inventory(technology).representative_netlist();
         let workload = PatternWorkload { cycles: options.pattern_cycles, seed: options.seed };
-        let row = campaign_row(&netlist, &workload, technology, options)
-            .expect("baseline scan netlists complete their golden runs");
-        rows.push(row);
+        rows.push(campaign_row(&netlist, &workload, technology, options)?);
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders a [`fault_summary`] as a text table.
@@ -284,21 +291,27 @@ impl TmrComparison {
 
 /// Prices TMR on representative single-cycle cores: the 4-bit and 8-bit
 /// two-BAR design points, each running the gate-level smoke program.
-pub fn tmr_comparison(technology: Technology, options: &RobustnessOptions) -> Vec<TmrComparison> {
-    [CoreConfig::new(1, 4, 2), CoreConfig::new(1, 8, 2)]
-        .into_iter()
-        .map(|config| {
-            let base = generate_standard(&config);
-            let hardened =
-                tmr(&base, TmrOptions::default()).expect("generated cores have no tmr_err port");
-            let workload = ProgramWorkload::smoke(config);
-            let base_row = campaign_row(&base, &workload, technology, options)
-                .expect("base core completes its golden run");
-            let hard_row = campaign_row(&hardened, &workload, technology, options)
-                .expect("hardened core completes its golden run");
-            TmrComparison { base: base_row, hardened: hard_row }
-        })
-        .collect()
+///
+/// # Errors
+///
+/// Propagates the first [`CampaignError`] from a base or hardened core's
+/// golden run.
+pub fn tmr_comparison(
+    technology: Technology,
+    options: &RobustnessOptions,
+) -> Result<Vec<TmrComparison>, CampaignError> {
+    let _span = printed_obs::span!("eval.robustness.tmr_comparison");
+    let mut comparisons = Vec::new();
+    for config in [CoreConfig::new(1, 4, 2), CoreConfig::new(1, 8, 2)] {
+        let base = generate_standard(&config);
+        let hardened =
+            tmr(&base, TmrOptions::default()).expect("generated cores have no tmr_err port");
+        let workload = ProgramWorkload::smoke(config);
+        let base_row = campaign_row(&base, &workload, technology, options)?;
+        let hard_row = campaign_row(&hardened, &workload, technology, options)?;
+        comparisons.push(TmrComparison { base: base_row, hardened: hard_row });
+    }
+    Ok(comparisons)
 }
 
 /// Renders a [`tmr_comparison`] as a text table.
@@ -372,7 +385,7 @@ mod tests {
         assert!(!report.has_errors(), "TMR netlist must pass lint:\n{}", report.render_text());
 
         let options = quick(0); // sampled stuck-at keeps this test fast
-        let comparisons = tmr_comparison(Technology::Egfet, &options);
+        let comparisons = tmr_comparison(Technology::Egfet, &options).unwrap();
         let c = &comparisons[0];
         assert_eq!(c.hardened.design, format!("{}_tmr", config.name()));
         assert!(c.area_factor() > 1.0, "TMR costs area: {}", c.area_factor());

@@ -235,6 +235,10 @@ impl System {
         );
         let mut m = self.kernel.machine(config);
         let summary = m.run(50_000_000).expect("kernel halts");
+        if printed_obs::enabled() {
+            m.publish_obs("core.iss");
+            printed_obs::gauge(&format!("core.iss.cpi.{}", self.kernel.name), summary.cpi());
+        }
         let (addr, words) = self.kernel.result;
         for i in 0..words {
             assert_eq!(

@@ -49,6 +49,7 @@
 use crate::builder::TMR_ERROR_PORT;
 use crate::ir::{GateId, Netlist, NetlistError};
 use crate::sim::Simulator;
+use printed_obs as obs;
 use printed_pdk::{yield_model, CellKind, Technology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -590,6 +591,9 @@ pub fn run_campaign<W: Workload + ?Sized>(
     }
 
     let budget = faulty_budget(config.cycle_budget, golden.cycles);
+    let _span = obs::span!("netlist.fault.campaign");
+    let started = std::time::Instant::now();
+    let total_faults = faults.len();
     let mut runs = Vec::with_capacity(faults.len());
     for fault in faults {
         let outcome = match observe(netlist, workload, Some(fault), budget) {
@@ -597,6 +601,32 @@ pub fn run_campaign<W: Workload + ?Sized>(
             Err(_) => Outcome::Hang,
         };
         runs.push(FaultRun { fault, cell: netlist.gates()[fault.gate.index()].kind, outcome });
+        if runs.len() % 256 == 0 {
+            obs::trace_event(|| {
+                format!(
+                    "{{\"type\":\"campaign_progress\",\"design\":{},\
+                     \"done\":{},\"total\":{total_faults}}}",
+                    obs::json::escape(netlist.name()),
+                    runs.len()
+                )
+            });
+        }
+    }
+    if obs::enabled() {
+        let mut counts = OutcomeCounts::default();
+        for run in &runs {
+            counts.add(run.outcome);
+        }
+        let reg = obs::global();
+        reg.add("netlist.fault.runs", runs.len() as u64);
+        reg.add("netlist.fault.masked", counts.masked as u64);
+        reg.add("netlist.fault.detected", counts.detected as u64);
+        reg.add("netlist.fault.hang", counts.hang as u64);
+        reg.add("netlist.fault.sdc", counts.sdc as u64);
+        let secs = started.elapsed().as_secs_f64();
+        if secs > 0.0 && !runs.is_empty() {
+            reg.gauge("netlist.fault.runs_per_sec", runs.len() as f64 / secs);
+        }
     }
     Ok(CampaignResult {
         design: netlist.name().to_string(),

@@ -29,6 +29,7 @@
 
 use crate::fault::FaultMap;
 use crate::ir::{NetId, Netlist, NetlistError};
+use printed_obs as obs;
 use printed_pdk::CellKind;
 
 /// Per-gate switching statistics gathered during simulation.
@@ -38,6 +39,11 @@ pub struct ActivityStats {
     pub toggles: Vec<u64>,
     /// Clock cycles simulated.
     pub cycles: u64,
+    /// Combinational gate evaluations performed (every gate visit in
+    /// every settle pass) — the simulator's unit of work.
+    pub gate_evals: u64,
+    /// Settle passes run (across [`Simulator::settle`] calls).
+    pub settle_passes: u64,
 }
 
 impl ActivityStats {
@@ -88,7 +94,10 @@ impl<'a> Simulator<'a> {
             values: vec![false; netlist.net_count()],
             state: vec![false; netlist.gate_count()],
             prev_values: vec![false; netlist.net_count()],
-            stats: ActivityStats { toggles: vec![0; netlist.gate_count()], cycles: 0 },
+            stats: ActivityStats {
+                toggles: vec![0; netlist.gate_count()],
+                ..ActivityStats::default()
+            },
             faults: None,
         };
         if let Some(c1) = netlist.const1() {
@@ -178,7 +187,9 @@ impl<'a> Simulator<'a> {
     /// changed, or `None` if the pass was a fixpoint.
     fn settle_pass(&mut self) -> Option<NetId> {
         let mut changed = None;
+        self.stats.settle_passes += 1;
         for (gate_id, gate) in self.netlist.topo_order() {
+            self.stats.gate_evals += 1;
             let gi = gate_id.index();
             let mut out = match gate.kind {
                 CellKind::Inv => !self.values[gate.inputs[0].index()],
@@ -344,6 +355,45 @@ impl<'a> Simulator<'a> {
     pub fn stats(&self) -> &ActivityStats {
         &self.stats
     }
+
+    /// Publishes the accumulated activity statistics into `registry`
+    /// under dotted `prefix` names: counters `<prefix>.cycles`,
+    /// `<prefix>.gate_evals`, `<prefix>.settle_passes`, and
+    /// `<prefix>.toggles`, a gauge `<prefix>.avg_activity`, and a
+    /// histogram `<prefix>.gate_activity_per_mille` holding each gate's
+    /// activity factor in units of toggles per 1000 cycles. The histogram
+    /// is the activity profile the power model's
+    /// [`crate::analysis::ActivityModel::Measured`] mode consumes, made
+    /// observable for cross-checking.
+    ///
+    /// This publishes unconditionally; use [`Simulator::publish_obs`]
+    /// for the `PRINTED_OBS`-gated global-registry variant.
+    pub fn publish_activity(&self, registry: &obs::Registry, prefix: &str) {
+        let s = &self.stats;
+        registry.add(&format!("{prefix}.cycles"), s.cycles);
+        registry.add(&format!("{prefix}.gate_evals"), s.gate_evals);
+        registry.add(&format!("{prefix}.settle_passes"), s.settle_passes);
+        registry.add(&format!("{prefix}.toggles"), s.toggles.iter().sum());
+        if let Some(avg) = s.average_activity() {
+            registry.gauge(&format!("{prefix}.avg_activity"), avg);
+        }
+        let name = format!("{prefix}.gate_activity_per_mille");
+        for &toggles in &s.toggles {
+            if let Some(per_mille) = (toggles * 1000).checked_div(s.cycles) {
+                registry.record(&name, per_mille);
+            }
+        }
+    }
+
+    /// Publishes activity statistics to the global observability registry
+    /// (see [`Simulator::publish_activity`]); a no-op unless `PRINTED_OBS`
+    /// enables recording. Call once at the end of a run — recording is
+    /// batched here precisely so the per-cycle hot path stays lock-free.
+    pub fn publish_obs(&self, prefix: &str) {
+        if obs::enabled() {
+            self.publish_activity(obs::global(), prefix);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +423,33 @@ mod tests {
         // inverter misses only the very first cycle.
         assert_eq!(sim.stats().gate_activity(1), Some(1.0)); // the DFF
         assert!(sim.stats().average_activity().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn publish_activity_mirrors_internal_stats() {
+        let mut b = NetlistBuilder::new("divider");
+        let q = b.forward_net();
+        let d = b.inv(q);
+        b.dff_into(d, q);
+        b.output("q", vec![q]);
+        let nl = b.finish().unwrap();
+
+        let mut sim = Simulator::new(&nl);
+        sim.run(8).unwrap();
+        let reg = printed_obs::Registry::new();
+        sim.publish_activity(&reg, "t.sim");
+        let s = sim.stats();
+        assert_eq!(reg.counter("t.sim.cycles"), Some(s.cycles));
+        assert_eq!(reg.counter("t.sim.gate_evals"), Some(s.gate_evals));
+        assert_eq!(reg.counter("t.sim.settle_passes"), Some(s.settle_passes));
+        assert_eq!(reg.counter("t.sim.toggles"), Some(s.toggles.iter().sum()));
+        assert_eq!(
+            reg.gauge_value("t.sim.avg_activity"),
+            s.average_activity(),
+            "gauge matches the power model's measured activity factor"
+        );
+        let h = reg.histogram("t.sim.gate_activity_per_mille").unwrap();
+        assert_eq!(h.count, nl.gate_count() as u64);
     }
 
     #[test]

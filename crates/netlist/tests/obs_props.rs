@@ -1,0 +1,75 @@
+//! Property-based check that the observability activity profile published
+//! by the simulator agrees with the internal [`ActivityStats`] that the
+//! power model consumes: the counters, the average-activity gauge, and
+//! the per-gate toggle histogram are all derived from the same numbers.
+
+use printed_netlist::{words, Netlist, NetlistBuilder, Simulator};
+use printed_obs::Registry;
+use proptest::prelude::*;
+
+/// A registered accumulator with a free-running input pattern: acc' =
+/// acc + seed-derived constant, so toggle activity varies per seed.
+fn accumulator(width: usize, increment: u64) -> Netlist {
+    let mut b = NetlistBuilder::new("obs_acc");
+    let acc = b.forward_bus(width);
+    let zero = b.const0();
+    let one = b.const1();
+    let inc: Vec<_> =
+        (0..width).map(|i| if (increment >> i) & 1 == 1 { one } else { zero }).collect();
+    let sum = words::ripple_adder(&mut b, &acc, &inc, zero);
+    for (d, q) in sum.sum.iter().zip(&acc) {
+        b.dff_into(*d, *q);
+    }
+    b.output("acc", acc);
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn published_activity_profile_matches_power_model_inputs(
+        width in 2usize..=5,
+        increment in 1u64..=31,
+        cycles in 1u64..=24,
+    ) {
+        let nl = accumulator(width, increment);
+        let mut sim = Simulator::new(&nl);
+        sim.run(cycles).unwrap();
+
+        let registry = Registry::new();
+        sim.publish_activity(&registry, "t.sim");
+        let stats = sim.stats();
+
+        // Counters mirror the simulator's own accounting.
+        prop_assert_eq!(registry.counter("t.sim.cycles"), Some(stats.cycles));
+        prop_assert_eq!(registry.counter("t.sim.gate_evals"), Some(stats.gate_evals));
+        prop_assert_eq!(registry.counter("t.sim.settle_passes"), Some(stats.settle_passes));
+        prop_assert_eq!(
+            registry.counter("t.sim.toggles"),
+            Some(stats.toggles.iter().sum::<u64>())
+        );
+
+        // The average-activity gauge is exactly the figure the power
+        // model's measured-activity mode consumes.
+        let avg = stats.average_activity().expect("ran at least one cycle");
+        let gauge = registry.gauge_value("t.sim.avg_activity").expect("gauge published");
+        prop_assert!((gauge - avg).abs() < 1e-12, "gauge {} != model {}", gauge, avg);
+
+        // One histogram sample per gate, and the histogram mean agrees
+        // with the average per-gate toggle rate (both in per-mille,
+        // within integer-division slack of one unit per gate).
+        let hist = registry.histogram("t.sim.gate_activity_per_mille").expect("histogram");
+        let samples: u64 = hist.buckets().iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(samples, nl.gate_count() as u64);
+        let exact: f64 = 1000.0 * avg;
+        prop_assert!(
+            (hist.mean() - exact).abs() <= 1.0,
+            "histogram mean {} vs exact per-mille {}", hist.mean(), exact
+        );
+
+        // Publishing is additive: a second publish doubles the counters.
+        sim.publish_activity(&registry, "t.sim");
+        prop_assert_eq!(registry.counter("t.sim.cycles"), Some(2 * stats.cycles));
+    }
+}

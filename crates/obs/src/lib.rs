@@ -1,0 +1,322 @@
+//! # printed-obs
+//!
+//! Workspace-wide observability for the printed-microprocessor
+//! reproduction: a lightweight, dependency-free registry of **counters**,
+//! **gauges**, **histograms**, and **hierarchical span timers**, with
+//! JSON-lines and human-text exporters.
+//!
+//! The long-running compute loops of the evaluation — gate-level
+//! simulation, Monte-Carlo fault campaigns, the 24-point design-space
+//! sweep — report into a global [`Registry`] through this crate, and
+//! `eval::perf_report` renders the registry as the `perf_summary`
+//! artifact. Every instrumentation site is gated on the `PRINTED_OBS`
+//! environment variable:
+//!
+//! | `PRINTED_OBS` | behaviour |
+//! |---|---|
+//! | unset / `off` | everything disabled; instrumentation is one relaxed atomic load |
+//! | `summary` | metrics are recorded; [`finish`] prints the text summary |
+//! | `trace` | additionally, every completed span prints one JSON line immediately |
+//!
+//! ```
+//! use printed_obs as obs;
+//!
+//! obs::set_level(obs::Level::Summary);
+//! {
+//!     let _span = obs::span!("demo.outer");
+//!     obs::add("demo.events", 3);
+//!     obs::gauge("demo.rate", 1.5);
+//! }
+//! let text = obs::global().render_summary();
+//! assert!(text.contains("demo.events"));
+//! for line in obs::global().export_jsonl().lines() {
+//!     obs::json::parse(line).expect("every exported line is valid JSON");
+//! }
+//! # obs::global().reset();
+//! # obs::set_level(obs::Level::Off);
+//! ```
+//!
+//! Naming convention: dotted lower-case paths, `<crate>.<subsystem>.<metric>`
+//! (for example `netlist.sim.gate_evals`, `eval.figure8`). Nested spans
+//! compose their paths: a `span!("figure7")` opened inside
+//! `span!("eval")` records as `eval.figure7`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+mod registry;
+
+pub use registry::{Histogram, Registry, SpanStats};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Observability verbosity, from the `PRINTED_OBS` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Everything disabled (the default); near-zero overhead.
+    Off,
+    /// Record metrics; [`finish`] prints a text summary.
+    Summary,
+    /// Like `Summary`, plus one JSON line per completed span as it closes.
+    Trace,
+}
+
+/// `Level` cache: 0/1/2 = Off/Summary/Trace, `UNSET` = not yet read.
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+const UNSET: u8 = 0xFF;
+
+fn level_from_env() -> Level {
+    match std::env::var("PRINTED_OBS").as_deref() {
+        Ok("summary") => Level::Summary,
+        Ok("trace") => Level::Trace,
+        _ => Level::Off,
+    }
+}
+
+/// The current verbosity (reads `PRINTED_OBS` once, then caches).
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Summary,
+        2 => Level::Trace,
+        _ => {
+            let level = level_from_env();
+            LEVEL.store(level as u8, Ordering::Relaxed);
+            level
+        }
+    }
+}
+
+/// Overrides the verbosity programmatically (tests, tools).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether any recording is enabled. The hot-path gate: when this is
+/// false every instrumentation call returns immediately.
+#[inline]
+pub fn enabled() -> bool {
+    level() != Level::Off
+}
+
+/// The process-wide registry all convenience functions record into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Adds `n` to the named counter in the global registry (no-op when
+/// disabled).
+#[inline]
+pub fn add(name: &str, n: u64) {
+    if enabled() {
+        global().add(name, n);
+    }
+}
+
+/// Increments the named counter by one (no-op when disabled).
+#[inline]
+pub fn incr(name: &str) {
+    add(name, 1);
+}
+
+/// Sets the named gauge (no-op when disabled).
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if enabled() {
+        global().gauge(name, value);
+    }
+}
+
+/// Records a value into the named histogram (no-op when disabled).
+#[inline]
+pub fn record(name: &str, value: u64) {
+    if enabled() {
+        global().record(name, value);
+    }
+}
+
+/// Emits an ad-hoc JSON-line event to stderr in `trace` mode only. The
+/// closure runs only when tracing, so formatting costs nothing otherwise.
+#[inline]
+pub fn trace_event(make_line: impl FnOnce() -> String) {
+    if level() == Level::Trace {
+        eprintln!("{}", make_line());
+    }
+}
+
+thread_local! {
+    /// Active span names on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII timer for one span; created by [`span!`] (or [`SpanGuard::enter`])
+/// and recorded into the global registry on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when observability is off — the guard is then inert.
+    active: Option<(String, Instant)>,
+}
+
+impl SpanGuard {
+    /// Opens a span. The recorded path is the dot-join of every span
+    /// currently open on this thread plus `name`.
+    pub fn enter(name: &str) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard { active: None };
+        }
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name.to_string());
+            stack.join(".")
+        });
+        SpanGuard { active: Some((path, Instant::now())) }
+    }
+
+    /// The full dotted path this guard records under (`None` when inert).
+    pub fn path(&self) -> Option<&str> {
+        self.active.as_ref().map(|(p, _)| p.as_str())
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((path, start)) = self.active.take() else { return };
+        let ns = start.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        global().record_span(&path, ns);
+        trace_event(|| {
+            format!("{{\"type\":\"span_close\",\"path\":{},\"ns\":{ns}}}", json::escape(&path))
+        });
+    }
+}
+
+/// Opens a hierarchical span timer; bind the result to keep it alive:
+///
+/// ```
+/// # printed_obs::set_level(printed_obs::Level::Summary);
+/// let _span = printed_obs::span!("eval.robustness");
+/// # drop(_span);
+/// # printed_obs::global().reset();
+/// # printed_obs::set_level(printed_obs::Level::Off);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+/// Peak resident-set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`); `None` where procfs is unavailable.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// End-of-run hook for binaries: prints the text summary to stderr in
+/// `summary` mode, or the full JSON-lines export in `trace` mode. A
+/// no-op when observability is off.
+pub fn finish() {
+    match level() {
+        Level::Off => {}
+        Level::Summary => eprintln!("{}", global().render_summary()),
+        Level::Trace => eprint!("{}", global().export_jsonl()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Level juggling in tests needs care: run serially via one lock.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn off_level_records_nothing() {
+        let _g = serial();
+        set_level(Level::Off);
+        let reg = Registry::new();
+        add("off.counter", 5);
+        {
+            let _span = span!("off.span");
+            assert!(_span.path().is_none(), "guard is inert when off");
+        }
+        assert_eq!(reg.snapshot_counters().len(), 0);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn spans_nest_into_dotted_paths() {
+        let _g = serial();
+        set_level(Level::Summary);
+        global().reset();
+        {
+            let outer = span!("t_outer");
+            assert_eq!(outer.path(), Some("t_outer"));
+            let inner = span!("t_inner");
+            assert_eq!(inner.path(), Some("t_outer.t_inner"));
+        }
+        let spans = global().snapshot_spans();
+        assert!(spans.iter().any(|(p, s)| p == "t_outer" && s.count == 1));
+        assert!(spans.iter().any(|(p, s)| p == "t_outer.t_inner" && s.count == 1));
+        global().reset();
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn convenience_functions_hit_the_global_registry() {
+        let _g = serial();
+        set_level(Level::Summary);
+        global().reset();
+        add("t.counter", 2);
+        incr("t.counter");
+        gauge("t.gauge", 0.25);
+        record("t.hist", 7);
+        let counters = global().snapshot_counters();
+        assert!(counters.iter().any(|(n, v)| n == "t.counter" && *v == 3));
+        let summary = global().render_summary();
+        assert!(summary.contains("t.gauge"));
+        assert!(summary.contains("t.hist"));
+        global().reset();
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn exported_jsonl_parses_line_by_line() {
+        let _g = serial();
+        set_level(Level::Summary);
+        global().reset();
+        add("t.\"quoted\"", 1);
+        gauge("t.g", 1.0);
+        record("t.h", 1024);
+        {
+            let _s = span!("t.span");
+        }
+        let jsonl = global().export_jsonl();
+        assert!(jsonl.lines().count() >= 4);
+        for line in jsonl.lines() {
+            let value = json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert!(value.get("type").is_some(), "{line}");
+        }
+        global().reset();
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if let Some(kb) = peak_rss_kb() {
+            assert!(kb > 0);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! The metric registry: counters, gauges, histograms, and span stats,
+//! with text and JSON-lines exporters.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Number of power-of-two histogram buckets: bucket `i` holds values
+/// whose bit length is `i` (bucket 0 is the value zero).
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket power-of-two histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: 0, max: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[(64 - value.leading_zeros()) as usize] += 1;
+    }
+
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(bit_length, count)` pairs, ascending.
+    pub fn buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+}
+
+/// Aggregated timings of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed spans recorded under this path.
+    pub count: u64,
+    /// Total time, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest span, nanoseconds.
+    pub min_ns: u64,
+    /// Longest span, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+    }
+
+    /// Mean span duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+/// A metric registry. Most code records into the process-wide
+/// [`crate::global`] registry through the crate-level convenience
+/// functions; tests and cross-check harnesses can use private instances.
+///
+/// Recording is coarse-grained by design: instrumentation sites batch in
+/// plain local fields and publish once per run, so the single mutex is
+/// never on a hot path.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Metric recording must never wedge the workload: a poisoned
+        // registry (a panic mid-record) just keeps serving.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `n` to a counter, creating it at zero first if needed.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets a gauge to `value` (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one value into a histogram.
+    pub fn record(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        inner.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Records one completed span duration under a dotted path.
+    pub fn record_span(&self, path: &str, ns: u64) {
+        let mut inner = self.lock();
+        inner.spans.entry(path.to_string()).or_default().record(ns);
+    }
+
+    /// Clears every metric.
+    pub fn reset(&self) {
+        *self.lock() = Inner::default();
+    }
+
+    /// Counter snapshot, sorted by name.
+    pub fn snapshot_counters(&self) -> Vec<(String, u64)> {
+        self.lock().counters.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// Gauge snapshot, sorted by name.
+    pub fn snapshot_gauges(&self) -> Vec<(String, f64)> {
+        self.lock().gauges.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// Histogram snapshot, sorted by name.
+    pub fn snapshot_histograms(&self) -> Vec<(String, Histogram)> {
+        self.lock().histograms.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Span snapshot, sorted by path.
+    pub fn snapshot_spans(&self) -> Vec<(String, SpanStats)> {
+        self.lock().spans.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// One counter's current value, if it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.lock().counters.get(name).copied()
+    }
+
+    /// One gauge's current value, if it exists.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// One histogram's current state, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// One span path's stats, if recorded.
+    pub fn span_stats(&self, path: &str) -> Option<SpanStats> {
+        self.lock().spans.get(path).copied()
+    }
+
+    /// Human-readable summary of every metric, sections sorted by name.
+    pub fn render_summary(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("== printed-obs summary ==\n");
+        if !inner.spans.is_empty() {
+            out.push_str("spans (path: count, total ms, mean ms):\n");
+            for (path, s) in &inner.spans {
+                let _ = writeln!(
+                    out,
+                    "  {path}: {} x, {:.3} ms total, {:.3} ms mean",
+                    s.count,
+                    s.total_ns as f64 / 1e6,
+                    s.mean_ns() / 1e6
+                );
+            }
+        }
+        if !inner.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &inner.counters {
+                let _ = writeln!(out, "  {name}: {v}");
+            }
+        }
+        if !inner.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &inner.gauges {
+                let _ = writeln!(out, "  {name}: {v:.6}");
+            }
+        }
+        if !inner.histograms.is_empty() {
+            out.push_str("histograms (name: count, mean, min..max):\n");
+            for (name, h) in &inner.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name}: {} x, mean {:.2}, {}..{}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                );
+            }
+        }
+        out
+    }
+
+    /// Exports every metric as JSON lines: one self-contained object per
+    /// line, each with a `"type"` discriminator.
+    pub fn export_jsonl(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for (name, v) in &inner.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{v}}}",
+                json::escape(name)
+            );
+        }
+        for (name, v) in &inner.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
+                json::escape(name),
+                json::number(*v)
+            );
+        }
+        for (name, h) in &inner.histograms {
+            let buckets: Vec<String> =
+                h.buckets().iter().map(|(bits, c)| format!("[{bits},{c}]")).collect();
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\
+                 \"min\":{},\"max\":{},\"buckets\":[{}]}}",
+                json::escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                buckets.join(",")
+            );
+        }
+        for (path, s) in &inner.spans {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"name\":{},\"count\":{},\"total_ns\":{},\
+                 \"min_ns\":{},\"max_ns\":{}}}",
+                json::escape(path),
+                s.count,
+                s.total_ns,
+                s.min_ns,
+                s.max_ns
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_count_sum_bounds_and_buckets() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+        // 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 1000 -> 10.
+        assert_eq!(h.buckets(), vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn span_stats_aggregate() {
+        let reg = Registry::new();
+        reg.record_span("a.b", 100);
+        reg.record_span("a.b", 300);
+        let s = reg.span_stats("a.b").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 400);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 300);
+        assert!((s.mean_ns() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_is_isolated_per_instance() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.add("x", 1);
+        assert_eq!(a.counter("x"), Some(1));
+        assert_eq!(b.counter("x"), None);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = Registry::new();
+        reg.add("c", 1);
+        reg.gauge("g", 2.0);
+        reg.record("h", 3);
+        reg.record_span("s", 4);
+        reg.reset();
+        assert!(reg.snapshot_counters().is_empty());
+        assert!(reg.snapshot_gauges().is_empty());
+        assert!(reg.snapshot_histograms().is_empty());
+        assert!(reg.snapshot_spans().is_empty());
+    }
+
+    #[test]
+    fn summary_and_jsonl_cover_all_kinds() {
+        let reg = Registry::new();
+        reg.add("c", 7);
+        reg.gauge("g", 0.5);
+        reg.record("h", 9);
+        reg.record_span("s.path", 1234);
+        let text = reg.render_summary();
+        for needle in ["c: 7", "g: 0.5", "h: 1 x", "s.path: 1 x"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let jsonl = reg.export_jsonl();
+        assert_eq!(jsonl.lines().count(), 4);
+        for line in jsonl.lines() {
+            crate::json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn gauges_overwrite_counters_accumulate() {
+        let reg = Registry::new();
+        reg.gauge("g", 1.0);
+        reg.gauge("g", 2.0);
+        assert_eq!(reg.gauge_value("g"), Some(2.0));
+        reg.add("c", 1);
+        reg.add("c", 2);
+        assert_eq!(reg.counter("c"), Some(3));
+    }
+}

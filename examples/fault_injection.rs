@@ -88,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. What TMR costs and what it buys on the single-cycle cores.
-    let comparisons = tmr_comparison(tech, &RobustnessOptions::default());
+    let comparisons = tmr_comparison(tech, &RobustnessOptions::default())?;
     println!("\n{}", tmr_table(tech, &comparisons));
+
+    // With PRINTED_OBS=summary this prints campaign counters and span
+    // timings; with PRINTED_OBS=trace, the full JSON-lines export.
+    printed_microprocessors::obs::finish();
     Ok(())
 }

@@ -16,7 +16,9 @@
 //!   program-specific specialization, benchmark kernels,
 //! - [`baselines`] — light8080 / Z80 / ZPU / openMSP430 simulators,
 //!   assemblers, inventories, and benchmark programs,
-//! - [`eval`] — tables, figures, lifetime analysis, headline ratios.
+//! - [`eval`] — tables, figures, lifetime analysis, headline ratios,
+//! - [`obs`] — counters, gauges, histograms, and span timers behind the
+//!   `PRINTED_OBS` environment variable (see DESIGN.md "Observability").
 //!
 //! ## Quickstart
 //!
@@ -44,4 +46,5 @@ pub use printed_core as core;
 pub use printed_eval as eval;
 pub use printed_memory as memory;
 pub use printed_netlist as netlist;
+pub use printed_obs as obs;
 pub use printed_pdk as pdk;
