@@ -20,8 +20,18 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
-echo "==> fault-injection campaign smoke"
-cargo run --release --example fault_injection >/dev/null
+echo "==> fault-injection campaign smoke (deterministic across PRINTED_SIM_THREADS)"
+csv_dir=$(mktemp -d)
+trap 'rm -rf "$csv_dir"' EXIT
+FAULT_CSV_OUT="$csv_dir/t1.csv" PRINTED_SIM_THREADS=1 \
+    cargo run --release --example fault_injection >/dev/null
+FAULT_CSV_OUT="$csv_dir/t2.csv" PRINTED_SIM_THREADS=2 \
+    cargo run --release --example fault_injection >/dev/null
+cmp "$csv_dir/t1.csv" "$csv_dir/t2.csv" \
+    || { echo "campaign CSV differs between 1 and 2 worker threads"; exit 1; }
+
+echo "==> simulator hot-path bench (refreshes BENCH_sim.json, asserts speedups)"
+cargo bench -p printed-bench --bench sim_hotpaths >/dev/null
 
 echo "==> obs smoke (PRINTED_OBS=summary campaign + JSON-lines export)"
 obs_out=$(PRINTED_OBS=summary cargo run --release --example fault_injection 2>&1 >/dev/null)

@@ -1,19 +1,26 @@
-//! Simulator hot-path benchmarks: the netlist settle/step loop, the
-//! gate-level co-simulation kernel loop, and the cost of disabled
-//! observability instrumentation.
+//! Simulator hot-path benchmarks: the netlist settle/step loop under
+//! both engines, the gate-level co-simulation kernel loop, parallel
+//! fault-campaign scaling, and the cost of disabled observability
+//! instrumentation.
 //!
 //! Besides the criterion-shim output, this harness writes
 //! `BENCH_sim.json` at the repository root with the measured numbers,
-//! and asserts that instrumentation with `PRINTED_OBS=off` stays
-//! unmeasurable (below [`OBS_OFF_THRESHOLD_NS`] per call site) — the
-//! guard that keeps observability off the simulator's hot path.
+//! and asserts three invariants:
+//!
+//! - the event-driven engine is at least as fast as the full-sweep
+//!   reference on the p1_8_2 kernel replay (the whole point of the
+//!   worklist),
+//! - the fault campaign produces byte-identical CSV at every measured
+//!   thread count, and
+//! - instrumentation with `PRINTED_OBS=off` stays unmeasurable (below
+//!   [`OBS_OFF_THRESHOLD_NS`] per call site).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use printed_core::kernels::{self, Kernel};
 use printed_core::workload::ProgramWorkload;
 use printed_core::{generate_standard, CoreConfig};
-use printed_netlist::fault::Workload;
-use printed_netlist::Simulator;
+use printed_netlist::fault::{run_campaign_with_threads, CampaignConfig, StuckAtSpace, Workload};
+use printed_netlist::{Engine, Simulator};
 use printed_obs as obs;
 use std::path::Path;
 use std::time::Instant;
@@ -22,6 +29,23 @@ use std::time::Instant;
 /// plus one counter add). The real cost is a couple of relaxed atomic
 /// loads — single-digit nanoseconds; the margin absorbs CI noise.
 const OBS_OFF_THRESHOLD_NS: f64 = 200.0;
+
+/// Thread counts the campaign-scaling measurement sweeps.
+const CAMPAIGN_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Pre-optimization baselines recorded by the seed benchmark (single
+/// full-sweep engine, no cached machine ports): the `ns_per_cycle`
+/// numbers from the committed `BENCH_sim.json` this branch started
+/// from. The headline `speedup` fields measure against these, i.e.
+/// against what the repository could do before this change.
+const SEED_GL_NS_PER_CYCLE: f64 = 30018.9;
+const SEED_SIM_NS_PER_CYCLE: f64 = 9484.9;
+
+/// Replays per measurement; the first [`WARMUP_REPS`] are discarded and
+/// the best of the rest is kept. A single cold replay swings by tens of
+/// percent on a busy single-core box.
+const MEASURE_REPS: usize = 12;
+const WARMUP_REPS: usize = 2;
 
 /// Nanoseconds per iteration of `f` over `iters` runs.
 fn ns_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
@@ -32,30 +56,79 @@ fn ns_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// One engine's raw-simulation numbers.
+struct EngineRun {
+    ns_per_cycle: f64,
+    gate_evals_per_sec: f64,
+    gate_evals: u64,
+}
+
 struct Measurements {
     sim_cycles: u64,
-    sim_ns_per_cycle: f64,
-    sim_gate_evals_per_sec: f64,
+    sim_event: EngineRun,
+    sim_sweep: EngineRun,
     gl_kernel: String,
     gl_cycles: u64,
-    gl_ns_per_cycle: f64,
+    gl_event_ns_per_cycle: f64,
+    gl_sweep_ns_per_cycle: f64,
+    campaign_faults: usize,
+    campaign_ms: Vec<(usize, f64)>,
+    campaign_csv_identical: bool,
     obs_off_ns_per_op: f64,
 }
 
 impl Measurements {
+    /// Headline improvement: event-driven replay against the seed's
+    /// committed full-sweep number (what this branch started from).
+    fn gl_speedup(&self) -> f64 {
+        SEED_GL_NS_PER_CYCLE / self.gl_event_ns_per_cycle
+    }
+
+    /// Same-binary engine comparison on today's box.
+    fn gl_speedup_vs_full_sweep(&self) -> f64 {
+        self.gl_sweep_ns_per_cycle / self.gl_event_ns_per_cycle
+    }
+
     fn to_json(&self) -> String {
+        let threads_json: Vec<String> = self
+            .campaign_ms
+            .iter()
+            .map(|&(threads, ms)| format!("{{\"threads\": {threads}, \"ms\": {ms:.1}}}"))
+            .collect();
         format!(
             "{{\n  \"bench\": \"sim_hotpaths\",\n  \"netlist_sim\": {{\"design\": \"p1_8_2\", \
-             \"cycles\": {}, \"ns_per_cycle\": {:.1}, \"gate_evals_per_sec\": {:.0}}},\n  \
+             \"cycles\": {}, \"event\": {{\"ns_per_cycle\": {:.1}, \"gate_evals_per_sec\": \
+             {:.0}, \"gate_evals\": {}}}, \"full_sweep\": {{\"ns_per_cycle\": {:.1}, \
+             \"gate_evals_per_sec\": {:.0}, \"gate_evals\": {}}}, \
+             \"seed_ns_per_cycle\": {:.1}, \"speedup_vs_full_sweep\": {:.2}, \
+             \"speedup\": {:.2}}},\n  \
              \"gate_level_machine\": {{\"kernel\": \"{}\", \"cycles\": {}, \
-             \"ns_per_cycle\": {:.1}}},\n  \"obs_off_overhead\": {{\"ns_per_op\": {:.2}, \
-             \"threshold_ns\": {:.1}, \"within_threshold\": {}}}\n}}\n",
+             \"event_ns_per_cycle\": {:.1}, \"full_sweep_ns_per_cycle\": {:.1}, \
+             \"seed_ns_per_cycle\": {:.1}, \"speedup_vs_full_sweep\": {:.2}, \
+             \"speedup\": {:.2}}},\n  \"campaign_scaling\": {{\"design\": \"p1_4_2\", \
+             \"faults\": {}, \"threads\": [{}], \"csv_identical\": {}}},\n  \
+             \"obs_off_overhead\": {{\"ns_per_op\": {:.2}, \"threshold_ns\": {:.1}, \
+             \"within_threshold\": {}}}\n}}\n",
             self.sim_cycles,
-            self.sim_ns_per_cycle,
-            self.sim_gate_evals_per_sec,
+            self.sim_event.ns_per_cycle,
+            self.sim_event.gate_evals_per_sec,
+            self.sim_event.gate_evals,
+            self.sim_sweep.ns_per_cycle,
+            self.sim_sweep.gate_evals_per_sec,
+            self.sim_sweep.gate_evals,
+            SEED_SIM_NS_PER_CYCLE,
+            self.sim_sweep.ns_per_cycle / self.sim_event.ns_per_cycle,
+            SEED_SIM_NS_PER_CYCLE / self.sim_event.ns_per_cycle,
             self.gl_kernel,
             self.gl_cycles,
-            self.gl_ns_per_cycle,
+            self.gl_event_ns_per_cycle,
+            self.gl_sweep_ns_per_cycle,
+            SEED_GL_NS_PER_CYCLE,
+            self.gl_speedup_vs_full_sweep(),
+            self.gl_speedup(),
+            self.campaign_faults,
+            threads_json.join(", "),
+            self.campaign_csv_identical,
             self.obs_off_ns_per_op,
             OBS_OFF_THRESHOLD_NS,
             self.obs_off_ns_per_op <= OBS_OFF_THRESHOLD_NS,
@@ -63,31 +136,83 @@ impl Measurements {
     }
 }
 
-/// Raw netlist simulation throughput: clocking the paper's p1_8_2 core.
-fn measure_netlist_sim() -> (u64, f64, f64) {
+/// Raw netlist simulation throughput: clocking the paper's p1_8_2 core
+/// under one engine. Keeps the best of [`MEASURE_REPS`] warm replays.
+fn measure_netlist_sim(engine: Engine) -> (u64, EngineRun) {
     let netlist = generate_standard(&CoreConfig::new(1, 8, 2));
-    let mut sim = Simulator::new(&netlist);
     let cycles = 400u64;
-    let started = Instant::now();
-    sim.run(cycles).expect("core netlist settles");
-    let elapsed = started.elapsed();
-    let ns_per_cycle = elapsed.as_nanos() as f64 / cycles as f64;
-    let evals_per_sec = sim.stats().gate_evals as f64 / elapsed.as_secs_f64();
-    (cycles, ns_per_cycle, evals_per_sec)
+    let mut best =
+        EngineRun { ns_per_cycle: f64::INFINITY, gate_evals_per_sec: 0.0, gate_evals: 0 };
+    for rep in 0..MEASURE_REPS {
+        let mut sim = Simulator::with_engine(&netlist, engine);
+        let started = Instant::now();
+        sim.run(cycles).expect("core netlist settles");
+        let elapsed = started.elapsed();
+        let ns_per_cycle = elapsed.as_nanos() as f64 / cycles as f64;
+        if rep >= WARMUP_REPS && ns_per_cycle < best.ns_per_cycle {
+            best = EngineRun {
+                ns_per_cycle,
+                gate_evals_per_sec: sim.stats().gate_evals as f64 / elapsed.as_secs_f64(),
+                gate_evals: sim.stats().gate_evals,
+            };
+        }
+    }
+    (cycles, best)
 }
 
-/// Gate-level co-simulation of the shift-add multiply kernel on p1_8_2.
-fn measure_gate_level() -> (String, u64, f64) {
+/// Gate-level co-simulation of the shift-add multiply kernel on p1_8_2
+/// under one engine.
+fn measure_gate_level(engine: Engine) -> (String, u64, f64) {
     let config = CoreConfig::new(1, 8, 2);
     let netlist = generate_standard(&config);
     let kernel = kernels::generate(Kernel::Mult, 8, 8).expect("mult8 generates");
     let name = kernel.name.clone();
     let workload = ProgramWorkload::from_kernel(&kernel, config).expect("mult8 encodes");
-    let started = Instant::now();
-    let observation = workload.run(Simulator::new(&netlist), 20_000).expect("kernel runs");
-    assert!(observation.completed, "mult kernel must halt within budget");
-    let ns_per_cycle = started.elapsed().as_nanos() as f64 / observation.cycles as f64;
-    (name, observation.cycles, ns_per_cycle)
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for rep in 0..MEASURE_REPS {
+        let started = Instant::now();
+        let observation =
+            workload.run(Simulator::with_engine(&netlist, engine), 20_000).expect("kernel runs");
+        let ns_per_cycle = started.elapsed().as_nanos() as f64 / observation.cycles as f64;
+        assert!(observation.completed, "mult kernel must halt within budget");
+        cycles = observation.cycles;
+        if rep >= WARMUP_REPS {
+            best = best.min(ns_per_cycle);
+        }
+    }
+    (name, cycles, best)
+}
+
+/// Exhaustive stuck-at campaign on the p1_4_2 smoke program at each
+/// thread count in [`CAMPAIGN_THREADS`]: wall time per count, plus a
+/// byte-identity check of the merged CSV against the sequential run.
+fn measure_campaign_scaling() -> (usize, Vec<(usize, f64)>, bool) {
+    let config = CoreConfig::new(1, 4, 2);
+    let netlist = generate_standard(&config);
+    let workload = ProgramWorkload::smoke(config);
+    let campaign = CampaignConfig {
+        stuck_at: StuckAtSpace::Exhaustive,
+        seu_samples: 16,
+        ..CampaignConfig::default()
+    };
+    let mut timings = Vec::new();
+    let mut baseline_csv: Option<String> = None;
+    let mut faults = 0;
+    let mut identical = true;
+    for &threads in &CAMPAIGN_THREADS {
+        let started = Instant::now();
+        let result = run_campaign_with_threads(&netlist, &workload, &campaign, threads)
+            .expect("smoke campaign completes");
+        timings.push((threads, started.elapsed().as_secs_f64() * 1e3));
+        faults = result.runs.len();
+        let csv = result.to_csv();
+        match &baseline_csv {
+            None => baseline_csv = Some(csv),
+            Some(base) => identical &= *base == csv,
+        }
+    }
+    (faults, timings, identical)
 }
 
 /// Per-call-site cost of disabled instrumentation: a span enter/drop
@@ -109,29 +234,61 @@ fn write_bench_json(m: &Measurements) {
 }
 
 fn bench(c: &mut Criterion) {
-    let (sim_cycles, sim_ns_per_cycle, sim_gate_evals_per_sec) = measure_netlist_sim();
-    let (gl_kernel, gl_cycles, gl_ns_per_cycle) = measure_gate_level();
+    let (sim_cycles, sim_event) = measure_netlist_sim(Engine::EventDriven);
+    let (_, sim_sweep) = measure_netlist_sim(Engine::FullSweep);
+    let (gl_kernel, gl_cycles, gl_event_ns_per_cycle) = measure_gate_level(Engine::EventDriven);
+    let (_, _, gl_sweep_ns_per_cycle) = measure_gate_level(Engine::FullSweep);
+    let (campaign_faults, campaign_ms, campaign_csv_identical) = measure_campaign_scaling();
     let obs_off_ns_per_op = measure_obs_off();
 
     let m = Measurements {
         sim_cycles,
-        sim_ns_per_cycle,
-        sim_gate_evals_per_sec,
+        sim_event,
+        sim_sweep,
         gl_kernel,
         gl_cycles,
-        gl_ns_per_cycle,
+        gl_event_ns_per_cycle,
+        gl_sweep_ns_per_cycle,
+        campaign_faults,
+        campaign_ms,
+        campaign_csv_identical,
         obs_off_ns_per_op,
     };
     println!(
-        "netlist sim: {:.0} ns/cycle ({:.2e} gate evals/s); gate-level {}: {:.0} ns/cycle; \
-         obs off: {:.2} ns/op",
-        m.sim_ns_per_cycle,
-        m.sim_gate_evals_per_sec,
+        "netlist sim: event {:.0} ns/cycle vs full sweep {:.0} ns/cycle; gate-level {}: \
+         event {:.0} vs full sweep {:.0} ns/cycle ({:.1}x live, {:.1}x vs seed); campaign \
+         {} faults {:?} ms; obs off: {:.2} ns/op",
+        m.sim_event.ns_per_cycle,
+        m.sim_sweep.ns_per_cycle,
         m.gl_kernel,
-        m.gl_ns_per_cycle,
+        m.gl_event_ns_per_cycle,
+        m.gl_sweep_ns_per_cycle,
+        m.gl_speedup_vs_full_sweep(),
+        m.gl_speedup(),
+        m.campaign_faults,
+        m.campaign_ms,
         m.obs_off_ns_per_op
     );
     write_bench_json(&m);
+    assert!(
+        m.gl_event_ns_per_cycle <= m.gl_sweep_ns_per_cycle,
+        "event-driven engine must not be slower than the full sweep on p1_8_2: \
+         {:.1} ns/cycle vs {:.1} ns/cycle",
+        m.gl_event_ns_per_cycle,
+        m.gl_sweep_ns_per_cycle
+    );
+    assert!(
+        m.gl_speedup() >= 5.0,
+        "event-driven kernel replay must improve at least 5x over the seed baseline: \
+         {:.1} ns/cycle vs seed {:.1} ns/cycle is only {:.2}x",
+        m.gl_event_ns_per_cycle,
+        SEED_GL_NS_PER_CYCLE,
+        m.gl_speedup()
+    );
+    assert!(
+        m.campaign_csv_identical,
+        "campaign CSV must be byte-identical across thread counts {CAMPAIGN_THREADS:?}"
+    );
     assert!(
         m.obs_off_ns_per_op <= OBS_OFF_THRESHOLD_NS,
         "disabled observability must stay unmeasurable: {:.2} ns/op exceeds {} ns",
@@ -142,9 +299,16 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_hotpaths");
     g.sample_size(10);
     let netlist = generate_standard(&CoreConfig::new(1, 8, 2));
-    g.bench_function("netlist_sim_step_x50", |b| {
+    g.bench_function("netlist_sim_step_x50_event", |b| {
         b.iter(|| {
             let mut sim = Simulator::new(&netlist);
+            sim.run(50).expect("settles");
+            sim.stats().cycles
+        })
+    });
+    g.bench_function("netlist_sim_step_x50_full_sweep", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_engine(&netlist, Engine::FullSweep);
             sim.run(50).expect("settles");
             sim.stats().cycles
         })

@@ -21,7 +21,9 @@ use crate::isa::Flags;
 #[cfg(test)]
 use crate::isa::Instruction;
 use crate::specific::CoreSpec;
-use printed_netlist::{lint, words, NetId, Netlist, NetlistBuilder, NetlistError, Simulator};
+use printed_netlist::{
+    lint, words, Engine, NetId, Netlist, NetlistBuilder, NetlistError, Simulator,
+};
 use printed_pdk::Technology;
 use serde::{Deserialize, Serialize};
 
@@ -342,6 +344,43 @@ pub struct GateLevelMachine<'a> {
     program: Vec<u64>,
     dmem: Vec<u64>,
     halted: bool,
+    /// Memory-interface port nets, resolved once so the per-cycle loop
+    /// skips the by-name port lookups (`None` if the netlist lacks the
+    /// port — surfaced as [`NetlistError::UnknownPort`] on `step`).
+    ports: MachinePorts<'a>,
+}
+
+/// Resolved output-port net lists of a generated core (see
+/// [`GateLevelMachine::step`] for how each is used per cycle).
+#[derive(Debug, Clone, Copy)]
+struct MachinePorts<'a> {
+    pc: Option<&'a [NetId]>,
+    addr_a: Option<&'a [NetId]>,
+    addr_b: Option<&'a [NetId]>,
+    we: Option<&'a [NetId]>,
+    wdata: Option<&'a [NetId]>,
+    wb_addr: Option<&'a [NetId]>,
+    instr: Option<&'a [NetId]>,
+    rdata_a: Option<&'a [NetId]>,
+    rdata_b: Option<&'a [NetId]>,
+}
+
+impl<'a> MachinePorts<'a> {
+    fn resolve(netlist: &'a Netlist) -> Self {
+        let output = |name: &str| netlist.output(name).ok();
+        let input = |name: &str| netlist.input(name).ok();
+        MachinePorts {
+            pc: output("pc"),
+            addr_a: output("addr_a"),
+            addr_b: output("addr_b"),
+            we: output("we"),
+            wdata: output("wdata"),
+            wb_addr: output("wb_addr"),
+            instr: input("instr"),
+            rdata_a: input("rdata_a"),
+            rdata_b: input("rdata_b"),
+        }
+    }
 }
 
 impl<'a> GateLevelMachine<'a> {
@@ -356,6 +395,24 @@ impl<'a> GateLevelMachine<'a> {
     /// characterization-only).
     pub fn new(netlist: &'a Netlist, spec: CoreSpec, program: Vec<u64>, dmem_words: usize) -> Self {
         Self::with_simulator(Simulator::new(netlist), spec, program, dmem_words)
+    }
+
+    /// Like [`GateLevelMachine::new`], but with an explicit simulation
+    /// [`Engine`] — the hook benchmarks use to replay one kernel under
+    /// both the event-driven and the full-sweep engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is not single-cycle (multi-stage cores are
+    /// characterization-only).
+    pub fn with_engine(
+        netlist: &'a Netlist,
+        spec: CoreSpec,
+        program: Vec<u64>,
+        dmem_words: usize,
+        engine: Engine,
+    ) -> Self {
+        Self::with_simulator(Simulator::with_engine(netlist, engine), spec, program, dmem_words)
     }
 
     /// Like [`GateLevelMachine::new`], but over a pre-built simulator —
@@ -373,7 +430,32 @@ impl<'a> GateLevelMachine<'a> {
         dmem_words: usize,
     ) -> Self {
         assert_eq!(spec.pipeline_stages, 1, "gate-level co-simulation supports single-cycle cores");
-        GateLevelMachine { sim, spec, program, dmem: vec![0; dmem_words], halted: false }
+        let ports = MachinePorts::resolve(sim.netlist());
+        GateLevelMachine { sim, spec, program, dmem: vec![0; dmem_words], halted: false, ports }
+    }
+
+    /// Reads a port resolved at construction time, reporting a missing
+    /// port exactly as [`Simulator::read_output`] would.
+    fn read_port(&self, nets: Option<&[NetId]>, name: &str) -> Result<u64, NetlistError> {
+        nets.map(|nets| self.sim.read_bus(nets))
+            .ok_or_else(|| NetlistError::UnknownPort(name.to_string()))
+    }
+
+    /// Drives a port resolved at construction time, reporting a missing
+    /// port exactly as [`Simulator::set_input`] would.
+    fn write_port(
+        &mut self,
+        nets: Option<&'a [NetId]>,
+        name: &str,
+        value: u64,
+    ) -> Result<(), NetlistError> {
+        match nets {
+            Some(nets) => {
+                self.sim.set_bus(nets, value);
+                Ok(())
+            }
+            None => Err(NetlistError::UnknownPort(name.to_string())),
+        }
     }
 
     /// The underlying gate-level simulator.
@@ -393,7 +475,7 @@ impl<'a> GateLevelMachine<'a> {
 
     /// Current PC (gate-level register state).
     pub fn pc(&self) -> u64 {
-        self.sim.read_output("pc").expect("core exposes pc")
+        self.sim.read_bus(self.ports.pc.expect("core exposes pc"))
     }
 
     /// Current flags, decoded from the netlist's flag register.
@@ -436,21 +518,21 @@ impl<'a> GateLevelMachine<'a> {
         if self.halted {
             return Ok(());
         }
-        let pc = self.pc() as usize;
+        let pc = self.read_port(self.ports.pc, "pc")? as usize;
         let word = self.program.get(pc).copied().unwrap_or(0);
-        self.sim.set_input("instr", word)?;
+        self.write_port(self.ports.instr, "instr", word)?;
         self.sim.settle()?;
         // Addresses are combinational on the instruction and BAR state.
-        let addr_a = self.sim.read_output("addr_a")? as usize;
-        let addr_b = self.sim.read_output("addr_b")? as usize;
+        let addr_a = self.read_port(self.ports.addr_a, "addr_a")? as usize;
+        let addr_b = self.read_port(self.ports.addr_b, "addr_b")? as usize;
         let ra = self.dmem.get(addr_a).copied().unwrap_or(0);
         let rb = self.dmem.get(addr_b).copied().unwrap_or(0);
-        self.sim.set_input("rdata_a", ra)?;
-        self.sim.set_input("rdata_b", rb)?;
+        self.write_port(self.ports.rdata_a, "rdata_a", ra)?;
+        self.write_port(self.ports.rdata_b, "rdata_b", rb)?;
         self.sim.settle()?;
-        let we = self.sim.read_output("we")? == 1;
-        let wdata = self.sim.read_output("wdata")?;
-        let wb_addr = self.sim.read_output("wb_addr")? as usize;
+        let we = self.read_port(self.ports.we, "we")? == 1;
+        let wdata = self.read_port(self.ports.wdata, "wdata")?;
+        let wb_addr = self.read_port(self.ports.wb_addr, "wb_addr")? as usize;
         self.sim.step()?;
         if we {
             if let Some(slot) = self.dmem.get_mut(wb_addr) {

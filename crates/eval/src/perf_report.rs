@@ -11,6 +11,12 @@
 //! typed [`ReportError`] instead of panicking so one failed write
 //! surfaces in the perf report rather than aborting the whole
 //! reproduction run.
+//!
+//! Because the CSV dump covers the whole registry, the event-driven
+//! simulator's work counters (`*.events`, `*.skipped_gates` — see
+//! [`printed_netlist::ActivityStats`]) and the campaign scheduler's
+//! `netlist.fault.workers` counter land in the perf artifact without any
+//! per-counter plumbing here.
 
 use crate::report::TextTable;
 use printed_obs as obs;

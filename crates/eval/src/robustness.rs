@@ -19,8 +19,8 @@ use printed_baselines::BaselineCpu;
 use printed_core::workload::ProgramWorkload;
 use printed_core::{generate_standard, CoreConfig};
 use printed_netlist::fault::{
-    run_campaign, yield_sites, CampaignConfig, CampaignError, CampaignResult, OutcomeCounts,
-    PatternWorkload, StuckAtSpace, Workload,
+    campaign_threads, run_campaign, yield_sites, CampaignConfig, CampaignError, CampaignResult,
+    OutcomeCounts, PatternWorkload, StuckAtSpace, Workload,
 };
 use printed_netlist::{analysis, tmr, Netlist, TmrOptions};
 use printed_pdk::yield_model;
@@ -145,6 +145,10 @@ fn row_from_campaign(
 /// gate-level smoke program; multi-cycle points and baselines get seeded
 /// random stimulus.
 ///
+/// Each campaign parallelizes across `PRINTED_SIM_THREADS` workers with
+/// byte-identical results (see [`campaign_threads`]), so the report is
+/// reproducible at any thread count.
+///
 /// # Errors
 ///
 /// Propagates the first [`CampaignError`] — a design whose fault-free
@@ -154,6 +158,9 @@ pub fn fault_summary(
     options: &RobustnessOptions,
 ) -> Result<Vec<RobustnessRow>, CampaignError> {
     let _span = printed_obs::span!("eval.robustness.fault_summary");
+    if printed_obs::enabled() {
+        printed_obs::gauge("eval.robustness.campaign_threads", campaign_threads() as f64);
+    }
     let mut rows = Vec::new();
     for config in CoreConfig::design_space() {
         let netlist = generate_standard(&config);

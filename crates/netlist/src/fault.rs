@@ -20,6 +20,15 @@
 //! [`Outcome::Hang`], or [`Outcome::Detected`] against the fault-free
 //! golden run. Campaigns are deterministic under a fixed seed.
 //!
+//! Campaigns parallelize across `PRINTED_SIM_THREADS` worker threads
+//! (default 1; see [`campaign_threads`]). Every fault is independent, so
+//! the fault list is split into contiguous chunks, each worker clones the
+//! pristine [`Simulator`] once and claims chunks from a shared queue, and
+//! each classification lands in a result slot preassigned by fault index.
+//! The merged [`CampaignResult`] — runs, statistics, and CSV bytes — is
+//! therefore identical for every thread count by construction; claiming
+//! order only affects wall-clock time.
+//!
 //! ```
 //! use printed_netlist::fault::{
 //!     run_campaign, CampaignConfig, PatternWorkload, StuckAtSpace,
@@ -55,6 +64,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The kind of a single injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,7 +178,11 @@ pub struct Observation {
 /// steps the clock, and reports an [`Observation`]. Implementations must
 /// be deterministic: the same netlist and budget must always produce the
 /// same observation, or fault classification is meaningless.
-pub trait Workload {
+///
+/// `Sync` is required because the campaign scheduler shares one workload
+/// across its worker threads; workloads are immutable descriptions of a
+/// stimulus, so this is automatic for any sensible implementation.
+pub trait Workload: Sync {
     /// Runs the stimulus to completion or until `cycle_budget` cycles.
     ///
     /// # Errors
@@ -494,15 +509,19 @@ fn classify(golden: &Observation, observed: &Observation) -> Outcome {
     }
 }
 
-fn observe<W: Workload + ?Sized>(
-    netlist: &Netlist,
+/// Runs the workload on a clone of the pristine simulator, with `fault`
+/// injected if given. Cloning shares the pristine simulator's fanout and
+/// levelization maps, so the per-fault setup cost is a few memcpys
+/// instead of a connectivity rebuild.
+fn observe<'a, W: Workload + ?Sized>(
+    pristine: &Simulator<'a>,
     workload: &W,
     fault: Option<Fault>,
     cycle_budget: u64,
 ) -> Result<Observation, NetlistError> {
-    let mut sim = Simulator::new(netlist);
+    let mut sim = pristine.clone();
     if let Some(fault) = fault {
-        sim.inject(FaultMap::single(netlist, fault));
+        sim.inject(FaultMap::single(pristine.netlist(), fault));
     }
     workload.run(sim, cycle_budget)
 }
@@ -519,17 +538,28 @@ pub fn classify_fault<W: Workload + ?Sized>(
     fault: Fault,
     cycle_budget: u64,
 ) -> Result<Outcome, CampaignError> {
-    let golden = observe(netlist, workload, None, cycle_budget)?;
+    let pristine = Simulator::new(netlist);
+    let golden = observe(&pristine, workload, None, cycle_budget)?;
     if !golden.completed {
         return Err(CampaignError::GoldenIncomplete { cycles: golden.cycles });
     }
     let budget = faulty_budget(cycle_budget, golden.cycles);
-    Ok(match observe(netlist, workload, Some(fault), budget) {
+    Ok(match observe(&pristine, workload, Some(fault), budget) {
         Ok(observed) => classify(&golden, &observed),
         // A fault that breaks simulation outright (oscillation) wedges
         // the circuit: a hang.
         Err(_) => Outcome::Hang,
     })
+}
+
+/// Worker-thread count for fault campaigns, read from the
+/// `PRINTED_SIM_THREADS` environment variable. Unset, empty, or
+/// unparsable values — and explicit `0` — mean 1 (sequential).
+pub fn campaign_threads() -> usize {
+    std::env::var("PRINTED_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
 }
 
 /// Faulty runs get a tighter budget derived from the golden run length,
@@ -542,6 +572,11 @@ fn faulty_budget(cycle_budget: u64, golden_cycles: u64) -> u64 {
 /// seeded Monte-Carlo SEU sampling over sequential state, each run
 /// classified against the fault-free golden run.
 ///
+/// Parallelism comes from the `PRINTED_SIM_THREADS` environment variable
+/// (see [`campaign_threads`]); the result is byte-identical for every
+/// thread count. Use [`run_campaign_with_threads`] to pick the worker
+/// count programmatically.
+///
 /// # Errors
 ///
 /// Returns a [`CampaignError`] if the fault-free run fails, does not
@@ -551,7 +586,32 @@ pub fn run_campaign<W: Workload + ?Sized>(
     workload: &W,
     config: &CampaignConfig,
 ) -> Result<CampaignResult, CampaignError> {
-    let golden = observe(netlist, workload, None, config.cycle_budget)?;
+    run_campaign_with_threads(netlist, workload, config, campaign_threads())
+}
+
+/// [`run_campaign`] with an explicit worker-thread count.
+///
+/// Determinism argument: the fault list is enumerated once, in a fixed
+/// order, on the calling thread. Results go into a slot vector indexed by
+/// that enumeration order; workers claim contiguous chunks of disjoint
+/// `(faults, slots)` pairs from a shared queue and never write outside
+/// their chunk. Each worker clones the same pristine simulator, and every
+/// classification depends only on (netlist, workload, fault, budget) —
+/// nothing on scheduling — so the merged result is identical for any
+/// `threads`, including 1 (which skips thread spawning entirely).
+///
+/// # Errors
+///
+/// Returns a [`CampaignError`] if the fault-free run fails, does not
+/// complete, or fires the detect port.
+pub fn run_campaign_with_threads<W: Workload + ?Sized>(
+    netlist: &Netlist,
+    workload: &W,
+    config: &CampaignConfig,
+    threads: usize,
+) -> Result<CampaignResult, CampaignError> {
+    let pristine = Simulator::new(netlist);
+    let golden = observe(&pristine, workload, None, config.cycle_budget)?;
     if !golden.completed {
         return Err(CampaignError::GoldenIncomplete { cycles: golden.cycles });
     }
@@ -594,30 +654,80 @@ pub fn run_campaign<W: Workload + ?Sized>(
     let _span = obs::span!("netlist.fault.campaign");
     let started = std::time::Instant::now();
     let total_faults = faults.len();
-    let mut runs = Vec::with_capacity(faults.len());
-    for fault in faults {
-        let outcome = match observe(netlist, workload, Some(fault), budget) {
+    let workers = threads.max(1).min(total_faults.max(1));
+
+    let classify_one = |sim: &Simulator<'_>, fault: Fault| -> FaultRun {
+        let outcome = match observe(sim, workload, Some(fault), budget) {
             Ok(observed) => classify(&golden, &observed),
             Err(_) => Outcome::Hang,
         };
-        runs.push(FaultRun { fault, cell: netlist.gates()[fault.gate.index()].kind, outcome });
-        if runs.len() % 256 == 0 {
+        FaultRun { fault, cell: netlist.gates()[fault.gate.index()].kind, outcome }
+    };
+    let done = AtomicUsize::new(0);
+    let progress = |done: &AtomicUsize| {
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(256) {
             obs::trace_event(|| {
                 format!(
                     "{{\"type\":\"campaign_progress\",\"design\":{},\
-                     \"done\":{},\"total\":{total_faults}}}",
+                     \"done\":{n},\"total\":{total_faults}}}",
                     obs::json::escape(netlist.name()),
-                    runs.len()
                 )
             });
         }
+    };
+
+    // Result slots preassigned by fault index: workers fill disjoint
+    // chunks, so the merge order is the enumeration order regardless of
+    // which worker ran which chunk when.
+    let mut slots: Vec<Option<FaultRun>> = vec![None; total_faults];
+    if workers <= 1 {
+        for (slot, &fault) in slots.iter_mut().zip(&faults) {
+            *slot = Some(classify_one(&pristine, fault));
+            progress(&done);
+        }
+    } else {
+        // Contiguous chunks, several per worker so a chunk of hangs does
+        // not serialize the campaign behind one thread.
+        let chunk = total_faults.div_ceil(workers * 4).max(1);
+        let mut work: Vec<(&[Fault], &mut [Option<FaultRun>])> = Vec::new();
+        let mut rest_faults: &[Fault] = &faults;
+        let mut rest_slots: &mut [Option<FaultRun>] = &mut slots;
+        while !rest_slots.is_empty() {
+            let take = chunk.min(rest_slots.len());
+            let (head_faults, tail_faults) = rest_faults.split_at(take);
+            let (head_slots, tail_slots) = std::mem::take(&mut rest_slots).split_at_mut(take);
+            work.push((head_faults, head_slots));
+            rest_faults = tail_faults;
+            rest_slots = tail_slots;
+        }
+        let queue = Mutex::new(work);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let worker_sim = pristine.clone();
+                    loop {
+                        let claimed = queue.lock().expect("campaign queue poisoned").pop();
+                        let Some((chunk_faults, chunk_slots)) = claimed else { break };
+                        for (slot, &fault) in chunk_slots.iter_mut().zip(chunk_faults) {
+                            *slot = Some(classify_one(&worker_sim, fault));
+                            progress(&done);
+                        }
+                    }
+                });
+            }
+        });
     }
+    let runs: Vec<FaultRun> =
+        slots.into_iter().map(|slot| slot.expect("every fault slot filled")).collect();
+
     if obs::enabled() {
         let mut counts = OutcomeCounts::default();
         for run in &runs {
             counts.add(run.outcome);
         }
         let reg = obs::global();
+        reg.add("netlist.fault.workers", workers as u64);
         reg.add("netlist.fault.runs", runs.len() as u64);
         reg.add("netlist.fault.masked", counts.masked as u64);
         reg.add("netlist.fault.detected", counts.detected as u64);
@@ -803,6 +913,27 @@ mod tests {
             other.runs.iter().map(|r| r.fault).collect::<Vec<_>>(),
             "different seeds sample different faults"
         );
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential_exactly() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 5 };
+        let config = CampaignConfig {
+            stuck_at: StuckAtSpace::Exhaustive,
+            seu_samples: 6,
+            ..CampaignConfig::default()
+        };
+        let sequential = run_campaign_with_threads(&nl, &workload, &config, 1).unwrap();
+        for threads in [2, 8] {
+            let parallel = run_campaign_with_threads(&nl, &workload, &config, threads).unwrap();
+            assert_eq!(sequential, parallel, "{threads} workers");
+            assert_eq!(
+                sequential.to_csv(),
+                parallel.to_csv(),
+                "CSV must be byte-identical at {threads} workers"
+            );
+        }
     }
 
     #[test]

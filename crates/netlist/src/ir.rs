@@ -156,6 +156,83 @@ impl fmt::Display for NetlistError {
 
 impl std::error::Error for NetlistError {}
 
+/// Per-net connectivity of a [`Netlist`]: which gate drives each net and
+/// which gate input pins load it.
+///
+/// This is the shared structural index behind the event-driven simulator
+/// ([`crate::sim::Simulator`] propagates changes along fanout edges), the
+/// linter ([`crate::lint`]'s fanout and driver facts), and fault-campaign
+/// setup — all of which previously rebuilt the same loops independently.
+/// Build one with [`FanoutMap::build`]; the reader lists are stored in
+/// compressed-sparse-row form, so lookup is two index loads and the whole
+/// map is three flat allocations.
+///
+/// Ordering is deterministic: the readers of a net appear in ascending
+/// gate-index order (a gate loading the same net on both pins appears
+/// once per pin, mirroring how fanout is counted for drive checks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanoutMap {
+    /// CSR offsets into `readers`, length `net_count + 1`.
+    offsets: Vec<u32>,
+    /// Gate indices loading each net, grouped by net.
+    readers: Vec<u32>,
+    /// Gate index driving each net, `u32::MAX` when a port or constant
+    /// rail drives it instead.
+    driver: Vec<u32>,
+}
+
+impl FanoutMap {
+    /// Sentinel for "no gate drives this net".
+    const NO_DRIVER: u32 = u32::MAX;
+
+    /// Builds the fanout map of `netlist` in two passes over its gates.
+    pub fn build(netlist: &Netlist) -> FanoutMap {
+        let nets = netlist.net_count();
+        let mut counts = vec![0u32; nets + 1];
+        let mut driver = vec![Self::NO_DRIVER; nets];
+        for (i, gate) in netlist.gates.iter().enumerate() {
+            driver[gate.output.index()] = i as u32;
+            for input in &gate.inputs {
+                counts[input.index() + 1] += 1;
+            }
+        }
+        for i in 0..nets {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut readers = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+        for (i, gate) in netlist.gates.iter().enumerate() {
+            for input in &gate.inputs {
+                let slot = &mut cursor[input.index()];
+                readers[*slot as usize] = i as u32;
+                *slot += 1;
+            }
+        }
+        FanoutMap { offsets, readers, driver }
+    }
+
+    /// Gate input pins loading `net`, as gate indices in ascending order.
+    pub fn readers(&self, net: NetId) -> &[u32] {
+        let lo = self.offsets[net.index()] as usize;
+        let hi = self.offsets[net.index() + 1] as usize;
+        &self.readers[lo..hi]
+    }
+
+    /// Number of gate input pins loading `net` (the linter's fanout
+    /// figure — external output-port pins are not included).
+    pub fn load_count(&self, net: NetId) -> usize {
+        (self.offsets[net.index() + 1] - self.offsets[net.index()]) as usize
+    }
+
+    /// The gate driving `net`, or `None` when a port or constant rail
+    /// drives it.
+    pub fn driver(&self, net: NetId) -> Option<GateId> {
+        let g = self.driver[net.index()];
+        (g != Self::NO_DRIVER).then_some(GateId(g))
+    }
+}
+
 /// A complete gate-level design.
 ///
 /// Construct with [`crate::builder::NetlistBuilder`]; the constructor

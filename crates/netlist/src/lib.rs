@@ -11,7 +11,9 @@
 //! - a validated builder with gate and feedback primitives ([`builder`]),
 //! - word-level structural generators — adders, rotators, muxes, decoders,
 //!   register banks ([`words`]),
-//! - a functional gate-level simulator with toggle statistics ([`sim`]),
+//! - a functional gate-level simulator with toggle statistics ([`sim`]) —
+//!   event-driven by default, with a full-sweep reference engine
+//!   ([`sim::Engine`]),
 //! - area / power / static-timing analysis producing Design-Compiler-style
 //!   characterizations ([`analysis`]),
 //! - a constant-folding + dead-gate optimizer used by program-specific
@@ -60,10 +62,11 @@ pub mod words;
 pub use analysis::{ActivityModel, AreaReport, Characterization, PowerReport, TimingReport};
 pub use builder::{tmr, NetlistBuilder, TmrOptions, TMR_ERROR_PORT};
 pub use fault::{
-    run_campaign, CampaignConfig, CampaignError, CampaignResult, Fault, FaultKind, FaultMap,
-    Observation, Outcome, OutcomeCounts, PatternWorkload, StuckAtSpace, Workload,
+    campaign_threads, run_campaign, run_campaign_with_threads, CampaignConfig, CampaignError,
+    CampaignResult, Fault, FaultKind, FaultMap, Observation, Outcome, OutcomeCounts,
+    PatternWorkload, StuckAtSpace, Workload,
 };
-pub use ir::{Gate, GateId, NetId, Netlist, NetlistError, Region};
+pub use ir::{FanoutMap, Gate, GateId, NetId, Netlist, NetlistError, Region};
 pub use lint::{lint, Diagnostic, LintConfig, LintReport, Rule, Severity};
-pub use sim::{ActivityStats, Simulator};
+pub use sim::{ActivityStats, Engine, Simulator};
 pub use variation::{FmaxDistribution, VariationError};

@@ -30,7 +30,7 @@
 //! # Ok::<(), printed_netlist::NetlistError>(())
 //! ```
 
-use crate::ir::{Gate, GateId, NetId, Netlist};
+use crate::ir::{FanoutMap, Gate, GateId, NetId, Netlist};
 use printed_pdk::{CellKind, CellLibrary};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -325,11 +325,9 @@ impl Known {
 
 /// Shared per-netlist facts the rules draw on.
 struct Facts {
-    /// Gate index driving each net, if a gate (rather than a port or
-    /// constant) drives it.
-    driver: Vec<Option<u32>>,
-    /// Number of gate input pins loading each net.
-    fanout: Vec<u32>,
+    /// Per-net driver gate and reader pins — the same [`FanoutMap`] the
+    /// event-driven simulator schedules from.
+    fanout: FanoutMap,
     /// Constant-propagation verdict per net, mirroring
     /// [`crate::opt`]'s folder exactly.
     known: Vec<Known>,
@@ -343,14 +341,7 @@ struct Facts {
 impl Facts {
     fn compute(netlist: &Netlist) -> Facts {
         let nets = netlist.net_count();
-        let mut driver: Vec<Option<u32>> = vec![None; nets];
-        let mut fanout: Vec<u32> = vec![0; nets];
-        for (i, gate) in netlist.gates().iter().enumerate() {
-            driver[gate.output.index()] = Some(i as u32);
-            for input in &gate.inputs {
-                fanout[input.index()] += 1;
-            }
-        }
+        let fanout = FanoutMap::build(netlist);
 
         // Constant propagation over the combinational gates in evaluation
         // order. Sequential outputs are Var: even a DFF with constant D is
@@ -394,7 +385,7 @@ impl Facts {
             }
         }
 
-        Facts { driver, fanout, known, foldable, live }
+        Facts { fanout, known, foldable, live }
     }
 }
 
@@ -485,7 +476,7 @@ fn check_fanout(
     emit: &mut impl FnMut(Rule, Locus, String),
 ) {
     for (i, gate) in netlist.gates().iter().enumerate() {
-        let load = facts.fanout[gate.output.index()] as usize;
+        let load = facts.fanout.load_count(gate.output);
         let budget = lib.max_fanout(gate.kind);
         if load > budget {
             emit(
@@ -503,7 +494,7 @@ fn check_fanout(
     let budget = lib.max_input_fanout();
     for (name, nets) in netlist.input_ports() {
         for (bit, net) in nets.iter().enumerate() {
-            let load = facts.fanout[net.index()] as usize;
+            let load = facts.fanout.load_count(*net);
             if load > budget {
                 emit(
                     Rule::FanoutExceedsDrive,
@@ -589,8 +580,8 @@ fn check_redundant_inverters(
         if gate.kind != CellKind::Inv {
             continue;
         }
-        let Some(driver) = facts.driver[gate.inputs[0].index()] else { continue };
-        if netlist.gates()[driver as usize].kind == CellKind::Inv {
+        let Some(driver) = facts.fanout.driver(gate.inputs[0]) else { continue };
+        if netlist.gates()[driver.index()].kind == CellKind::Inv {
             emit(
                 Rule::RedundantInverterPair,
                 Locus::Gate(GateId(i as u32)),
@@ -645,8 +636,7 @@ fn check_tristate_contention(
     emit: &mut impl FnMut(Rule, Locus, String),
 ) {
     let tsbuf_driver = |net: NetId| -> Option<&Gate> {
-        let i = facts.driver[net.index()]? as usize;
-        let gate = &netlist.gates()[i];
+        let gate = &netlist.gates()[facts.fanout.driver(net)?.index()];
         (gate.kind == CellKind::TsBuf).then_some(gate)
     };
     for (i, merge) in netlist.gates().iter().enumerate() {
@@ -695,11 +685,11 @@ fn check_output_port_load(
             if is_const(net) || flagged.contains(&net) {
                 continue;
             }
-            let budget = match facts.driver[net.index()] {
-                Some(g) => lib.max_fanout(netlist.gates()[g as usize].kind),
+            let budget = match facts.fanout.driver(net) {
+                Some(g) => lib.max_fanout(netlist.gates()[g.index()].kind),
                 None => lib.max_input_fanout(), // input port feed-through
             };
-            let internal = facts.fanout[net.index()] as usize;
+            let internal = facts.fanout.load_count(net);
             if internal + 1 > budget {
                 flagged.insert(net);
                 emit(

@@ -1,12 +1,27 @@
 //! Functional gate-level simulation.
 //!
-//! [`Simulator`] evaluates a [`Netlist`] cycle by cycle: combinational
-//! gates are evaluated in topological order (computed at build time) and
-//! the pass is repeated until the values reach a fixpoint, sequential
-//! cells update on [`Simulator::step`]. The simulator also counts output
-//! toggles per gate, which gives *measured* switching-activity factors
-//! for the power model — the printed-hardware analogue of running Design
-//! Compiler with simulated activity, as the paper does (§8, footnote 6).
+//! [`Simulator`] evaluates a [`Netlist`] cycle by cycle. Two engines are
+//! available (see [`Engine`]):
+//!
+//! - **Event-driven** (the default): per-net fanout lists (a shared
+//!   [`FanoutMap`]) drive a dirty-gate worklist, so only gates whose
+//!   inputs actually changed are re-evaluated. Printed workloads have
+//!   low switching activity — the paper's power model is dominated by
+//!   per-switch energy precisely because most of the circuit is idle
+//!   each cycle — so the worklist touches a small fanout cone per step.
+//!   The worklist is levelized by combinational depth, which makes the
+//!   evaluation order (and therefore every observable result) identical
+//!   to the full-sweep engine. All queues and scratch buffers are
+//!   allocated once at construction and reused, so steady-state stepping
+//!   is allocation-free.
+//! - **Full-sweep**: every combinational gate is evaluated in
+//!   topological order each settle pass, repeating until fixpoint. Kept
+//!   as the reference engine for differential testing and benchmarking.
+//!
+//! The simulator also counts output toggles per gate, which gives
+//! *measured* switching-activity factors for the power model — the
+//! printed-hardware analogue of running Design Compiler with simulated
+//! activity, as the paper does (§8, footnote 6).
 //!
 //! Semantics:
 //! - `Dff` / `DffNr` capture D on [`Simulator::step`]; both reset to 0 at
@@ -17,8 +32,9 @@
 //!   otherwise (modeling the bus keeper printed designs use).
 //!
 //! Settling is bounded: if the combinational values are still changing
-//! after [`Simulator::MAX_SETTLE_PASSES`] passes — which a valid netlist
-//! never does, but a stale topological order or an adversarial fault can
+//! after [`Simulator::MAX_SETTLE_PASSES`] passes (full sweeps, or
+//! levelized waves of the event engine) — which a valid netlist never
+//! does, but a stale topological order or an adversarial fault can
 //! provoke — the simulator reports [`NetlistError::Unsettled`] instead of
 //! silently publishing a half-settled state.
 //!
@@ -28,9 +44,10 @@
 //! stored state on a scheduled clock edge.
 
 use crate::fault::FaultMap;
-use crate::ir::{NetId, Netlist, NetlistError};
+use crate::ir::{FanoutMap, NetId, Netlist, NetlistError};
 use printed_obs as obs;
 use printed_pdk::CellKind;
+use std::sync::Arc;
 
 /// Per-gate switching statistics gathered during simulation.
 #[derive(Debug, Clone, Default)]
@@ -39,11 +56,19 @@ pub struct ActivityStats {
     pub toggles: Vec<u64>,
     /// Clock cycles simulated.
     pub cycles: u64,
-    /// Combinational gate evaluations performed (every gate visit in
-    /// every settle pass) — the simulator's unit of work.
+    /// Combinational gate evaluations performed — the simulator's unit
+    /// of work. The full-sweep engine visits every gate in every settle
+    /// pass; the event-driven engine only visits dirty gates.
     pub gate_evals: u64,
-    /// Settle passes run (across [`Simulator::settle`] calls).
+    /// Settle passes run (full sweeps, or event-engine waves).
     pub settle_passes: u64,
+    /// Worklist events processed by the event-driven engine (always zero
+    /// under [`Engine::FullSweep`]).
+    pub events: u64,
+    /// Gate evaluations the event-driven engine avoided relative to the
+    /// full-sweep engine: the clean remainder of each wave, plus one
+    /// whole pass per settle answered by the quiescence fact alone.
+    pub skipped_gates: u64,
 }
 
 impl ActivityStats {
@@ -66,10 +91,79 @@ impl ActivityStats {
     }
 }
 
+/// Which evaluation strategy a [`Simulator`] uses. Both engines produce
+/// identical net values, toggle counts, and error behavior; they differ
+/// only in how much work they do per settle (and in the work counters
+/// [`ActivityStats::gate_evals`] / [`ActivityStats::events`] /
+/// [`ActivityStats::skipped_gates`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Levelized dirty-gate worklist; only re-evaluates gates whose
+    /// inputs changed. The default.
+    #[default]
+    EventDriven,
+    /// Full topological sweep per settle pass — the reference engine.
+    FullSweep,
+}
+
+/// Flat per-gate evaluation record for the event engine's hot loop:
+/// everything one evaluation needs in a single contiguous slot, so the
+/// random-order worklist never chases the `Gate::inputs` heap pointer.
+/// Combinational cells evaluate branchlessly through a 4-entry truth
+/// table indexed by `(b, a)` — the worklist visits gates in a
+/// data-dependent order, so a `match` on the cell kind would be an
+/// unpredictable branch in the innermost loop. Single-input cells alias
+/// `b` to `a`; tri-state buffers (stateful) carry the [`EvalOp::TSBUF`]
+/// sentinel instead; sequential cells get a record too (for index
+/// alignment) but are never scheduled.
+#[derive(Debug, Clone, Copy)]
+struct EvalOp {
+    a: u32,
+    b: u32,
+    out: u32,
+    tt: u8,
+}
+
+/// Flat per-cell record for the sequential capture/publish phases of
+/// [`Simulator::step`], mirroring [`EvalOp`] for the clocked cells so
+/// the per-cycle edge loops never chase `Gate::inputs` either. For a
+/// latch, `a`/`b` are the S/R inputs; for a flip-flop, `a` is D.
+#[derive(Debug, Clone, Copy)]
+struct SeqOp {
+    gi: u32,
+    a: u32,
+    b: u32,
+    out: u32,
+    latch: bool,
+}
+
+impl EvalOp {
+    /// `tt` sentinel: evaluate as a tri-state buffer, not a table.
+    const TSBUF: u8 = 0xFF;
+
+    /// Truth table (or sentinel) for a cell kind; bit `b << 1 | a`
+    /// holds the output for that input combination.
+    fn table(kind: CellKind) -> u8 {
+        match kind {
+            CellKind::Inv => 0b0101,
+            CellKind::Nand2 => 0b0111,
+            CellKind::Nor2 => 0b0001,
+            CellKind::And2 => 0b1000,
+            CellKind::Or2 => 0b1110,
+            CellKind::Xor2 => 0b0110,
+            CellKind::Xnor2 => 0b1001,
+            CellKind::TsBuf => Self::TSBUF,
+            // Never evaluated: sequential cells are never scheduled.
+            CellKind::Dff | CellKind::DffNr | CellKind::Latch => 0,
+        }
+    }
+}
+
 /// Gate-level simulator over a borrowed netlist.
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
+    engine: Engine,
     /// Current logic value of every net.
     values: Vec<bool>,
     /// Internal state per gate: DFF/latch contents, TSBUF hold value.
@@ -79,6 +173,40 @@ pub struct Simulator<'a> {
     stats: ActivityStats,
     /// Injected faults applied during evaluation, if any.
     faults: Option<FaultMap>,
+    /// Per-net readers/driver, shared (and cheap to clone) across the
+    /// per-fault simulator clones a campaign makes.
+    fanout: Arc<FanoutMap>,
+    /// Flat evaluation records, indexed by gate, shared across clones.
+    ops: Arc<Vec<EvalOp>>,
+    /// Flat records for the sequential cells, cached so `step` does not
+    /// sweep the whole gate array three times per cycle.
+    seq_ops: Arc<Vec<SeqOp>>,
+    /// Start offset of each depth level's bucket region inside
+    /// [`Simulator::bucket_store`] (one extra entry for the end), sized
+    /// by the gate count at that level — the dedup flag bounds every
+    /// bucket by its population, so regions never overflow.
+    level_base: Arc<Vec<u32>>,
+    /// Current fill of each level's bucket region.
+    level_len: Vec<u32>,
+    /// Flat storage for the per-level dirty-gate buckets: pushing is a
+    /// plain store (no capacity check, no per-level `Vec` juggling).
+    bucket_store: Vec<u32>,
+    /// Combinational depth per gate with [`Simulator::QUEUED`] as an
+    /// enqueued flag in the top bit, folded into one word so scheduling
+    /// costs a single random memory access. Sequential cells hold
+    /// `u32::MAX` — the flag is permanently set, so the worklist never
+    /// schedules them.
+    slot: Vec<u32>,
+    /// Gates scheduled at or below the level being processed — they run
+    /// in the next wave (only reachable through cycles or fault forcing).
+    deferred: Vec<u32>,
+    /// Gates currently enqueued across `levels` and `deferred`; zero
+    /// means the values are a fixpoint (the quiescence fact).
+    pending: usize,
+    /// Nets whose value changed since the last toggle accounting. May
+    /// hold duplicates — the accounting pass is idempotent per net, so
+    /// deduplicating here would cost more than it saves.
+    touched: Vec<u32>,
 }
 
 impl<'a> Simulator<'a> {
@@ -86,11 +214,78 @@ impl<'a> Simulator<'a> {
     /// A valid netlist settles in one pass (plus one verification pass).
     pub const MAX_SETTLE_PASSES: usize = 8;
 
-    /// Creates a simulator with all nets low, all state reset, and the
-    /// constant nets tied to their values.
+    /// Top bit of a [`Simulator::slot`] word: the gate is enqueued.
+    const QUEUED: u32 = 1 << 31;
+
+    /// Creates an event-driven simulator with all nets low, all state
+    /// reset, and the constant nets tied to their values.
     pub fn new(netlist: &'a Netlist) -> Self {
+        Self::with_engine(netlist, Engine::default())
+    }
+
+    /// Creates a simulator using the given [`Engine`].
+    pub fn with_engine(netlist: &'a Netlist, engine: Engine) -> Self {
+        let fanout = Arc::new(FanoutMap::build(netlist));
+        // Combinational depth per gate, derived by walking the stored
+        // topological order (never by chasing edges, so a deliberately
+        // corrupt order — as the oscillation tests build — still yields
+        // a finite levelization).
+        let mut depth = vec![u32::MAX; netlist.gate_count()];
+        let mut max_depth = 0usize;
+        for (gate_id, gate) in netlist.topo_order() {
+            let mut d = 0u32;
+            for input in &gate.inputs {
+                if let Some(driver) = fanout.driver(*input) {
+                    let dd = depth[driver.index()];
+                    if dd != u32::MAX {
+                        d = d.max(dd + 1);
+                    }
+                }
+            }
+            depth[gate_id.index()] = d;
+            max_depth = max_depth.max(d as usize);
+        }
+        let seq_ops: Vec<SeqOp> = netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, gate)| gate.is_sequential())
+            .map(|(gi, gate)| {
+                let a = gate.inputs.first().map_or(0, |n| n.index() as u32);
+                let b = gate.inputs.get(1).map_or(a, |n| n.index() as u32);
+                SeqOp {
+                    gi: gi as u32,
+                    a,
+                    b,
+                    out: gate.output.index() as u32,
+                    latch: gate.kind == CellKind::Latch,
+                }
+            })
+            .collect();
+        let ops: Vec<EvalOp> = netlist
+            .gates()
+            .iter()
+            .map(|gate| {
+                let a = gate.inputs.first().map_or(0, |n| n.index() as u32);
+                let b = gate.inputs.get(1).map_or(a, |n| n.index() as u32);
+                EvalOp { a, b, out: gate.output.index() as u32, tt: EvalOp::table(gate.kind) }
+            })
+            .collect();
+        let has_comb = depth.iter().any(|&d| d != u32::MAX);
+        let level_count = if has_comb { max_depth + 1 } else { 0 };
+        let mut level_base = vec![0u32; level_count + 1];
+        for &d in &depth {
+            if d != u32::MAX {
+                level_base[d as usize + 1] += 1;
+            }
+        }
+        for i in 0..level_count {
+            level_base[i + 1] += level_base[i];
+        }
+        let comb_count = level_base[level_count] as usize;
         let mut sim = Simulator {
             netlist,
+            engine,
             values: vec![false; netlist.net_count()],
             state: vec![false; netlist.gate_count()],
             prev_values: vec![false; netlist.net_count()],
@@ -99,16 +294,43 @@ impl<'a> Simulator<'a> {
                 ..ActivityStats::default()
             },
             faults: None,
+            fanout,
+            ops: Arc::new(ops),
+            seq_ops: Arc::new(seq_ops),
+            level_base: Arc::new(level_base),
+            level_len: vec![0; level_count],
+            bucket_store: vec![0; comb_count],
+            slot: depth,
+            deferred: Vec::new(),
+            pending: 0,
+            touched: Vec::new(),
         };
         if let Some(c1) = netlist.const1() {
             sim.values[c1.index()] = true;
+        }
+        if sim.engine == Engine::EventDriven {
+            // Seed the worklist: every combinational gate must evaluate
+            // once before the first settle is meaningful.
+            for i in 0..netlist.gate_count() {
+                sim.schedule_gate(i);
+            }
         }
         sim
     }
 
     /// The netlist being simulated.
-    pub fn netlist(&self) -> &Netlist {
+    pub fn netlist(&self) -> &'a Netlist {
         self.netlist
+    }
+
+    /// The evaluation engine in use.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The shared per-net fanout map.
+    pub fn fanout_map(&self) -> &FanoutMap {
+        &self.fanout
     }
 
     /// Injects a fault map; every subsequent evaluation applies it.
@@ -123,13 +345,33 @@ impl<'a> Simulator<'a> {
             self.netlist.gate_count(),
             "fault map was built for a different netlist"
         );
+        if self.engine == Engine::EventDriven {
+            // Newly forced gates must re-evaluate; so must gates whose
+            // old forcing this call removes.
+            let mut dirty: Vec<usize> =
+                (0..faults.stuck.len()).filter(|&i| faults.stuck[i].is_some()).collect();
+            if let Some(old) = &self.faults {
+                dirty.extend((0..old.stuck.len()).filter(|&i| old.stuck[i].is_some()));
+            }
+            for i in dirty {
+                self.schedule_gate(i);
+            }
+        }
         self.faults = Some(faults);
     }
 
     /// Removes any injected fault map (the netlist state is untouched;
     /// call [`Simulator::reset`] to also clear stored state).
     pub fn clear_faults(&mut self) {
-        self.faults = None;
+        if let Some(old) = self.faults.take() {
+            if self.engine == Engine::EventDriven {
+                for (i, forced) in old.stuck.iter().enumerate() {
+                    if forced.is_some() {
+                        self.schedule_gate(i);
+                    }
+                }
+            }
+        }
     }
 
     /// Sets a named input bus from the low bits of `value`.
@@ -139,7 +381,10 @@ impl<'a> Simulator<'a> {
     /// Returns [`NetlistError::UnknownPort`] for a missing port and
     /// [`NetlistError::WidthMismatch`] if the bus is wider than 64 bits.
     pub fn set_input(&mut self, name: &str, value: u64) -> Result<(), NetlistError> {
-        let nets: Vec<NetId> = self.netlist.input(name)?.to_vec();
+        // Copy the netlist reference out of `self` so the borrow of the
+        // port's net list does not pin `self` (and force an allocation).
+        let netlist = self.netlist;
+        let nets = netlist.input(name)?;
         if nets.len() > 64 {
             return Err(NetlistError::WidthMismatch {
                 context: "set_input",
@@ -147,10 +392,45 @@ impl<'a> Simulator<'a> {
                 right: 64,
             });
         }
-        for (bit, net) in nets.iter().enumerate() {
-            self.values[net.index()] = value >> bit & 1 == 1;
-        }
+        self.set_bus(nets, value);
         Ok(())
+    }
+
+    /// Drives any bus of nets from the low bits of `value` (LSB-first) —
+    /// the unvalidated core of [`Simulator::set_input`], for callers
+    /// that resolved the port list once up front.
+    pub fn set_bus(&mut self, nets: &[NetId], value: u64) {
+        let engine = self.engine;
+        let Simulator {
+            values,
+            fanout,
+            slot,
+            level_base,
+            level_len,
+            bucket_store,
+            pending,
+            touched,
+            ..
+        } = self;
+        for (bit, net) in nets.iter().enumerate() {
+            let v = value >> bit & 1 == 1;
+            let idx = net.index();
+            if values[idx] != v {
+                values[idx] = v;
+                if engine == Engine::EventDriven {
+                    touched.push(idx as u32);
+                    schedule_readers_split(
+                        fanout,
+                        *net,
+                        slot,
+                        level_base,
+                        level_len,
+                        bucket_store,
+                        pending,
+                    );
+                }
+            }
+        }
     }
 
     /// Reads a named output bus as an integer (LSB-first).
@@ -181,6 +461,25 @@ impl<'a> Simulator<'a> {
     /// Reads a single net.
     pub fn read_net(&self, net: NetId) -> bool {
         self.values[net.index()]
+    }
+
+    /// Enqueues a combinational gate outside wave processing (sequential
+    /// cells and already-queued gates are ignored).
+    fn schedule_gate(&mut self, gi: usize) {
+        let s = self.slot[gi];
+        if s & Self::QUEUED != 0 {
+            return;
+        }
+        self.slot[gi] = s | Self::QUEUED;
+        self.pending += 1;
+        self.push_bucket(s as usize, gi as u32);
+    }
+
+    /// Appends a gate to its depth level's bucket region.
+    fn push_bucket(&mut self, level: usize, gi: u32) {
+        let at = self.level_base[level] + self.level_len[level];
+        self.bucket_store[at as usize] = gi;
+        self.level_len[level] += 1;
     }
 
     /// One topological evaluation pass; returns the last net whose value
@@ -236,15 +535,8 @@ impl<'a> Simulator<'a> {
         changed
     }
 
-    /// Propagates values through the combinational logic until a fixpoint
-    /// (one topological pass plus one verification pass for valid
-    /// netlists).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetlistError::Unsettled`] if the values are still
-    /// changing after [`Simulator::MAX_SETTLE_PASSES`] passes.
-    pub fn settle(&mut self) -> Result<(), NetlistError> {
+    /// Full-sweep fixpoint loop (the reference engine).
+    fn settle_full(&mut self) -> Result<(), NetlistError> {
         let mut last = None;
         for _ in 0..Self::MAX_SETTLE_PASSES {
             match self.settle_pass() {
@@ -253,6 +545,150 @@ impl<'a> Simulator<'a> {
             }
         }
         Err(NetlistError::Unsettled(last.expect("a pass ran and changed a net")))
+    }
+
+    /// Event-driven fixpoint: drains the levelized worklist in depth
+    /// order. A gate scheduled at or below the level currently being
+    /// processed (possible only through a combinational cycle or a
+    /// corrupt topological order) is deferred to the next wave; each
+    /// wave corresponds to one full-sweep settle pass, and the same
+    /// [`Simulator::MAX_SETTLE_PASSES`] bound applies.
+    fn settle_event(&mut self) -> Result<(), NetlistError> {
+        if self.pending == 0 {
+            // Quiescence fact: nothing changed since the last settle, so
+            // the values are already a fixpoint. The full-sweep engine
+            // pays a whole verification pass to learn the same thing.
+            self.stats.skipped_gates += self.netlist.topo.len() as u64;
+            return Ok(());
+        }
+        // Move the fault map into a local for the duration: the borrow
+        // checker then sees it never changes inside the wave loop, so
+        // the fault-free hot path hoists the check out entirely.
+        let faults = self.faults.take();
+        let result = self.drain_worklist(&faults);
+        self.faults = faults;
+        result
+    }
+
+    /// The wave loop of [`Simulator::settle_event`]; `faults` is the
+    /// simulator's own fault map, temporarily moved out.
+    fn drain_worklist(&mut self, faults: &Option<FaultMap>) -> Result<(), NetlistError> {
+        let total = self.netlist.topo.len() as u64;
+        let mut last_changed: Option<NetId> = None;
+        // Split borrows: the whole drain runs on disjoint field borrows,
+        // with no `self` method calls and no `Arc` refcount traffic.
+        let Simulator {
+            fanout,
+            ops,
+            values,
+            state,
+            slot,
+            level_base,
+            level_len,
+            bucket_store,
+            deferred,
+            pending,
+            touched,
+            stats,
+            ..
+        } = self;
+        for _ in 0..Self::MAX_SETTLE_PASSES {
+            stats.settle_passes += 1;
+            let evals_before = stats.gate_evals;
+            let mut level = 0;
+            // Gates still queued beyond `deferred` all sit at `level` or
+            // above, so once the counts meet, the rest of the level scan
+            // would only visit empty buckets.
+            while level < level_len.len() && *pending > deferred.len() {
+                let len = level_len[level] as usize;
+                if len == 0 {
+                    level += 1;
+                    continue;
+                }
+                let base = level_base[level] as usize;
+                level_len[level] = 0;
+                *pending -= len;
+                stats.gate_evals += len as u64;
+                stats.events += len as u64;
+                // In-wave pushes go strictly above `level`, so this
+                // region is stable while it is being drained.
+                for k in base..base + len {
+                    let gi = bucket_store[k] as usize;
+                    slot[gi] &= !Self::QUEUED;
+                    let op = ops[gi];
+                    let a = values[op.a as usize];
+                    let b = values[op.b as usize];
+                    let mut out = if op.tt == EvalOp::TSBUF {
+                        if b {
+                            state[gi] = a;
+                        }
+                        state[gi]
+                    } else {
+                        op.tt >> ((b as u8) << 1 | a as u8) & 1 != 0
+                    };
+                    if let Some(faults) = faults {
+                        if let Some(forced) = faults.stuck[gi] {
+                            out = forced;
+                        }
+                    }
+                    let idx = op.out as usize;
+                    if values[idx] == out {
+                        continue;
+                    }
+                    values[idx] = out;
+                    touched.push(op.out);
+                    last_changed = Some(NetId(op.out));
+                    for &reader in fanout.readers(NetId(op.out)) {
+                        let ri = reader as usize;
+                        let s = slot[ri];
+                        if s & Self::QUEUED != 0 {
+                            continue;
+                        }
+                        slot[ri] = s | Self::QUEUED;
+                        *pending += 1;
+                        let lvl = s as usize;
+                        if lvl > level {
+                            let at = (level_base[lvl] + level_len[lvl]) as usize;
+                            bucket_store[at] = reader;
+                            level_len[lvl] += 1;
+                        } else {
+                            deferred.push(reader);
+                        }
+                    }
+                }
+                level += 1;
+            }
+            let wave_evals = stats.gate_evals - evals_before;
+            stats.skipped_gates += total.saturating_sub(wave_evals);
+            if deferred.is_empty() {
+                debug_assert_eq!(*pending, 0, "worklist drained but gates still queued");
+                return Ok(());
+            }
+            // Deferred gates start the next wave at their own level.
+            for &gi in deferred.iter() {
+                let lvl = (slot[gi as usize] & !Self::QUEUED) as usize;
+                let at = (level_base[lvl] + level_len[lvl]) as usize;
+                bucket_store[at] = gi;
+                level_len[lvl] += 1;
+            }
+            deferred.clear();
+        }
+        // The wave budget ran out with gates still queued: oscillation.
+        // The worklist keeps its entries, so a retry fails the same way.
+        Err(NetlistError::Unsettled(last_changed.expect("a wave ran and changed a net")))
+    }
+
+    /// Propagates values through the combinational logic until a fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Unsettled`] if the values are still
+    /// changing after [`Simulator::MAX_SETTLE_PASSES`] passes.
+    pub fn settle(&mut self) -> Result<(), NetlistError> {
+        match self.engine {
+            Engine::EventDriven => self.settle_event(),
+            Engine::FullSweep => self.settle_full(),
+        }
     }
 
     /// Advances one clock cycle: settles combinational logic, captures
@@ -266,53 +702,114 @@ impl<'a> Simulator<'a> {
     /// to converge.
     pub fn step(&mut self) -> Result<(), NetlistError> {
         self.settle()?;
+        let netlist = self.netlist;
         // Rising edge: capture next state for every sequential cell.
-        for (i, gate) in self.netlist.gates().iter().enumerate() {
-            match gate.kind {
-                CellKind::Dff | CellKind::DffNr => {
-                    self.state[i] = self.values[gate.inputs[0].index()];
-                }
-                CellKind::Latch => {
-                    let s = self.values[gate.inputs[0].index()];
-                    let r = self.values[gate.inputs[1].index()];
-                    if s {
-                        self.state[i] = true;
-                    } else if r {
-                        self.state[i] = false;
+        {
+            let Simulator { seq_ops, values, state, .. } = &mut *self;
+            for op in seq_ops.iter() {
+                let gi = op.gi as usize;
+                if op.latch {
+                    if values[op.a as usize] {
+                        state[gi] = true;
+                    } else if values[op.b as usize] {
+                        state[gi] = false;
                     }
+                } else {
+                    state[gi] = values[op.a as usize];
                 }
-                _ => {}
             }
         }
         // Scheduled single-event upsets flip the freshly captured state.
-        if let Some(faults) = &self.faults {
-            if let Some(hits) = faults.seu.get(&self.stats.cycles) {
-                for &gi in hits {
+        // Combinational targets (a TsBuf keeper) must also re-evaluate,
+        // since no input of theirs changed.
+        if self.faults.is_some() {
+            let hits =
+                self.faults.as_ref().and_then(|faults| faults.seu.get(&self.stats.cycles)).cloned();
+            if let Some(hits) = hits {
+                for &gi in &hits {
                     self.state[gi as usize] = !self.state[gi as usize];
+                }
+                if self.engine == Engine::EventDriven {
+                    for &gi in &hits {
+                        self.schedule_gate(gi as usize);
+                    }
                 }
             }
         }
         // Publish Q outputs (stuck-at faults force the output node).
-        for (i, gate) in self.netlist.gates().iter().enumerate() {
-            if gate.is_sequential() {
-                let mut q = self.state[i];
-                if let Some(faults) = &self.faults {
-                    if let Some(forced) = faults.stuck[i] {
+        {
+            let engine = self.engine;
+            let Simulator {
+                seq_ops,
+                values,
+                state,
+                faults,
+                fanout,
+                slot,
+                level_base,
+                level_len,
+                bucket_store,
+                pending,
+                touched,
+                ..
+            } = &mut *self;
+            for op in seq_ops.iter() {
+                let gi = op.gi as usize;
+                let mut q = state[gi];
+                if let Some(faults) = faults {
+                    if let Some(forced) = faults.stuck[gi] {
                         q = forced;
                     }
                 }
-                self.values[gate.output.index()] = q;
+                let idx = op.out as usize;
+                if values[idx] != q {
+                    values[idx] = q;
+                    if engine == Engine::EventDriven {
+                        touched.push(op.out);
+                        schedule_readers_split(
+                            fanout,
+                            NetId(op.out),
+                            slot,
+                            level_base,
+                            level_len,
+                            bucket_store,
+                            pending,
+                        );
+                    }
+                }
             }
         }
         self.settle()?;
-        // Toggle accounting: one comparison per gate output per cycle.
-        for (i, gate) in self.netlist.gates().iter().enumerate() {
-            let idx = gate.output.index();
-            if self.values[idx] != self.prev_values[idx] {
-                self.stats.toggles[i] += 1;
+        // Toggle accounting.
+        match self.engine {
+            Engine::FullSweep => {
+                // One comparison per gate output per cycle.
+                for (i, gate) in netlist.gates().iter().enumerate() {
+                    let idx = gate.output.index();
+                    if self.values[idx] != self.prev_values[idx] {
+                        self.stats.toggles[i] += 1;
+                    }
+                }
+                self.prev_values.copy_from_slice(&self.values);
+            }
+            Engine::EventDriven => {
+                // Only nets that changed this cycle can have toggled.
+                // `touched` may repeat a net; updating `prev_values` on
+                // the first encounter makes later duplicates no-ops.
+                let mut touched = std::mem::take(&mut self.touched);
+                for &ni in &touched {
+                    let idx = ni as usize;
+                    if self.values[idx] != self.prev_values[idx] {
+                        self.prev_values[idx] = self.values[idx];
+                        if let Some(gate) = self.fanout.driver(NetId(ni)) {
+                            self.stats.toggles[gate.index()] += 1;
+                        }
+                    }
+                }
+                touched.clear();
+                self.touched = touched;
             }
         }
-        self.prev_values.copy_from_slice(&self.values);
         self.stats.cycles += 1;
         Ok(())
     }
@@ -336,16 +833,47 @@ impl<'a> Simulator<'a> {
     ///
     /// Returns [`NetlistError::Unsettled`] if settling fails to converge.
     pub fn reset(&mut self) -> Result<(), NetlistError> {
-        for (i, gate) in self.netlist.gates().iter().enumerate() {
-            if gate.is_sequential() {
-                self.state[i] = false;
+        {
+            let engine = self.engine;
+            let Simulator {
+                seq_ops,
+                values,
+                state,
+                faults,
+                fanout,
+                slot,
+                level_base,
+                level_len,
+                bucket_store,
+                pending,
+                touched,
+                ..
+            } = &mut *self;
+            for op in seq_ops.iter() {
+                let gi = op.gi as usize;
+                state[gi] = false;
                 let mut q = false;
-                if let Some(faults) = &self.faults {
-                    if let Some(forced) = faults.stuck[i] {
+                if let Some(faults) = faults {
+                    if let Some(forced) = faults.stuck[gi] {
                         q = forced;
                     }
                 }
-                self.values[gate.output.index()] = q;
+                let idx = op.out as usize;
+                if values[idx] != q {
+                    values[idx] = q;
+                    if engine == Engine::EventDriven {
+                        touched.push(op.out);
+                        schedule_readers_split(
+                            fanout,
+                            NetId(op.out),
+                            slot,
+                            level_base,
+                            level_len,
+                            bucket_store,
+                            pending,
+                        );
+                    }
+                }
             }
         }
         self.settle()
@@ -358,7 +886,8 @@ impl<'a> Simulator<'a> {
 
     /// Publishes the accumulated activity statistics into `registry`
     /// under dotted `prefix` names: counters `<prefix>.cycles`,
-    /// `<prefix>.gate_evals`, `<prefix>.settle_passes`, and
+    /// `<prefix>.gate_evals`, `<prefix>.settle_passes`,
+    /// `<prefix>.events`, `<prefix>.skipped_gates`, and
     /// `<prefix>.toggles`, a gauge `<prefix>.avg_activity`, and a
     /// histogram `<prefix>.gate_activity_per_mille` holding each gate's
     /// activity factor in units of toggles per 1000 cycles. The histogram
@@ -373,6 +902,8 @@ impl<'a> Simulator<'a> {
         registry.add(&format!("{prefix}.cycles"), s.cycles);
         registry.add(&format!("{prefix}.gate_evals"), s.gate_evals);
         registry.add(&format!("{prefix}.settle_passes"), s.settle_passes);
+        registry.add(&format!("{prefix}.events"), s.events);
+        registry.add(&format!("{prefix}.skipped_gates"), s.skipped_gates);
         registry.add(&format!("{prefix}.toggles"), s.toggles.iter().sum());
         if let Some(avg) = s.average_activity() {
             registry.gauge(&format!("{prefix}.avg_activity"), avg);
@@ -396,22 +927,54 @@ impl<'a> Simulator<'a> {
     }
 }
 
+/// Enqueues every combinational reader of `net` into its depth bucket —
+/// the body of [`Simulator::schedule_readers`] as a free function over
+/// split borrows, so the hot call sites (worklist drain, Q publish, bus
+/// writes) never clone the fanout `Arc`: refcount updates are atomic
+/// read-modify-writes, measurable at per-net call rates.
+fn schedule_readers_split(
+    fanout: &FanoutMap,
+    net: NetId,
+    slot: &mut [u32],
+    level_base: &[u32],
+    level_len: &mut [u32],
+    bucket_store: &mut [u32],
+    pending: &mut usize,
+) {
+    for &reader in fanout.readers(net) {
+        let ri = reader as usize;
+        let s = slot[ri];
+        if s & Simulator::QUEUED != 0 {
+            continue;
+        }
+        slot[ri] = s | Simulator::QUEUED;
+        *pending += 1;
+        let level = s as usize;
+        let at = (level_base[level] + level_len[level]) as usize;
+        bucket_store[at] = reader;
+        level_len[level] += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::NetlistBuilder;
     use crate::ir::{Gate, Region};
 
-    #[test]
-    fn toggle_flipflop_divides_clock() {
+    fn divider() -> Netlist {
         // q' = !q via forward net.
         let mut b = NetlistBuilder::new("divider");
         let q = b.forward_net();
         let d = b.inv(q);
         b.dff_into(d, q);
         b.output("q", vec![q]);
-        let nl = b.finish().unwrap();
+        b.finish().unwrap()
+    }
 
+    #[test]
+    fn toggle_flipflop_divides_clock() {
+        let nl = divider();
         let mut sim = Simulator::new(&nl);
         let mut seen = Vec::new();
         for _ in 0..6 {
@@ -426,14 +989,43 @@ mod tests {
     }
 
     #[test]
-    fn publish_activity_mirrors_internal_stats() {
-        let mut b = NetlistBuilder::new("divider");
-        let q = b.forward_net();
-        let d = b.inv(q);
-        b.dff_into(d, q);
-        b.output("q", vec![q]);
-        let nl = b.finish().unwrap();
+    fn engines_agree_on_divider() {
+        let nl = divider();
+        let mut ev = Simulator::new(&nl);
+        let mut fs = Simulator::with_engine(&nl, Engine::FullSweep);
+        assert_eq!(ev.engine(), Engine::EventDriven);
+        assert_eq!(fs.engine(), Engine::FullSweep);
+        for _ in 0..8 {
+            ev.step().unwrap();
+            fs.step().unwrap();
+            assert_eq!(ev.read_output("q").unwrap(), fs.read_output("q").unwrap());
+        }
+        assert_eq!(ev.stats().toggles, fs.stats().toggles);
+        assert_eq!(ev.stats().cycles, fs.stats().cycles);
+        assert_eq!(fs.stats().events, 0, "full sweep never uses the worklist");
+        assert!(
+            ev.stats().gate_evals <= fs.stats().gate_evals,
+            "event engine must not do more work than the full sweep"
+        );
+    }
 
+    #[test]
+    fn quiescent_settle_is_free() {
+        let nl = divider();
+        let mut sim = Simulator::new(&nl);
+        sim.settle().unwrap();
+        let evals = sim.stats().gate_evals;
+        let skipped = sim.stats().skipped_gates;
+        // Nothing changed: the quiescence fact answers without touching
+        // a single gate — the fixed full-sweep verification pass is gone.
+        sim.settle().unwrap();
+        assert_eq!(sim.stats().gate_evals, evals);
+        assert!(sim.stats().skipped_gates > skipped);
+    }
+
+    #[test]
+    fn publish_activity_mirrors_internal_stats() {
+        let nl = divider();
         let mut sim = Simulator::new(&nl);
         sim.run(8).unwrap();
         let reg = printed_obs::Registry::new();
@@ -442,6 +1034,8 @@ mod tests {
         assert_eq!(reg.counter("t.sim.cycles"), Some(s.cycles));
         assert_eq!(reg.counter("t.sim.gate_evals"), Some(s.gate_evals));
         assert_eq!(reg.counter("t.sim.settle_passes"), Some(s.settle_passes));
+        assert_eq!(reg.counter("t.sim.events"), Some(s.events));
+        assert_eq!(reg.counter("t.sim.skipped_gates"), Some(s.skipped_gates));
         assert_eq!(reg.counter("t.sim.toggles"), Some(s.toggles.iter().sum()));
         assert_eq!(
             reg.gauge_value("t.sim.avg_activity"),
@@ -533,14 +1127,10 @@ mod tests {
         assert!(sim.read_output("nope").is_err());
     }
 
-    #[test]
-    fn oscillating_logic_is_reported_not_silently_settled() {
+    fn oscillator() -> Netlist {
         // The builder cannot express a combinational self-loop, so build
         // the pathological netlist directly: an inverter feeding itself.
-        // Every settle pass flips the net — the simulator must give up
-        // with `Unsettled` rather than publish whichever value the pass
-        // budget happened to land on.
-        let nl = Netlist {
+        Netlist {
             name: "osc".to_string(),
             net_count: 1,
             gates: vec![Gate {
@@ -554,10 +1144,26 @@ mod tests {
             const0: None,
             const1: None,
             topo: vec![0],
-        };
+        }
+    }
+
+    #[test]
+    fn oscillating_logic_is_reported_not_silently_settled() {
+        // Every settle pass flips the net — the simulator must give up
+        // with `Unsettled` rather than publish whichever value the pass
+        // budget happened to land on.
+        let nl = oscillator();
         let mut sim = Simulator::new(&nl);
         assert_eq!(sim.settle(), Err(NetlistError::Unsettled(NetId(0))));
         assert_eq!(sim.step(), Err(NetlistError::Unsettled(NetId(0))));
         assert_eq!(sim.run(3), Err(NetlistError::Unsettled(NetId(0))));
+    }
+
+    #[test]
+    fn oscillating_logic_is_reported_by_full_sweep_too() {
+        let nl = oscillator();
+        let mut sim = Simulator::with_engine(&nl, Engine::FullSweep);
+        assert_eq!(sim.settle(), Err(NetlistError::Unsettled(NetId(0))));
+        assert_eq!(sim.step(), Err(NetlistError::Unsettled(NetId(0))));
     }
 }

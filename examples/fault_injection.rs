@@ -73,6 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // The campaign parallelizes across PRINTED_SIM_THREADS workers and
+    // its merged CSV is byte-identical for every thread count; set
+    // FAULT_CSV_OUT to dump it so runs can be diffed (ci.sh does).
+    if let Ok(path) = std::env::var("FAULT_CSV_OUT") {
+        std::fs::write(&path, result.to_csv())?;
+        println!("  wrote campaign CSV ({} runs) to {path}", result.runs.len());
+    }
+
     // 3. Masking lifts yield: a defective print whose defect lands on a
     //    masked site still computes correctly.
     let options =
