@@ -30,7 +30,38 @@ FAULT_CSV_OUT="$csv_dir/t2.csv" PRINTED_SIM_THREADS=2 \
 cmp "$csv_dir/t1.csv" "$csv_dir/t2.csv" \
     || { echo "campaign CSV differs between 1 and 2 worker threads"; exit 1; }
 
-echo "==> simulator hot-path bench (refreshes BENCH_sim.json, asserts speedups)"
+echo "==> resilience: interrupt-resume + pipeline degradation tests (threads 1 and 4)"
+cargo test --release --quiet --test resume_campaign --test pipeline_smoke
+
+echo "==> resilience: manifest vs obs JSON-lines cross-check on a clean run"
+manifest="$csv_dir/manifest.json"
+obs_trace="$csv_dir/obs_trace.jsonl"
+FAULT_MANIFEST_OUT="$manifest" PRINTED_OBS=trace \
+    cargo run --release --example fault_injection >/dev/null 2>"$obs_trace"
+test -s "$manifest" || { echo "fault_injection wrote no manifest"; exit 1; }
+if grep -q '"status":"failed"' "$manifest"; then
+    echo "clean fault_injection run reports failed stages:"; cat "$manifest"; exit 1
+fi
+for stage in $(grep -o '"name":"[^"]*"' "$manifest" | cut -d'"' -f4); do
+    grep -q "\"$stage\"" "$obs_trace" \
+        || { echo "manifest stage $stage missing from obs JSON-lines export"; exit 1; }
+done
+
+echo "==> resilience: forced stage failure still yields a complete manifest"
+fail_manifest="$csv_dir/manifest_failed.json"
+if FAULT_MANIFEST_OUT="$fail_manifest" FAULT_CSV_OUT="$csv_dir/degraded.csv" \
+    PRINTED_FAIL_STAGE=fault.single_stuck_at \
+    cargo run --release --example fault_injection >/dev/null 2>&1; then
+    echo "forced-failure run must exit nonzero"; exit 1
+fi
+grep -q '"name":"fault.single_stuck_at","status":"failed"' "$fail_manifest" \
+    || { echo "forced failure not recorded in manifest"; cat "$fail_manifest"; exit 1; }
+grep -q '"name":"fault.tmr_comparison","status":"ok"' "$fail_manifest" \
+    || { echo "stages after the failure must still run"; cat "$fail_manifest"; exit 1; }
+test -s "$csv_dir/degraded.csv" \
+    || { echo "campaign CSV artifact missing from the degraded run"; exit 1; }
+
+echo "==> simulator hot-path bench (refreshes BENCH_sim.json, asserts speedups + resilience overhead)"
 cargo bench -p printed-bench --bench sim_hotpaths >/dev/null
 
 echo "==> obs smoke (PRINTED_OBS=summary campaign + JSON-lines export)"

@@ -10,7 +10,7 @@ use printed_eval::{figure8, System};
 use printed_pdk::Technology;
 
 fn print_figure8() {
-    let cells = figure8(Technology::Egfet);
+    let cells = figure8(Technology::Egfet).expect("figure 8 systems assemble");
     println!("\n== Figure 8 (EGFET): area cm2 | energy mJ | time s, split C/R/IM/DM ==");
     for c in &cells {
         let tag = if c.program_specific {

@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
         r.power, r.area, r.delay
     );
 
-    let cells = figure8(Technology::Egfet);
+    let cells = figure8(Technology::Egfet).expect("figure 8 systems assemble");
     let improvements = ps_improvements(&cells);
     println!("\nprogram-specific ISA improvements (EGFET):");
     for i in &improvements {

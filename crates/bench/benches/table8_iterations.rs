@@ -8,7 +8,7 @@ use printed_eval::tables::table8_rows;
 use printed_pdk::Technology;
 
 fn bench(c: &mut Criterion) {
-    let cells = figure8(Technology::Egfet);
+    let cells = figure8(Technology::Egfet).expect("figure 8 systems assemble");
     let mut t = printed_eval::report::TextTable::new(
         "Table 8: iterations on a 1 V, 30 mAh battery",
         &["benchmark", "STD", "PS"],

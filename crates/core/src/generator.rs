@@ -463,6 +463,20 @@ impl<'a> GateLevelMachine<'a> {
         &self.sim
     }
 
+    /// Arms (or disarms with `None`) the simulator's cycle-limit
+    /// watchdog: once the underlying simulator has clocked `limit`
+    /// cycles, every further [`GateLevelMachine::step`] returns
+    /// [`NetlistError::DeadlineExceeded`] instead of hanging — the
+    /// typed signal the resilience layer classifies as a hang.
+    pub fn set_cycle_limit(&mut self, limit: Option<u64>) {
+        self.sim.set_cycle_limit(limit);
+    }
+
+    /// The armed watchdog deadline, if any.
+    pub fn cycle_limit(&self) -> Option<u64> {
+        self.sim.cycle_limit()
+    }
+
     /// Data memory contents.
     pub fn dmem(&self) -> &[u64] {
         &self.dmem
@@ -513,7 +527,9 @@ impl<'a> GateLevelMachine<'a> {
     /// # Errors
     ///
     /// Propagates simulation failures — [`NetlistError::Unsettled`] if
-    /// the logic oscillates (possible under injected faults).
+    /// the logic oscillates (possible under injected faults), or
+    /// [`NetlistError::DeadlineExceeded`] once an armed cycle-limit
+    /// watchdog ([`GateLevelMachine::set_cycle_limit`]) trips.
     pub fn step(&mut self) -> Result<(), NetlistError> {
         if self.halted {
             return Ok(());
@@ -666,6 +682,36 @@ mod tests {
         assert!(gm.is_halted());
         assert_eq!(gm.dmem()[0], 42);
         assert!(gm.flags().bits() != 0 || gm.dmem()[0] == 42);
+    }
+
+    #[test]
+    fn armed_watchdog_turns_a_hung_program_into_a_typed_error() {
+        // A program with no HALT spins forever; the cycle-limit watchdog
+        // converts that hang into DeadlineExceeded through step().
+        let config = CoreConfig::new(1, 8, 2);
+        let prog = assemble(
+            "
+                STORE [0], #1
+            spin:
+                ADD [0], [0]
+                JMP spin
+            ",
+        )
+        .unwrap();
+        let nl = generate_standard(&config);
+        let words = encode_program(&config, &prog.instructions);
+        let mut gm = GateLevelMachine::new(&nl, CoreSpec::standard(config), words, 16);
+        gm.set_cycle_limit(Some(5));
+        assert_eq!(gm.cycle_limit(), Some(5));
+        let err = gm.run(100).unwrap_err();
+        match err {
+            printed_netlist::NetlistError::DeadlineExceeded { cycles, limit } => {
+                assert_eq!(limit, 5);
+                assert!(cycles >= 5, "watchdog fired after {cycles} cycles");
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        assert!(!gm.is_halted(), "the program never reached a halt idiom");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Figure regeneration: the design-space exploration (Figure 7) and the
 //! benchmark-level evaluation (Figure 8).
 
-use crate::system::{BenchmarkResult, System};
+use crate::system::{BenchmarkResult, System, SystemError};
 use printed_core::kernels::{self, Kernel, KernelProgram};
 use printed_core::{generate_standard_checked, CoreConfig};
 use printed_netlist::analysis;
@@ -88,7 +88,12 @@ pub struct Figure8Cell {
 /// Regenerates Figure 8 for one technology: every benchmark × data width
 /// × supporting single-cycle core, plus the program-specific core at the
 /// native width, plus the dTree-ROMopt (2-bit MLC) variant.
-pub fn figure8(technology: Technology) -> Vec<Figure8Cell> {
+///
+/// # Errors
+///
+/// Propagates the first [`SystemError`] from system assembly (program
+/// encoding or memory-model construction).
+pub fn figure8(technology: Technology) -> Result<Vec<Figure8Cell>, SystemError> {
     let _span = printed_obs::span!("eval.figure8");
     let mut cells = Vec::new();
     for bench in Kernel::ALL {
@@ -98,19 +103,19 @@ pub fn figure8(technology: Technology) -> Vec<Figure8Cell> {
                     continue; // unsupported combination (documented)
                 };
                 let config = CoreConfig::new(1, core_width, 2);
-                push_cell(&mut cells, config, kernel.clone(), technology, false, 1);
+                push_cell(&mut cells, config, kernel.clone(), technology, false, 1)?;
                 // Program-specific variant at the native width only.
                 if core_width == data_width {
-                    push_cell(&mut cells, config, kernel.clone(), technology, true, 1);
+                    push_cell(&mut cells, config, kernel.clone(), technology, true, 1)?;
                     // dTree-ROMopt: the MLC instruction ROM ablation.
                     if bench == Kernel::DTree {
-                        push_cell(&mut cells, config, kernel, technology, false, 2);
+                        push_cell(&mut cells, config, kernel, technology, false, 2)?;
                     }
                 }
             }
         }
     }
-    cells
+    Ok(cells)
 }
 
 fn push_cell(
@@ -120,7 +125,7 @@ fn push_cell(
     technology: Technology,
     program_specific: bool,
     rom_bits_per_cell: u8,
-) {
+) -> Result<(), SystemError> {
     let bench = kernel.kernel;
     let data_width = kernel.data_width;
     let core_width = kernel.core_width;
@@ -129,8 +134,7 @@ fn push_cell(
         System::program_specific(config, kernel, technology, rom_bits_per_cell)
     } else {
         System::standard(config, kernel, technology, rom_bits_per_cell)
-    };
-    let system = system.expect("figure 8 systems assemble");
+    }?;
     cells.push(Figure8Cell {
         kernel: name,
         bench,
@@ -140,6 +144,7 @@ fn push_cell(
         rom_mlc: rom_bits_per_cell > 1,
         result: system.run(),
     });
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! The paper's headline improvement ratios (Sections 1, 6, 7, 9).
 
 use crate::figures::Figure8Cell;
+use crate::system::SystemError;
 use printed_core::kernels::Kernel;
 use printed_memory::device::{EGFET_RAM_1BIT, EGFET_ROM_1BIT};
 use serde::{Deserialize, Serialize};
@@ -133,13 +134,14 @@ impl HarvardVsVonNeumann {
 /// (Harvard, enabled by the split organization) against the RAM a unified
 /// von-Neumann memory would force instructions into.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the kernel's encoded program cannot be stored (an internal
-/// bug; kernel programs always fit the standard encoding).
+/// Returns a [`SystemError`] if the kernel's program cannot be encoded
+/// or the memory models cannot hold it (kernel programs always fit the
+/// standard encoding, so this indicates an internal bug).
 pub fn harvard_vs_von_neumann(
     kernel: &printed_core::kernels::KernelProgram,
-) -> HarvardVsVonNeumann {
+) -> Result<HarvardVsVonNeumann, SystemError> {
     use printed_core::specific::{CoreSpec, NarrowEncoding};
     use printed_core::CoreConfig;
     use printed_memory::{CrossbarRom, Sram};
@@ -149,18 +151,16 @@ pub fn harvard_vs_von_neumann(
     let spec = CoreSpec::standard(config);
     let words = NarrowEncoding::new(spec.clone())
         .encode_program(&kernel.instructions)
-        .expect("kernel fits the standard encoding");
-    let rom = CrossbarRom::new(Technology::Egfet, spec.instruction_bits(), 1, words.clone())
-        .expect("ROM holds the program");
-    let ram = Sram::with_contents(Technology::Egfet, spec.instruction_bits(), words)
-        .expect("RAM holds the program");
-    HarvardVsVonNeumann {
+        .map_err(|e| SystemError::Encode(e.to_string()))?;
+    let rom = CrossbarRom::new(Technology::Egfet, spec.instruction_bits(), 1, words.clone())?;
+    let ram = Sram::with_contents(Technology::Egfet, spec.instruction_bits(), words)?;
+    Ok(HarvardVsVonNeumann {
         kernel: kernel.name.clone(),
         harvard_area_cm2: rom.area().as_cm2(),
         harvard_power_mw: rom.array_power().as_milliwatts(),
         von_neumann_area_cm2: ram.area().as_cm2(),
         von_neumann_power_mw: ram.array_power().as_milliwatts(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -175,7 +175,7 @@ mod tests {
             let Ok(kernel) = kernels::generate(bench, width, width) else {
                 continue;
             };
-            let cmp = harvard_vs_von_neumann(&kernel);
+            let cmp = harvard_vs_von_neumann(&kernel).unwrap();
             assert!(
                 cmp.area_ratio() > 10.0,
                 "{}: Harvard should win area by >10x (got {:.1}x)",

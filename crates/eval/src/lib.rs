@@ -15,7 +15,10 @@
 //!   TMR hardening cost across the design space,
 //! - [`report`]: text-table rendering,
 //! - [`perf_report`]: observability spans per eval stage and the
-//!   `perf_summary` artifact (see DESIGN.md "Observability").
+//!   `perf_summary` artifact (see DESIGN.md "Observability"),
+//! - [`pipeline`]: supervised stage execution — panic isolation,
+//!   retries, per-stage deadlines, and the `manifest.json`
+//!   completeness record (see DESIGN.md "Resilience").
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,11 +30,13 @@ pub mod headline;
 pub mod lifetime;
 pub mod manufacturing;
 pub mod perf_report;
+pub mod pipeline;
 pub mod report;
 pub mod robustness;
 pub mod system;
 pub mod tables;
 
 pub use figures::{figure7, figure8, DesignPoint, Figure8Cell};
+pub use pipeline::{Pipeline, PipelineOptions, StageRecord, StageStatus};
 pub use robustness::{RobustnessOptions, RobustnessRow, TmrComparison};
 pub use system::{BenchmarkResult, Breakdown, CoreFlavor, System};

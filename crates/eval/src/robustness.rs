@@ -19,9 +19,10 @@ use printed_baselines::BaselineCpu;
 use printed_core::workload::ProgramWorkload;
 use printed_core::{generate_standard, CoreConfig};
 use printed_netlist::fault::{
-    campaign_threads, run_campaign, yield_sites, CampaignConfig, CampaignError, CampaignResult,
-    OutcomeCounts, PatternWorkload, StuckAtSpace, Workload,
+    campaign_threads, yield_sites, CampaignConfig, CampaignResult, OutcomeCounts, PatternWorkload,
+    StuckAtSpace, Workload,
 };
+use printed_netlist::resilience::{run_supervised_campaign, JobError, ResilienceConfig};
 use printed_netlist::{analysis, tmr, Netlist, TmrOptions};
 use printed_pdk::yield_model;
 use printed_pdk::Technology;
@@ -90,15 +91,24 @@ pub struct RobustnessRow {
 /// Runs one design's fault campaign and rolls the result into a
 /// [`RobustnessRow`].
 ///
+/// The campaign runs under the supervised runner
+/// ([`run_supervised_campaign`]) with [`ResilienceConfig::from_env`]:
+/// panicking fault runs are isolated and retried, and setting
+/// `PRINTED_CKPT_DIR` makes the campaign checkpoint/resumable. With the
+/// variable unset there is no I/O on the campaign path and the result is
+/// byte-identical to the unsupervised runner's.
+///
 /// # Errors
 ///
-/// Propagates a [`CampaignError`] if the fault-free run fails.
+/// Propagates a [`JobError`] if the fault-free golden run fails or the
+/// supervision machinery does (checkpoint corruption, unrecoverable
+/// panics in the golden run).
 pub fn campaign_row(
     netlist: &Netlist,
     workload: &dyn Workload,
     technology: Technology,
     options: &RobustnessOptions,
-) -> Result<RobustnessRow, CampaignError> {
+) -> Result<RobustnessRow, JobError> {
     let exhaustive = netlist.gate_count() <= options.exhaustive_gate_limit;
     let config = CampaignConfig {
         cycle_budget: options.cycle_budget,
@@ -110,8 +120,12 @@ pub fn campaign_row(
         seu_samples: options.seu_samples,
         seed: options.seed,
     };
-    let result = run_campaign(netlist, workload, &config)?;
-    Ok(row_from_campaign(netlist, technology, options, exhaustive, &result))
+    let resilience = ResilienceConfig::from_env();
+    let run = run_supervised_campaign(netlist, workload, &config, &resilience)?;
+    let campaign = run
+        .into_complete()
+        .expect("invariant: no abort hook is installed, so the run always completes");
+    Ok(row_from_campaign(netlist, technology, options, exhaustive, &campaign.result))
 }
 
 fn row_from_campaign(
@@ -151,12 +165,12 @@ fn row_from_campaign(
 ///
 /// # Errors
 ///
-/// Propagates the first [`CampaignError`] — a design whose fault-free
-/// golden run fails, does not complete, or fires the detect port.
+/// Propagates the first [`JobError`] — a design whose fault-free golden
+/// run fails, does not complete, or fires the detect port.
 pub fn fault_summary(
     technology: Technology,
     options: &RobustnessOptions,
-) -> Result<Vec<RobustnessRow>, CampaignError> {
+) -> Result<Vec<RobustnessRow>, JobError> {
     let _span = printed_obs::span!("eval.robustness.fault_summary");
     if printed_obs::enabled() {
         printed_obs::gauge("eval.robustness.campaign_threads", campaign_threads() as f64);
@@ -301,18 +315,22 @@ impl TmrComparison {
 ///
 /// # Errors
 ///
-/// Propagates the first [`CampaignError`] from a base or hardened core's
-/// golden run.
+/// Propagates the first [`JobError`] from a base or hardened core's
+/// golden run, or a [`JobError::Panicked`] if TMR transformation of a
+/// generated core fails (it reserves the `tmr_err` port name).
 pub fn tmr_comparison(
     technology: Technology,
     options: &RobustnessOptions,
-) -> Result<Vec<TmrComparison>, CampaignError> {
+) -> Result<Vec<TmrComparison>, JobError> {
     let _span = printed_obs::span!("eval.robustness.tmr_comparison");
     let mut comparisons = Vec::new();
     for config in [CoreConfig::new(1, 4, 2), CoreConfig::new(1, 8, 2)] {
         let base = generate_standard(&config);
-        let hardened =
-            tmr(&base, TmrOptions::default()).expect("generated cores have no tmr_err port");
+        let hardened = tmr(&base, TmrOptions::default()).map_err(|e| JobError::Panicked {
+            job: format!("tmr({})", config.name()),
+            message: e.to_string(),
+            attempts: 1,
+        })?;
         let workload = ProgramWorkload::smoke(config);
         let base_row = campaign_row(&base, &workload, technology, options)?;
         let hard_row = campaign_row(&hardened, &workload, technology, options)?;

@@ -323,8 +323,13 @@ pub fn table8_rows(cells: &[Figure8Cell]) -> Vec<Table8Row> {
 }
 
 /// Renders Table 8 (computing Figure 8 internally).
-pub fn table8() -> TextTable {
-    let cells = figure8(Technology::Egfet);
+///
+/// # Errors
+///
+/// Propagates a [`crate::system::SystemError`] from Figure 8 system
+/// assembly.
+pub fn table8() -> Result<TextTable, crate::system::SystemError> {
+    let cells = figure8(Technology::Egfet)?;
     let mut t = TextTable::new(
         "Table 8: iterations on a 1 V, 30 mAh battery (STD vs PS)",
         &["benchmark", "STD", "PS"],
@@ -332,7 +337,7 @@ pub fn table8() -> TextTable {
     for r in table8_rows(&cells) {
         t.row(vec![r.kernel, r.standard.to_string(), r.program_specific.to_string()]);
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]

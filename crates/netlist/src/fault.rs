@@ -251,6 +251,12 @@ pub enum Outcome {
     Hang,
     /// The run completed but produced a different signature.
     SilentDataCorruption,
+    /// The run itself could not be executed: the worker panicked on this
+    /// fault repeatedly and the supervised campaign runner
+    /// ([`crate::resilience`]) degraded the slot to a recorded failure
+    /// instead of aborting the whole campaign. Plain [`run_campaign`]
+    /// never produces this.
+    Failed,
 }
 
 impl Outcome {
@@ -261,6 +267,20 @@ impl Outcome {
             Outcome::Detected => "detected",
             Outcome::Hang => "hang",
             Outcome::SilentDataCorruption => "sdc",
+            Outcome::Failed => "failed",
+        }
+    }
+
+    /// Parses the stable [`Outcome::name`] back into an outcome, for
+    /// checkpoint files. Returns `None` for anything else.
+    pub fn parse(name: &str) -> Option<Outcome> {
+        match name {
+            "masked" => Some(Outcome::Masked),
+            "detected" => Some(Outcome::Detected),
+            "hang" => Some(Outcome::Hang),
+            "sdc" => Some(Outcome::SilentDataCorruption),
+            "failed" => Some(Outcome::Failed),
+            _ => None,
         }
     }
 }
@@ -282,6 +302,10 @@ pub struct OutcomeCounts {
     pub hang: usize,
     /// Runs that completed with corrupted output.
     pub sdc: usize,
+    /// Runs that could not be executed at all (supervised campaigns
+    /// only — see [`Outcome::Failed`]). Counted in [`OutcomeCounts::total`]
+    /// but never toward coverage: an unexecuted run proves nothing.
+    pub failed: usize,
 }
 
 impl OutcomeCounts {
@@ -292,12 +316,13 @@ impl OutcomeCounts {
             Outcome::Detected => self.detected += 1,
             Outcome::Hang => self.hang += 1,
             Outcome::SilentDataCorruption => self.sdc += 1,
+            Outcome::Failed => self.failed += 1,
         }
     }
 
     /// Total runs tallied.
     pub fn total(&self) -> usize {
-        self.masked + self.detected + self.hang + self.sdc
+        self.masked + self.detected + self.hang + self.sdc + self.failed
     }
 
     /// Fraction of runs that were masked (0 when no runs were tallied).
@@ -497,7 +522,7 @@ impl From<NetlistError> for CampaignError {
 /// if the detect port also fired (TMR corrected *and* reported); an
 /// incomplete run is a hang; anything else that completed with a
 /// different signature is silent data corruption.
-fn classify(golden: &Observation, observed: &Observation) -> Outcome {
+pub(crate) fn classify(golden: &Observation, observed: &Observation) -> Outcome {
     if observed.completed && observed.signature == golden.signature {
         Outcome::Masked
     } else if observed.detected {
@@ -513,8 +538,8 @@ fn classify(golden: &Observation, observed: &Observation) -> Outcome {
 /// injected if given. Cloning shares the pristine simulator's fanout and
 /// levelization maps, so the per-fault setup cost is a few memcpys
 /// instead of a connectivity rebuild.
-fn observe<'a, W: Workload + ?Sized>(
-    pristine: &Simulator<'a>,
+pub(crate) fn observe<W: Workload + ?Sized>(
+    pristine: &Simulator<'_>,
     workload: &W,
     fault: Option<Fault>,
     cycle_budget: u64,
@@ -524,6 +549,85 @@ fn observe<'a, W: Workload + ?Sized>(
         sim.inject(FaultMap::single(pristine.netlist(), fault));
     }
     workload.run(sim, cycle_budget)
+}
+
+/// Runs and validates the fault-free reference: it must complete within
+/// the budget and must not fire the detect port. Shared by the plain and
+/// the supervised ([`crate::resilience`]) campaign runners.
+pub(crate) fn campaign_golden<W: Workload + ?Sized>(
+    pristine: &Simulator<'_>,
+    workload: &W,
+    config: &CampaignConfig,
+) -> Result<Observation, CampaignError> {
+    let golden = observe(pristine, workload, None, config.cycle_budget)?;
+    if !golden.completed {
+        return Err(CampaignError::GoldenIncomplete { cycles: golden.cycles });
+    }
+    if golden.detected {
+        return Err(CampaignError::GoldenDetected);
+    }
+    Ok(golden)
+}
+
+/// Enumerates the campaign's fault list in the fixed deterministic order
+/// every runner (and every checkpoint resume) relies on: the configured
+/// stuck-at space first, then the seeded SEU samples. Depends only on
+/// `(netlist, config, golden_cycles)`.
+pub(crate) fn enumerate_faults(
+    netlist: &Netlist,
+    config: &CampaignConfig,
+    golden_cycles: u64,
+) -> Vec<Fault> {
+    let mut faults: Vec<Fault> = Vec::new();
+    match config.stuck_at {
+        StuckAtSpace::Exhaustive => {
+            for gi in 0..netlist.gate_count() as u32 {
+                faults.push(Fault { gate: GateId(gi), kind: FaultKind::StuckAt0 });
+                faults.push(Fault { gate: GateId(gi), kind: FaultKind::StuckAt1 });
+            }
+        }
+        StuckAtSpace::Sampled(samples) => {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x57AC_4A70);
+            for _ in 0..samples {
+                let gi = rng.gen_range(0..netlist.gate_count()) as u32;
+                let kind =
+                    if rng.gen_bool(0.5) { FaultKind::StuckAt1 } else { FaultKind::StuckAt0 };
+                faults.push(Fault { gate: GateId(gi), kind });
+            }
+        }
+        StuckAtSpace::None => {}
+    }
+    let sequential: Vec<u32> = (0..netlist.gate_count() as u32)
+        .filter(|&gi| netlist.gates()[gi as usize].is_sequential())
+        .collect();
+    if config.seu_samples > 0 && !sequential.is_empty() && golden_cycles > 0 {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5E11_BEEF);
+        for _ in 0..config.seu_samples {
+            let gi = sequential[rng.gen_range(0..sequential.len())];
+            let cycle = rng.gen_range(0..golden_cycles);
+            faults.push(Fault { gate: GateId(gi), kind: FaultKind::Seu { cycle } });
+        }
+    }
+    faults
+}
+
+/// Classifies one fault against the golden observation on a clone of the
+/// pristine simulator — the unit of work both campaign runners schedule.
+pub(crate) fn run_one<W: Workload + ?Sized>(
+    pristine: &Simulator<'_>,
+    workload: &W,
+    golden: &Observation,
+    fault: Fault,
+    budget: u64,
+) -> FaultRun {
+    let outcome = match observe(pristine, workload, Some(fault), budget) {
+        Ok(observed) => classify(golden, &observed),
+        // A fault that breaks simulation outright (oscillation, or a
+        // watchdog deadline) wedges the circuit: a hang.
+        Err(_) => Outcome::Hang,
+    };
+    let cell = pristine.netlist().gates()[fault.gate.index()].kind;
+    FaultRun { fault, cell, outcome }
 }
 
 /// Classifies a single fault against the workload's golden run.
@@ -564,7 +668,7 @@ pub fn campaign_threads() -> usize {
 
 /// Faulty runs get a tighter budget derived from the golden run length,
 /// so hangs are declared quickly.
-fn faulty_budget(cycle_budget: u64, golden_cycles: u64) -> u64 {
+pub(crate) fn faulty_budget(cycle_budget: u64, golden_cycles: u64) -> u64 {
     cycle_budget.min(golden_cycles.saturating_mul(4).saturating_add(8))
 }
 
@@ -611,45 +715,8 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
     threads: usize,
 ) -> Result<CampaignResult, CampaignError> {
     let pristine = Simulator::new(netlist);
-    let golden = observe(&pristine, workload, None, config.cycle_budget)?;
-    if !golden.completed {
-        return Err(CampaignError::GoldenIncomplete { cycles: golden.cycles });
-    }
-    if golden.detected {
-        return Err(CampaignError::GoldenDetected);
-    }
-
-    let mut faults: Vec<Fault> = Vec::new();
-    match config.stuck_at {
-        StuckAtSpace::Exhaustive => {
-            for gi in 0..netlist.gate_count() as u32 {
-                faults.push(Fault { gate: GateId(gi), kind: FaultKind::StuckAt0 });
-                faults.push(Fault { gate: GateId(gi), kind: FaultKind::StuckAt1 });
-            }
-        }
-        StuckAtSpace::Sampled(samples) => {
-            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x57AC_4A70);
-            for _ in 0..samples {
-                let gi = rng.gen_range(0..netlist.gate_count()) as u32;
-                let kind =
-                    if rng.gen_bool(0.5) { FaultKind::StuckAt1 } else { FaultKind::StuckAt0 };
-                faults.push(Fault { gate: GateId(gi), kind });
-            }
-        }
-        StuckAtSpace::None => {}
-    }
-    let sequential: Vec<u32> = (0..netlist.gate_count() as u32)
-        .filter(|&gi| netlist.gates()[gi as usize].is_sequential())
-        .collect();
-    if config.seu_samples > 0 && !sequential.is_empty() && golden.cycles > 0 {
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5E11_BEEF);
-        for _ in 0..config.seu_samples {
-            let gi = sequential[rng.gen_range(0..sequential.len())];
-            let cycle = rng.gen_range(0..golden.cycles);
-            faults.push(Fault { gate: GateId(gi), kind: FaultKind::Seu { cycle } });
-        }
-    }
-
+    let golden = campaign_golden(&pristine, workload, config)?;
+    let faults = enumerate_faults(netlist, config, golden.cycles);
     let budget = faulty_budget(config.cycle_budget, golden.cycles);
     let _span = obs::span!("netlist.fault.campaign");
     let started = std::time::Instant::now();
@@ -657,11 +724,7 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
     let workers = threads.max(1).min(total_faults.max(1));
 
     let classify_one = |sim: &Simulator<'_>, fault: Fault| -> FaultRun {
-        let outcome = match observe(sim, workload, Some(fault), budget) {
-            Ok(observed) => classify(&golden, &observed),
-            Err(_) => Outcome::Hang,
-        };
-        FaultRun { fault, cell: netlist.gates()[fault.gate.index()].kind, outcome }
+        run_one(sim, workload, &golden, fault, budget)
     };
     let done = AtomicUsize::new(0);
     let progress = |done: &AtomicUsize| {

@@ -49,6 +49,12 @@ impl GateId {
     }
 }
 
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
 /// Functional region a gate belongs to, used for the paper's per-component
 /// breakdowns (Figure 8 partitions core cost into Combinational vs
 /// Registers; memories are separate models).
@@ -125,10 +131,32 @@ pub enum NetlistError {
     /// A referenced port does not exist.
     UnknownPort(String),
     /// The combinational logic failed to reach a fixpoint within the
-    /// simulator's bounded number of settle passes; the given net was
-    /// still changing on the last pass (oscillation or a stale
-    /// topological order).
-    Unsettled(NetId),
+    /// simulator's bounded number of settle passes (oscillation or a
+    /// stale topological order). Carries the last net still changing,
+    /// the gate driving it (if any — an input port or constant rail
+    /// otherwise), and how many net-value changes the final pass still
+    /// observed, so watchdog and campaign reports can name the exact
+    /// oscillation site instead of just "did not settle".
+    Unsettled {
+        /// The net still changing on the final settle pass.
+        net: NetId,
+        /// The gate driving that net, if a gate (rather than a port or
+        /// constant rail) drives it.
+        driver: Option<GateId>,
+        /// Net-value changes observed during the final settle pass — how
+        /// hard the logic was still toggling when the budget ran out.
+        toggles: u64,
+    },
+    /// A watchdog cycle limit armed via [`crate::sim::Simulator::set_cycle_limit`]
+    /// expired before the workload finished — a runaway or wedged
+    /// workload, reported as a typed error instead of an endless loop.
+    DeadlineExceeded {
+        /// Clock cycles the simulation had completed when the watchdog
+        /// fired.
+        cycles: u64,
+        /// The armed cycle limit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -147,8 +175,16 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::DuplicatePort(name) => write!(f, "duplicate port name {name:?}"),
             NetlistError::UnknownPort(name) => write!(f, "unknown port {name:?}"),
-            NetlistError::Unsettled(n) => {
-                write!(f, "combinational logic failed to settle: net {n} keeps oscillating")
+            NetlistError::Unsettled { net, driver, toggles } => {
+                write!(f, "combinational logic failed to settle: net {net} keeps oscillating")?;
+                match driver {
+                    Some(g) => write!(f, " (driven by gate {g}, ")?,
+                    None => write!(f, " (port or rail driven, ")?,
+                }
+                write!(f, "{toggles} nets still toggling on the final pass)")
+            }
+            NetlistError::DeadlineExceeded { cycles, limit } => {
+                write!(f, "watchdog deadline exceeded: {cycles} cycles run, limit {limit}")
             }
         }
     }

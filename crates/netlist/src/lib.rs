@@ -22,7 +22,8 @@
 //!   library ([`lint`]),
 //! - fault models and deterministic fault-injection campaigns — stuck-at
 //!   and SEU — with masked/SDC/hang/detected classification ([`fault`]),
-//!   and
+//! - a supervised campaign runner with checkpoint/resume, watchdog
+//!   deadlines, and panic isolation ([`resilience`]), and
 //! - a TMR hardening transform with majority voters and an error-detect
 //!   output ([`builder::tmr`]).
 //!
@@ -54,6 +55,7 @@ pub mod fault;
 pub mod ir;
 pub mod lint;
 pub mod opt;
+pub mod resilience;
 pub mod sim;
 pub mod variation;
 pub mod vcd;
@@ -68,5 +70,9 @@ pub use fault::{
 };
 pub use ir::{FanoutMap, Gate, GateId, NetId, Netlist, NetlistError, Region};
 pub use lint::{lint, Diagnostic, LintConfig, LintReport, Rule, Severity};
+pub use resilience::{
+    run_supervised_campaign, run_supervised_campaign_with_threads, JobError, ResilienceConfig,
+    ResilienceStats, SupervisedCampaign, SupervisedRun,
+};
 pub use sim::{ActivityStats, Engine, Simulator};
 pub use variation::{FmaxDistribution, VariationError};

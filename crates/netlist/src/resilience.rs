@@ -1,0 +1,975 @@
+//! Supervised fault-campaign execution: checkpoint/resume, watchdog
+//! deadlines, and panic isolation for long-running campaigns.
+//!
+//! [`crate::fault::run_campaign`] is the fast path: it assumes every
+//! fault run completes, never panics, and the process survives to the
+//! end. Real reproduction sweeps run for minutes across many worker
+//! threads, and production fault-injection infrastructure must survive
+//! its own faults. [`run_supervised_campaign`] wraps the same
+//! deterministic scheduler in a resilience layer:
+//!
+//! - **Checkpoint/resume** — with [`ResilienceConfig::checkpoint_dir`]
+//!   set (see [`ResilienceConfig::from_env`] and the `PRINTED_CKPT_DIR`
+//!   environment variable), completed fault-index result slots are
+//!   appended periodically to a JSON-lines checkpoint file. A rerun of
+//!   the same campaign loads the checkpoint, skips the recorded slots,
+//!   and — because slots are keyed by the deterministic fault
+//!   enumeration order, not by scheduling — produces a byte-identical
+//!   [`CampaignResult::to_csv`] to an uninterrupted run, for any thread
+//!   count.
+//! - **Watchdog deadlines** — [`ResilienceConfig::watchdog_cycles`] arms
+//!   the per-run simulator cycle limit
+//!   ([`crate::sim::Simulator::set_cycle_limit`]); a wedged workload
+//!   trips [`crate::NetlistError::DeadlineExceeded`], surfaces as a
+//!   typed [`JobError::TimedOut`], and is classified as
+//!   [`Outcome::Hang`] — deterministically, since the deadline counts
+//!   cycles, not wall-clock.
+//! - **Panic isolation + retry** — each fault run executes under
+//!   `catch_unwind` with bounded retries and a deterministic
+//!   decorrelated backoff (seeded from the campaign seed, the slot
+//!   index, and the attempt number). A slot that keeps panicking
+//!   degrades to a recorded [`Outcome::Failed`] instead of aborting the
+//!   campaign.
+//!
+//! Everything is instrumented through `printed-obs`: counters
+//! `resilience.retries`, `resilience.timeouts`, `resilience.resumed_slots`,
+//! and `resilience.failed`.
+//!
+//! # Checkpoint format
+//!
+//! One JSON object per line. The first line is a header binding the
+//! checkpoint to a campaign identity fingerprint (netlist structure,
+//! campaign config, golden-run observation); every further line records
+//! one completed slot:
+//!
+//! ```text
+//! {"type":"header","design":"p1_4_2","faults":512,"fingerprint":"9f2c..."}
+//! {"type":"slot","i":17,"o":"masked","r":0}
+//! ```
+//!
+//! A truncated final line (the process was killed mid-write) is
+//! tolerated: loading stops at the first unparsable line and keeps the
+//! valid prefix. A header that does not match the campaign identity is
+//! discarded wholesale — a stale checkpoint can never leak slots into a
+//! different campaign. On successful completion the checkpoint file is
+//! deleted.
+
+use crate::fault::{
+    campaign_golden, campaign_threads, enumerate_faults, faulty_budget, CampaignConfig,
+    CampaignError, CampaignResult, Fault, FaultRun, Outcome, Workload,
+};
+use crate::ir::Netlist;
+use crate::sim::Simulator;
+use printed_obs as obs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Why a supervised job (a campaign, one of its slots, or a pipeline
+/// stage built on this module) failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The job exceeded its deadline. For simulator jobs the unit is
+    /// clock cycles; stage runners reuse the variant with milliseconds.
+    TimedOut {
+        /// Name of the job that timed out.
+        job: String,
+        /// Budget spent when the watchdog fired.
+        spent: u64,
+        /// The armed limit.
+        limit: u64,
+        /// Unit of `spent`/`limit` (`"cycles"` or `"ms"`).
+        unit: &'static str,
+    },
+    /// The job panicked on every allowed attempt.
+    Panicked {
+        /// Name of the job that panicked.
+        job: String,
+        /// The final panic payload, if it was a string.
+        message: String,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// A checkpoint or artifact I/O operation failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error, stringified (keeps `JobError: Clone`).
+        message: String,
+    },
+    /// A checkpoint file existed but could not be interpreted.
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// 1-based line number of the first bad line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The campaign itself could not start (golden-run failure).
+    Campaign(CampaignError),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::TimedOut { job, spent, limit, unit } => {
+                write!(f, "job {job:?} timed out: {spent} of {limit} {unit}")
+            }
+            JobError::Panicked { job, message, attempts } => {
+                write!(f, "job {job:?} panicked after {attempts} attempts: {message}")
+            }
+            JobError::Io { path, message } => {
+                write!(f, "I/O error on {}: {message}", path.display())
+            }
+            JobError::Corrupt { path, line, message } => {
+                write!(f, "corrupt checkpoint {} at line {line}: {message}", path.display())
+            }
+            JobError::Campaign(e) => write!(f, "campaign failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<CampaignError> for JobError {
+    fn from(e: CampaignError) -> Self {
+        JobError::Campaign(e)
+    }
+}
+
+/// Configuration of the resilience layer wrapped around a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Directory for checkpoint files; `None` disables checkpointing
+    /// entirely (no I/O on the campaign path at all).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Completed slots buffered between checkpoint flushes. Smaller
+    /// values lose less work to a kill; larger values do less I/O.
+    pub checkpoint_every: usize,
+    /// Retries after a panicking fault run before the slot degrades to
+    /// [`Outcome::Failed`] (so attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// Per-run simulator cycle deadline; a run that exceeds it is
+    /// classified as [`Outcome::Hang`]. `None` trusts the campaign's
+    /// own cycle budget.
+    pub watchdog_cycles: Option<u64>,
+    /// Test hook: stop claiming new slots once this many have completed
+    /// in this process, flush the checkpoint, and return
+    /// [`SupervisedRun::Aborted`] — simulating a mid-campaign kill at a
+    /// deterministic point.
+    pub abort_after: Option<usize>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            checkpoint_dir: None,
+            checkpoint_every: 64,
+            max_retries: 2,
+            watchdog_cycles: None,
+            abort_after: None,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The default configuration with the checkpoint directory taken
+    /// from the `PRINTED_CKPT_DIR` environment variable (unset or empty
+    /// means checkpointing stays disabled).
+    pub fn from_env() -> Self {
+        let dir = std::env::var("PRINTED_CKPT_DIR")
+            .ok()
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        ResilienceConfig { checkpoint_dir: dir, ..ResilienceConfig::default() }
+    }
+}
+
+/// What the resilience layer had to do during one supervised campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Slots restored from a checkpoint instead of re-simulated.
+    pub resumed_slots: usize,
+    /// Retries spent on panicking fault runs (including retry counts
+    /// recorded in resumed checkpoint slots).
+    pub retries: u64,
+    /// Fault runs that tripped the watchdog deadline.
+    pub timeouts: u64,
+    /// Slots degraded to [`Outcome::Failed`] after exhausting retries.
+    pub failed: usize,
+    /// The checkpoint file used, if checkpointing was enabled.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint I/O failed mid-campaign; the campaign finished but
+    /// further checkpointing was disabled (graceful degradation).
+    pub checkpoint_degraded: bool,
+}
+
+/// A completed supervised campaign: the (byte-identical) campaign result
+/// plus what the resilience layer did to get it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedCampaign {
+    /// The campaign result, identical to an unsupervised run except
+    /// that poisoned slots may carry [`Outcome::Failed`].
+    pub result: CampaignResult,
+    /// Resilience bookkeeping.
+    pub stats: ResilienceStats,
+}
+
+/// Outcome of [`run_supervised_campaign`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupervisedRun {
+    /// The campaign ran (or resumed) to completion.
+    Complete(SupervisedCampaign),
+    /// The abort hook fired mid-campaign; progress up to here is in the
+    /// checkpoint (when enabled) and a rerun resumes from it.
+    Aborted {
+        /// Slots completed in this process before the abort.
+        completed: usize,
+        /// Total slots in the campaign.
+        total: usize,
+        /// The checkpoint holding the completed slots, if enabled.
+        checkpoint: Option<PathBuf>,
+    },
+}
+
+impl SupervisedRun {
+    /// The completed campaign, or `None` if the run aborted.
+    pub fn into_complete(self) -> Option<SupervisedCampaign> {
+        match self {
+            SupervisedRun::Complete(c) => Some(c),
+            SupervisedRun::Aborted { .. } => None,
+        }
+    }
+}
+
+/// One filled result slot: the classified run plus the retries it cost.
+type SlotDone = (FaultRun, u32);
+
+/// FNV-1a 64-bit, the workspace's stock dependency-free hash.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Fingerprint binding a checkpoint to one exact campaign: netlist
+/// structure, campaign configuration, and the golden observation (which
+/// also stands in for the workload, since classification only ever
+/// compares against it). Any difference in these invalidates recorded
+/// slots, so resume can never mix campaigns.
+fn campaign_fingerprint(
+    netlist: &Netlist,
+    config: &CampaignConfig,
+    golden: &crate::fault::Observation,
+    total_faults: usize,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.write(netlist.name().as_bytes());
+    h.write_u64(netlist.gate_count() as u64);
+    h.write_u64(netlist.net_count() as u64);
+    for gate in netlist.gates() {
+        h.write_u64(gate.kind as u64);
+        h.write_u64(gate.output.index() as u64);
+        for input in &gate.inputs {
+            h.write_u64(input.index() as u64);
+        }
+    }
+    h.write_u64(config.cycle_budget);
+    let (space_tag, space_n) = match config.stuck_at {
+        crate::fault::StuckAtSpace::Exhaustive => (0u64, 0u64),
+        crate::fault::StuckAtSpace::Sampled(n) => (1, n as u64),
+        crate::fault::StuckAtSpace::None => (2, 0),
+    };
+    h.write_u64(space_tag);
+    h.write_u64(space_n);
+    h.write_u64(config.seu_samples as u64);
+    h.write_u64(config.seed);
+    h.write_u64(golden.cycles);
+    h.write_u64(golden.signature.len() as u64);
+    for &word in &golden.signature {
+        h.write_u64(word);
+    }
+    h.write_u64(total_faults as u64);
+    h.0
+}
+
+/// The checkpoint path for a campaign: `<design>-<fingerprint>.ckpt.jsonl`
+/// under the configured directory.
+fn checkpoint_path(dir: &Path, design: &str, fingerprint: u64) -> PathBuf {
+    // Design names are identifier-like throughout the workspace, but a
+    // path separator in one must not escape the checkpoint directory.
+    let safe: String =
+        design.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    dir.join(format!("{safe}-{fingerprint:016x}.ckpt.jsonl"))
+}
+
+fn header_line(design: &str, total_faults: usize, fingerprint: u64) -> String {
+    format!(
+        "{{\"type\":\"header\",\"design\":{},\"faults\":{total_faults},\
+         \"fingerprint\":\"{fingerprint:016x}\"}}\n",
+        obs::json::escape(design),
+    )
+}
+
+fn slot_line(index: usize, done: &SlotDone) -> String {
+    format!("{{\"type\":\"slot\",\"i\":{index},\"o\":\"{}\",\"r\":{}}}\n", done.0.outcome, done.1)
+}
+
+/// Loads the valid prefix of a checkpoint file into `slots`.
+///
+/// Missing file → nothing loaded. Unreadable file or mismatched header →
+/// nothing loaded (the campaign starts fresh and overwrites it). A bad
+/// line stops the scan but keeps everything before it — that is exactly
+/// the kill-mid-write case resume exists for. The rebuilt [`FaultRun`]
+/// comes from the deterministic fault enumeration, so a checkpoint line
+/// only needs the slot index, outcome, and retry count.
+fn load_checkpoint(
+    path: &Path,
+    fingerprint: u64,
+    faults: &[Fault],
+    netlist: &Netlist,
+    slots: &mut [Option<SlotDone>],
+) -> usize {
+    let Ok(text) = fs::read_to_string(path) else { return 0 };
+    let mut lines = text.lines();
+    let Some(first) = lines.next() else { return 0 };
+    let Ok(header) = obs::json::parse(first) else { return 0 };
+    let header_ok = header.get("type").and_then(obs::json::Value::as_str) == Some("header")
+        && header.get("fingerprint").and_then(obs::json::Value::as_str)
+            == Some(format!("{fingerprint:016x}").as_str())
+        && header.get("faults").and_then(obs::json::Value::as_f64) == Some(faults.len() as f64);
+    if !header_ok {
+        return 0;
+    }
+    let mut resumed = 0;
+    for line in lines {
+        let Ok(value) = obs::json::parse(line) else { break };
+        if value.get("type").and_then(obs::json::Value::as_str) != Some("slot") {
+            break;
+        }
+        let Some(index) = value.get("i").and_then(obs::json::Value::as_f64) else { break };
+        let index = index as usize;
+        if index >= slots.len() {
+            break;
+        }
+        let Some(outcome) =
+            value.get("o").and_then(obs::json::Value::as_str).and_then(Outcome::parse)
+        else {
+            break;
+        };
+        let retries = value.get("r").and_then(obs::json::Value::as_f64).unwrap_or(0.0) as u32;
+        let fault = faults[index];
+        let cell = netlist.gates()[fault.gate.index()].kind;
+        if slots[index].is_none() {
+            resumed += 1;
+        }
+        slots[index] = Some((FaultRun { fault, cell, outcome }, retries));
+    }
+    resumed
+}
+
+/// The shared checkpoint writer: buffers slot lines and appends them to
+/// the file every [`ResilienceConfig::checkpoint_every`] completions. A
+/// write failure flips `broken` and drops the file handle — the campaign
+/// carries on without checkpointing rather than dying on a full disk.
+struct CheckpointSink {
+    file: Option<fs::File>,
+    buf: String,
+    pending: usize,
+    every: usize,
+    broken: bool,
+}
+
+impl CheckpointSink {
+    fn push(&mut self, index: usize, done: &SlotDone) {
+        if self.file.is_none() {
+            return;
+        }
+        self.buf.push_str(&slot_line(index, done));
+        self.pending += 1;
+        if self.pending >= self.every {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(file) = &mut self.file {
+            let ok = file.write_all(self.buf.as_bytes()).and_then(|()| file.flush()).is_ok();
+            if !ok {
+                self.broken = true;
+                self.file = None;
+            }
+        }
+        self.buf.clear();
+        self.pending = 0;
+    }
+}
+
+/// Campaign-wide inputs every supervised slot shares: the golden
+/// observation to classify against, the cycle budget, and the
+/// retry/backoff parameters.
+struct SlotParams<'a> {
+    golden: &'a crate::fault::Observation,
+    budget: u64,
+    max_retries: u32,
+    seed: u64,
+}
+
+/// Runs one fault slot under supervision: watchdog trips and panics
+/// become typed [`JobError`]s instead of wedging or killing the worker.
+///
+/// The watchdog needs no plumbing here — `pristine` is the worker's
+/// simulator clone with the cycle limit already armed, and every
+/// per-fault clone [`crate::fault::observe`] makes inherits it. The
+/// resulting [`crate::NetlistError::DeadlineExceeded`] is surfaced as a
+/// typed [`JobError::TimedOut`] so the scheduler can count timeouts
+/// separately before folding them into the hang classification.
+fn attempt_slot<W: Workload + ?Sized>(
+    pristine: &Simulator<'_>,
+    workload: &W,
+    params: &SlotParams<'_>,
+    fault: Fault,
+    index: usize,
+) -> Result<(FaultRun, u32), JobError> {
+    let SlotParams { golden, budget, max_retries, seed } = *params;
+    let cell = pristine.netlist().gates()[fault.gate.index()].kind;
+    let mut last_message = String::new();
+    for attempt in 0..=max_retries {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            crate::fault::observe(pristine, workload, Some(fault), budget)
+        }));
+        match run {
+            Ok(Ok(observed)) => {
+                let outcome = crate::fault::classify(golden, &observed);
+                return Ok((FaultRun { fault, cell, outcome }, attempt));
+            }
+            Ok(Err(crate::NetlistError::DeadlineExceeded { cycles, limit })) => {
+                return Err(JobError::TimedOut {
+                    job: fault.to_string(),
+                    spent: cycles,
+                    limit,
+                    unit: "cycles",
+                });
+            }
+            // Any other simulation failure (oscillation) wedges the
+            // circuit — the same hang classification run_one applies.
+            Ok(Err(_)) => return Ok((FaultRun { fault, cell, outcome: Outcome::Hang }, attempt)),
+            Err(payload) => {
+                last_message = panic_message(payload.as_ref());
+                if attempt < max_retries {
+                    backoff(seed, index, attempt);
+                }
+            }
+        }
+    }
+    Err(JobError::Panicked {
+        job: fault.to_string(),
+        message: last_message,
+        attempts: max_retries + 1,
+    })
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Deterministic decorrelated backoff before a retry: the delay is drawn
+/// from an RNG seeded by (campaign seed, slot index, attempt), so a
+/// rerun of the same campaign backs off identically — no wall-clock or
+/// thread identity leaks into behavior. Delays are millisecond-scale:
+/// retries exist to clear transient conditions, not to wait out real
+/// infrastructure.
+fn backoff(seed: u64, index: usize, attempt: u32) {
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((attempt as u64) << 48),
+    );
+    let cap = 2u64 << attempt.min(4);
+    let ms = rng.gen_range(1..=cap);
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
+/// [`crate::fault::run_campaign`] wrapped in the resilience layer, with
+/// the worker count from `PRINTED_SIM_THREADS` (see [`campaign_threads`]).
+///
+/// # Errors
+///
+/// Returns [`JobError::Campaign`] if the fault-free golden run fails —
+/// without a golden reference nothing can be classified, so there is
+/// nothing to degrade to.
+pub fn run_supervised_campaign<W: Workload + ?Sized>(
+    netlist: &Netlist,
+    workload: &W,
+    config: &CampaignConfig,
+    resilience: &ResilienceConfig,
+) -> Result<SupervisedRun, JobError> {
+    run_supervised_campaign_with_threads(netlist, workload, config, resilience, campaign_threads())
+}
+
+/// [`run_supervised_campaign`] with an explicit worker-thread count.
+///
+/// Determinism: identical to [`crate::fault::run_campaign_with_threads`]
+/// — slots are keyed by the fault enumeration order and workers fill
+/// disjoint chunks — with two extensions that preserve it: checkpoint
+/// resume fills slots with values computed by the same pure function
+/// (so a resumed and an uninterrupted run agree byte-for-byte), and
+/// retry backoff is seeded per (seed, slot, attempt), never from time.
+///
+/// # Errors
+///
+/// Returns [`JobError::Campaign`] if the fault-free golden run fails.
+pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
+    netlist: &Netlist,
+    workload: &W,
+    config: &CampaignConfig,
+    resilience: &ResilienceConfig,
+    threads: usize,
+) -> Result<SupervisedRun, JobError> {
+    let _span = obs::span!("netlist.resilience.campaign");
+    let mut pristine = Simulator::new(netlist);
+    let golden = campaign_golden(&pristine, workload, config)?;
+    let faults = enumerate_faults(netlist, config, golden.cycles);
+    let budget = faulty_budget(config.cycle_budget, golden.cycles);
+    let total = faults.len();
+
+    let mut stats = ResilienceStats::default();
+    let mut slots: Vec<Option<SlotDone>> = vec![None; total];
+
+    // Checkpoint setup: load whatever a previous run left, then rewrite
+    // the file from scratch (header + resumed slots). Rewriting heals a
+    // truncated tail once instead of parsing around it forever.
+    let mut sink = CheckpointSink {
+        file: None,
+        buf: String::new(),
+        pending: 0,
+        every: resilience.checkpoint_every.max(1),
+        broken: false,
+    };
+    if let Some(dir) = &resilience.checkpoint_dir {
+        let fingerprint = campaign_fingerprint(netlist, config, &golden, total);
+        let path = checkpoint_path(dir, netlist.name(), fingerprint);
+        stats.resumed_slots = load_checkpoint(&path, fingerprint, &faults, netlist, &mut slots);
+        for done in slots.iter().flatten() {
+            stats.retries += done.1 as u64;
+        }
+        let opened = fs::create_dir_all(dir).and_then(|()| fs::File::create(&path));
+        match opened {
+            Ok(mut file) => {
+                let mut header = header_line(netlist.name(), total, fingerprint);
+                for (i, done) in slots.iter().enumerate() {
+                    if let Some(done) = done {
+                        header.push_str(&slot_line(i, done));
+                    }
+                }
+                if file.write_all(header.as_bytes()).and_then(|()| file.flush()).is_ok() {
+                    sink.file = Some(file);
+                } else {
+                    sink.broken = true;
+                }
+            }
+            Err(_) => sink.broken = true,
+        }
+        stats.checkpoint = Some(path);
+    }
+
+    // Arm the watchdog once on the pristine simulator: every per-worker
+    // and per-fault clone inherits the limit.
+    if let Some(limit) = resilience.watchdog_cycles {
+        pristine.set_cycle_limit(Some(limit));
+    }
+
+    let retries = AtomicU64::new(0);
+    let timeouts = AtomicU64::new(0);
+    let failed = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let sink = Mutex::new(sink);
+
+    // One slot, supervised: panics retried then degraded, watchdog trips
+    // counted and folded back into the hang classification.
+    let params = SlotParams {
+        golden: &golden,
+        budget,
+        max_retries: resilience.max_retries,
+        seed: config.seed,
+    };
+    let supervise = |worker_sim: &Simulator<'_>, index: usize, fault: Fault| -> SlotDone {
+        match attempt_slot(worker_sim, workload, &params, fault, index) {
+            Ok((run, attempts_used)) => {
+                retries.fetch_add(attempts_used as u64, Ordering::Relaxed);
+                (run, attempts_used)
+            }
+            Err(JobError::TimedOut { .. }) => {
+                timeouts.fetch_add(1, Ordering::Relaxed);
+                let cell = netlist.gates()[fault.gate.index()].kind;
+                (FaultRun { fault, cell, outcome: Outcome::Hang }, 0)
+            }
+            Err(err) => {
+                // Panicked (or, unreachable here, a checkpoint error):
+                // degrade the slot, keep the campaign alive.
+                if let JobError::Panicked { attempts, .. } = &err {
+                    retries.fetch_add((attempts - 1) as u64, Ordering::Relaxed);
+                }
+                failed.fetch_add(1, Ordering::Relaxed);
+                obs::trace_event(|| {
+                    format!(
+                        "{{\"type\":\"slot_failed\",\"design\":{},\"slot\":{index},\
+                         \"error\":{}}}",
+                        obs::json::escape(netlist.name()),
+                        obs::json::escape(&err.to_string()),
+                    )
+                });
+                let cell = netlist.gates()[fault.gate.index()].kind;
+                (FaultRun { fault, cell, outcome: Outcome::Failed }, resilience.max_retries)
+            }
+        }
+    };
+    let record = |index: usize, done: &SlotDone| {
+        sink.lock().expect("checkpoint sink poisoned").push(index, done);
+        let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(limit) = resilience.abort_after {
+            if n >= limit {
+                stop.store(true, Ordering::Relaxed);
+            }
+        }
+    };
+
+    let workers = threads.max(1).min(total.max(1));
+    if workers <= 1 {
+        let worker_sim = pristine.clone();
+        for (index, (slot, &fault)) in slots.iter_mut().zip(&faults).enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let done = supervise(&worker_sim, index, fault);
+            record(index, &done);
+            *slot = Some(done);
+        }
+    } else {
+        // The same contiguous-chunk queue as the plain campaign, with
+        // each chunk carrying its global start index for checkpointing.
+        let chunk = total.div_ceil(workers * 4).max(1);
+        /// One claimable unit of campaign work: the chunk's global start
+        /// index (for checkpoint bookkeeping) plus its fault and result
+        /// slot slices.
+        type Chunk<'f, 's> = (usize, &'f [Fault], &'s mut [Option<SlotDone>]);
+        let mut work: Vec<Chunk<'_, '_>> = Vec::new();
+        let mut start = 0usize;
+        let mut rest_faults: &[Fault] = &faults;
+        let mut rest_slots: &mut [Option<SlotDone>] = &mut slots;
+        while !rest_slots.is_empty() {
+            let take = chunk.min(rest_slots.len());
+            let (head_faults, tail_faults) = rest_faults.split_at(take);
+            let (head_slots, tail_slots) = std::mem::take(&mut rest_slots).split_at_mut(take);
+            work.push((start, head_faults, head_slots));
+            start += take;
+            rest_faults = tail_faults;
+            rest_slots = tail_slots;
+        }
+        let queue = Mutex::new(work);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let worker_sim = pristine.clone();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let claimed = queue.lock().expect("campaign queue poisoned").pop();
+                        let Some((chunk_start, chunk_faults, chunk_slots)) = claimed else {
+                            break;
+                        };
+                        for (offset, (slot, &fault)) in
+                            chunk_slots.iter_mut().zip(chunk_faults).enumerate()
+                        {
+                            if slot.is_some() {
+                                continue;
+                            }
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let index = chunk_start + offset;
+                            let done = supervise(&worker_sim, index, fault);
+                            record(index, &done);
+                            *slot = Some(done);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let mut sink = sink.into_inner().expect("checkpoint sink poisoned");
+    sink.flush();
+    stats.retries += retries.into_inner();
+    stats.timeouts = timeouts.into_inner();
+    stats.failed = failed.into_inner();
+    stats.checkpoint_degraded = sink.broken;
+    if obs::enabled() {
+        let reg = obs::global();
+        reg.add("resilience.retries", stats.retries);
+        reg.add("resilience.timeouts", stats.timeouts);
+        reg.add("resilience.resumed_slots", stats.resumed_slots as u64);
+        reg.add("resilience.failed", stats.failed as u64);
+    }
+
+    if stop.load(Ordering::Relaxed) && slots.iter().any(Option::is_none) {
+        let done = slots.iter().filter(|s| s.is_some()).count();
+        return Ok(SupervisedRun::Aborted { completed: done, total, checkpoint: stats.checkpoint });
+    }
+
+    let runs: Vec<FaultRun> =
+        slots.into_iter().map(|slot| slot.expect("every fault slot filled").0).collect();
+    if let Some(path) = &stats.checkpoint {
+        // The campaign is complete; the checkpoint has served its
+        // purpose. A failed delete is harmless — the header fingerprint
+        // guards against stale reuse — so it is not worth degrading over.
+        let _ = fs::remove_file(path);
+    }
+    Ok(SupervisedRun::Complete(SupervisedCampaign {
+        result: CampaignResult {
+            design: netlist.name().to_string(),
+            gate_count: netlist.gate_count(),
+            golden,
+            runs,
+        },
+        stats,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::fault::{run_campaign_with_threads, PatternWorkload, StuckAtSpace};
+
+    fn accumulator() -> Netlist {
+        let mut b = NetlistBuilder::new("acc4");
+        let inputs = b.input("in", 4);
+        let acc = b.forward_bus(4);
+        let cin = b.const0();
+        let sum = crate::words::ripple_adder(&mut b, &acc, &inputs, cin);
+        for (d, q) in sum.sum.iter().zip(&acc) {
+            b.dff_into(*d, *q);
+        }
+        b.output("acc", acc);
+        b.finish().unwrap()
+    }
+
+    fn config() -> CampaignConfig {
+        CampaignConfig {
+            stuck_at: StuckAtSpace::Exhaustive,
+            seu_samples: 6,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn supervised_matches_plain_campaign_exactly() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 5 };
+        let plain = run_campaign_with_threads(&nl, &workload, &config(), 1).unwrap();
+        for threads in [1, 4] {
+            let supervised = run_supervised_campaign_with_threads(
+                &nl,
+                &workload,
+                &config(),
+                &ResilienceConfig::default(),
+                threads,
+            )
+            .unwrap()
+            .into_complete()
+            .expect("no abort hook");
+            assert_eq!(supervised.result, plain, "{threads} workers");
+            assert_eq!(supervised.result.to_csv(), plain.to_csv());
+            assert_eq!(supervised.stats.resumed_slots, 0);
+            assert_eq!(supervised.stats.failed, 0);
+            assert_eq!(supervised.stats.timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn tight_watchdog_classifies_every_run_as_hang() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 5 };
+        let resilience =
+            ResilienceConfig { watchdog_cycles: Some(2), ..ResilienceConfig::default() };
+        let supervised =
+            run_supervised_campaign_with_threads(&nl, &workload, &config(), &resilience, 1)
+                .unwrap()
+                .into_complete()
+                .unwrap();
+        let counts = supervised.result.counts();
+        assert_eq!(counts.hang, counts.total(), "2-cycle deadline hangs every 10-cycle run");
+        assert_eq!(supervised.stats.timeouts, counts.total() as u64);
+    }
+
+    #[test]
+    fn panicking_workload_degrades_to_failed_slots() {
+        /// Panics whenever a specific gate's stuck-at fault is active
+        /// (detected through the forced-low accumulator output), runs
+        /// normally otherwise.
+        struct Poisoned {
+            inner: PatternWorkload,
+        }
+        impl Workload for Poisoned {
+            fn run(
+                &self,
+                sim: Simulator<'_>,
+                cycle_budget: u64,
+            ) -> Result<crate::fault::Observation, crate::NetlistError> {
+                if sim.has_faults() {
+                    panic!("poisoned work item");
+                }
+                self.inner.run(sim, cycle_budget)
+            }
+        }
+        let nl = accumulator();
+        let workload = Poisoned { inner: PatternWorkload { cycles: 10, seed: 5 } };
+        let cfg = CampaignConfig {
+            stuck_at: StuckAtSpace::Sampled(4),
+            seu_samples: 0,
+            ..CampaignConfig::default()
+        };
+        let resilience = ResilienceConfig { max_retries: 1, ..ResilienceConfig::default() };
+        let supervised = run_supervised_campaign_with_threads(&nl, &workload, &cfg, &resilience, 2)
+            .unwrap()
+            .into_complete()
+            .unwrap();
+        assert_eq!(supervised.stats.failed, 4, "every faulty run panics, campaign survives");
+        assert_eq!(supervised.result.counts().failed, 4);
+        assert_eq!(supervised.stats.retries, 4, "one retry per slot before degrading");
+        assert!(supervised.result.to_csv().contains(",failed\n"));
+    }
+
+    #[test]
+    fn abort_and_resume_reproduces_the_uninterrupted_csv() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 5 };
+        let dir = std::env::temp_dir().join(format!("printed-ckpt-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let baseline = run_campaign_with_threads(&nl, &workload, &config(), 1).unwrap();
+        let total = baseline.runs.len();
+        let resilience = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 4,
+            abort_after: Some(total / 3),
+            ..ResilienceConfig::default()
+        };
+        let aborted =
+            run_supervised_campaign_with_threads(&nl, &workload, &config(), &resilience, 1)
+                .unwrap();
+        let SupervisedRun::Aborted { completed, checkpoint, .. } = aborted else {
+            panic!("abort hook must fire");
+        };
+        assert!(completed >= total / 3);
+        let ckpt = checkpoint.expect("checkpointing was enabled");
+        assert!(ckpt.exists(), "aborted run leaves its checkpoint behind");
+
+        let resumed = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 4,
+            ..ResilienceConfig::default()
+        };
+        let finished = run_supervised_campaign_with_threads(&nl, &workload, &config(), &resumed, 1)
+            .unwrap()
+            .into_complete()
+            .expect("no abort hook on resume");
+        assert!(finished.stats.resumed_slots >= total / 3, "resume skipped recorded slots");
+        assert_eq!(finished.result, baseline);
+        assert_eq!(finished.result.to_csv(), baseline.to_csv(), "byte-identical CSV");
+        assert!(!ckpt.exists(), "checkpoint deleted on success");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_checkpoints_are_ignored() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 5 };
+        let dir = std::env::temp_dir().join(format!("printed-ckpt-stale-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // Fabricate a checkpoint with the right path but a wrong
+        // fingerprint inside: it must be discarded, not resumed.
+        let golden =
+            crate::fault::campaign_golden(&Simulator::new(&nl), &workload, &config()).unwrap();
+        let faults = enumerate_faults(&nl, &config(), golden.cycles);
+        let fingerprint = campaign_fingerprint(&nl, &config(), &golden, faults.len());
+        let path = checkpoint_path(&dir, nl.name(), fingerprint);
+        fs::write(
+            &path,
+            header_line(nl.name(), faults.len(), fingerprint ^ 1)
+                + "{\"type\":\"slot\",\"i\":0,\"o\":\"sdc\",\"r\":0}\n",
+        )
+        .unwrap();
+        let resilience =
+            ResilienceConfig { checkpoint_dir: Some(dir.clone()), ..ResilienceConfig::default() };
+        let finished =
+            run_supervised_campaign_with_threads(&nl, &workload, &config(), &resilience, 1)
+                .unwrap()
+                .into_complete()
+                .unwrap();
+        assert_eq!(finished.stats.resumed_slots, 0, "mismatched fingerprint loads nothing");
+        let plain = run_campaign_with_threads(&nl, &workload, &config(), 1).unwrap();
+        assert_eq!(finished.result, plain);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_checkpoint_tail_is_tolerated() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 5 };
+        let golden =
+            crate::fault::campaign_golden(&Simulator::new(&nl), &workload, &config()).unwrap();
+        let faults = enumerate_faults(&nl, &config(), golden.cycles);
+        let fingerprint = campaign_fingerprint(&nl, &config(), &golden, faults.len());
+        let dir = std::env::temp_dir().join(format!("printed-ckpt-trunc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = checkpoint_path(&dir, nl.name(), fingerprint);
+        // Two good slot lines, then a line cut mid-write.
+        let plain = run_campaign_with_threads(&nl, &workload, &config(), 1).unwrap();
+        let mut text = header_line(nl.name(), faults.len(), fingerprint);
+        for i in 0..2 {
+            text.push_str(&slot_line(i, &(plain.runs[i], 0)));
+        }
+        text.push_str("{\"type\":\"slot\",\"i\":2,\"o\":\"ma");
+        fs::write(&path, text).unwrap();
+        let mut slots: Vec<Option<SlotDone>> = vec![None; faults.len()];
+        let resumed = load_checkpoint(&path, fingerprint, &faults, &nl, &mut slots);
+        assert_eq!(resumed, 2, "valid prefix kept, truncated tail dropped");
+        assert!(slots[2].is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -207,6 +207,10 @@ pub struct Simulator<'a> {
     /// hold duplicates — the accounting pass is idempotent per net, so
     /// deduplicating here would cost more than it saves.
     touched: Vec<u32>,
+    /// Watchdog: when set, [`Simulator::step`] refuses to run past this
+    /// many total cycles, returning [`NetlistError::DeadlineExceeded`]
+    /// instead. `None` (the default) disables the check.
+    cycle_limit: Option<u64>,
 }
 
 impl<'a> Simulator<'a> {
@@ -304,6 +308,7 @@ impl<'a> Simulator<'a> {
             deferred: Vec::new(),
             pending: 0,
             touched: Vec::new(),
+            cycle_limit: None,
         };
         if let Some(c1) = netlist.const1() {
             sim.values[c1.index()] = true;
@@ -358,6 +363,11 @@ impl<'a> Simulator<'a> {
             }
         }
         self.faults = Some(faults);
+    }
+
+    /// Whether a fault map is currently injected.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// Removes any injected fault map (the netlist state is untouched;
@@ -482,9 +492,11 @@ impl<'a> Simulator<'a> {
         self.level_len[level] += 1;
     }
 
-    /// One topological evaluation pass; returns the last net whose value
-    /// changed, or `None` if the pass was a fixpoint.
-    fn settle_pass(&mut self) -> Option<NetId> {
+    /// One topological evaluation pass; returns how many net values
+    /// changed plus the last net that did (`None` if the pass was a
+    /// fixpoint).
+    fn settle_pass(&mut self) -> (u64, Option<NetId>) {
+        let mut changes = 0u64;
         let mut changed = None;
         self.stats.settle_passes += 1;
         for (gate_id, gate) in self.netlist.topo_order() {
@@ -529,22 +541,28 @@ impl<'a> Simulator<'a> {
             let idx = gate.output.index();
             if self.values[idx] != out {
                 self.values[idx] = out;
+                changes += 1;
                 changed = Some(gate.output);
             }
         }
-        changed
+        (changes, changed)
     }
 
     /// Full-sweep fixpoint loop (the reference engine).
     fn settle_full(&mut self) -> Result<(), NetlistError> {
         let mut last = None;
+        let mut toggles = 0u64;
         for _ in 0..Self::MAX_SETTLE_PASSES {
             match self.settle_pass() {
-                None => return Ok(()),
-                Some(net) => last = Some(net),
+                (_, None) => return Ok(()),
+                (changes, Some(net)) => {
+                    last = Some(net);
+                    toggles = changes;
+                }
             }
         }
-        Err(NetlistError::Unsettled(last.expect("a pass ran and changed a net")))
+        let net = last.expect("a pass ran and changed a net");
+        Err(NetlistError::Unsettled { net, driver: self.fanout.driver(net), toggles })
     }
 
     /// Event-driven fixpoint: drains the levelized worklist in depth
@@ -575,6 +593,7 @@ impl<'a> Simulator<'a> {
     fn drain_worklist(&mut self, faults: &Option<FaultMap>) -> Result<(), NetlistError> {
         let total = self.netlist.topo.len() as u64;
         let mut last_changed: Option<NetId> = None;
+        let mut wave_toggles = 0u64;
         // Split borrows: the whole drain runs on disjoint field borrows,
         // with no `self` method calls and no `Arc` refcount traffic.
         let Simulator {
@@ -594,6 +613,7 @@ impl<'a> Simulator<'a> {
         } = self;
         for _ in 0..Self::MAX_SETTLE_PASSES {
             stats.settle_passes += 1;
+            wave_toggles = 0;
             let evals_before = stats.gate_evals;
             let mut level = 0;
             // Gates still queued beyond `deferred` all sit at `level` or
@@ -637,6 +657,7 @@ impl<'a> Simulator<'a> {
                     }
                     values[idx] = out;
                     touched.push(op.out);
+                    wave_toggles += 1;
                     last_changed = Some(NetId(op.out));
                     for &reader in fanout.readers(NetId(op.out)) {
                         let ri = reader as usize;
@@ -675,7 +696,8 @@ impl<'a> Simulator<'a> {
         }
         // The wave budget ran out with gates still queued: oscillation.
         // The worklist keeps its entries, so a retry fails the same way.
-        Err(NetlistError::Unsettled(last_changed.expect("a wave ran and changed a net")))
+        let net = last_changed.expect("a wave ran and changed a net");
+        Err(NetlistError::Unsettled { net, driver: fanout.driver(net), toggles: wave_toggles })
     }
 
     /// Propagates values through the combinational logic until a fixpoint.
@@ -699,8 +721,14 @@ impl<'a> Simulator<'a> {
     /// # Errors
     ///
     /// Returns [`NetlistError::Unsettled`] if either settle phase fails
-    /// to converge.
+    /// to converge, or [`NetlistError::DeadlineExceeded`] if a watchdog
+    /// armed with [`Simulator::set_cycle_limit`] has expired.
     pub fn step(&mut self) -> Result<(), NetlistError> {
+        if let Some(limit) = self.cycle_limit {
+            if self.stats.cycles >= limit {
+                return Err(NetlistError::DeadlineExceeded { cycles: self.stats.cycles, limit });
+            }
+        }
         self.settle()?;
         let netlist = self.netlist;
         // Rising edge: capture next state for every sequential cell.
@@ -879,6 +907,22 @@ impl<'a> Simulator<'a> {
         self.settle()
     }
 
+    /// Arms (or with `None` disarms) the cycle-budget watchdog: once the
+    /// simulator has completed `limit` total cycles, every further
+    /// [`Simulator::step`] fails with [`NetlistError::DeadlineExceeded`].
+    /// Counting total cycles (rather than cycles-since-arming) keeps the
+    /// check a single compare on the hot path and makes the trip point
+    /// deterministic — the supervised campaign runner relies on that to
+    /// classify watchdog trips as `hang` reproducibly.
+    pub fn set_cycle_limit(&mut self, limit: Option<u64>) {
+        self.cycle_limit = limit;
+    }
+
+    /// The armed watchdog cycle limit, if any.
+    pub fn cycle_limit(&self) -> Option<u64> {
+        self.cycle_limit
+    }
+
     /// Switching statistics accumulated so far.
     pub fn stats(&self) -> &ActivityStats {
         &self.stats
@@ -960,7 +1004,7 @@ fn schedule_readers_split(
 mod tests {
     use super::*;
     use crate::builder::NetlistBuilder;
-    use crate::ir::{Gate, Region};
+    use crate::ir::{Gate, GateId, Region};
 
     fn divider() -> Netlist {
         // q' = !q via forward net.
@@ -1154,16 +1198,42 @@ mod tests {
         // budget happened to land on.
         let nl = oscillator();
         let mut sim = Simulator::new(&nl);
-        assert_eq!(sim.settle(), Err(NetlistError::Unsettled(NetId(0))));
-        assert_eq!(sim.step(), Err(NetlistError::Unsettled(NetId(0))));
-        assert_eq!(sim.run(3), Err(NetlistError::Unsettled(NetId(0))));
+        let expected =
+            NetlistError::Unsettled { net: NetId(0), driver: Some(GateId(0)), toggles: 1 };
+        assert_eq!(sim.settle(), Err(expected.clone()));
+        assert_eq!(sim.step(), Err(expected.clone()));
+        assert_eq!(sim.run(3), Err(expected));
     }
 
     #[test]
     fn oscillating_logic_is_reported_by_full_sweep_too() {
         let nl = oscillator();
         let mut sim = Simulator::with_engine(&nl, Engine::FullSweep);
-        assert_eq!(sim.settle(), Err(NetlistError::Unsettled(NetId(0))));
-        assert_eq!(sim.step(), Err(NetlistError::Unsettled(NetId(0))));
+        let expected =
+            NetlistError::Unsettled { net: NetId(0), driver: Some(GateId(0)), toggles: 1 };
+        assert_eq!(sim.settle(), Err(expected.clone()));
+        assert_eq!(sim.step(), Err(expected));
+    }
+
+    #[test]
+    fn cycle_limit_watchdog_trips_deterministically() {
+        // An armed watchdog converts a runaway run() into a typed error
+        // at exactly the armed cycle count, and disarming restores
+        // normal stepping.
+        let mut b = NetlistBuilder::new("wd");
+        let a = b.input_bit("a");
+        let q = b.inv(a);
+        b.output("q", vec![q]);
+        let nl = b.finish().expect("trivial netlist builds");
+        let mut sim = Simulator::new(&nl);
+        sim.set_cycle_limit(Some(3));
+        assert_eq!(sim.cycle_limit(), Some(3));
+        assert_eq!(sim.run(100), Err(NetlistError::DeadlineExceeded { cycles: 3, limit: 3 }));
+        assert_eq!(sim.stats().cycles, 3);
+        // Tripping is sticky and repeatable.
+        assert_eq!(sim.step(), Err(NetlistError::DeadlineExceeded { cycles: 3, limit: 3 }));
+        sim.set_cycle_limit(None);
+        assert_eq!(sim.step(), Ok(()));
+        assert_eq!(sim.stats().cycles, 4);
     }
 }

@@ -5,7 +5,7 @@
 //! the forward-net escape hatch — exactly the path real generator bugs
 //! would take.
 
-use printed_netlist::{NetId, NetlistBuilder, NetlistError, Simulator};
+use printed_netlist::{GateId, NetId, NetlistBuilder, NetlistError, Simulator};
 use printed_pdk::CellKind;
 
 /// A real `NetId` to build error values around (the index is opaque).
@@ -144,6 +144,22 @@ fn combinational_cycle_error_renders() {
 }
 
 #[test]
+fn unsettled_diagnostics_name_the_oscillation_site() {
+    // Watchdog reports must be actionable: the message names the net,
+    // the driving gate (or the port/rail case), and how hard the logic
+    // was still toggling when the settle budget ran out.
+    let n = some_net();
+    let gate_driven =
+        NetlistError::Unsettled { net: n, driver: Some(GateId::from_index(7)), toggles: 5 };
+    let msg = gate_driven.to_string();
+    assert!(msg.contains(&n.to_string()), "{msg}");
+    assert!(msg.contains("g7"), "{msg}");
+    assert!(msg.contains("5 nets"), "{msg}");
+    let port_driven = NetlistError::Unsettled { net: n, driver: None, toggles: 1 };
+    assert!(port_driven.to_string().contains("port or rail"), "{port_driven}");
+}
+
+#[test]
 fn every_variant_has_a_distinct_message() {
     let n = some_net();
     let messages = [
@@ -154,7 +170,8 @@ fn every_variant_has_a_distinct_message() {
         NetlistError::WidthMismatch { context: "set_input", left: 65, right: 64 }.to_string(),
         NetlistError::DuplicatePort("x".into()).to_string(),
         NetlistError::UnknownPort("x".into()).to_string(),
-        NetlistError::Unsettled(n).to_string(),
+        NetlistError::Unsettled { net: n, driver: None, toggles: 3 }.to_string(),
+        NetlistError::DeadlineExceeded { cycles: 64, limit: 64 }.to_string(),
     ];
     for (i, a) in messages.iter().enumerate() {
         assert!(!a.is_empty());

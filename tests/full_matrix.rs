@@ -8,7 +8,7 @@ use printed_microprocessors::pdk::Technology;
 
 #[test]
 fn figure8_full_matrix_egfet() {
-    let cells = figure8(Technology::Egfet);
+    let cells = figure8(Technology::Egfet).unwrap();
     // Expected cell count: for each benchmark/width, one standard cell per
     // supported core width, plus PS at native width, plus MLC for dTree.
     assert!(cells.len() >= 50, "got {} cells", cells.len());
@@ -42,10 +42,10 @@ fn figure8_full_matrix_egfet() {
 
 #[test]
 fn figure8_runs_on_cnt_tft_too() {
-    let cells = figure8(Technology::CntTft);
+    let cells = figure8(Technology::CntTft).unwrap();
     assert!(cells.len() >= 50);
     // §8: CNT results are orders of magnitude faster than EGFET.
-    let egfet = figure8(Technology::Egfet);
+    let egfet = figure8(Technology::Egfet).unwrap();
     for (c, e) in cells.iter().zip(&egfet) {
         assert_eq!(c.kernel, e.kernel);
         assert!(
