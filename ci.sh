@@ -11,8 +11,8 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -60,6 +60,14 @@ grep -q '"name":"fault.tmr_comparison","status":"ok"' "$fail_manifest" \
     || { echo "stages after the failure must still run"; cat "$fail_manifest"; exit 1; }
 test -s "$csv_dir/degraded.csv" \
     || { echo "campaign CSV artifact missing from the degraded run"; exit 1; }
+
+echo "==> static-analysis gate (dataflow + lint + STA over every design point)"
+static_out="$csv_dir/static_report.json"
+PRINTED_STATIC_OUT="$static_out" \
+    cargo run --release --example static_analysis >/dev/null
+test -s "$static_out" || { echo "static analysis wrote no report artifact"; exit 1; }
+grep -q '"schema":"printed-static-report/v1"' "$static_out" \
+    || { echo "static report artifact has the wrong schema"; exit 1; }
 
 echo "==> simulator hot-path bench (refreshes BENCH_sim.json, asserts speedups + resilience overhead)"
 cargo bench -p printed-bench --bench sim_hotpaths >/dev/null

@@ -419,6 +419,7 @@ impl Asm8080 {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::i8080::Cpu8080;

@@ -125,6 +125,7 @@ pub fn listing(image: &[u8], origin: u16) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::asm8080::Asm8080;

@@ -777,6 +777,7 @@ fn cond_code(code: u8) -> Cond {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

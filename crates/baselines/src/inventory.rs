@@ -269,7 +269,8 @@ impl CellInventory {
             cur = b.dff(cur);
         }
         b.output("so", vec![cur]);
-        b.finish().expect("representative netlists are valid by construction")
+        b.finish()
+            .unwrap_or_else(|_| unreachable!("representative netlists are valid by construction"))
     }
 
     /// Design-rule-checks the representative netlist against this

@@ -14,6 +14,9 @@ const DATA: u16 = 0x2000;
 const RESULT: u16 = 0x2100;
 
 /// Builds the program image for a benchmark.
+// Differential oracle: a kernel that fails to assemble, halt, or
+// verify is a baseline-model bug, and the panic is the report.
+#[allow(clippy::disallowed_methods)]
 pub fn image(bench: Bench) -> Vec<u8> {
     let asm = build(bench);
     asm.assemble().expect("baseline kernels assemble")
@@ -201,6 +204,9 @@ fn emit_tree(a: &mut Asm8080, node: &tree::Node, path: String) {
 /// # Panics
 ///
 /// Panics on wrong results or non-termination (kernel bugs).
+// Differential oracle: a kernel that fails to assemble, halt, or
+// verify is a baseline-model bug, and the panic is the report.
+#[allow(clippy::disallowed_methods)]
 pub fn run(bench: Bench, as_z80: bool) -> BaselineRun {
     let image = image(bench);
     let mut mem_init: Vec<(u16, Vec<u8>)> = Vec::new();

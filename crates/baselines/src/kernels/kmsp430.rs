@@ -15,6 +15,9 @@ const DATA: u16 = 0x2000;
 const RESULT: u16 = 0x2100;
 
 /// Builds the program image for a benchmark.
+// Differential oracle: a kernel that fails to assemble, halt, or
+// verify is a baseline-model bug, and the panic is the report.
+#[allow(clippy::disallowed_methods)]
 pub fn image(bench: Bench) -> Vec<u8> {
     let mut a = Asm430::new(ORG);
     match bench {
@@ -189,6 +192,9 @@ fn emit_tree(a: &mut Asm430, node: &tree::Node, path: String) {
 /// # Panics
 ///
 /// Panics on wrong results or non-termination (kernel bugs).
+// Differential oracle: a kernel that fails to assemble, halt, or
+// verify is a baseline-model bug, and the panic is the report.
+#[allow(clippy::disallowed_methods)]
 pub fn run(bench: Bench) -> BaselineRun {
     let image = image(bench);
     let mut cpu = CpuMsp430::new();

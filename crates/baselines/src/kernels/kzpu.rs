@@ -19,6 +19,9 @@ const RESULT: i32 = 0x500;
 const MEM_BYTES: usize = 0x2000;
 
 /// Builds the program image for a benchmark.
+// Differential oracle: a kernel that fails to assemble, halt, or
+// verify is a baseline-model bug, and the panic is the report.
+#[allow(clippy::disallowed_methods)]
 pub fn image(bench: Bench) -> Vec<u8> {
     let mut a = AsmZpu::new();
     match bench {
@@ -317,6 +320,9 @@ fn emit_tree(a: &mut AsmZpu, node: &tree::Node, path: String) {
 /// # Panics
 ///
 /// Panics on wrong results or non-termination (kernel bugs).
+// Differential oracle: a kernel that fails to assemble, halt, or
+// verify is a baseline-model bug, and the panic is the report.
+#[allow(clippy::disallowed_methods)]
 pub fn run(bench: Bench) -> BaselineRun {
     let image = image(bench);
     let mut cpu = CpuZpu::new(MEM_BYTES);
@@ -359,6 +365,9 @@ pub fn run(bench: Bench) -> BaselineRun {
     }
 }
 
+// Differential oracle: a kernel that fails to assemble, halt, or
+// verify is a baseline-model bug, and the panic is the report.
+#[allow(clippy::disallowed_methods)]
 fn verify(bench: Bench, cpu: &CpuZpu) {
     let r = RESULT as u32;
     match bench {

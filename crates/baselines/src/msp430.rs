@@ -501,6 +501,7 @@ impl CpuMsp430 {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::asm430::Asm430;

@@ -247,6 +247,7 @@ fn z80_tstates(op: u8, i8080_states: u64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

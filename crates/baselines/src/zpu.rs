@@ -496,7 +496,11 @@ impl AsmZpu {
             v >>= 7;
             // Stop when remaining bits equal the sign extension of the
             // chunk's top bit.
-            let top = chunks.last().unwrap() & 0x40 != 0;
+            let top = chunks
+                .last()
+                .unwrap_or_else(|| unreachable!("im emission pushes at least one chunk"))
+                & 0x40
+                != 0;
             if (v == 0 && !top) || (v == -1 && top) {
                 break;
             }
@@ -682,6 +686,7 @@ impl AsmZpu {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

@@ -3,6 +3,8 @@
 //! MSP430 ALU must match reference arithmetic, and the ZPU stack
 //! discipline must hold.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_baselines::asm430::Asm430;
 use printed_baselines::i8080::{Cpu8080, Reg};
 use printed_baselines::msp430::{CpuMsp430, SrBits};

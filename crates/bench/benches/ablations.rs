@@ -4,6 +4,8 @@
 //! - constant folding on program-specific cores,
 //! - MLC levels of the instruction ROM.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use printed_core::kernels::{self, Kernel};
 use printed_core::specific::CoreSpec;

@@ -1,6 +1,8 @@
 //! Figures 4 and 5: baseline lifetime vs duty cycle on four printed
 //! batteries, in both technologies.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use printed_eval::lifetime::lifetime_figure;
 use printed_pdk::Technology;

@@ -3,6 +3,8 @@
 //! (kernel, data width, core width) cell plus the program-specific and
 //! dTree-ROMopt variants. The heavyweight experiment of the paper.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use printed_core::kernels::{self, Kernel};
 use printed_core::CoreConfig;

@@ -1,6 +1,8 @@
 //! The §1/§9 headline numbers: ROM-vs-RAM (5.77x / 16.8x / 2.42x) and
 //! the program-specific ISA improvements.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use printed_eval::figure8;
 use printed_eval::headline::{ps_headline, ps_improvements, rom_vs_ram};

@@ -15,15 +15,19 @@
 //! - instrumentation with `PRINTED_OBS=off` stays unmeasurable (below
 //!   [`OBS_OFF_THRESHOLD_NS`] per call site).
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use printed_core::kernels::{self, Kernel};
 use printed_core::workload::ProgramWorkload;
 use printed_core::{generate_standard, CoreConfig};
 use printed_netlist::fault::{run_campaign_with_threads, CampaignConfig, StuckAtSpace, Workload};
 use printed_netlist::resilience::{run_supervised_campaign_with_threads, ResilienceConfig};
-use printed_netlist::{Engine, Simulator};
+use printed_netlist::{analysis, dataflow, Engine, FanoutMap, Simulator};
 use printed_obs as obs;
+use printed_pdk::Technology;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Ceiling for one disabled instrumentation call site (span enter+drop
@@ -46,6 +50,13 @@ const RESILIENCE_OVERHEAD_LIMIT: f64 = 0.02;
 /// against what the repository could do before this change.
 const SEED_GL_NS_PER_CYCLE: f64 = 30018.9;
 const SEED_SIM_NS_PER_CYCLE: f64 = 9484.9;
+
+/// Wall-clock budget for the full 24-point static-analysis sweep
+/// (dataflow fixpoint + slack-based STA per design, EGFET library).
+/// The sweep is part of `reproduce_all` and the CI gate, so it must
+/// stay interactive; the measured total is a few hundred milliseconds,
+/// and the budget absorbs an order of magnitude of CI noise.
+const STATIC_SWEEP_BUDGET_MS: f64 = 10_000.0;
 
 /// Replays per measurement; the first [`WARMUP_REPS`] are discarded and
 /// the best of the rest is kept. A single cold replay swings by tens of
@@ -85,6 +96,15 @@ struct Measurements {
     resilience_overhead: f64,
     resilience_csv_identical: bool,
     obs_off_ns_per_op: f64,
+    static_points: Vec<StaticPoint>,
+}
+
+/// Static-analysis wall time for one design point.
+struct StaticPoint {
+    design: String,
+    gates: usize,
+    dataflow_ms: f64,
+    sta_ms: f64,
 }
 
 impl Measurements {
@@ -106,11 +126,27 @@ impl Measurements {
         self.resilience_overhead
     }
 
+    /// Total wall time of the static-analysis sweep.
+    fn static_total_ms(&self) -> f64 {
+        self.static_points.iter().map(|p| p.dataflow_ms + p.sta_ms).sum()
+    }
+
     fn to_json(&self) -> String {
         let threads_json: Vec<String> = self
             .campaign_ms
             .iter()
             .map(|&(threads, ms)| format!("{{\"threads\": {threads}, \"ms\": {ms:.1}}}"))
+            .collect();
+        let static_json: Vec<String> = self
+            .static_points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"design\": \"{}\", \"gates\": {}, \"dataflow_ms\": {:.2}, \
+                     \"sta_ms\": {:.2}}}",
+                    p.design, p.gates, p.dataflow_ms, p.sta_ms
+                )
+            })
             .collect();
         format!(
             "{{\n  \"bench\": \"sim_hotpaths\",\n  \"netlist_sim\": {{\"design\": \"p1_8_2\", \
@@ -128,7 +164,9 @@ impl Measurements {
              \"supervised_ms\": {:.1}, \"overhead\": {:.4}, \"limit\": {:.2}, \
              \"csv_identical\": {}, \"within_threshold\": {}}},\n  \
              \"obs_off_overhead\": {{\"ns_per_op\": {:.2}, \"threshold_ns\": {:.1}, \
-             \"within_threshold\": {}}}\n}}\n",
+             \"within_threshold\": {}}},\n  \
+             \"static_analysis\": {{\"technology\": \"Egfet\", \"total_ms\": {:.1}, \
+             \"budget_ms\": {:.1}, \"within_budget\": {}, \"points\": [{}]}}\n}}\n",
             self.sim_cycles,
             self.sim_event.ns_per_cycle,
             self.sim_event.gate_evals_per_sec,
@@ -158,6 +196,10 @@ impl Measurements {
             self.obs_off_ns_per_op,
             OBS_OFF_THRESHOLD_NS,
             self.obs_off_ns_per_op <= OBS_OFF_THRESHOLD_NS,
+            self.static_total_ms(),
+            STATIC_SWEEP_BUDGET_MS,
+            self.static_total_ms() <= STATIC_SWEEP_BUDGET_MS,
+            static_json.join(", "),
         )
     }
 }
@@ -308,6 +350,39 @@ fn measure_resilience_overhead() -> (f64, f64, f64, bool) {
     (plain_best, supervised_best, overhead, identical)
 }
 
+/// Static-analysis wall time over the full Figure 7 design space:
+/// dataflow fixpoint and slack-based STA per design point, each timed
+/// separately over a shared fanout map (the same shape `reproduce_all`'s
+/// `eval.static_analysis` stage runs). Best of three reps per point.
+fn measure_static_analysis() -> Vec<StaticPoint> {
+    let lib = Technology::Egfet.library();
+    let mut points = Vec::new();
+    for config in CoreConfig::design_space() {
+        let netlist = generate_standard(&config);
+        let fanout = Arc::new(FanoutMap::build(&netlist));
+        let mut dataflow_ms = f64::INFINITY;
+        let mut sta_ms = f64::INFINITY;
+        for _ in 0..3 {
+            let started = Instant::now();
+            let facts = dataflow::analyze_with_fanout(&netlist, Arc::clone(&fanout));
+            dataflow_ms = dataflow_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            black_box(facts.constant_count());
+            let started = Instant::now();
+            let sta =
+                analysis::sta_with_fanout(&netlist, lib, &fanout, analysis::DEFAULT_TOP_PATHS);
+            sta_ms = sta_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            black_box(sta.endpoints.len());
+        }
+        points.push(StaticPoint {
+            design: netlist.name().to_string(),
+            gates: netlist.gate_count(),
+            dataflow_ms,
+            sta_ms,
+        });
+    }
+    points
+}
+
 /// Per-call-site cost of disabled instrumentation: a span enter/drop
 /// plus a counter add, exactly as the simulator hot paths would pay it.
 fn measure_obs_off() -> f64 {
@@ -339,6 +414,7 @@ fn bench(c: &mut Criterion) {
         resilience_csv_identical,
     ) = measure_resilience_overhead();
     let obs_off_ns_per_op = measure_obs_off();
+    let static_points = measure_static_analysis();
 
     let m = Measurements {
         sim_cycles,
@@ -356,6 +432,7 @@ fn bench(c: &mut Criterion) {
         resilience_overhead,
         resilience_csv_identical,
         obs_off_ns_per_op,
+        static_points,
     };
     println!(
         "netlist sim: event {:.0} ns/cycle vs full sweep {:.0} ns/cycle; gate-level {}: \
@@ -379,6 +456,23 @@ fn bench(c: &mut Criterion) {
         100.0 * m.resilience_overhead(),
         100.0 * RESILIENCE_OVERHEAD_LIMIT
     );
+    let slowest = m
+        .static_points
+        .iter()
+        .max_by(|a, b| (a.dataflow_ms + a.sta_ms).total_cmp(&(b.dataflow_ms + b.sta_ms)));
+    if let Some(p) = slowest {
+        println!(
+            "static analysis: {} points, {:.1} ms total (budget {:.0} ms); slowest {} \
+             ({} gates): dataflow {:.2} ms + sta {:.2} ms",
+            m.static_points.len(),
+            m.static_total_ms(),
+            STATIC_SWEEP_BUDGET_MS,
+            p.design,
+            p.gates,
+            p.dataflow_ms,
+            p.sta_ms
+        );
+    }
     write_bench_json(&m);
     assert!(
         m.gl_event_ns_per_cycle <= m.gl_sweep_ns_per_cycle,
@@ -408,6 +502,17 @@ fn bench(c: &mut Criterion) {
     assert!(
         m.resilience_csv_identical,
         "supervised campaign must reproduce the plain campaign byte for byte"
+    );
+    assert_eq!(
+        m.static_points.len(),
+        CoreConfig::design_space().len(),
+        "static sweep must cover every design point"
+    );
+    assert!(
+        m.static_total_ms() <= STATIC_SWEEP_BUDGET_MS,
+        "static-analysis sweep must stay interactive: {:.1} ms exceeds the {:.0} ms budget",
+        m.static_total_ms(),
+        STATIC_SWEEP_BUDGET_MS
     );
     assert!(
         m.resilience_overhead() <= RESILIENCE_OVERHEAD_LIMIT,

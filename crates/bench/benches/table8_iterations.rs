@@ -2,6 +2,8 @@
 //! standard vs program-specific cores. Heavy: runs the full Figure 8
 //! EGFET matrix once, then measures the reduction step.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use printed_eval::figure8;
 use printed_eval::tables::table8_rows;

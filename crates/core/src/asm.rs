@@ -376,6 +376,7 @@ pub fn disassemble(instructions: &[Instruction]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::config::CoreConfig;

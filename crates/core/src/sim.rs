@@ -176,7 +176,7 @@ impl Machine {
         assert!(dmem_words <= 256, "TP-ISA supports up to 256 words of data memory");
         assert!(program.len() <= 256, "TP-ISA supports up to 256 instructions");
         let dmem = Sram::new(Technology::Egfet, dmem_words, config.datawidth)
-            .expect("datawidth validated by CoreConfig");
+            .unwrap_or_else(|_| unreachable!("datawidth validated by CoreConfig"));
         Machine {
             config,
             program,
@@ -468,6 +468,7 @@ impl Machine {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::isa::Instruction as I;

@@ -245,7 +245,7 @@ pub fn analyze(program: &[Instruction]) -> ProgramAnalysis {
     let keep_bars = !bars_used.is_empty();
     let bars: u8 = if keep_bars {
         // Keep BAR0 plus enough printed BARs to cover the highest index.
-        let highest = *bars_used.iter().max().expect("nonempty");
+        let highest = *bars_used.iter().max().unwrap_or_else(|| unreachable!("nonempty"));
         (highest as usize + 1).next_power_of_two() as u8
     } else {
         1
@@ -408,6 +408,7 @@ impl NarrowEncoding {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::asm::assemble;

@@ -100,8 +100,10 @@ impl ProgramWorkload {
             RL    [4], [1]
             HALT
         ";
-        let prog = crate::asm::assemble(src).expect("smoke program assembles");
-        Self::new(config, &prog.instructions, 8).expect("smoke program encodes everywhere")
+        let prog =
+            crate::asm::assemble(src).unwrap_or_else(|_| unreachable!("smoke program assembles"));
+        Self::new(config, &prog.instructions, 8)
+            .unwrap_or_else(|_| unreachable!("smoke program encodes everywhere"))
     }
 
     /// Static instruction count of the encoded program.
@@ -141,6 +143,7 @@ impl Workload for ProgramWorkload {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::generator::generate_standard;

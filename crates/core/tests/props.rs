@@ -2,6 +2,8 @@
 //! algebra, pipeline-invariance of architectural results, and ISS vs
 //! gate-level equivalence on random programs.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_core::isa::alu_reference;
 use printed_core::kernels::split_words;
 use printed_core::specific::{CoreSpec, NarrowEncoding};

@@ -120,7 +120,7 @@ pub fn icache_study(system: &System, entries: usize) -> IcacheStudy {
             cache[next_victim] = pc;
             next_victim = (next_victim + 1) % entries;
         }
-        machine.step().expect("kernel executes");
+        machine.step().unwrap_or_else(|e| panic!("kernel must keep executing: {e}"));
         steps += 1;
     }
     assert!(machine.is_halted(), "kernel must halt during the cache study");
@@ -151,6 +151,7 @@ pub fn icache_study(system: &System, entries: usize) -> IcacheStudy {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use printed_core::kernels::{self, Kernel};

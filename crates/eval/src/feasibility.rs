@@ -64,6 +64,7 @@ pub fn catalog() -> Vec<Recommendation> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use printed_pdk::apps::TABLE3;
@@ -103,7 +104,7 @@ mod tests {
             let width: usize = r.core.split('_').nth(1).unwrap().parse().unwrap();
             assert!(width >= app.precision_bits as usize, "{}", r.application);
             // And it is the narrowest such width.
-            let narrower = WIDTHS.into_iter().filter(|&w| w < width).next_back();
+            let narrower = WIDTHS.into_iter().rfind(|&w| w < width);
             if let Some(n) = narrower {
                 assert!(n < app.precision_bits as usize, "{}", r.application);
             }

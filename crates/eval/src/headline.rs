@@ -164,6 +164,7 @@ pub fn harvard_vs_von_neumann(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

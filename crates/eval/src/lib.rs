@@ -14,6 +14,8 @@
 //! - [`robustness`]: fault-injection campaigns, functional yield, and
 //!   TMR hardening cost across the design space,
 //! - [`report`]: text-table rendering,
+//! - [`static_report`]: dataflow + lint + STA evidence over every
+//!   design point, with the `printed-static-report/v1` JSON artifact,
 //! - [`perf_report`]: observability spans per eval stage and the
 //!   `perf_summary` artifact (see DESIGN.md "Observability"),
 //! - [`pipeline`]: supervised stage execution — panic isolation,
@@ -33,6 +35,7 @@ pub mod perf_report;
 pub mod pipeline;
 pub mod report;
 pub mod robustness;
+pub mod static_report;
 pub mod system;
 pub mod tables;
 

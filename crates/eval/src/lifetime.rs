@@ -36,8 +36,9 @@ pub fn lifetime_figure(technology: Technology) -> Vec<LifetimeCurve> {
             let samples = duty_cycle_sweep()
                 .into_iter()
                 .map(|duty| {
-                    let life =
-                        battery.lifetime(power, duty).expect("nonzero power at nonzero duty");
+                    let life = battery
+                        .lifetime(power, duty)
+                        .unwrap_or_else(|| unreachable!("nonzero power at nonzero duty"));
                     (duty, life)
                 })
                 .collect();
@@ -52,10 +53,13 @@ pub fn lifetime_figure(technology: Technology) -> Vec<LifetimeCurve> {
 /// of 1.0").
 pub fn full_duty_lifetime(cpu: BaselineCpu, technology: Technology, battery: &Battery) -> Time {
     let power = cpu.inventory(technology).power();
-    battery.lifetime(power, 1.0).expect("baseline cores draw nonzero power")
+    battery
+        .lifetime(power, 1.0)
+        .unwrap_or_else(|| unreachable!("baseline cores draw nonzero power"))
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use printed_pdk::battery::BLUESPARK_30;

@@ -77,6 +77,7 @@ pub fn report(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use printed_baselines::BaselineCpu;

@@ -129,6 +129,7 @@ pub fn perf_summary_csv(registry: &obs::Registry) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

@@ -196,6 +196,7 @@ pub fn eng(value: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

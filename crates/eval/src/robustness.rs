@@ -124,7 +124,7 @@ pub fn campaign_row(
     let run = run_supervised_campaign(netlist, workload, &config, &resilience)?;
     let campaign = run
         .into_complete()
-        .expect("invariant: no abort hook is installed, so the run always completes");
+        .unwrap_or_else(|| unreachable!("no abort hook is installed, so the run always completes"));
     Ok(row_from_campaign(netlist, technology, options, exhaustive, &campaign.result))
 }
 
@@ -365,6 +365,7 @@ pub fn tmr_table(technology: Technology, comparisons: &[TmrComparison]) -> TextT
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use printed_netlist::lint;
@@ -435,7 +436,7 @@ mod tests {
         let a = campaign_row(&netlist, &workload, Technology::Egfet, &options).unwrap();
         let b = campaign_row(&netlist, &workload, Technology::Egfet, &options).unwrap();
         assert_eq!(a, b);
-        assert_eq!(robustness_csv(&[a.clone()]), robustness_csv(&[b]));
+        assert_eq!(robustness_csv(std::slice::from_ref(&a)), robustness_csv(&[b]));
         let table = fault_table(Technology::Egfet, &[a]);
         assert_eq!(table.len(), 1);
     }

@@ -234,7 +234,7 @@ impl System {
             self.spec.bars.max(2), // the ISS needs a valid config; BAR use is program-driven
         );
         let mut m = self.kernel.machine(config);
-        let summary = m.run(50_000_000).expect("kernel halts");
+        let summary = m.run(50_000_000).unwrap_or_else(|e| panic!("kernel must halt: {e}"));
         if printed_obs::enabled() {
             m.publish_obs("core.iss");
             printed_obs::gauge(&format!("core.iss.cpi.{}", self.kernel.name), summary.cpi());
@@ -242,7 +242,9 @@ impl System {
         let (addr, words) = self.kernel.result;
         for i in 0..words {
             assert_eq!(
-                m.dmem().read(addr as usize + i).unwrap(),
+                m.dmem()
+                    .read(addr as usize + i)
+                    .unwrap_or_else(|_| unreachable!("results fit dmem")),
                 self.kernel.expected[i],
                 "{}: wrong result word {i}",
                 self.name
@@ -333,6 +335,7 @@ impl BenchmarkResult {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use printed_core::kernels::{self, Kernel};

@@ -175,7 +175,7 @@ pub fn table5_cells() -> Vec<Table5Cell> {
                 8,
                 vec![0u64; bytes], // one 8-bit word per program byte
             )
-            .expect("program image fits a RAM model");
+            .unwrap_or_else(|_| unreachable!("program image fits a RAM model"));
             cells.push(Table5Cell {
                 bench,
                 cpu: cpu.name(),
@@ -299,9 +299,7 @@ pub fn table8_rows(cells: &[Figure8Cell]) -> Vec<Table8Row> {
             .filter(|c| {
                 c.bench == bench && c.data_width == data_width && !c.program_specific && !c.rom_mlc
             })
-            .min_by(|a, b| {
-                a.result.energy_j.total().partial_cmp(&b.result.energy_j.total()).unwrap()
-            });
+            .min_by(|a, b| a.result.energy_j.total().total_cmp(&b.result.energy_j.total()));
         let ps = cells
             .iter()
             .find(|c| c.bench == bench && c.data_width == data_width && c.program_specific);
@@ -341,6 +339,7 @@ pub fn table8() -> Result<TextTable, crate::system::SystemError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

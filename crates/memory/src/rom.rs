@@ -222,6 +222,7 @@ pub fn structural_estimate(rows: usize, word_bits: usize, bits_per_cell: u8) -> 
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

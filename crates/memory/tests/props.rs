@@ -1,5 +1,7 @@
 //! Property-based checks of the printed memory models.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_memory::{CrossbarRom, Sram};
 use printed_pdk::Technology;
 use proptest::prelude::*;

@@ -10,6 +10,11 @@
 //! - **Timing** is static timing analysis: the longest
 //!   register-to-register (or port-to-port) combinational path, charging
 //!   each cell its calibrated per-level delay; `f_max` is its reciprocal.
+//!   [`timing`] reports just the critical path; [`sta`] reports every
+//!   endpoint's arrival/required/slack plus the top-K critical paths with
+//!   per-gate contributions and fanout-load annotations from the PDK
+//!   drive model ([`printed_pdk::CellLibrary::loaded_delay`]). Both run
+//!   the same arrival computation, so their `f_max` agree exactly.
 //!
 //! ```
 //! use printed_netlist::{analysis, words, NetlistBuilder};
@@ -28,10 +33,10 @@
 //! # Ok::<(), printed_netlist::NetlistError>(())
 //! ```
 
-use crate::ir::{Netlist, Region};
+use crate::ir::{FanoutMap, GateId, NetId, Netlist, Region};
 use crate::sim::ActivityStats;
 use printed_pdk::units::{Area, Energy, Frequency, Power, Time};
-use printed_pdk::CellLibrary;
+use printed_pdk::{CellKind, CellLibrary};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -149,23 +154,39 @@ pub fn power(
     PowerReport { dynamic, static_, by_region }
 }
 
-/// Static timing analysis.
+/// Arrival times per net, with the back-pointers needed to reconstruct
+/// the path that produced each arrival. This is the single computation
+/// behind both [`timing`] and [`sta`] — they cannot disagree on `f_max`
+/// because they read the same numbers.
+struct Arrivals {
+    /// Worst-case arrival time per net.
+    arrival: Vec<Time>,
+    /// Cells on the worst path to each net (launch cell included).
+    depth: Vec<usize>,
+    /// For each combinational gate output, the input net whose arrival
+    /// determined the output's arrival (first maximum, matching the
+    /// strict-`>` comparison below). `None` for launch points and for
+    /// gates fed only by constants.
+    pred: Vec<Option<NetId>>,
+}
+
+/// Static-timing arrival computation.
 ///
 /// Arrival times: constants launch at t = 0; primary inputs launch with a
 /// DFF clock-to-Q input-delay constraint (they come from an upstream
 /// register or memory in a real system); flip-flop Q pins launch at the
 /// cell's clock-to-Q delay. Each combinational cell adds its calibrated
-/// per-level delay. The critical path is the maximum arrival at any
-/// flip-flop D pin or primary output.
-pub fn timing(netlist: &Netlist, lib: &CellLibrary) -> TimingReport {
+/// per-level delay.
+fn arrivals(netlist: &Netlist, lib: &CellLibrary) -> Arrivals {
     let n = netlist.net_count();
     let mut arrival = vec![Time::ZERO; n];
     let mut depth = vec![0usize; n];
+    let mut pred: Vec<Option<NetId>> = vec![None; n];
 
     // Launch points: sequential outputs, and primary inputs — which in a
     // real system come from an upstream register or memory, so they are
     // constrained with a DFF clock-to-Q input delay (constants stay at 0).
-    let input_delay = lib.synthesis_delay(printed_pdk::CellKind::Dff);
+    let input_delay = lib.synthesis_delay(CellKind::Dff);
     for nets in netlist.input_ports().values() {
         for net in nets {
             arrival[net.index()] = input_delay;
@@ -183,18 +204,26 @@ pub fn timing(netlist: &Netlist, lib: &CellLibrary) -> TimingReport {
     for (_, gate) in netlist.topo_order() {
         let mut t = Time::ZERO;
         let mut d = 0usize;
+        let mut p = None;
         for input in &gate.inputs {
             if arrival[input.index()] > t {
                 t = arrival[input.index()];
+                p = Some(*input);
             }
             d = d.max(depth[input.index()]);
         }
         let out = gate.output.index();
         arrival[out] = t + lib.synthesis_delay(gate.kind);
         depth[out] = d + 1;
+        pred[out] = p;
     }
+    Arrivals { arrival, depth, pred }
+}
 
-    // Capture points: sequential D pins and primary outputs.
+/// Worst arrival over all capture points (sequential input pins and
+/// primary outputs), with the strict-`>` first-maximum tiebreak the
+/// original single-path scan used.
+fn worst_capture(netlist: &Netlist, arr: &Arrivals) -> (Time, usize) {
     let mut critical = Time::ZERO;
     let mut logic_depth = 0usize;
     let consider = |t: Time, d: usize, critical: &mut Time, depth_out: &mut usize| {
@@ -207,8 +236,8 @@ pub fn timing(netlist: &Netlist, lib: &CellLibrary) -> TimingReport {
         if gate.is_sequential() {
             for input in &gate.inputs {
                 consider(
-                    arrival[input.index()],
-                    depth[input.index()],
+                    arr.arrival[input.index()],
+                    arr.depth[input.index()],
                     &mut critical,
                     &mut logic_depth,
                 );
@@ -217,16 +246,258 @@ pub fn timing(netlist: &Netlist, lib: &CellLibrary) -> TimingReport {
     }
     for nets in netlist.output_ports().values() {
         for net in nets {
-            consider(arrival[net.index()], depth[net.index()], &mut critical, &mut logic_depth);
+            consider(
+                arr.arrival[net.index()],
+                arr.depth[net.index()],
+                &mut critical,
+                &mut logic_depth,
+            );
         }
     }
+    (critical, logic_depth)
+}
 
+/// Static timing analysis: the single worst register-to-register /
+/// port-to-port path. The critical path is the maximum arrival at any
+/// flip-flop D pin or primary output; see [`sta`] for the per-endpoint
+/// view over the same arrival computation.
+pub fn timing(netlist: &Netlist, lib: &CellLibrary) -> TimingReport {
+    let arr = arrivals(netlist, lib);
+    let (mut critical, mut logic_depth) = worst_capture(netlist, &arr);
     // A purely-wire design still needs a nonzero period to clock.
     if critical == Time::ZERO {
-        critical = lib.synthesis_delay(printed_pdk::CellKind::Inv);
+        critical = lib.synthesis_delay(CellKind::Inv);
         logic_depth = 1;
     }
     TimingReport { critical_path: critical, logic_depth }
+}
+
+/// Default number of critical paths [`sta`] enumerates.
+pub const DEFAULT_TOP_PATHS: usize = 5;
+
+/// One timing endpoint: a sequential input pin or a primary-output bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Human-readable endpoint name: `g<idx>/<pin>` for sequential pins,
+    /// `<port>[<bit>]` for output ports.
+    pub name: String,
+    /// The captured net.
+    pub net: NetId,
+    /// Worst-case data arrival at the endpoint.
+    pub arrival: Time,
+    /// Cells on the worst path to the endpoint.
+    pub depth: usize,
+    /// Required time: the clock period (single-cycle paths).
+    pub required: Time,
+    /// `required - arrival`; zero on the critical path, never negative
+    /// when the report's own `f_max` is the clock.
+    pub slack: Time,
+}
+
+/// One cell's contribution to a critical path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// The contributing gate.
+    pub gate: GateId,
+    /// Its library cell.
+    pub kind: CellKind,
+    /// The net it drives along the path.
+    pub output: NetId,
+    /// Nominal per-level delay charged by the arrival computation.
+    pub delay: Time,
+    /// Cumulative arrival at the gate output.
+    pub arrival: Time,
+    /// Gate input pins loading the output net.
+    pub load: usize,
+    /// The PDK drive budget for this cell ([`CellLibrary::max_fanout`]).
+    pub load_budget: usize,
+    /// Delay under the actual load per the PDK fanout drive model
+    /// ([`CellLibrary::loaded_delay`]); equals `delay` whenever the load
+    /// respects the budget.
+    pub derated_delay: Time,
+}
+
+/// A reconstructed worst path to one endpoint, launch to capture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingPath {
+    /// The endpoint this path captures at (see [`Endpoint::name`]).
+    pub endpoint: String,
+    /// Where the path launches: a sequential cell's clock-to-Q, an input
+    /// port's external clock-to-Q constraint, or a constant rail.
+    pub launch: String,
+    /// Arrival at the endpoint.
+    pub arrival: Time,
+    /// Slack against the report's clock period.
+    pub slack: Time,
+    /// Per-cell contributions in launch-to-capture order.
+    pub steps: Vec<PathStep>,
+}
+
+/// Full slack-based static timing analysis: every endpoint's
+/// arrival/required/slack plus the top-K critical paths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaReport {
+    /// Design name.
+    pub design: String,
+    /// Clock period the slacks are computed against: the design's own
+    /// critical path, so the worst slack is exactly zero.
+    pub clock_period: Time,
+    /// Longest path delay — numerically identical to
+    /// [`timing`]'s `critical_path`.
+    pub critical_path: Time,
+    /// Cells on the critical path.
+    pub logic_depth: usize,
+    /// Every capture point, in netlist order.
+    pub endpoints: Vec<Endpoint>,
+    /// The K worst endpoints' paths, worst first.
+    pub paths: Vec<TimingPath>,
+}
+
+impl StaReport {
+    /// Maximum clock frequency: the reciprocal of the critical path.
+    pub fn fmax(&self) -> Frequency {
+        self.critical_path.frequency()
+    }
+
+    /// The smallest endpoint slack (zero for a self-constrained report).
+    pub fn worst_slack(&self) -> Time {
+        self.endpoints.iter().map(|e| e.slack).fold(self.clock_period, Time::min)
+    }
+}
+
+/// Runs [`sta`] with a freshly built fanout map and the default path
+/// count.
+pub fn sta(netlist: &Netlist, lib: &CellLibrary) -> StaReport {
+    sta_with_fanout(netlist, lib, &FanoutMap::build(netlist), DEFAULT_TOP_PATHS)
+}
+
+/// Full static timing analysis over a shared connectivity index.
+///
+/// Runs the same arrival computation as [`timing`] (so `f_max` is
+/// numerically identical), then reports per-endpoint arrival, required
+/// time, and slack against the design's own critical path, and
+/// reconstructs the `top_paths` worst endpoints' paths with per-gate
+/// delay contributions and fanout-load annotations from the PDK drive
+/// model. The fanout annotations are diagnostic: they never feed back
+/// into the arrival numbers.
+pub fn sta_with_fanout(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    fanout: &FanoutMap,
+    top_paths: usize,
+) -> StaReport {
+    let _span = printed_obs::span!("netlist.sta");
+    let arr = arrivals(netlist, lib);
+    let (mut critical, mut logic_depth) = worst_capture(netlist, &arr);
+    // A purely-wire design still needs a nonzero period to clock.
+    if critical == Time::ZERO {
+        critical = lib.synthesis_delay(CellKind::Inv);
+        logic_depth = 1;
+    }
+    let clock_period = critical;
+
+    let mut endpoints = Vec::new();
+    let endpoint = |name: String, net: NetId| {
+        let arrival = arr.arrival[net.index()];
+        Endpoint {
+            name,
+            net,
+            arrival,
+            depth: arr.depth[net.index()],
+            required: clock_period,
+            slack: clock_period - arrival,
+        }
+    };
+    for (gi, gate) in netlist.gates().iter().enumerate() {
+        if gate.is_sequential() {
+            for (pin, input) in gate.inputs.iter().enumerate() {
+                let pin_name = match gate.kind {
+                    CellKind::Latch => ["S", "R"][pin],
+                    _ => "D",
+                };
+                endpoints.push(endpoint(format!("g{gi}/{pin_name}"), *input));
+            }
+        }
+    }
+    for (port, nets) in netlist.output_ports() {
+        for (bit, net) in nets.iter().enumerate() {
+            endpoints.push(endpoint(format!("{port}[{bit}]"), *net));
+        }
+    }
+
+    // Worst endpoints first; ties keep netlist order (stable sort).
+    let mut order: Vec<usize> = (0..endpoints.len()).collect();
+    order.sort_by(|&a, &b| {
+        endpoints[b].arrival.partial_cmp(&endpoints[a].arrival).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let paths = order
+        .iter()
+        .take(top_paths)
+        .map(|&i| {
+            let e = &endpoints[i];
+            let (steps, launch) = trace_path(netlist, lib, fanout, &arr, e.net);
+            TimingPath {
+                endpoint: e.name.clone(),
+                launch,
+                arrival: e.arrival,
+                slack: e.slack,
+                steps,
+            }
+        })
+        .collect();
+
+    StaReport {
+        design: netlist.name().to_string(),
+        clock_period,
+        critical_path: critical,
+        logic_depth,
+        endpoints,
+        paths,
+    }
+}
+
+/// Walks the arrival back-pointers from an endpoint net to its launch
+/// point, emitting one [`PathStep`] per cell in launch-to-capture order.
+fn trace_path(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    fanout: &FanoutMap,
+    arr: &Arrivals,
+    net: NetId,
+) -> (Vec<PathStep>, String) {
+    let mut steps = Vec::new();
+    let mut cur = net;
+    let launch = loop {
+        let Some(gid) = fanout.driver(cur) else {
+            // A port or constant rail drives this net directly.
+            break if arr.arrival[cur.index()] > Time::ZERO {
+                "input port (external clock-to-Q constraint)".to_string()
+            } else {
+                "constant rail".to_string()
+            };
+        };
+        let gate = &netlist.gates()[gid.index()];
+        let load = fanout.load_count(cur);
+        steps.push(PathStep {
+            gate: gid,
+            kind: gate.kind,
+            output: cur,
+            delay: lib.synthesis_delay(gate.kind),
+            arrival: arr.arrival[cur.index()],
+            load,
+            load_budget: lib.max_fanout(gate.kind),
+            derated_delay: lib.loaded_delay(gate.kind, load),
+        });
+        if gate.is_sequential() {
+            break format!("{gid} clock-to-Q");
+        }
+        match arr.pred[cur.index()] {
+            Some(p) => cur = p,
+            None => break "constant rail".to_string(),
+        }
+    };
+    steps.reverse();
+    (steps, launch)
 }
 
 /// One-call characterization: area, f_max, and power at f_max with the
@@ -262,6 +533,7 @@ pub fn energy_per_cycle(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::builder::NetlistBuilder;
@@ -361,6 +633,121 @@ mod tests {
         let t = timing(&nl, lib);
         let expected = lib.synthesis_delay(CellKind::Dff) + lib.synthesis_delay(CellKind::Inv);
         assert!((t.critical_path.as_micros() - expected.as_micros()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sta_fmax_is_bit_identical_to_timing() {
+        for width in [4usize, 8, 16] {
+            let nl = adder(width);
+            for tech in [Technology::Egfet, Technology::CntTft] {
+                let lib = tech.library();
+                let t = timing(&nl, lib);
+                let s = sta(&nl, lib);
+                assert_eq!(s.critical_path, t.critical_path, "{width}-bit {tech}");
+                assert_eq!(s.fmax(), t.fmax(), "{width}-bit {tech}");
+                assert_eq!(s.logic_depth, t.logic_depth);
+            }
+        }
+    }
+
+    #[test]
+    fn sta_slack_is_zero_on_the_critical_path_and_positive_elsewhere() {
+        let nl = adder(8);
+        let lib = Technology::Egfet.library();
+        let s = sta(&nl, lib);
+        assert!((s.worst_slack().as_micros()).abs() < 1e-12);
+        assert!(s.endpoints.iter().all(|e| e.slack.as_micros() > -1e-12));
+        assert!(s.endpoints.iter().any(|e| e.slack.as_micros() > 1e-9));
+        // required - arrival = slack, per endpoint.
+        for e in &s.endpoints {
+            let recon = e.required - e.arrival;
+            assert!((recon.as_micros() - e.slack.as_micros()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sta_paths_reconstruct_their_arrival() {
+        let nl = adder(8);
+        let lib = Technology::Egfet.library();
+        let s = sta(&nl, lib);
+        assert_eq!(s.paths.len(), DEFAULT_TOP_PATHS);
+        // Worst first, and the worst path is the critical path.
+        assert_eq!(s.paths[0].arrival, s.critical_path);
+        for pair in s.paths.windows(2) {
+            assert!(pair[0].arrival >= pair[1].arrival);
+        }
+        for path in &s.paths {
+            // The steps' nominal delays sum to the endpoint arrival
+            // (launch step included; input-port launches add the
+            // external clock-to-Q constraint instead of a step).
+            let steps: Time = path.steps.iter().map(|s| s.delay).fold(Time::ZERO, |a, b| a + b);
+            let launch_extra = if path.launch.starts_with("input port") {
+                lib.synthesis_delay(CellKind::Dff)
+            } else {
+                Time::ZERO
+            };
+            let total = steps + launch_extra;
+            assert!(
+                (total.as_micros() - path.arrival.as_micros()).abs() < 1e-9,
+                "{}: steps sum {} vs arrival {}",
+                path.endpoint,
+                total.as_micros(),
+                path.arrival.as_micros()
+            );
+            // Cumulative arrivals are monotone along the path.
+            for pair in path.steps.windows(2) {
+                assert!(pair[1].arrival > pair[0].arrival);
+            }
+            // The adder respects drive budgets, so deratings are 1.0.
+            for step in &path.steps {
+                assert!(step.load <= step.load_budget);
+                assert_eq!(step.derated_delay, step.delay);
+            }
+        }
+    }
+
+    #[test]
+    fn sta_dff_to_dff_path_launches_at_the_flop() {
+        let mut b = NetlistBuilder::new("pipe");
+        let a = b.input_bit("a");
+        let q1 = b.dff(a);
+        let x = b.inv(q1);
+        let _q2 = b.dff(x);
+        let nl = b.finish().unwrap();
+        let lib = Technology::Egfet.library();
+        let s = sta(&nl, lib);
+        let worst = &s.paths[0];
+        assert_eq!(worst.endpoint, "g2/D");
+        assert!(worst.launch.contains("clock-to-Q"), "launch: {}", worst.launch);
+        assert_eq!(worst.steps.len(), 2, "launch DFF + INV");
+        assert_eq!(worst.steps[0].kind, CellKind::Dff);
+        assert_eq!(worst.steps[1].kind, CellKind::Inv);
+    }
+
+    #[test]
+    fn overloaded_nets_get_derated_path_delays() {
+        // One inverter driving 12 loads: past EGFET's budget of 4.
+        let mut b = NetlistBuilder::new("hot");
+        let a = b.input_bit("a");
+        let x = b.inv(a);
+        let mut outs = Vec::new();
+        for _ in 0..12 {
+            outs.push(b.inv(x));
+        }
+        b.output("y", outs);
+        let nl = b.finish().unwrap();
+        let lib = Technology::Egfet.library();
+        let s = sta(&nl, lib);
+        let hot = s
+            .paths
+            .iter()
+            .flat_map(|p| &p.steps)
+            .find(|step| step.load == 12)
+            .expect("the overloaded inverter is on every path");
+        assert_eq!(hot.load_budget, 4);
+        assert!(hot.derated_delay > hot.delay);
+        let ratio = hot.derated_delay.as_micros() / hot.delay.as_micros();
+        assert!((ratio - 3.0).abs() < 1e-9, "12 loads / budget 4 = 3x");
     }
 
     #[test]

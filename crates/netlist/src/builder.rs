@@ -516,13 +516,16 @@ pub(crate) fn topo_sort(net_count: u32, gates: &[Gate]) -> Result<Vec<u32>, Netl
         // Some combinational gate never became ready: find one on a cycle.
         let stuck = (0..gates.len())
             .find(|&i| !gates[i].is_sequential() && indegree[i] > 0)
-            .expect("a stuck gate must exist when the order is incomplete");
+            .unwrap_or_else(|| {
+                unreachable!("a stuck gate must exist when the order is incomplete")
+            });
         return Err(NetlistError::CombinationalCycle(gates[stuck].output));
     }
     Ok(order)
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

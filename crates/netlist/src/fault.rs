@@ -770,7 +770,8 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
                 scope.spawn(|| {
                     let worker_sim = pristine.clone();
                     loop {
-                        let claimed = queue.lock().expect("campaign queue poisoned").pop();
+                        let claimed =
+                            queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop();
                         let Some((chunk_faults, chunk_slots)) = claimed else { break };
                         for (slot, &fault) in chunk_slots.iter_mut().zip(chunk_faults) {
                             *slot = Some(classify_one(&worker_sim, fault));
@@ -781,8 +782,10 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
             }
         });
     }
-    let runs: Vec<FaultRun> =
-        slots.into_iter().map(|slot| slot.expect("every fault slot filled")).collect();
+    let runs: Vec<FaultRun> = slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("every fault slot filled")))
+        .collect();
 
     if obs::enabled() {
         let mut counts = OutcomeCounts::default();
@@ -851,6 +854,7 @@ pub fn yield_sites(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::builder::NetlistBuilder;

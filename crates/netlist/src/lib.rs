@@ -15,7 +15,10 @@
 //!   event-driven by default, with a full-sweep reference engine
 //!   ([`sim::Engine`]),
 //! - area / power / static-timing analysis producing Design-Compiler-style
-//!   characterizations ([`analysis`]),
+//!   characterizations, including per-endpoint slack and top-K critical
+//!   paths ([`analysis`]),
+//! - a fixed-point dataflow engine proving power-up X-reachability,
+//!   constants, and dead logic ([`dataflow`]),
 //! - a constant-folding + dead-gate optimizer used by program-specific
 //!   core generation ([`opt`]),
 //! - a design-rule checker / linter parameterized by the target cell
@@ -51,6 +54,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod dataflow;
 pub mod fault;
 pub mod ir;
 pub mod lint;
@@ -61,15 +65,19 @@ pub mod variation;
 pub mod vcd;
 pub mod words;
 
-pub use analysis::{ActivityModel, AreaReport, Characterization, PowerReport, TimingReport};
+pub use analysis::{
+    ActivityModel, AreaReport, Characterization, Endpoint, PathStep, PowerReport, StaReport,
+    TimingPath, TimingReport,
+};
 pub use builder::{tmr, NetlistBuilder, TmrOptions, TMR_ERROR_PORT};
+pub use dataflow::{analyze, analyze_with_fanout, AbsValue, DataflowFacts};
 pub use fault::{
     campaign_threads, run_campaign, run_campaign_with_threads, CampaignConfig, CampaignError,
     CampaignResult, Fault, FaultKind, FaultMap, Observation, Outcome, OutcomeCounts,
     PatternWorkload, StuckAtSpace, Workload,
 };
 pub use ir::{FanoutMap, Gate, GateId, NetId, Netlist, NetlistError, Region};
-pub use lint::{lint, Diagnostic, LintConfig, LintReport, Rule, Severity};
+pub use lint::{lint, lint_with_fanout, Diagnostic, LintConfig, LintReport, Rule, Severity};
 pub use resilience::{
     run_supervised_campaign, run_supervised_campaign_with_threads, JobError, ResilienceConfig,
     ResilienceStats, SupervisedCampaign, SupervisedRun,

@@ -30,11 +30,13 @@
 //! # Ok::<(), printed_netlist::NetlistError>(())
 //! ```
 
+use crate::dataflow::{self, DataflowFacts};
 use crate::ir::{FanoutMap, Gate, GateId, NetId, Netlist};
 use printed_pdk::{CellKind, CellLibrary};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// How bad a finding is.
 ///
@@ -75,8 +77,16 @@ pub enum Rule {
     DeadLogic,
     /// A resetless sequential cell's power-up X is observable.
     UnresettableState,
+    /// A resetless sequential cell that provably can never be
+    /// initialized: no reset and no input sequence brings its power-up X
+    /// to a known value (see [`crate::dataflow::DataflowFacts::trapped_state`]).
+    XTrappedState,
     /// A gate the constant folder would remove or strength-reduce.
     ConstFoldableGate,
+    /// A live gate whose output the dataflow engine proves constant — it
+    /// can never toggle under any stimulus, yet the syntactic folder
+    /// cannot see it (typically a sequential constant).
+    NeverToggles,
     /// An inverter driven by another inverter (redundant pair).
     RedundantInverterPair,
     /// An SR latch whose S and R pins contend.
@@ -89,11 +99,13 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in documentation order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 10] = [
         Rule::FanoutExceedsDrive,
         Rule::DeadLogic,
         Rule::UnresettableState,
+        Rule::XTrappedState,
         Rule::ConstFoldableGate,
+        Rule::NeverToggles,
         Rule::RedundantInverterPair,
         Rule::LatchContention,
         Rule::TristateContention,
@@ -106,7 +118,9 @@ impl Rule {
             Rule::FanoutExceedsDrive => "fanout-exceeds-drive",
             Rule::DeadLogic => "dead-logic",
             Rule::UnresettableState => "unresettable-state",
+            Rule::XTrappedState => "x-trapped-state",
             Rule::ConstFoldableGate => "const-foldable-gate",
+            Rule::NeverToggles => "never-toggles",
             Rule::RedundantInverterPair => "redundant-inverter-pair",
             Rule::LatchContention => "latch-contention",
             Rule::TristateContention => "tristate-contention",
@@ -116,11 +130,15 @@ impl Rule {
 
     /// Severity the rule reports at unless overridden by [`LintConfig`].
     ///
-    /// Contention rules are errors — the printed circuit shorts. The rest
-    /// are warnings: the design works, but wastes area, power, or margin.
+    /// Contention rules are errors — the printed circuit shorts — and so
+    /// is provably uninitializable state: the part of the design behind
+    /// it never leaves its power-up lottery. The rest are warnings: the
+    /// design works, but wastes area, power, or margin.
     pub fn default_severity(self) -> Severity {
         match self {
-            Rule::LatchContention | Rule::TristateContention => Severity::Error,
+            Rule::LatchContention | Rule::TristateContention | Rule::XTrappedState => {
+                Severity::Error
+            }
             _ => Severity::Warn,
         }
     }
@@ -324,28 +342,39 @@ impl Known {
 }
 
 /// Shared per-netlist facts the rules draw on.
+///
+/// Every fact is computed exactly once per lint run: the [`FanoutMap`]
+/// comes in shared (PR 4's connectivity index — [`lint`] builds one,
+/// [`lint_with_fanout`] reuses a caller's), and liveness, X-reachability,
+/// and trapped-state facts come from one [`dataflow`] fixpoint run over
+/// that same map. No rule rebuilds structural facts privately.
 struct Facts {
     /// Per-net driver gate and reader pins — the same [`FanoutMap`] the
     /// event-driven simulator schedules from.
-    fanout: FanoutMap,
+    fanout: Arc<FanoutMap>,
+    /// Dataflow-analysis facts: liveness, proved constants,
+    /// X-reachability, and trapped (uninitializable) state.
+    dataflow: DataflowFacts,
     /// Constant-propagation verdict per net, mirroring
     /// [`crate::opt`]'s folder exactly.
     known: Vec<Known>,
     /// Whether [`crate::opt::optimize`] would remove or strength-reduce
     /// the gate (same indexing as `gates`).
     foldable: Vec<bool>,
-    /// Whether the net transitively reaches a primary output.
-    live: Vec<bool>,
 }
 
 impl Facts {
-    fn compute(netlist: &Netlist) -> Facts {
+    fn compute(netlist: &Netlist, fanout: Arc<FanoutMap>) -> Facts {
         let nets = netlist.net_count();
-        let fanout = FanoutMap::build(netlist);
+        let dataflow = dataflow::analyze_with_fanout(netlist, Arc::clone(&fanout));
 
         // Constant propagation over the combinational gates in evaluation
         // order. Sequential outputs are Var: even a DFF with constant D is
         // not a constant net (its first cycle holds the reset value).
+        // This intentionally stays syntactic — the `const-foldable-gate`
+        // rule must mirror what [`crate::opt::optimize`] would actually
+        // do, while the dataflow facts prove the stronger (sequential)
+        // constants reported by `never-toggles`.
         let mut known = vec![Known::Var; nets];
         if let Some(c0) = netlist.const0() {
             known[c0.index()] = Known::Zero;
@@ -361,31 +390,12 @@ impl Facts {
             foldable[gid.index()] = folds;
         }
 
-        // Liveness: a net is live if an output port exports it, or a live
-        // gate reads it. Fixpoint over all gates (sequential included, so
-        // state feeding observable logic is live).
-        let mut live = vec![false; nets];
-        for nets in netlist.output_ports().values() {
-            for n in nets {
-                live[n.index()] = true;
-            }
-        }
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for gate in netlist.gates() {
-                if live[gate.output.index()] {
-                    for input in &gate.inputs {
-                        if !live[input.index()] {
-                            live[input.index()] = true;
-                            changed = true;
-                        }
-                    }
-                }
-            }
-        }
+        Facts { fanout, dataflow, known, foldable }
+    }
 
-        Facts { fanout, known, foldable, live }
+    /// Whether the net transitively reaches a primary output.
+    fn live(&self, net: NetId) -> bool {
+        self.dataflow.is_live(net)
     }
 }
 
@@ -444,8 +454,25 @@ fn fold_verdict(kind: CellKind, ins: &[Known]) -> (Known, bool) {
 ///
 /// Runs every rule enabled in `config` and returns the findings sorted
 /// most-severe-first. See the module docs for the rule catalogue.
+///
+/// Builds a fresh [`FanoutMap`]; when a caller already holds the shared
+/// connectivity index (the simulator's
+/// [`crate::sim::Simulator::fanout_arc`], or one built for a batch of
+/// analyses), use [`lint_with_fanout`] so it is not rebuilt.
 pub fn lint(netlist: &Netlist, lib: &CellLibrary, config: &LintConfig) -> LintReport {
-    let facts = Facts::compute(netlist);
+    lint_with_fanout(netlist, lib, config, Arc::new(FanoutMap::build(netlist)))
+}
+
+/// [`lint`] over a shared connectivity index: every rule evaluation (and
+/// the dataflow fixpoint behind the analysis-backed rules) reads the
+/// caller's `fanout` map; nothing is rebuilt.
+pub fn lint_with_fanout(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    config: &LintConfig,
+    fanout: Arc<FanoutMap>,
+) -> LintReport {
+    let facts = Facts::compute(netlist, fanout);
     let mut diagnostics = Vec::new();
     let mut emit = |rule: Rule, locus: Locus, message: String| {
         if let Some(severity) = config.effective_severity(rule) {
@@ -456,7 +483,9 @@ pub fn lint(netlist: &Netlist, lib: &CellLibrary, config: &LintConfig) -> LintRe
     check_fanout(netlist, lib, &facts, &mut emit);
     check_dead_logic(netlist, &facts, &mut emit);
     check_unresettable_state(netlist, &facts, &mut emit);
+    check_x_trapped_state(netlist, &facts, &mut emit);
     check_const_foldable(netlist, &facts, &mut emit);
+    check_never_toggles(netlist, &facts, &mut emit);
     check_redundant_inverters(netlist, &facts, &mut emit);
     check_latch_contention(netlist, &facts, &mut emit);
     check_tristate_contention(netlist, &facts, &mut emit);
@@ -513,7 +542,7 @@ fn check_fanout(
 /// printed area and static power with no observable effect.
 fn check_dead_logic(netlist: &Netlist, facts: &Facts, emit: &mut impl FnMut(Rule, Locus, String)) {
     for (i, gate) in netlist.gates().iter().enumerate() {
-        if !facts.live[gate.output.index()] {
+        if !facts.live(gate.output) {
             emit(
                 Rule::DeadLogic,
                 Locus::Gate(GateId(i as u32)),
@@ -525,7 +554,11 @@ fn check_dead_logic(netlist: &Netlist, facts: &Facts, emit: &mut impl FnMut(Rule
 
 /// Rule 3: DFF (no reset pin) and SR latches power up in an unknown state.
 /// If that state is observable, the circuit's post-reset behaviour is
-/// undefined until software initializes it — flag each such cell.
+/// undefined until software initializes it — flag each such cell. The
+/// fire condition is now a proved fact, not a structural guess: the
+/// dataflow engine shows the cell's power-up X actually reaches a live
+/// net (for a live resetless cell the two coincide, so the rule fires
+/// exactly where it always did).
 fn check_unresettable_state(
     netlist: &Netlist,
     facts: &Facts,
@@ -533,13 +566,40 @@ fn check_unresettable_state(
 ) {
     for (i, gate) in netlist.gates().iter().enumerate() {
         let resetless = matches!(gate.kind, CellKind::Dff | CellKind::Latch);
-        if resetless && facts.live[gate.output.index()] {
+        if resetless && facts.live(gate.output) && facts.dataflow.x_reachable(gate.output) {
             emit(
                 Rule::UnresettableState,
                 Locus::Gate(GateId(i as u32)),
                 format!(
-                    "{} {} has no reset; its power-up X is observable — \
+                    "{} {} has no reset; its power-up X is proved observable — \
                      initialize architecturally or use DFFNRX1",
+                    gate.kind, gate.output,
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 3b (error): a resetless sequential cell the dataflow engine
+/// proves *uninitializable* — no reset and no input sequence ever brings
+/// its power-up X to a known value, so everything behind it is decided
+/// by a per-unit power-up lottery forever. Strictly stronger than
+/// `unresettable-state` (which covers transient, flushable X).
+fn check_x_trapped_state(
+    netlist: &Netlist,
+    facts: &Facts,
+    emit: &mut impl FnMut(Rule, Locus, String),
+) {
+    for &gid in facts.dataflow.trapped_state() {
+        let gate = &netlist.gates()[gid.index()];
+        if facts.live(gate.output) {
+            emit(
+                Rule::XTrappedState,
+                Locus::Gate(gid),
+                format!(
+                    "{} {} can never be initialized: no reset or input \
+                     sequence clears its power-up X (proved by dataflow \
+                     analysis) — add a reset or a load path",
                     gate.kind, gate.output,
                 ),
             );
@@ -563,6 +623,36 @@ fn check_const_foldable(
                 format!(
                     "{} output {} has constant input(s); the optimizer would fold it",
                     gate.kind, gate.output,
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 4b: a live gate whose output the dataflow fixpoint proves
+/// constant — it never toggles under any input sequence or power-up
+/// state, yet the syntactic folder keeps it (typically a sequential
+/// constant: a DFFNR whose feedback can never leave the reset value).
+/// Skips gates `const-foldable-gate` already flags, so the two rules
+/// partition "provably constant" into "the optimizer fixes this today"
+/// and "only [`crate::opt::optimize_with_facts`] can remove this".
+fn check_never_toggles(
+    netlist: &Netlist,
+    facts: &Facts,
+    emit: &mut impl FnMut(Rule, Locus, String),
+) {
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if facts.foldable[i] || !facts.live(gate.output) {
+            continue;
+        }
+        if let Some(value) = facts.dataflow.proved_constant(gate.output) {
+            emit(
+                Rule::NeverToggles,
+                Locus::Gate(GateId(i as u32)),
+                format!(
+                    "{} output {} is proved constant {} — it can never \
+                     toggle; optimize_with_facts would remove it",
+                    gate.kind, gate.output, value as u8,
                 ),
             );
         }
@@ -707,6 +797,7 @@ fn check_output_port_load(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::builder::NetlistBuilder;
@@ -998,6 +1089,99 @@ mod tests {
         }
         assert_eq!(depth, 0);
         assert!(!in_str);
+    }
+
+    #[test]
+    fn x_trapped_state_rule_is_an_error_on_uninitializable_bits() {
+        // q' = !q: unknown at power-up, unknown forever.
+        let mut b = NetlistBuilder::new("trapped");
+        let q = b.forward_net();
+        let d = b.inv(q);
+        b.dff_into(d, q);
+        b.output("y", vec![q]);
+        let report = run(&b.finish().unwrap());
+        assert!(report.has_errors());
+        assert_eq!(report.by_rule(Rule::XTrappedState).count(), 1);
+        // The transient-X warning fires alongside: trapped is stronger.
+        assert_eq!(report.by_rule(Rule::UnresettableState).count(), 1);
+
+        // A pipeline register flushes on the first clock: warned, never
+        // an error.
+        let mut b = NetlistBuilder::new("flushable");
+        let a = b.input_bit("a");
+        let q = b.dff(a);
+        b.output("y", vec![q]);
+        let report = run(&b.finish().unwrap());
+        assert!(!report.has_errors());
+        assert_eq!(report.by_rule(Rule::XTrappedState).count(), 0);
+        assert_eq!(report.by_rule(Rule::UnresettableState).count(), 1);
+    }
+
+    #[test]
+    fn never_toggles_rule_finds_sequential_constants() {
+        // DFFNR with D = q AND a: resets to 0, provably never leaves it.
+        // The syntactic folder cannot see this (no constant input), so
+        // `never-toggles` — not `const-foldable-gate` — must fire.
+        let mut b = NetlistBuilder::new("seq_const");
+        let a = b.input_bit("a");
+        let q = b.forward_net();
+        let d = b.and2(q, a);
+        b.dff_nr_into(d, q);
+        let y = b.or2(q, a);
+        b.output("y", vec![y]);
+        let report = run(&b.finish().unwrap());
+        // The AND (constant 0), the DFFNR (constant 0); the OR folds to
+        // `a` only under dataflow facts, so it is also never-toggles-free
+        // but not constant. Exactly the two constant gates fire.
+        assert_eq!(report.by_rule(Rule::NeverToggles).count(), 2);
+        assert_eq!(report.by_rule(Rule::ConstFoldableGate).count(), 0);
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn never_toggles_defers_to_const_foldable() {
+        // A syntactically foldable gate is flagged once, by the folder
+        // rule — never double-reported.
+        let mut b = NetlistBuilder::new("both");
+        let a = b.input_bit("a");
+        let zero = b.const0();
+        let x = b.and2(a, zero);
+        let y = b.or2(x, a);
+        b.output("y", vec![y]);
+        let report = run(&b.finish().unwrap());
+        assert_eq!(report.by_rule(Rule::ConstFoldableGate).count(), 2);
+        assert_eq!(report.by_rule(Rule::NeverToggles).count(), 0);
+    }
+
+    #[test]
+    fn lint_with_shared_fanout_reuses_the_map_and_matches_lint() {
+        use crate::sim::Simulator;
+        // Regression (PR 4 follow-up): lint used to rebuild the fanout
+        // map internally even when the caller already had the shared
+        // Arc<FanoutMap>. All rule evaluations now run off the shared
+        // map, and the result is identical to a standalone lint run.
+        let mut b = NetlistBuilder::new("shared");
+        let a = b.input_bit("a");
+        let one = b.const1();
+        let q = b.dff(a);
+        let x = b.and2(q, one);
+        let hub = b.inv(x);
+        let sinks: Vec<_> = (0..6).map(|_| b.inv(hub)).collect();
+        b.output("y", sinks);
+        let nl = b.finish().unwrap();
+
+        let sim = Simulator::new(&nl);
+        let shared = sim.fanout_arc();
+        let baseline = Arc::strong_count(&shared);
+        let report = lint_with_fanout(&nl, egfet(), &LintConfig::default(), Arc::clone(&shared));
+        assert_eq!(report, lint(&nl, egfet(), &LintConfig::default()));
+        assert!(!report.is_clean(), "the design has findings to compare");
+        // The clone handed in was consumed, not duplicated into hidden
+        // long-lived copies: the count is back to what it was.
+        assert_eq!(Arc::strong_count(&shared), baseline);
+        // And the dataflow run underneath really shares the same map.
+        let facts = crate::dataflow::analyze_with_fanout(&nl, Arc::clone(&shared));
+        assert!(Arc::ptr_eq(facts.fanout(), &shared));
     }
 
     #[test]

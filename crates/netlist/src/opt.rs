@@ -25,6 +25,7 @@
 //! ```
 
 use crate::builder::NetlistBuilder;
+use crate::dataflow::DataflowFacts;
 use crate::ir::{NetId, Netlist, Region};
 use printed_pdk::CellKind;
 use std::collections::BTreeMap;
@@ -64,7 +65,39 @@ pub fn optimize(netlist: &Netlist) -> Netlist {
 
 /// Like [`optimize`], also returning before/after statistics.
 pub fn optimize_with_stats(netlist: &Netlist) -> (Netlist, OptStats) {
+    run_optimize(netlist, None)
+}
+
+/// [`optimize`] strengthened by dataflow-analysis facts: in addition to
+/// every syntactic fold, any gate whose output [`crate::dataflow`]
+/// *proves* constant is replaced by a tie cell and its (now dead) cone
+/// swept. This removes logic no syntactic folder can see — above all
+/// sequential constants, like a DFFNR whose feedback can never leave the
+/// reset value. Simulation behavior at every settled observation point
+/// is byte-identical before and after, because a proved constant holds
+/// from every power-up state under every stimulus (the dataflow
+/// proptests cross-check exactly this against the simulator).
+///
+/// `facts` must come from [`crate::dataflow::analyze`] (or
+/// `analyze_with_fanout`) over this same `netlist`.
+///
+/// The calibrated characterization flow keeps using plain [`optimize`]
+/// so published numbers do not shift; this pass is the opt-in, stronger
+/// synthesis step.
+pub fn optimize_with_facts(netlist: &Netlist, facts: &DataflowFacts) -> (Netlist, OptStats) {
+    run_optimize(netlist, Some(facts))
+}
+
+/// The shared rewrite behind [`optimize_with_stats`] (no facts: exactly
+/// the historical syntactic pass) and [`optimize_with_facts`].
+fn run_optimize(netlist: &Netlist, facts: Option<&DataflowFacts>) -> (Netlist, OptStats) {
     let mut b = NetlistBuilder::new(netlist.name().to_string());
+    // Dataflow-proved constants, seeded in place of each proving gate.
+    // Input ports are never proved constant (the analysis treats them as
+    // free), so only gate outputs consult this.
+    let proved = |n: NetId| -> Option<Known> {
+        facts.and_then(|f| f.proved_constant(n)).map(|v| if v { Known::One } else { Known::Zero })
+    };
     let mut known: BTreeMap<NetId, Known> = BTreeMap::new();
     // inv_of[n] = x when net n (in the new netlist) is INV(x): lets the
     // folder collapse inverter chains (INV(INV(x)) → x).
@@ -86,9 +119,16 @@ pub fn optimize_with_stats(netlist: &Netlist) -> (Netlist, OptStats) {
 
     // Sequential cells first: allocate forward nets for every Q so that
     // combinational logic (which may read Q) can be rewritten in one pass.
+    // A Q proved constant needs no state at all — its value is the
+    // constant from power-up on, so the cell becomes a tie and its D cone
+    // goes dead (the sweep collects it).
     let mut seq_gates: Vec<(usize, NetId)> = Vec::new(); // (old gate idx, new q)
     for (i, gate) in netlist.gates().iter().enumerate() {
         if gate.is_sequential() {
+            if let Some(k) = proved(gate.output) {
+                known.insert(gate.output, k);
+                continue;
+            }
             let q = b.forward_net();
             known.insert(gate.output, Known::Net(q));
             seq_gates.push((i, q));
@@ -96,11 +136,20 @@ pub fn optimize_with_stats(netlist: &Netlist) -> (Netlist, OptStats) {
     }
 
     // Rewrite combinational gates in topological order, folding constants.
+    // Proved-constant outputs short-circuit: the gate is never created.
     for (_, gate) in netlist.topo_order() {
+        if let Some(k) = proved(gate.output) {
+            known.insert(gate.output, k);
+            continue;
+        }
         let ins: Vec<Known> = gate
             .inputs
             .iter()
-            .map(|n| *known.get(n).expect("topological order guarantees inputs are rewritten"))
+            .map(|n| {
+                *known.get(n).unwrap_or_else(|| {
+                    unreachable!("topological order guarantees inputs are rewritten")
+                })
+            })
             .collect();
         let result = fold_gate(&mut b, gate.kind, &ins, &mut inv_of);
         known.insert(gate.output, result);
@@ -112,7 +161,12 @@ pub fn optimize_with_stats(netlist: &Netlist) -> (Netlist, OptStats) {
         let gate = &netlist.gates()[i];
         match gate.kind {
             CellKind::Dff | CellKind::DffNr => {
-                let d = materialize(&mut b, *known.get(&gate.inputs[0]).expect("driven"));
+                let d = materialize(
+                    &mut b,
+                    *known
+                        .get(&gate.inputs[0])
+                        .unwrap_or_else(|| unreachable!("sequential D pins are rewritten")),
+                );
                 if gate.kind == CellKind::Dff {
                     b.dff_into(d, q);
                 } else {
@@ -132,14 +186,22 @@ pub fn optimize_with_stats(netlist: &Netlist) -> (Netlist, OptStats) {
     for (name, nets) in netlist.output_ports() {
         let new_nets: Vec<NetId> = nets
             .iter()
-            .map(|n| materialize(&mut b, *known.get(n).expect("outputs are driven")))
+            .map(|n| {
+                materialize(
+                    &mut b,
+                    *known.get(n).unwrap_or_else(|| unreachable!("outputs are driven")),
+                )
+            })
             .collect();
         b.output(name.clone(), new_nets);
     }
 
-    let folded = b.finish().expect("rewriting a valid netlist preserves validity");
+    let folded =
+        b.finish().unwrap_or_else(|_| unreachable!("rewriting a valid netlist preserves validity"));
     let swept = sweep(&folded);
-    swept.validate().expect("optimizer output re-passes construction invariants");
+    swept
+        .validate()
+        .unwrap_or_else(|_| unreachable!("optimizer output re-passes construction invariants"));
     let stats = OptStats { gates_before: netlist.gate_count(), gates_after: swept.gate_count() };
     (swept, stats)
 }
@@ -306,7 +368,7 @@ fn sweep(netlist: &Netlist) -> Netlist {
     }
     // Sequential cells are re-tagged Registers automatically, which is the
     // only region distinction the analyses use.
-    b.finish().expect("sweeping a valid netlist preserves validity")
+    b.finish().unwrap_or_else(|_| unreachable!("sweeping a valid netlist preserves validity"))
 }
 
 /// Region helper retained for documentation completeness.
@@ -320,6 +382,7 @@ fn region_of(kind: CellKind) -> Region {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::sim::Simulator;
@@ -403,6 +466,103 @@ mod tests {
             seen.push(sim.read_output("q").unwrap());
         }
         assert_eq!(seen, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn facts_remove_provably_constant_state() {
+        // DFFNR powers up at 0 and recaptures q AND a, so q is stuck at
+        // zero forever: y = OR(q, a) collapses to a wire from a. Without
+        // facts the optimizer cannot see through the feedback loop.
+        let mut b = NetlistBuilder::new("stuck");
+        let a = b.input_bit("a");
+        let q = b.forward_net();
+        let d = b.and2(q, a);
+        b.dff_nr_into(d, q);
+        let y = b.or2(q, a);
+        b.output("y", vec![y]);
+        let nl = b.finish().unwrap();
+
+        let syntactic = optimize(&nl);
+        assert_eq!(syntactic.sequential_count(), 1, "syntactic folding keeps the loop");
+
+        let facts = crate::dataflow::analyze(&nl);
+        assert_eq!(facts.value(q), crate::dataflow::AbsValue::Zero);
+        let (opt, stats) = optimize_with_facts(&nl, &facts);
+        assert_eq!(opt.gate_count(), 0, "constant state makes y a wire from a");
+        assert_eq!(stats.removed(), nl.gate_count());
+
+        for stim in 0..2u64 {
+            let mut s1 = Simulator::new(&nl);
+            let mut s2 = Simulator::new(&opt);
+            s1.set_input("a", stim).unwrap();
+            s2.set_input("a", stim).unwrap();
+            for _ in 0..4 {
+                s1.step().unwrap();
+                s2.step().unwrap();
+                assert_eq!(s1.read_output("y").unwrap(), s2.read_output("y").unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn facts_mode_preserves_sequential_behaviour_on_random_netlists() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..15 {
+            let mut b = NetlistBuilder::new(format!("seq{trial}"));
+            let inputs = b.input("x", 3);
+            let n_dffs = rng.gen_range(1..4usize);
+            let loops: Vec<NetId> = (0..n_dffs).map(|_| b.forward_net()).collect();
+            let mut pool: Vec<NetId> = inputs.clone();
+            pool.push(b.const0());
+            pool.push(b.const1());
+            pool.extend(&loops);
+            for _ in 0..20 {
+                let a = pool[rng.gen_range(0..pool.len())];
+                let c = pool[rng.gen_range(0..pool.len())];
+                let out = match rng.gen_range(0..7) {
+                    0 => b.inv(a),
+                    1 => b.and2(a, c),
+                    2 => b.or2(a, c),
+                    3 => b.xor2(a, c),
+                    4 => b.nand2(a, c),
+                    5 => b.nor2(a, c),
+                    _ => b.xnor2(a, c),
+                };
+                pool.push(out);
+            }
+            for &q in &loops {
+                let d = pool[rng.gen_range(0..pool.len())];
+                if rng.gen_bool(0.5) {
+                    b.dff_into(d, q);
+                } else {
+                    b.dff_nr_into(d, q);
+                }
+            }
+            let outs: Vec<NetId> = (0..4).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            b.output("y", outs);
+            let nl = b.finish().unwrap();
+
+            let facts = crate::dataflow::analyze(&nl);
+            let (opt, _) = optimize_with_facts(&nl, &facts);
+            assert!(opt.gate_count() <= nl.gate_count());
+            for stim in [0u64, 3, 5, 7] {
+                let mut s1 = Simulator::new(&nl);
+                let mut s2 = Simulator::new(&opt);
+                s1.set_input("x", stim).unwrap();
+                s2.set_input("x", stim).unwrap();
+                for cycle in 0..6 {
+                    s1.step().unwrap();
+                    s2.step().unwrap();
+                    assert_eq!(
+                        s1.read_output("y").unwrap(),
+                        s2.read_output("y").unwrap(),
+                        "trial {trial} stim {stim} cycle {cycle}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

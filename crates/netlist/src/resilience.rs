@@ -653,7 +653,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
         }
     };
     let record = |index: usize, done: &SlotDone| {
-        sink.lock().expect("checkpoint sink poisoned").push(index, done);
+        sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(index, done);
         let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(limit) = resilience.abort_after {
             if n >= limit {
@@ -706,7 +706,8 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
-                        let claimed = queue.lock().expect("campaign queue poisoned").pop();
+                        let claimed =
+                            queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop();
                         let Some((chunk_start, chunk_faults, chunk_slots)) = claimed else {
                             break;
                         };
@@ -730,7 +731,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
         });
     }
 
-    let mut sink = sink.into_inner().expect("checkpoint sink poisoned");
+    let mut sink = sink.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
     sink.flush();
     stats.retries += retries.into_inner();
     stats.timeouts = timeouts.into_inner();
@@ -749,8 +750,10 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
         return Ok(SupervisedRun::Aborted { completed: done, total, checkpoint: stats.checkpoint });
     }
 
-    let runs: Vec<FaultRun> =
-        slots.into_iter().map(|slot| slot.expect("every fault slot filled").0).collect();
+    let runs: Vec<FaultRun> = slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("every fault slot filled")).0)
+        .collect();
     if let Some(path) = &stats.checkpoint {
         // The campaign is complete; the checkpoint has served its
         // purpose. A failed delete is harmless — the header fingerprint
@@ -769,6 +772,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::builder::NetlistBuilder;

@@ -44,7 +44,7 @@
 //! stored state on a scheduled clock edge.
 
 use crate::fault::FaultMap;
-use crate::ir::{FanoutMap, NetId, Netlist, NetlistError};
+use crate::ir::{FanoutMap, GateId, NetId, Netlist, NetlistError};
 use printed_obs as obs;
 use printed_pdk::CellKind;
 use std::sync::Arc;
@@ -338,6 +338,13 @@ impl<'a> Simulator<'a> {
         &self.fanout
     }
 
+    /// A clone of the shared fanout handle, for passing the same
+    /// connectivity index to other consumers (the dataflow engine, the
+    /// linter, STA) without rebuilding it.
+    pub fn fanout_arc(&self) -> Arc<FanoutMap> {
+        Arc::clone(&self.fanout)
+    }
+
     /// Injects a fault map; every subsequent evaluation applies it.
     ///
     /// # Panics
@@ -561,7 +568,7 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        let net = last.expect("a pass ran and changed a net");
+        let net = last.unwrap_or_else(|| unreachable!("a pass ran and changed a net"));
         Err(NetlistError::Unsettled { net, driver: self.fanout.driver(net), toggles })
     }
 
@@ -696,7 +703,7 @@ impl<'a> Simulator<'a> {
         }
         // The wave budget ran out with gates still queued: oscillation.
         // The worklist keeps its entries, so a retry fails the same way.
-        let net = last_changed.expect("a wave ran and changed a net");
+        let net = last_changed.unwrap_or_else(|| unreachable!("a wave ran and changed a net"));
         Err(NetlistError::Unsettled { net, driver: fanout.driver(net), toggles: wave_toggles })
     }
 
@@ -907,6 +914,62 @@ impl<'a> Simulator<'a> {
         self.settle()
     }
 
+    /// Overwrites the stored state of one sequential cell — the power-up
+    /// injection hook the dataflow proptests use to explore the
+    /// randomized power-up states that X-propagation abstracts over.
+    /// Publishes the new Q value (respecting any stuck fault on the
+    /// cell) and schedules its readers; call [`Simulator::settle`]
+    /// afterwards (once, after injecting a whole power-up state).
+    ///
+    /// Returns `false` (and does nothing) when `gate` is not a
+    /// sequential cell.
+    pub fn set_sequential_state(&mut self, gate: GateId, value: bool) -> bool {
+        let engine = self.engine;
+        let Simulator {
+            seq_ops,
+            values,
+            state,
+            faults,
+            fanout,
+            slot,
+            level_base,
+            level_len,
+            bucket_store,
+            pending,
+            touched,
+            ..
+        } = &mut *self;
+        let Ok(pos) = seq_ops.binary_search_by_key(&(gate.index() as u32), |op| op.gi) else {
+            return false;
+        };
+        let op = &seq_ops[pos];
+        let gi = op.gi as usize;
+        state[gi] = value;
+        let mut q = value;
+        if let Some(faults) = faults {
+            if let Some(forced) = faults.stuck[gi] {
+                q = forced;
+            }
+        }
+        let idx = op.out as usize;
+        if values[idx] != q {
+            values[idx] = q;
+            if engine == Engine::EventDriven {
+                touched.push(op.out);
+                schedule_readers_split(
+                    fanout,
+                    NetId(op.out),
+                    slot,
+                    level_base,
+                    level_len,
+                    bucket_store,
+                    pending,
+                );
+            }
+        }
+        true
+    }
+
     /// Arms (or with `None` disarms) the cycle-budget watchdog: once the
     /// simulator has completed `limit` total cycles, every further
     /// [`Simulator::step`] fails with [`NetlistError::DeadlineExceeded`].
@@ -1001,6 +1064,7 @@ fn schedule_readers_split(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::builder::NetlistBuilder;

@@ -134,6 +134,7 @@ impl VcdRecorder {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::builder::NetlistBuilder;

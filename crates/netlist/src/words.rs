@@ -128,7 +128,11 @@ pub fn carry_select_adder(
         start = end;
     }
 
-    AdderOutputs { sum, carry_out: carry, overflow: overflow.expect("at least one block") }
+    AdderOutputs {
+        sum,
+        carry_out: carry,
+        overflow: overflow.unwrap_or_else(|| unreachable!("at least one block")),
+    }
 }
 
 /// Adder/subtractor with width-appropriate structure: ripple-carry up to
@@ -235,7 +239,7 @@ pub fn mux_tree(b: &mut NetlistBuilder, words: &[Vec<NetId>], sel: &[NetId]) -> 
         }
         layer = next;
     }
-    layer.into_iter().next().expect("mux tree reduces to one word")
+    layer.into_iter().next().unwrap_or_else(|| unreachable!("mux tree reduces to one word"))
 }
 
 /// `n`-to-`2^n` one-hot decoder with enable. AND chains are mapped to
@@ -310,7 +314,7 @@ pub fn rotate_left(
     carry_in: NetId,
 ) -> RotateOutputs {
     assert!(!bus.is_empty(), "rotate of empty bus");
-    let msb = *bus.last().expect("nonempty");
+    let msb = *bus.last().unwrap_or_else(|| unreachable!("asserted nonempty above"));
     let through_n = b.inv(through);
     let lsb_in = b.mux2(msb, carry_in, through, through_n);
     let mut word = Vec::with_capacity(bus.len());
@@ -331,7 +335,7 @@ pub fn rotate_right(
 ) -> RotateOutputs {
     assert!(!bus.is_empty(), "rotate of empty bus");
     let lsb = bus[0];
-    let msb = *bus.last().expect("nonempty");
+    let msb = *bus.last().unwrap_or_else(|| unreachable!("asserted nonempty above"));
     let through_n = b.inv(through);
     let arithmetic_n = b.inv(arithmetic);
     // MSB-in priority: arithmetic ? old MSB : (through ? carry : old LSB).
@@ -358,9 +362,9 @@ pub fn popcount(b: &mut NetlistBuilder, bus: &[NetId]) -> Vec<NetId> {
     while weight < columns.len() {
         while columns[weight].len() > 1 {
             if columns[weight].len() >= 3 {
-                let x = columns[weight].pop().expect("len >= 3");
-                let y = columns[weight].pop().expect("len >= 3");
-                let z = columns[weight].pop().expect("len >= 3");
+                let x = columns[weight].pop().unwrap_or_else(|| unreachable!("len >= 3"));
+                let y = columns[weight].pop().unwrap_or_else(|| unreachable!("len >= 3"));
+                let z = columns[weight].pop().unwrap_or_else(|| unreachable!("len >= 3"));
                 let (s, c) = b.full_adder(x, y, z);
                 columns[weight].insert(0, s);
                 if columns.len() == weight + 1 {
@@ -368,8 +372,8 @@ pub fn popcount(b: &mut NetlistBuilder, bus: &[NetId]) -> Vec<NetId> {
                 }
                 columns[weight + 1].push(c);
             } else {
-                let x = columns[weight].pop().expect("len == 2");
-                let y = columns[weight].pop().expect("len == 2");
+                let x = columns[weight].pop().unwrap_or_else(|| unreachable!("len == 2"));
+                let y = columns[weight].pop().unwrap_or_else(|| unreachable!("len == 2"));
                 let (s, c) = b.half_adder(x, y);
                 columns[weight].push(s);
                 if columns.len() == weight + 1 {
@@ -382,7 +386,9 @@ pub fn popcount(b: &mut NetlistBuilder, bus: &[NetId]) -> Vec<NetId> {
     }
     columns
         .into_iter()
-        .map(|col| col.into_iter().next().expect("each weight reduces to one bit"))
+        .map(|col| {
+            col.into_iter().next().unwrap_or_else(|| unreachable!("each weight reduces to one bit"))
+        })
         .collect()
 }
 
@@ -444,6 +450,7 @@ pub fn replicate(bit: NetId, n: usize) -> Vec<NetId> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::sim::Simulator;

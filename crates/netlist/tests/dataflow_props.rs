@@ -1,0 +1,220 @@
+//! Property-based oracle for the dataflow engine: the simulator is the
+//! ground truth the abstract interpretation must never contradict.
+//!
+//! Three sound directions are checked on random sequential netlists:
+//!
+//! 1. a net proved constant never reads anything else, under any
+//!    stimulus, at any cycle;
+//! 2. any net whose value differs between two randomized power-up
+//!    states is reported X-reachable (the analysis may over-approximate
+//!    — flag more — but never under-approximate);
+//! 3. every trapped state bit really is `power-up ⊕ deterministic`:
+//!    flipping the trapped power-up bits flips every trapped Q forever.
+//!
+//! The converse directions ("every X net actually varies") are false by
+//! design — a ternary lattice is deliberately pessimistic — so they are
+//! not asserted.
+
+#![allow(clippy::disallowed_methods)]
+
+use printed_netlist::{dataflow, GateId, NetId, Netlist, NetlistBuilder, Simulator};
+use proptest::prelude::*;
+
+/// Builds a random sequential netlist: a 4-bit input bus, a pool of
+/// derived combinational nets, and `n_ffs` flip-flops fed from the pool
+/// through forward nets. Bit `i` of `nr_mask` selects a resettable
+/// `DffNr` (deterministic power-up) over a plain `Dff` (unknown
+/// power-up) for flip-flop `i`, so the power-up-dependence mix varies
+/// per case. Every op list yields a valid netlist.
+fn random_netlist(ops: &[(u8, u8, u8)], n_ffs: usize, nr_mask: u8) -> Netlist {
+    let mut b = NetlistBuilder::new("rand_df");
+    let inputs = b.input("x", 4);
+    let ffs: Vec<NetId> = (0..n_ffs).map(|_| b.forward_net()).collect();
+    let mut pool: Vec<NetId> = inputs;
+    pool.extend(&ffs);
+    pool.push(b.const0());
+    pool.push(b.const1());
+    for &(op, ai, bi) in ops {
+        let a = pool[ai as usize % pool.len()];
+        let bn = pool[bi as usize % pool.len()];
+        let out = match op {
+            0 => b.inv(a),
+            1 => b.and2(a, bn),
+            2 => b.or2(a, bn),
+            3 => b.xor2(a, bn),
+            4 => b.nand2(a, bn),
+            5 => b.nor2(a, bn),
+            6 => b.xnor2(a, bn),
+            7 => b.tsbuf(a, bn),
+            _ => b.latch(a, bn),
+        };
+        pool.push(out);
+    }
+    for (i, &q) in ffs.iter().enumerate() {
+        let d = pool[(i * 7 + 3) % pool.len()];
+        if nr_mask & (1 << (i % 8)) != 0 {
+            b.dff_nr_into(d, q);
+        } else {
+            b.dff_into(d, q);
+        }
+    }
+    let outs: Vec<NetId> = pool.iter().rev().take(4).copied().collect();
+    b.output("y", outs);
+    b.output("state", ffs);
+    b.finish().unwrap()
+}
+
+/// Sequential cells the analysis models as unknown at power-up (plain
+/// DFFs and SR latches — `DffNr` resets deterministically to zero).
+fn powerup_unknown_cells(nl: &Netlist) -> Vec<GateId> {
+    nl.gates()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.is_sequential() && !matches!(g.kind, printed_pdk::CellKind::DffNr))
+        .map(|(i, _)| GateId::from_index(i))
+        .collect()
+}
+
+/// Asserts the sound direction of proved facts at the current sim state.
+fn check_constants(nl: &Netlist, facts: &dataflow::DataflowFacts, sim: &Simulator<'_>, when: &str) {
+    for gate in nl.gates() {
+        if let Some(c) = facts.proved_constant(gate.output) {
+            prop_assert_eq!(
+                sim.read_net(gate.output),
+                c,
+                "net {} proved {} but read otherwise {}",
+                gate.output,
+                c,
+                when
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn proved_constants_never_toggle(
+        ops in prop::collection::vec((0u8..9, any::<u8>(), any::<u8>()), 1..40),
+        n_ffs in 1usize..6,
+        nr_mask in any::<u8>(),
+        stim in prop::collection::vec(any::<u64>(), 1..10),
+    ) {
+        let nl = random_netlist(&ops, n_ffs, nr_mask);
+        let facts = dataflow::analyze(&nl);
+        let mut sim = Simulator::new(&nl);
+        sim.settle().unwrap();
+        check_constants(&nl, &facts, &sim, "after construction");
+        for &s in &stim {
+            sim.set_input("x", s & 0xF).unwrap();
+            sim.step().unwrap();
+            check_constants(&nl, &facts, &sim, "after a step");
+        }
+        // The built-in crosscheck must agree with the proptest oracle.
+        prop_assert_eq!(dataflow::crosscheck(&nl, &facts, 8), Ok(()));
+    }
+
+    #[test]
+    fn powerup_divergence_implies_x_reachable(
+        ops in prop::collection::vec((0u8..9, any::<u8>(), any::<u8>()), 1..40),
+        n_ffs in 1usize..6,
+        nr_mask in any::<u8>(),
+        flip_mask in any::<u32>(),
+        stim in prop::collection::vec(any::<u64>(), 1..10),
+    ) {
+        let nl = random_netlist(&ops, n_ffs, nr_mask);
+        let facts = dataflow::analyze(&nl);
+        let mut base = Simulator::new(&nl);
+        let mut flipped = Simulator::new(&nl);
+        for (i, gate) in powerup_unknown_cells(&nl).into_iter().enumerate() {
+            if flip_mask & (1 << (i % 32)) != 0 {
+                prop_assert!(flipped.set_sequential_state(gate, true));
+            }
+        }
+        base.settle().unwrap();
+        flipped.settle().unwrap();
+        let check = |base: &Simulator<'_>, flipped: &Simulator<'_>| {
+            for gate in nl.gates() {
+                if base.read_net(gate.output) != flipped.read_net(gate.output) {
+                    prop_assert!(
+                        facts.x_reachable(gate.output),
+                        "net {} differs across power-up states but is not X-reachable",
+                        gate.output
+                    );
+                }
+            }
+        };
+        check(&base, &flipped);
+        for &s in &stim {
+            base.set_input("x", s & 0xF).unwrap();
+            flipped.set_input("x", s & 0xF).unwrap();
+            base.step().unwrap();
+            flipped.step().unwrap();
+            check(&base, &flipped);
+        }
+    }
+
+    #[test]
+    fn trapped_bits_never_flush(
+        ops in prop::collection::vec((0u8..9, any::<u8>(), any::<u8>()), 1..40),
+        n_ffs in 1usize..6,
+        nr_mask in any::<u8>(),
+        stim in prop::collection::vec(any::<u64>(), 1..12),
+    ) {
+        let nl = random_netlist(&ops, n_ffs, nr_mask);
+        let facts = dataflow::analyze(&nl);
+        let trapped = facts.trapped_state().to_vec();
+        // Flip the whole trapped set: the invariant is that differences
+        // confined to trapped bits stay confined — and never vanish.
+        let mut base = Simulator::new(&nl);
+        let mut flipped = Simulator::new(&nl);
+        for &gate in &trapped {
+            prop_assert!(flipped.set_sequential_state(gate, true));
+        }
+        base.settle().unwrap();
+        flipped.settle().unwrap();
+        for &s in &stim {
+            base.set_input("x", s & 0xF).unwrap();
+            flipped.set_input("x", s & 0xF).unwrap();
+            base.step().unwrap();
+            flipped.step().unwrap();
+            for &gate in &trapped {
+                let q = nl.gates()[gate.index()].output;
+                prop_assert_ne!(
+                    base.read_net(q),
+                    flipped.read_net(q),
+                    "trapped bit {} flushed — the reachability proof is wrong",
+                    gate.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimize_with_facts_is_behaviour_preserving(
+        ops in prop::collection::vec((0u8..7, any::<u8>(), any::<u8>()), 1..32),
+        n_ffs in 1usize..5,
+        nr_mask in any::<u8>(),
+        stim in prop::collection::vec(any::<u64>(), 1..10),
+    ) {
+        use printed_netlist::opt;
+        let nl = random_netlist(&ops, n_ffs, nr_mask);
+        let facts = dataflow::analyze(&nl);
+        let (optimized, stats) = opt::optimize_with_facts(&nl, &facts);
+        prop_assert!(stats.gates_after <= stats.gates_before);
+        let mut s1 = Simulator::new(&nl);
+        let mut s2 = Simulator::new(&optimized);
+        for &s in &stim {
+            s1.set_input("x", s & 0xF).unwrap();
+            s2.set_input("x", s & 0xF).unwrap();
+            s1.step().unwrap();
+            s2.step().unwrap();
+            prop_assert_eq!(s1.read_output("y").unwrap(), s2.read_output("y").unwrap());
+            prop_assert_eq!(
+                s1.read_output("state").unwrap(),
+                s2.read_output("state").unwrap()
+            );
+        }
+    }
+}

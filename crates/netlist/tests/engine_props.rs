@@ -8,6 +8,8 @@
 //! Separately, the parallel campaign scheduler must produce byte-identical
 //! CSV output for any `PRINTED_SIM_THREADS` value.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_netlist::fault::{
     run_campaign_with_threads, CampaignConfig, Fault, FaultKind, FaultMap, PatternWorkload,
     StuckAtSpace,

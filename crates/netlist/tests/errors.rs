@@ -5,6 +5,8 @@
 //! the forward-net escape hatch — exactly the path real generator bugs
 //! would take.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_netlist::{GateId, NetId, NetlistBuilder, NetlistError, Simulator};
 use printed_pdk::CellKind;
 

@@ -2,6 +2,8 @@
 //! campaigns are pure functions of (netlist, workload, config) — the same
 //! seed must reproduce the same classifications, byte for byte.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_netlist::fault::{
     run_campaign, CampaignConfig, FaultKind, PatternWorkload, StuckAtSpace,
 };

@@ -3,6 +3,8 @@
 //! power model consumes: the counters, the average-activity gauge, and
 //! the per-gate toggle histogram are all derived from the same numbers.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_netlist::{words, Netlist, NetlistBuilder, Simulator};
 use printed_obs::Registry;
 use proptest::prelude::*;

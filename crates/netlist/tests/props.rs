@@ -2,6 +2,8 @@
 //! datapath block must agree with the arithmetic it claims to implement,
 //! for arbitrary operands, and the optimizer must preserve behaviour.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_netlist::{lint, opt, words, NetId, Netlist, NetlistBuilder, Simulator};
 use printed_pdk::Technology;
 use proptest::prelude::*;

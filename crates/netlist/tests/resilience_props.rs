@@ -3,6 +3,8 @@
 //! arming a watchdog never changes the classification of any slot that
 //! did not time out.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_netlist::fault::{
     run_campaign, CampaignConfig, Outcome, PatternWorkload, StuckAtSpace,
 };

@@ -2,6 +2,8 @@
 //! through an independent minimal VCD reader, exactly the per-cycle port
 //! values the simulator produced.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_netlist::vcd::VcdRecorder;
 use printed_netlist::{words, Netlist, NetlistBuilder, Simulator};
 use std::collections::BTreeMap;

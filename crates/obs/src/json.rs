@@ -279,6 +279,7 @@ impl Parser<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

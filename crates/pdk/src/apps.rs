@@ -194,6 +194,7 @@ pub const TABLE3: [Application; 17] = [
 ];
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

@@ -119,6 +119,7 @@ pub const BLUESPARK_10: Battery = Battery {
 pub const PRINTED_BATTERIES: [Battery; 4] = [MOLEX_90, BLUESPARK_30, ZINERGY_12, BLUESPARK_10];
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

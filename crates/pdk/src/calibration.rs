@@ -72,15 +72,16 @@ pub const CNT_TIMING_DERATE: f64 = 0.1;
 pub const DEFAULT_ACTIVITY_FACTOR: f64 = 0.88;
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 
     #[test]
     fn constants_are_physical() {
-        assert!(EGFET_STATIC_PER_STAGE_UW > 0.0);
-        assert!(CNT_STATIC_PER_STAGE_UW > 0.0);
-        assert!(EGFET_TIMING_DERATE > 0.0 && EGFET_TIMING_DERATE <= 1.0);
-        assert!(CNT_TIMING_DERATE > 0.0 && CNT_TIMING_DERATE <= 1.0);
-        assert!(DEFAULT_ACTIVITY_FACTOR > 0.0 && DEFAULT_ACTIVITY_FACTOR <= 1.0);
+        const { assert!(EGFET_STATIC_PER_STAGE_UW > 0.0) };
+        const { assert!(CNT_STATIC_PER_STAGE_UW > 0.0) };
+        const { assert!(EGFET_TIMING_DERATE > 0.0 && EGFET_TIMING_DERATE <= 1.0) };
+        const { assert!(CNT_TIMING_DERATE > 0.0 && CNT_TIMING_DERATE <= 1.0) };
+        const { assert!(DEFAULT_ACTIVITY_FACTOR > 0.0 && DEFAULT_ACTIVITY_FACTOR <= 1.0) };
     }
 }

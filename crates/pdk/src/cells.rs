@@ -297,8 +297,36 @@ impl CellLibrary {
         self.max_fanout(CellKind::Dff)
     }
 
+    /// Delay derating factor for a cell of `kind` driving `load` gate
+    /// input pins: 1.0 within the [`CellLibrary::max_fanout`] budget,
+    /// rising linearly (`load / budget`) beyond it — the same
+    /// resistor-limited edge-degradation model the fanout lint rule
+    /// budgets against, exposed as a number so static timing can annotate
+    /// overloaded nets.
+    pub fn drive_derate(&self, kind: CellKind, load: usize) -> f64 {
+        let budget = self.max_fanout(kind).max(1);
+        if load <= budget {
+            1.0
+        } else {
+            load as f64 / budget as f64
+        }
+    }
+
+    /// Per-level delay of a cell of `kind` under `load` gate input pins:
+    /// [`CellLibrary::synthesis_delay`] scaled by
+    /// [`CellLibrary::drive_derate`]. Equals the plain synthesis delay
+    /// whenever the load respects the drive budget (which the linter
+    /// enforces), so nominal-timing consumers can use either
+    /// interchangeably on clean designs.
+    pub fn loaded_delay(&self, kind: CellKind, load: usize) -> Time {
+        self.synthesis_delay(kind) * self.drive_derate(kind, load)
+    }
+
     fn index(kind: CellKind) -> usize {
-        CellKind::ALL.iter().position(|&k| k == kind).expect("CellKind::ALL covers every variant")
+        CellKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .unwrap_or_else(|| unreachable!("CellKind::ALL covers every variant"))
     }
 }
 

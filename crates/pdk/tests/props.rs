@@ -1,6 +1,8 @@
 //! Property-based checks of the PDK: unit algebra and battery arithmetic,
 //! plus Debug/Display sanity.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_pdk::battery::Battery;
 use printed_pdk::units::{Area, Charge, Energy, Frequency, Power, Time, Voltage};
 use printed_pdk::{CellKind, Technology};

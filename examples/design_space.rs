@@ -5,6 +5,8 @@
 //! cargo run --release --example design_space
 //! ```
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_microprocessors::baselines::BaselineCpu;
 use printed_microprocessors::eval::figure7;
 use printed_microprocessors::pdk::Technology;

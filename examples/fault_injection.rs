@@ -17,6 +17,8 @@
 //! `PRINTED_FAIL_STAGE=<phase>` to force one phase to fail (CI's
 //! degradation drill).
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_microprocessors::core::workload::ProgramWorkload;
 use printed_microprocessors::core::{generate_standard, kernels, CoreConfig};
 use printed_microprocessors::eval::pipeline::{Pipeline, PipelineOptions};

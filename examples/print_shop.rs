@@ -7,6 +7,8 @@
 //! cargo run --release --example print_shop
 //! ```
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_microprocessors::core::specific::{CoreSpec, NarrowEncoding};
 use printed_microprocessors::core::{asm::assemble, generate, CoreConfig};
 use printed_microprocessors::netlist::{analysis, opt};

@@ -105,6 +105,25 @@ fn main() {
         }
     });
 
+    // Static analysis: dataflow facts + slack-based STA over every
+    // design, with the JSON artifact the CI gate consumes (see
+    // DESIGN.md "Static analysis").
+    pipeline.run_stage("eval.static_analysis", || {
+        use printed_microprocessors::eval::static_report;
+        let mut reports = Vec::new();
+        for tech in Technology::ALL {
+            let rep = static_report::static_report(tech);
+            println!("{}", static_report::static_summary(&rep));
+            reports.push(rep);
+        }
+        let out = std::env::var("PRINTED_STATIC_OUT")
+            .unwrap_or_else(|_| "static_report.json".to_string());
+        match perf_report::write_artifact(&out, &static_report::static_json(&reports)) {
+            Ok(()) => println!("{out} written"),
+            Err(e) => println!("static report artifact failed: {e}"),
+        }
+    });
+
     // Figure 8 (EGFET) and its derived Table 8 + headline ratios.
     let cells = pipeline
         .run_stage_result("eval.figure8_benchmarks", || figure8(Technology::Egfet))

@@ -9,6 +9,8 @@
 //! cargo run --release --example smart_bandage
 //! ```
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_microprocessors::core::kernels::{self, Kernel};
 use printed_microprocessors::core::CoreConfig;
 use printed_microprocessors::eval::{CoreFlavor, System};

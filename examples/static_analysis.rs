@@ -1,0 +1,60 @@
+//! Static-analysis CI gate: dataflow facts + slack-based STA over every
+//! design point, exported as the `printed-static-report/v1` artifact.
+//!
+//! ```sh
+//! PRINTED_STATIC_OUT=static_report.json \
+//!     cargo run --release --example static_analysis
+//! ```
+//!
+//! Prints the per-technology summary tables, writes the JSON artifact
+//! to `$PRINTED_STATIC_OUT` (default `static_report.json`), and exits
+//! nonzero if the artifact fails to parse, any design carries an
+//! Error-severity lint finding, or the simulator contradicts a proved
+//! dataflow fact — the invariants ci.sh gates on.
+
+use printed_microprocessors::eval::static_report::{static_json, static_report, static_summary};
+use printed_microprocessors::obs;
+use printed_microprocessors::pdk::Technology;
+
+fn main() {
+    let mut reports = Vec::new();
+    for tech in Technology::ALL {
+        let report = static_report(tech);
+        println!("{}", static_summary(&report));
+        reports.push(report);
+    }
+
+    let json = static_json(&reports);
+    // The artifact must round-trip through the same parser CI uses.
+    if let Err(e) = obs::json::parse(&json) {
+        eprintln!("static report artifact is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    let out = std::env::var("PRINTED_STATIC_OUT").unwrap_or_else(|_| "static_report.json".into());
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("{out} written");
+
+    let errors: usize = reports.iter().map(|r| r.total_errors()).sum();
+    let contradictions: usize = reports.iter().map(|r| r.crosscheck_failures()).sum();
+    if errors > 0 || contradictions > 0 {
+        eprintln!(
+            "static analysis gate failed: {errors} Error finding(s), \
+             {contradictions} simulator contradiction(s)"
+        );
+        for report in &reports {
+            for row in &report.rows {
+                if row.errors > 0 {
+                    eprintln!("  {:?}/{}: {} error(s)", report.technology, row.design, row.errors);
+                }
+                if let Some(err) = &row.crosscheck_error {
+                    eprintln!("  {:?}/{}: {err}", report.technology, row.design);
+                }
+            }
+        }
+        std::process::exit(1);
+    }
+    println!("static analysis gate passed: 0 errors, 0 contradictions");
+}

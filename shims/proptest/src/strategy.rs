@@ -235,7 +235,7 @@ mod tests {
         #[test]
         fn macro_binds_all_param_forms(a in 1usize..10, b: u64, c in prop::sample::select(vec![1, 2, 3]), d: bool) {
             prop_assert!((1..10).contains(&a));
-            prop_assert!(c >= 1 && c <= 3);
+            prop_assert!((1..=3).contains(&c));
             let _ = (b, d);
         }
 
@@ -244,7 +244,7 @@ mod tests {
             x in 0.5f64..2.0,
             y in 1u8..=4,
         ) {
-            prop_assert!(x >= 0.5 && x < 2.0);
+            prop_assert!((0.5..2.0).contains(&x));
             prop_assert!((1..=4).contains(&y));
         }
     }

@@ -2,6 +2,8 @@
 //! agree — ISS vs gate level, narrow vs native cores, standard vs
 //! program-specific encodings, TP-ISA vs baseline ISAs.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_microprocessors::core::kernels::{self, join_words, Kernel};
 use printed_microprocessors::core::specific::{CoreSpec, NarrowEncoding};
 use printed_microprocessors::core::{generate, CoreConfig, GateLevelMachine};

@@ -3,6 +3,8 @@
 //! `System::run`), plus the manufacturing pipeline over the whole design
 //! space.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_microprocessors::eval::{figure8, figures::figure8_core_widths};
 use printed_microprocessors::pdk::Technology;
 

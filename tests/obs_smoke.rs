@@ -2,6 +2,8 @@
 //! enabled must leave a coherent global registry whose JSON-lines export
 //! parses — the same invariant ci.sh checks on the example binaries.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_microprocessors::netlist::fault::{
     run_campaign, CampaignConfig, PatternWorkload, StuckAtSpace,
 };

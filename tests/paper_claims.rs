@@ -1,6 +1,8 @@
 //! Integration tests asserting the paper's cross-cutting claims — the
 //! qualitative "shape" of every major result, spanning all crates.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_microprocessors::baselines::BaselineCpu;
 use printed_microprocessors::core::kernels::{self, Kernel};
 use printed_microprocessors::core::CoreConfig;

@@ -4,6 +4,8 @@
 //! results intact, a clean run reports zero failed stages, and the
 //! manifest's stage names line up with the obs span export.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_microprocessors::eval::pipeline::{Pipeline, PipelineOptions, StageStatus};
 use printed_microprocessors::obs;
 use printed_microprocessors::obs::json::{parse, Value};

@@ -3,6 +3,8 @@
 //! require the stitched result to be byte-identical to an uninterrupted
 //! run — at one worker and at four.
 
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
 use printed_microprocessors::core::workload::ProgramWorkload;
 use printed_microprocessors::core::{generate_standard, CoreConfig};
 use printed_microprocessors::netlist::fault::{CampaignConfig, StuckAtSpace};
