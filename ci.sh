@@ -30,6 +30,15 @@ FAULT_CSV_OUT="$csv_dir/t2.csv" PRINTED_SIM_THREADS=2 \
 cmp "$csv_dir/t1.csv" "$csv_dir/t2.csv" \
     || { echo "campaign CSV differs between 1 and 2 worker threads"; exit 1; }
 
+echo "==> snapshot warm-starts are invisible to results (PRINTED_WARM_START=1 vs cold CSV)"
+FAULT_CSV_OUT="$csv_dir/warm.csv" PRINTED_WARM_START=1 PRINTED_SIM_THREADS=2 \
+    cargo run --release --example fault_injection >/dev/null
+cmp "$csv_dir/t1.csv" "$csv_dir/warm.csv" \
+    || { echo "warm-started campaign CSV differs from the cold run"; exit 1; }
+
+echo "==> differential lockstep + snapshot round-trip gate (nonzero exit on divergence)"
+cargo test --release --quiet --test lockstep_props
+
 echo "==> resilience: interrupt-resume + pipeline degradation tests (threads 1 and 4)"
 cargo test --release --quiet --test resume_campaign --test pipeline_smoke
 
@@ -69,7 +78,7 @@ test -s "$static_out" || { echo "static analysis wrote no report artifact"; exit
 grep -q '"schema":"printed-static-report/v1"' "$static_out" \
     || { echo "static report artifact has the wrong schema"; exit 1; }
 
-echo "==> simulator hot-path bench (refreshes BENCH_sim.json, asserts speedups + resilience overhead)"
+echo "==> simulator hot-path bench (refreshes BENCH_sim.json, asserts speedups + warm-start gain + resilience overhead)"
 cargo bench -p printed-bench --bench sim_hotpaths >/dev/null
 
 echo "==> obs smoke (PRINTED_OBS=summary campaign + JSON-lines export)"

@@ -9,7 +9,8 @@ use crate::i8080::{Cond, Cpu8080, Reg, RegPair};
 use crate::inventory::BaselineCpu;
 use crate::z80::CpuZ80;
 
-const ORG: u16 = 0x0100;
+/// Load address of every 8080 kernel image.
+pub const ORG: u16 = 0x0100;
 const DATA: u16 = 0x2000;
 const RESULT: u16 = 0x2100;
 
@@ -199,16 +200,10 @@ fn emit_tree(a: &mut Asm8080, node: &tree::Node, path: String) {
     }
 }
 
-/// Loads inputs, runs, verifies, and reports.
-///
-/// # Panics
-///
-/// Panics on wrong results or non-termination (kernel bugs).
-// Differential oracle: a kernel that fails to assemble, halt, or
-// verify is a baseline-model bug, and the panic is the report.
-#[allow(clippy::disallowed_methods)]
-pub fn run(bench: Bench, as_z80: bool) -> BaselineRun {
-    let image = image(bench);
+/// The memory preloads (address, bytes) a benchmark's input data needs —
+/// shared by [`run`] and the differential lockstep harness
+/// ([`crate::diff`]).
+pub fn inputs(bench: Bench) -> Vec<(u16, Vec<u8>)> {
     let mut mem_init: Vec<(u16, Vec<u8>)> = Vec::new();
     match bench {
         Bench::Mult => mem_init.push((DATA, vec![data::MULT_A, data::MULT_B])),
@@ -220,6 +215,20 @@ pub fn run(bench: Bench, as_z80: bool) -> BaselineRun {
         Bench::Crc8 => mem_init.push((DATA, data::CRC_MSG.to_vec())),
         Bench::DTree => mem_init.push((DATA, data::DTREE_X.to_vec())),
     }
+    mem_init
+}
+
+/// Loads inputs, runs, verifies, and reports.
+///
+/// # Panics
+///
+/// Panics on wrong results or non-termination (kernel bugs).
+// Differential oracle: a kernel that fails to assemble, halt, or
+// verify is a baseline-model bug, and the panic is the report.
+#[allow(clippy::disallowed_methods)]
+pub fn run(bench: Bench, as_z80: bool) -> BaselineRun {
+    let image = image(bench);
+    let mem_init = inputs(bench);
 
     let (cycles, instructions, mem): (u64, u64, Vec<u8>) = if as_z80 {
         let mut cpu = CpuZ80::new();

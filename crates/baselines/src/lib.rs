@@ -15,6 +15,7 @@
 
 pub mod asm430;
 pub mod asm8080;
+pub mod diff;
 pub mod disasm8080;
 pub mod i8080;
 pub mod inventory;

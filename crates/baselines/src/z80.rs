@@ -10,6 +10,7 @@
 //! 3–23 vs 5–30).
 
 use crate::i8080::{Cpu8080, Fault8080, Reg};
+use printed_netlist::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// A Z80 machine (8080 core + Z80 timing and extensions).
 #[derive(Debug, Clone, Default)]
@@ -222,9 +223,25 @@ impl CpuZ80 {
     }
 }
 
+/// The machine state is exactly the embedded 8080 core's (the Z80
+/// extensions carry no extra state), but under its own kind tag so a Z80
+/// snapshot never restores into a plain 8080 and vice versa.
+impl Snapshot for CpuZ80 {
+    const KIND: &'static str = "baselines.z80";
+    const VERSION: u32 = 1;
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.core.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.core.restore_state(r)
+    }
+}
+
 /// Z80 T-states for 8080-compatible opcodes, where they differ from the
 /// 8080 state counts (e.g. register moves are 4 T-states, not 5).
-fn z80_tstates(op: u8, i8080_states: u64) -> u64 {
+pub(crate) fn z80_tstates(op: u8, i8080_states: u64) -> u64 {
     match op {
         // MOV r,r (not involving memory): 5 → 4.
         0x40..=0x7F if op != 0x76 && op & 7 != 6 && op >> 3 & 7 != 6 => 4,

@@ -11,7 +11,10 @@
 //!   reference on the p1_8_2 kernel replay (the whole point of the
 //!   worklist),
 //! - the fault campaign produces byte-identical CSV at every measured
-//!   thread count, and
+//!   thread count,
+//! - snapshot warm-starts accelerate an SEU campaign by at least
+//!   [`WARM_START_SPEEDUP_MIN`] while reproducing the cold CSV byte for
+//!   byte, and
 //! - instrumentation with `PRINTED_OBS=off` stays unmeasurable (below
 //!   [`OBS_OFF_THRESHOLD_NS`] per call site).
 
@@ -37,6 +40,13 @@ const OBS_OFF_THRESHOLD_NS: f64 = 200.0;
 
 /// Thread counts the campaign-scaling measurement sweeps.
 const CAMPAIGN_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Minimum wall-clock speedup snapshot warm-starts must deliver on the
+/// SEU campaign over the long-prologue kernel. With injection cycles
+/// uniform over the golden run, warm-starting skips half the replayed
+/// prologue on average — a 2x asymptote; 1.5x leaves room for the
+/// one-time context capture and the per-slot restore.
+const WARM_START_SPEEDUP_MIN: f64 = 1.5;
 
 /// Ceiling on the supervised campaign runner's wall-clock overhead over
 /// the plain runner with checkpointing disabled (no I/O on that path —
@@ -91,6 +101,11 @@ struct Measurements {
     campaign_faults: usize,
     campaign_ms: Vec<(usize, f64)>,
     campaign_csv_identical: bool,
+    warm_kernel: String,
+    warm_faults: usize,
+    warm_cold_ms: f64,
+    warm_warm_ms: f64,
+    warm_csv_identical: bool,
     resilience_plain_ms: f64,
     resilience_supervised_ms: f64,
     resilience_overhead: f64,
@@ -117,6 +132,11 @@ impl Measurements {
     /// Same-binary engine comparison on today's box.
     fn gl_speedup_vs_full_sweep(&self) -> f64 {
         self.gl_sweep_ns_per_cycle / self.gl_event_ns_per_cycle
+    }
+
+    /// Wall-clock gain of snapshot warm-starts on the SEU campaign.
+    fn warm_speedup(&self) -> f64 {
+        self.warm_cold_ms / self.warm_warm_ms
     }
 
     /// Fractional wall-clock overhead of the supervised campaign runner
@@ -160,6 +180,9 @@ impl Measurements {
              \"seed_ns_per_cycle\": {:.1}, \"speedup_vs_full_sweep\": {:.2}, \
              \"speedup\": {:.2}}},\n  \"campaign_scaling\": {{\"design\": \"p1_4_2\", \
              \"faults\": {}, \"threads\": [{}], \"csv_identical\": {}}},\n  \
+             \"warm_start\": {{\"design\": \"p1_8_2\", \"kernel\": \"{}\", \"faults\": {}, \
+             \"cold_ms\": {:.1}, \"warm_ms\": {:.1}, \"speedup\": {:.2}, \
+             \"threshold\": {:.1}, \"csv_identical\": {}, \"within_threshold\": {}}},\n  \
              \"resilience_overhead\": {{\"design\": \"p1_4_2\", \"plain_ms\": {:.1}, \
              \"supervised_ms\": {:.1}, \"overhead\": {:.4}, \"limit\": {:.2}, \
              \"csv_identical\": {}, \"within_threshold\": {}}},\n  \
@@ -187,6 +210,14 @@ impl Measurements {
             self.campaign_faults,
             threads_json.join(", "),
             self.campaign_csv_identical,
+            self.warm_kernel,
+            self.warm_faults,
+            self.warm_cold_ms,
+            self.warm_warm_ms,
+            self.warm_speedup(),
+            WARM_START_SPEEDUP_MIN,
+            self.warm_csv_identical,
+            self.warm_speedup() >= WARM_START_SPEEDUP_MIN,
             self.resilience_plain_ms,
             self.resilience_supervised_ms,
             self.resilience_overhead(),
@@ -281,6 +312,46 @@ fn measure_campaign_scaling() -> (usize, Vec<(usize, f64)>, bool) {
         }
     }
     (faults, timings, identical)
+}
+
+/// Snapshot warm-starts on an SEU-only campaign over the long-prologue
+/// mult16 kernel (p1_8_2): every injection replays the golden prologue
+/// cold, or restores a mid-run snapshot warm. Returns (kernel name,
+/// fault count, cold best-of-reps ms, warm best-of-reps ms, CSVs
+/// byte-identical).
+fn measure_warm_start() -> (String, usize, f64, f64, bool) {
+    let config = CoreConfig::new(1, 8, 2);
+    let netlist = generate_standard(&config);
+    let kernel = kernels::generate(Kernel::Mult, 8, 16).expect("mult16 generates");
+    let name = kernel.name.clone();
+    let workload = ProgramWorkload::from_kernel(&kernel, config).expect("mult16 encodes");
+    let cold_config = CampaignConfig {
+        stuck_at: StuckAtSpace::Sampled(0),
+        seu_samples: 48,
+        ..CampaignConfig::default()
+    };
+    let warm_config = CampaignConfig { warm_start: true, ..cold_config };
+    let mut cold_best = f64::INFINITY;
+    let mut warm_best = f64::INFINITY;
+    let mut faults = 0;
+    let mut identical = true;
+    for rep in 0..4 {
+        let started = Instant::now();
+        let cold = run_campaign_with_threads(&netlist, &workload, &cold_config, 1)
+            .expect("cold SEU campaign completes");
+        let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+        let started = Instant::now();
+        let warm = run_campaign_with_threads(&netlist, &workload, &warm_config, 1)
+            .expect("warm SEU campaign completes");
+        let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+        faults = cold.runs.len();
+        identical &= cold.to_csv() == warm.to_csv();
+        if rep >= 1 {
+            cold_best = cold_best.min(cold_ms);
+            warm_best = warm_best.min(warm_ms);
+        }
+    }
+    (name, faults, cold_best, warm_best, identical)
 }
 
 /// Plain vs supervised campaign runner on the same smoke campaign, one
@@ -407,6 +478,8 @@ fn bench(c: &mut Criterion) {
     let (gl_kernel, gl_cycles, gl_event_ns_per_cycle) = measure_gate_level(Engine::EventDriven);
     let (_, _, gl_sweep_ns_per_cycle) = measure_gate_level(Engine::FullSweep);
     let (campaign_faults, campaign_ms, campaign_csv_identical) = measure_campaign_scaling();
+    let (warm_kernel, warm_faults, warm_cold_ms, warm_warm_ms, warm_csv_identical) =
+        measure_warm_start();
     let (
         resilience_plain_ms,
         resilience_supervised_ms,
@@ -427,6 +500,11 @@ fn bench(c: &mut Criterion) {
         campaign_faults,
         campaign_ms,
         campaign_csv_identical,
+        warm_kernel,
+        warm_faults,
+        warm_cold_ms,
+        warm_warm_ms,
+        warm_csv_identical,
         resilience_plain_ms,
         resilience_supervised_ms,
         resilience_overhead,
@@ -448,6 +526,15 @@ fn bench(c: &mut Criterion) {
         m.campaign_faults,
         m.campaign_ms,
         m.obs_off_ns_per_op
+    );
+    println!(
+        "warm-start: {} x{} SEUs, cold {:.1} ms vs warm {:.1} ms ({:.2}x, threshold {:.1}x)",
+        m.warm_kernel,
+        m.warm_faults,
+        m.warm_cold_ms,
+        m.warm_warm_ms,
+        m.warm_speedup(),
+        WARM_START_SPEEDUP_MIN
     );
     println!(
         "resilience: plain {:.1} ms vs supervised {:.1} ms ({:+.2} % overhead, limit {:.0} %)",
@@ -492,6 +579,19 @@ fn bench(c: &mut Criterion) {
     assert!(
         m.campaign_csv_identical,
         "campaign CSV must be byte-identical across thread counts {CAMPAIGN_THREADS:?}"
+    );
+    assert!(
+        m.warm_csv_identical,
+        "warm-started campaign must reproduce the cold campaign byte for byte"
+    );
+    assert!(
+        m.warm_speedup() >= WARM_START_SPEEDUP_MIN,
+        "snapshot warm-starts must gain at least {WARM_START_SPEEDUP_MIN}x on {}: cold {:.1} ms \
+         vs warm {:.1} ms is only {:.2}x",
+        m.warm_kernel,
+        m.warm_cold_ms,
+        m.warm_warm_ms,
+        m.warm_speedup()
     );
     assert!(
         m.obs_off_ns_per_op <= OBS_OFF_THRESHOLD_NS,

@@ -13,6 +13,8 @@
 //! - [`headline`]: the abstract's improvement ratios,
 //! - [`robustness`]: fault-injection campaigns, functional yield, and
 //!   TMR hardening cost across the design space,
+//! - [`lockstep`]: ISS-vs-gate-level differential validation of every
+//!   benchmark kernel, with the `printed-diff-summary/v1` artifact,
 //! - [`report`]: text-table rendering,
 //! - [`static_report`]: dataflow + lint + STA evidence over every
 //!   design point, with the `printed-static-report/v1` JSON artifact,
@@ -30,6 +32,7 @@ pub mod feasibility;
 pub mod figures;
 pub mod headline;
 pub mod lifetime;
+pub mod lockstep;
 pub mod manufacturing;
 pub mod perf_report;
 pub mod pipeline;

@@ -119,6 +119,9 @@ pub fn campaign_row(
         },
         seu_samples: options.seu_samples,
         seed: options.seed,
+        // Cold by default; PRINTED_WARM_START=1 still opts campaigns in
+        // (the engine checks the env gate alongside this flag).
+        warm_start: false,
     };
     let resilience = ResilienceConfig::from_env();
     let run = run_supervised_campaign(netlist, workload, &config, &resilience)?;

@@ -58,6 +58,7 @@
 use crate::builder::TMR_ERROR_PORT;
 use crate::ir::{GateId, Netlist, NetlistError};
 use crate::sim::Simulator;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use printed_obs as obs;
 use printed_pdk::{yield_model, CellKind, Technology};
 use rand::rngs::StdRng;
@@ -191,7 +192,65 @@ pub trait Workload: Sync {
     /// errors); the campaign engine classifies a failing faulty run as a
     /// hang.
     fn run(&self, sim: Simulator<'_>, cycle_budget: u64) -> Result<Observation, NetlistError>;
+
+    /// Builds warm-start contexts for SEU injection cycles: one
+    /// fault-free pass over the stimulus on `sim`, capturing at each
+    /// requested cycle whatever [`Workload::run_warm`] needs to resume
+    /// from there (typically a [`crate::snapshot::Snapshot`] of the
+    /// simulator plus any workload-side replay state).
+    ///
+    /// The default returns `Ok(None)`: the workload does not support
+    /// warm-starts and every run takes the cold path. Implementations may
+    /// skip cycles they cannot snapshot (e.g. past the end of the
+    /// stimulus); [`Workload::run_warm`] falls back to cold for any
+    /// missing or unusable context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures from the golden capture pass; the
+    /// campaign engine treats any error as "no warm contexts" and runs
+    /// cold.
+    fn warm_contexts(
+        &self,
+        sim: Simulator<'_>,
+        cycles: &[u64],
+    ) -> Result<Option<WarmContexts>, NetlistError> {
+        let _ = (sim, cycles);
+        Ok(None)
+    }
+
+    /// Runs the stimulus with the fault-free prologue before `cycle`
+    /// skipped by restoring `context` (captured by
+    /// [`Workload::warm_contexts`]) into `sim`, which arrives as a fresh
+    /// clone of the pristine simulator with the SEU fault already
+    /// injected.
+    ///
+    /// Correctness rests on SEU faults being inert before their
+    /// scheduled cycle: the cold faulty prologue is bit-identical to the
+    /// golden prologue, so resuming from the golden snapshot at the
+    /// injection cycle must produce the exact observation of a cold run.
+    /// The default ignores the context and runs cold — semantically
+    /// correct, just without the speedup.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Workload::run`].
+    fn run_warm(
+        &self,
+        sim: Simulator<'_>,
+        cycle: u64,
+        context: &[u8],
+        cycle_budget: u64,
+    ) -> Result<Observation, NetlistError> {
+        let _ = (cycle, context);
+        self.run(sim, cycle_budget)
+    }
 }
+
+/// Warm-start contexts keyed by SEU injection cycle: opaque bytes each
+/// [`Workload`] implementation writes in [`Workload::warm_contexts`] and
+/// reads back in [`Workload::run_warm`].
+pub type WarmContexts = BTreeMap<u64, Vec<u8>>;
 
 /// A generic workload for netlists without a program-level harness:
 /// drives every input port with seeded pseudo-random values each cycle
@@ -224,6 +283,114 @@ impl Workload for PatternWorkload {
         let mut signature = Vec::new();
         let mut detected = false;
         for _ in 0..cycles {
+            for port in &in_ports {
+                sim.set_input(port, rng.gen::<u64>())?;
+            }
+            sim.step()?;
+            for port in &out_ports {
+                signature.push(sim.read_output(port)?);
+            }
+            if has_detect && sim.read_output(TMR_ERROR_PORT)? != 0 {
+                detected = true;
+            }
+        }
+        Ok(Observation { signature, completed: true, cycles, detected })
+    }
+
+    fn warm_contexts(
+        &self,
+        mut sim: Simulator<'_>,
+        cycles: &[u64],
+    ) -> Result<Option<WarmContexts>, NetlistError> {
+        let in_ports: Vec<String> = sim.netlist().input_ports().keys().cloned().collect();
+        let out_ports: Vec<String> = sim
+            .netlist()
+            .output_ports()
+            .keys()
+            .filter(|name| name.as_str() != TMR_ERROR_PORT)
+            .cloned()
+            .collect();
+        let mut wanted: Vec<u64> = cycles.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut contexts = WarmContexts::new();
+        let mut signature = Vec::new();
+        let mut done = 0u64;
+        for &target in &wanted {
+            if target >= self.cycles {
+                // Past the end of the stimulus: run_warm's cold fallback
+                // covers it.
+                continue;
+            }
+            while done < target {
+                for port in &in_ports {
+                    sim.set_input(port, rng.gen::<u64>())?;
+                }
+                sim.step()?;
+                for port in &out_ports {
+                    signature.push(sim.read_output(port)?);
+                }
+                done += 1;
+            }
+            // Context = replayed cycle count + the golden signature
+            // prefix + the simulator snapshot at the injection boundary.
+            let mut w = SnapshotWriter::new();
+            w.u64(done);
+            w.u64s(&signature);
+            w.bytes(&sim.save_binary());
+            contexts.insert(target, w.into_bytes());
+        }
+        Ok(Some(contexts))
+    }
+
+    fn run_warm(
+        &self,
+        mut sim: Simulator<'_>,
+        cycle: u64,
+        context: &[u8],
+        cycle_budget: u64,
+    ) -> Result<Observation, NetlistError> {
+        let cycles = self.cycles.min(cycle_budget);
+        let mut r = SnapshotReader::new(context);
+        let parsed = (|| -> Result<(u64, Vec<u64>, Vec<u8>), SnapshotError> {
+            let done = r.u64()?;
+            let prefix = r.u64s()?;
+            let snap = r.bytes()?;
+            r.finish()?;
+            Ok((done, prefix, snap))
+        })();
+        let Ok((done, mut signature, snap)) = parsed else {
+            return self.run(sim, cycle_budget);
+        };
+        if done != cycle || cycle >= cycles {
+            return self.run(sim, cycle_budget);
+        }
+        // The snapshot carries the golden run's (unarmed) cycle limit;
+        // re-arm whatever watchdog this clone arrived with so a warm run
+        // trips at exactly the same absolute cycle a cold run would.
+        let limit = sim.cycle_limit();
+        if sim.restore_binary(&snap).is_err() {
+            return self.run(sim, cycle_budget);
+        }
+        sim.set_cycle_limit(limit);
+        let in_ports: Vec<String> = sim.netlist().input_ports().keys().cloned().collect();
+        let out_ports: Vec<String> = sim
+            .netlist()
+            .output_ports()
+            .keys()
+            .filter(|name| name.as_str() != TMR_ERROR_PORT)
+            .cloned()
+            .collect();
+        let has_detect = sim.netlist().output_ports().contains_key(TMR_ERROR_PORT);
+        // Replay the RNG to the injection cycle: the prologue consumed
+        // one u64 per input port per cycle.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..cycle.saturating_mul(in_ports.len() as u64) {
+            let _: u64 = rng.gen();
+        }
+        let mut detected = false;
+        for _ in cycle..cycles {
             for port in &in_ports {
                 sim.set_input(port, rng.gen::<u64>())?;
             }
@@ -371,6 +538,15 @@ pub struct CampaignConfig {
     pub seu_samples: usize,
     /// Seed for all sampled fault selection.
     pub seed: u64,
+    /// Warm-start SEU runs from a golden snapshot at the injection cycle
+    /// instead of re-simulating the fault-free prologue per fault (see
+    /// [`Workload::warm_contexts`]). Also enabled by the
+    /// `PRINTED_WARM_START` environment variable ([`warm_start_enabled`]).
+    /// Warm-starting is an execution strategy, not a campaign parameter:
+    /// results are byte-identical either way, and the flag is excluded
+    /// from checkpoint fingerprints so warm and cold runs share
+    /// checkpoints.
+    pub warm_start: bool,
 }
 
 impl Default for CampaignConfig {
@@ -380,6 +556,7 @@ impl Default for CampaignConfig {
             stuck_at: StuckAtSpace::Exhaustive,
             seu_samples: 0,
             seed: 0xFA17,
+            warm_start: false,
         }
     }
 }
@@ -551,6 +728,65 @@ pub(crate) fn observe<W: Workload + ?Sized>(
     workload.run(sim, cycle_budget)
 }
 
+/// Like [`observe`], but dispatches SEU runs with an available warm
+/// context through [`Workload::run_warm`]. Stuck-at faults are active
+/// from cycle 0, so they always take the cold path.
+pub(crate) fn observe_warm<W: Workload + ?Sized>(
+    pristine: &Simulator<'_>,
+    workload: &W,
+    fault: Option<Fault>,
+    cycle_budget: u64,
+    warm: Option<&WarmContexts>,
+) -> Result<Observation, NetlistError> {
+    if let (Some(fault), Some(contexts)) = (fault, warm) {
+        if let FaultKind::Seu { cycle } = fault.kind {
+            if let Some(context) = contexts.get(&cycle) {
+                let mut sim = pristine.clone();
+                sim.inject(FaultMap::single(pristine.netlist(), fault));
+                return workload.run_warm(sim, cycle, context, cycle_budget);
+            }
+        }
+    }
+    observe(pristine, workload, fault, cycle_budget)
+}
+
+/// Builds the campaign's warm-start context map when enabled: one golden
+/// pass capturing a context per distinct SEU injection cycle in `faults`.
+/// Returns `None` when warm-starting is off, there are no SEU faults, the
+/// workload does not support it, or the capture pass fails (any of which
+/// simply keeps the whole campaign on the cold path).
+pub(crate) fn warm_start_contexts<W: Workload + ?Sized>(
+    pristine: &Simulator<'_>,
+    workload: &W,
+    config: &CampaignConfig,
+    faults: &[Fault],
+) -> Option<WarmContexts> {
+    if !(config.warm_start || warm_start_enabled()) {
+        return None;
+    }
+    let seu_cycles: Vec<u64> = faults
+        .iter()
+        .filter_map(|f| match f.kind {
+            FaultKind::Seu { cycle } => Some(cycle),
+            _ => None,
+        })
+        .collect();
+    if seu_cycles.is_empty() {
+        return None;
+    }
+    workload.warm_contexts(pristine.clone(), &seu_cycles).ok().flatten()
+}
+
+/// Whether campaign warm-starts are requested through the
+/// `PRINTED_WARM_START` environment variable (`1` / `true` / `yes`,
+/// case-insensitive). [`CampaignConfig::warm_start`] enables them
+/// programmatically regardless of the environment.
+pub fn warm_start_enabled() -> bool {
+    std::env::var("PRINTED_WARM_START")
+        .map(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes"))
+        .unwrap_or(false)
+}
+
 /// Runs and validates the fault-free reference: it must complete within
 /// the budget and must not fire the detect port. Shared by the plain and
 /// the supervised ([`crate::resilience`]) campaign runners.
@@ -619,8 +855,9 @@ pub(crate) fn run_one<W: Workload + ?Sized>(
     golden: &Observation,
     fault: Fault,
     budget: u64,
+    warm: Option<&WarmContexts>,
 ) -> FaultRun {
-    let outcome = match observe(pristine, workload, Some(fault), budget) {
+    let outcome = match observe_warm(pristine, workload, Some(fault), budget, warm) {
         Ok(observed) => classify(golden, &observed),
         // A fault that breaks simulation outright (oscillation, or a
         // watchdog deadline) wedges the circuit: a hang.
@@ -718,13 +955,14 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
     let golden = campaign_golden(&pristine, workload, config)?;
     let faults = enumerate_faults(netlist, config, golden.cycles);
     let budget = faulty_budget(config.cycle_budget, golden.cycles);
+    let warm = warm_start_contexts(&pristine, workload, config, &faults);
     let _span = obs::span!("netlist.fault.campaign");
     let started = std::time::Instant::now();
     let total_faults = faults.len();
     let workers = threads.max(1).min(total_faults.max(1));
 
     let classify_one = |sim: &Simulator<'_>, fault: Fault| -> FaultRun {
-        run_one(sim, workload, &golden, fault, budget)
+        run_one(sim, workload, &golden, fault, budget, warm.as_ref())
     };
     let done = AtomicUsize::new(0);
     let progress = |done: &AtomicUsize| {
@@ -795,6 +1033,15 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
         let reg = obs::global();
         reg.add("netlist.fault.workers", workers as u64);
         reg.add("netlist.fault.runs", runs.len() as u64);
+        if let Some(contexts) = &warm {
+            let warm_slots = faults
+                .iter()
+                .filter(
+                    |f| matches!(f.kind, FaultKind::Seu { cycle } if contexts.contains_key(&cycle)),
+                )
+                .count();
+            reg.add("netlist.fault.warm_slots", warm_slots as u64);
+        }
         reg.add("netlist.fault.masked", counts.masked as u64);
         reg.add("netlist.fault.detected", counts.detected as u64);
         reg.add("netlist.fault.hang", counts.hang as u64);
@@ -1021,6 +1268,82 @@ mod tests {
         let functional = yield_model::functional_yield(sites.iter().copied(), 0.999);
         assert!(result.counts().masked > 0, "accumulator campaign masks some faults");
         assert!(functional > naive);
+    }
+
+    #[test]
+    fn warm_started_campaign_matches_cold_byte_for_byte() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 24, seed: 11 };
+        let cold_config = CampaignConfig {
+            stuck_at: StuckAtSpace::Exhaustive,
+            seu_samples: 16,
+            ..CampaignConfig::default()
+        };
+        let warm_config = CampaignConfig { warm_start: true, ..cold_config };
+        let cold = run_campaign_with_threads(&nl, &workload, &cold_config, 1).unwrap();
+        assert!(
+            cold.runs.iter().any(|r| matches!(r.fault.kind, FaultKind::Seu { .. })),
+            "the campaign must exercise the SEU warm path"
+        );
+        for threads in [1usize, 4] {
+            let warm = run_campaign_with_threads(&nl, &workload, &warm_config, threads).unwrap();
+            assert_eq!(warm, cold, "warm-start at {threads} threads");
+            assert_eq!(
+                warm.to_csv(),
+                cold.to_csv(),
+                "warm-start CSV must be byte-identical at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_contexts_resume_the_exact_golden_state() {
+        // Direct unit check of the PatternWorkload warm path: for every
+        // SEU on every cycle, observe_warm == observe.
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 3 };
+        let pristine = Simulator::new(&nl);
+        let cycles: Vec<u64> = (0..10).collect();
+        let contexts = workload.warm_contexts(pristine.clone(), &cycles).unwrap().unwrap();
+        assert_eq!(contexts.len(), 10);
+        let sequential: Vec<u32> = (0..nl.gate_count() as u32)
+            .filter(|&gi| nl.gates()[gi as usize].is_sequential())
+            .collect();
+        for &gi in &sequential {
+            for cycle in 0..10 {
+                let fault = Fault { gate: GateId(gi), kind: FaultKind::Seu { cycle } };
+                let cold = observe(&pristine, &workload, Some(fault), 1000).unwrap();
+                let warm =
+                    observe_warm(&pristine, &workload, Some(fault), 1000, Some(&contexts)).unwrap();
+                assert_eq!(warm, cold, "g{gi} seu@{cycle}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_run_falls_back_cold_on_a_bad_context() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 8, seed: 9 };
+        let pristine = Simulator::new(&nl);
+        let dff = nl.gates().iter().position(|g| g.is_sequential()).unwrap() as u32;
+        let fault = Fault { gate: GateId(dff), kind: FaultKind::Seu { cycle: 3 } };
+        let cold = observe(&pristine, &workload, Some(fault), 1000).unwrap();
+        // Garbage context bytes: run_warm must not trust them.
+        let mut contexts = WarmContexts::new();
+        contexts.insert(3, vec![0xAB; 7]);
+        let warm = observe_warm(&pristine, &workload, Some(fault), 1000, Some(&contexts)).unwrap();
+        assert_eq!(warm, cold, "a malformed context degrades to the cold path");
+    }
+
+    #[test]
+    fn warm_start_env_knob_parses_common_spellings() {
+        // Only inspects the parser, not the process environment.
+        for (value, expected) in
+            [("1", true), ("true", true), ("YES", true), ("0", false), ("off", false), ("", false)]
+        {
+            let parsed = matches!(value.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
+            assert_eq!(parsed, expected, "{value:?}");
+        }
     }
 
     #[test]

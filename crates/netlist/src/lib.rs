@@ -26,7 +26,10 @@
 //! - fault models and deterministic fault-injection campaigns — stuck-at
 //!   and SEU — with masked/SDC/hang/detected classification ([`fault`]),
 //! - a supervised campaign runner with checkpoint/resume, watchdog
-//!   deadlines, and panic isolation ([`resilience`]), and
+//!   deadlines, and panic isolation ([`resilience`]),
+//! - versioned binary + JSON state snapshots shared by every simulator in
+//!   the workspace, powering differential lockstep validation and
+//!   fault-campaign warm-starts ([`snapshot`]), and
 //! - a TMR hardening transform with majority voters and an error-detect
 //!   output ([`builder::tmr`]).
 //!
@@ -61,6 +64,7 @@ pub mod lint;
 pub mod opt;
 pub mod resilience;
 pub mod sim;
+pub mod snapshot;
 pub mod variation;
 pub mod vcd;
 pub mod words;
@@ -72,9 +76,9 @@ pub use analysis::{
 pub use builder::{tmr, NetlistBuilder, TmrOptions, TMR_ERROR_PORT};
 pub use dataflow::{analyze, analyze_with_fanout, AbsValue, DataflowFacts};
 pub use fault::{
-    campaign_threads, run_campaign, run_campaign_with_threads, CampaignConfig, CampaignError,
-    CampaignResult, Fault, FaultKind, FaultMap, Observation, Outcome, OutcomeCounts,
-    PatternWorkload, StuckAtSpace, Workload,
+    campaign_threads, run_campaign, run_campaign_with_threads, warm_start_enabled, CampaignConfig,
+    CampaignError, CampaignResult, Fault, FaultKind, FaultMap, Observation, Outcome, OutcomeCounts,
+    PatternWorkload, StuckAtSpace, WarmContexts, Workload,
 };
 pub use ir::{FanoutMap, Gate, GateId, NetId, Netlist, NetlistError, Region};
 pub use lint::{lint, lint_with_fanout, Diagnostic, LintConfig, LintReport, Rule, Severity};
@@ -83,4 +87,5 @@ pub use resilience::{
     ResilienceStats, SupervisedCampaign, SupervisedRun,
 };
 pub use sim::{ActivityStats, Engine, Simulator};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use variation::{FmaxDistribution, VariationError};

@@ -30,10 +30,18 @@
 //!   index, and the attempt number). A slot that keeps panicking
 //!   degrades to a recorded [`Outcome::Failed`] instead of aborting the
 //!   campaign.
+//! - **Warm-starts** — when [`crate::fault::CampaignConfig::warm_start`]
+//!   (or `PRINTED_WARM_START`) is set, the supervised runner reuses the
+//!   same snapshot-based SEU warm-start path as the plain campaign:
+//!   golden state is captured once per injection cycle and faulty runs
+//!   resume from it instead of replaying the prologue. Slots stay
+//!   byte-identical to the cold path, so warm and cold runs share
+//!   checkpoints (warm-starting is deliberately excluded from the
+//!   campaign fingerprint).
 //!
 //! Everything is instrumented through `printed-obs`: counters
 //! `resilience.retries`, `resilience.timeouts`, `resilience.resumed_slots`,
-//! and `resilience.failed`.
+//! `resilience.failed`, and `resilience.warm_slots`.
 //!
 //! # Checkpoint format
 //!
@@ -56,7 +64,7 @@
 
 use crate::fault::{
     campaign_golden, campaign_threads, enumerate_faults, faulty_budget, CampaignConfig,
-    CampaignError, CampaignResult, Fault, FaultRun, Outcome, Workload,
+    CampaignError, CampaignResult, Fault, FaultKind, FaultRun, Outcome, WarmContexts, Workload,
 };
 use crate::ir::Netlist;
 use crate::sim::Simulator;
@@ -206,6 +214,10 @@ pub struct ResilienceStats {
     pub timeouts: u64,
     /// Slots degraded to [`Outcome::Failed`] after exhausting retries.
     pub failed: usize,
+    /// Fresh (non-resumed) SEU slots that had a warm-start context
+    /// available, when campaign warm-starts were enabled (see
+    /// [`CampaignConfig::warm_start`] and `PRINTED_WARM_START`).
+    pub warm_slots: usize,
     /// The checkpoint file used, if checkpointing was enabled.
     pub checkpoint: Option<PathBuf>,
     /// Checkpoint I/O failed mid-campaign; the campaign finished but
@@ -435,6 +447,7 @@ struct SlotParams<'a> {
     budget: u64,
     max_retries: u32,
     seed: u64,
+    warm: Option<&'a WarmContexts>,
 }
 
 /// Runs one fault slot under supervision: watchdog trips and panics
@@ -442,10 +455,12 @@ struct SlotParams<'a> {
 ///
 /// The watchdog needs no plumbing here — `pristine` is the worker's
 /// simulator clone with the cycle limit already armed, and every
-/// per-fault clone [`crate::fault::observe`] makes inherits it. The
-/// resulting [`crate::NetlistError::DeadlineExceeded`] is surfaced as a
-/// typed [`JobError::TimedOut`] so the scheduler can count timeouts
-/// separately before folding them into the hang classification.
+/// per-fault clone [`crate::fault::observe_warm`] makes inherits it
+/// (warm restores re-arm the destination's limit, so warm and cold runs
+/// trip the deadline at the same absolute cycle). The resulting
+/// [`crate::NetlistError::DeadlineExceeded`] is surfaced as a typed
+/// [`JobError::TimedOut`] so the scheduler can count timeouts separately
+/// before folding them into the hang classification.
 fn attempt_slot<W: Workload + ?Sized>(
     pristine: &Simulator<'_>,
     workload: &W,
@@ -453,12 +468,12 @@ fn attempt_slot<W: Workload + ?Sized>(
     fault: Fault,
     index: usize,
 ) -> Result<(FaultRun, u32), JobError> {
-    let SlotParams { golden, budget, max_retries, seed } = *params;
+    let SlotParams { golden, budget, max_retries, seed, warm } = *params;
     let cell = pristine.netlist().gates()[fault.gate.index()].kind;
     let mut last_message = String::new();
     for attempt in 0..=max_retries {
         let run = catch_unwind(AssertUnwindSafe(|| {
-            crate::fault::observe(pristine, workload, Some(fault), budget)
+            crate::fault::observe_warm(pristine, workload, Some(fault), budget, warm)
         }));
         match run {
             Ok(Ok(observed)) => {
@@ -559,6 +574,12 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
     let faults = enumerate_faults(netlist, config, golden.cycles);
     let budget = faulty_budget(config.cycle_budget, golden.cycles);
     let total = faults.len();
+    // Capture warm-start contexts before the watchdog is armed: the
+    // golden replay must run to completion regardless of the per-fault
+    // deadline. Warm-starting never enters the checkpoint fingerprint —
+    // warm and cold runs of the same campaign share checkpoints because
+    // they produce identical slots.
+    let warm = crate::fault::warm_start_contexts(&pristine, workload, config, &faults);
 
     let mut stats = ResilienceStats::default();
     let mut slots: Vec<Option<SlotDone>> = vec![None; total];
@@ -599,6 +620,16 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
         }
         stats.checkpoint = Some(path);
     }
+    if let Some(warm) = &warm {
+        stats.warm_slots = slots
+            .iter()
+            .zip(&faults)
+            .filter(|(slot, fault)| {
+                slot.is_none()
+                    && matches!(fault.kind, FaultKind::Seu { cycle } if warm.contains_key(&cycle))
+            })
+            .count();
+    }
 
     // Arm the watchdog once on the pristine simulator: every per-worker
     // and per-fault clone inherits the limit.
@@ -620,6 +651,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
         budget,
         max_retries: resilience.max_retries,
         seed: config.seed,
+        warm: warm.as_ref(),
     };
     let supervise = |worker_sim: &Simulator<'_>, index: usize, fault: Fault| -> SlotDone {
         match attempt_slot(worker_sim, workload, &params, fault, index) {
@@ -743,6 +775,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
         reg.add("resilience.timeouts", stats.timeouts);
         reg.add("resilience.resumed_slots", stats.resumed_slots as u64);
         reg.add("resilience.failed", stats.failed as u64);
+        reg.add("resilience.warm_slots", stats.warm_slots as u64);
     }
 
     if stop.load(Ordering::Relaxed) && slots.iter().any(Option::is_none) {
@@ -914,6 +947,78 @@ mod tests {
         assert_eq!(finished.result, baseline);
         assert_eq!(finished.result.to_csv(), baseline.to_csv(), "byte-identical CSV");
         assert!(!ckpt.exists(), "checkpoint deleted on success");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_supervised_campaign_matches_cold_byte_for_byte() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 24, seed: 5 };
+        let cold = run_campaign_with_threads(&nl, &workload, &config(), 1).unwrap();
+        let warm_cfg = CampaignConfig { warm_start: true, ..config() };
+        for threads in [1, 4] {
+            let supervised = run_supervised_campaign_with_threads(
+                &nl,
+                &workload,
+                &warm_cfg,
+                &ResilienceConfig::default(),
+                threads,
+            )
+            .unwrap()
+            .into_complete()
+            .expect("no abort hook");
+            assert_eq!(supervised.result, cold, "{threads} workers");
+            assert_eq!(supervised.result.to_csv(), cold.to_csv());
+            assert_eq!(
+                supervised.stats.warm_slots,
+                config().seu_samples,
+                "every SEU slot had a warm context"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_abort_and_resume_reproduces_the_cold_csv() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 24, seed: 5 };
+        let dir = std::env::temp_dir().join(format!("printed-ckpt-warm-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cold = run_campaign_with_threads(&nl, &workload, &config(), 1).unwrap();
+        let total = cold.runs.len();
+        let warm_cfg = CampaignConfig { warm_start: true, ..config() };
+        let resilience = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 4,
+            abort_after: Some(total / 2),
+            ..ResilienceConfig::default()
+        };
+        let aborted =
+            run_supervised_campaign_with_threads(&nl, &workload, &warm_cfg, &resilience, 1)
+                .unwrap();
+        let SupervisedRun::Aborted { checkpoint, .. } = aborted else {
+            panic!("abort hook must fire");
+        };
+        assert!(checkpoint.expect("checkpointing was enabled").exists());
+
+        // Resume warm against a checkpoint written by a warm run; the
+        // fingerprint ignores warm_start, so a cold resume would also
+        // accept it.
+        let resumed = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 4,
+            ..ResilienceConfig::default()
+        };
+        let finished = run_supervised_campaign_with_threads(&nl, &workload, &warm_cfg, &resumed, 1)
+            .unwrap()
+            .into_complete()
+            .expect("no abort hook on resume");
+        assert!(finished.stats.resumed_slots > 0, "resume skipped recorded slots");
+        assert_eq!(finished.result, cold);
+        assert_eq!(finished.result.to_csv(), cold.to_csv(), "byte-identical to the cold CSV");
+        assert!(
+            finished.stats.warm_slots <= config().seu_samples,
+            "warm accounting only covers fresh SEU slots"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -40,6 +40,7 @@ proptest! {
             stuck_at: StuckAtSpace::Sampled(10),
             seu_samples: 4,
             seed: campaign_seed,
+            warm_start: false,
         };
         let a = run_campaign(&nl, &workload, &config).unwrap();
         let b = run_campaign(&nl, &workload, &config).unwrap();

@@ -49,6 +49,7 @@ proptest! {
             stuck_at: StuckAtSpace::Sampled(10),
             seu_samples: 4,
             seed: campaign_seed,
+            warm_start: false,
         };
         let plain = run_campaign(&nl, &workload, &config).unwrap();
 

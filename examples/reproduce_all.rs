@@ -124,6 +124,23 @@ fn main() {
         }
     });
 
+    // Differential validation: every kernel in ISS-vs-gate-level
+    // lockstep, with the JSON artifact the CI gate consumes (see
+    // DESIGN.md "Differential validation & snapshots").
+    pipeline.run_stage("eval.diff_summary", || {
+        use printed_microprocessors::eval::lockstep;
+        let options = printed_microprocessors::baselines::diff::LockstepOptions::from_env();
+        let report = lockstep::diff_report(&options);
+        println!("{}", lockstep::diff_summary(&report));
+        let out =
+            std::env::var("PRINTED_DIFF_OUT").unwrap_or_else(|_| "diff_summary.json".to_string());
+        match perf_report::write_artifact(&out, &lockstep::diff_json(&report)) {
+            Ok(()) => println!("{out} written"),
+            Err(e) => println!("diff summary artifact failed: {e}"),
+        }
+        assert_eq!(report.divergences(), 0, "ISS and gate level diverged");
+    });
+
     // Figure 8 (EGFET) and its derived Table 8 + headline ratios.
     let cells = pipeline
         .run_stage_result("eval.figure8_benchmarks", || figure8(Technology::Egfet))

@@ -1,0 +1,240 @@
+//! Property tests for the differential-validation layer: snapshot
+//! round-trip identity for every instruction-set simulator and the
+//! netlist simulator (save at N, restore, run N more ≡ 2N straight),
+//! and lockstep equivalence of the 8080 ⊂ Z80 subset over random
+//! programs.
+
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
+use printed_microprocessors::baselines::asm430::Asm430;
+use printed_microprocessors::baselines::diff::{run_lockstep, I8080Side, LockstepOptions, Z80Side};
+use printed_microprocessors::baselines::i8080::Cpu8080;
+use printed_microprocessors::baselines::msp430::CpuMsp430;
+use printed_microprocessors::baselines::z80::CpuZ80;
+use printed_microprocessors::baselines::zpu::{AsmZpu, CpuZpu};
+use printed_microprocessors::core::{CoreConfig, Machine};
+use printed_microprocessors::netlist::{Engine, NetlistBuilder, Simulator, Snapshot};
+use proptest::prelude::*;
+
+/// A straight-line 8080 instruction from a Z80-shared subset (no jumps,
+/// so a program of these always retires each instruction exactly once).
+fn straightline_op() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // MVI r,d8 (r = B,C,D,E,H,L,A — not M, so HL never clobbers
+        // the program image mid-run in surprising ways).
+        (0u8..7, any::<u8>()).prop_map(|(r, d)| {
+            let code = [0x06, 0x0E, 0x16, 0x1E, 0x26, 0x2E, 0x3E][r as usize];
+            vec![code, d]
+        }),
+        // MOV r,r over the register file (excluding memory operands and
+        // 0x76 HLT).
+        (0u8..7, 0u8..7).prop_map(|(d, s)| {
+            let dst = [0, 1, 2, 3, 4, 5, 7][d as usize];
+            let src = [0, 1, 2, 3, 4, 5, 7][s as usize];
+            vec![0x40 | dst << 3 | src]
+        }),
+        // ALU A,r: ADD/ADC/SUB/SBB/ANA/XRA/ORA/CMP.
+        (0u8..8, 0u8..7).prop_map(|(op, s)| {
+            let src = [0, 1, 2, 3, 4, 5, 7][s as usize];
+            vec![0x80 | op << 3 | src]
+        }),
+        // INR/DCR r.
+        (0u8..7, any::<bool>()).prop_map(|(r, dec)| {
+            let base = [0x04, 0x0C, 0x14, 0x1C, 0x24, 0x2C, 0x3C][r as usize];
+            vec![base + if dec { 1 } else { 0 }]
+        }),
+        // Rotates and flag ops: RLC RRC RAL RAR CMA STC CMC.
+        (0u8..7).prop_map(|i| vec![[0x07, 0x0F, 0x17, 0x1F, 0x2F, 0x37, 0x3F][i as usize]]),
+        // 16-bit INX/DCX/DAD over B,D,H.
+        (0u8..3, 0u8..3).prop_map(|(p, k)| {
+            let pair = [0x00, 0x10, 0x20][p as usize];
+            vec![[0x03, 0x0B, 0x09][k as usize] | pair]
+        }),
+    ]
+}
+
+/// Assembles a random straight-line program ending in HLT.
+fn program_8080() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(straightline_op(), 1..40).prop_map(|ops| {
+        let mut image: Vec<u8> = ops.into_iter().flatten().collect();
+        image.push(0x76);
+        image
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn i8080_and_z80_stay_in_lockstep_on_random_programs(image in program_8080()) {
+        let mut a = I8080Side::new(0x100, &image).normalized_to_z80();
+        let mut b = Z80Side::new(0x100, &image);
+        let stats = run_lockstep(&mut a, &mut b, &LockstepOptions::default())
+            .unwrap_or_else(|report| panic!("{report}"));
+        prop_assert!(stats.halted);
+        prop_assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn i8080_snapshot_round_trip_is_identity(image in program_8080(), split in 0u64..16) {
+        // Straight: run to halt. Split: run `split` steps, snapshot,
+        // restore into a fresh CPU, finish — byte-identical state.
+        let mut straight = Cpu8080::new();
+        straight.load(0x100, &image);
+        let mut first = Cpu8080::new();
+        first.load(0x100, &image);
+        for _ in 0..split {
+            straight.step();
+            first.step();
+        }
+        let mut resumed = Cpu8080::new();
+        resumed.restore_binary(&first.save_binary()).unwrap();
+        while !straight.is_halted() {
+            straight.step();
+            resumed.step();
+        }
+        prop_assert_eq!(resumed.save_binary(), straight.save_binary());
+    }
+
+    #[test]
+    fn z80_snapshot_round_trip_is_identity(image in program_8080(), split in 0u64..16) {
+        let mut straight = CpuZ80::new();
+        straight.load(0x100, &image);
+        let mut first = CpuZ80::new();
+        first.load(0x100, &image);
+        for _ in 0..split {
+            straight.step();
+            first.step();
+        }
+        let mut resumed = CpuZ80::new();
+        resumed.restore_binary(&first.save_binary()).unwrap();
+        while !straight.is_halted() {
+            straight.step();
+            resumed.step();
+        }
+        prop_assert_eq!(resumed.save_binary(), straight.save_binary());
+    }
+
+    #[test]
+    fn msp430_snapshot_round_trip_is_identity(a in any::<u16>(), b in any::<u16>(), split in 0u64..4) {
+        let mut asm = Asm430::new(0x4400);
+        asm.mov_imm(a, 4).mov_imm(b, 5).add_reg(4, 5).cmp_reg(4, 5).halt();
+        let image = asm.assemble().unwrap();
+        let mut straight = CpuMsp430::new();
+        straight.load(0x4400, &image);
+        let mut first = CpuMsp430::new();
+        first.load(0x4400, &image);
+        for _ in 0..split {
+            straight.step();
+            first.step();
+        }
+        let mut resumed = CpuMsp430::new();
+        resumed.restore_binary(&first.save_binary()).unwrap();
+        while !straight.is_halted() {
+            straight.step();
+            resumed.step();
+        }
+        prop_assert_eq!(resumed.save_binary(), straight.save_binary());
+    }
+
+    #[test]
+    fn zpu_snapshot_round_trip_is_identity(v in any::<i32>(), split in 0u64..4) {
+        let mut asm = AsmZpu::new();
+        asm.im(v).im(0x100).store().breakpoint();
+        let image = asm.assemble().unwrap();
+        let mut straight = CpuZpu::new(4096);
+        straight.load(&image);
+        let mut first = CpuZpu::new(4096);
+        first.load(&image);
+        for _ in 0..split {
+            let _ = straight.step();
+            let _ = first.step();
+        }
+        let mut resumed = CpuZpu::new(4096);
+        resumed.restore_binary(&first.save_binary()).unwrap();
+        while !straight.is_halted() {
+            let _ = straight.step();
+            let _ = resumed.step();
+        }
+        prop_assert_eq!(resumed.save_binary(), straight.save_binary());
+    }
+
+    #[test]
+    fn netlist_simulator_round_trip_is_identity(
+        enables in prop::collection::vec(any::<bool>(), 4..12),
+        split in 0usize..4,
+    ) {
+        // A 4-bit enabled counter driven by a random enable pattern:
+        // snapshot mid-pattern, restore into a fresh simulator, and the
+        // remaining cycles must land on the identical architectural
+        // state (values, registers, cycles, toggles).
+        let mut b = NetlistBuilder::new("ctr4");
+        let en = b.input_bit("en");
+        let mut carry = en;
+        let mut bits = Vec::new();
+        for _ in 0..4 {
+            let q = b.forward_net();
+            let d = b.xor2(q, carry);
+            b.dff_into(d, q);
+            carry = b.and2(q, carry);
+            bits.push(q);
+        }
+        b.output("count", bits);
+        let nl = b.finish().unwrap();
+
+        for engine in [Engine::EventDriven, Engine::FullSweep] {
+            let mut straight = Simulator::with_engine(&nl, engine);
+            let mut first = Simulator::with_engine(&nl, engine);
+            let split = split.min(enables.len() - 1);
+            for &en in &enables[..split] {
+                straight.set_input("en", en as u64).unwrap();
+                straight.step().unwrap();
+                first.set_input("en", en as u64).unwrap();
+                first.step().unwrap();
+            }
+            let mut resumed = Simulator::with_engine(&nl, engine);
+            resumed.restore_binary(&first.save_binary()).unwrap();
+            for &en in &enables[split..] {
+                straight.set_input("en", en as u64).unwrap();
+                straight.step().unwrap();
+                resumed.set_input("en", en as u64).unwrap();
+                resumed.step().unwrap();
+            }
+            prop_assert_eq!(
+                resumed.read_output("count").unwrap(),
+                straight.read_output("count").unwrap()
+            );
+            prop_assert_eq!(resumed.stats().cycles, straight.stats().cycles);
+            prop_assert_eq!(&resumed.stats().toggles, &straight.stats().toggles);
+        }
+    }
+
+    #[test]
+    fn tp_isa_machine_round_trip_is_identity(split in 0u64..8) {
+        // The ISSUE's "N steps after restore ≡ 2N steps straight"
+        // property on the TP-ISA ISS, over a looping program.
+        use printed_microprocessors::core::asm::assemble;
+        let prog = assemble("
+            STORE [0], #5
+            STORE [1], #1
+            loop:
+            SUB   [0], [1]
+            BRN   loop, Z
+            HALT
+        ").unwrap();
+        let config = CoreConfig::new(1, 8, 2);
+        let mut straight = Machine::new(config, prog.instructions.clone(), 16);
+        let mut first = Machine::new(config, prog.instructions.clone(), 16);
+        for _ in 0..split {
+            let _ = straight.step();
+            let _ = first.step();
+        }
+        let mut resumed = Machine::new(config, prog.instructions.clone(), 16);
+        resumed.restore_binary(&first.save_binary()).unwrap();
+        while !straight.is_halted() {
+            straight.step().unwrap();
+            resumed.step().unwrap();
+        }
+        prop_assert_eq!(resumed.save_binary(), straight.save_binary());
+    }
+}

@@ -1,7 +1,9 @@
 //! Kill-and-resume integration test for the supervised fault campaign:
 //! abort a smoke campaign mid-chunk, resume it from its checkpoint, and
 //! require the stitched result to be byte-identical to an uninterrupted
-//! run — at one worker and at four.
+//! run — at one worker and at four, and again with snapshot warm-starts
+//! enabled (the resumed warm campaign must still reproduce a cold
+//! single-threaded run byte for byte).
 
 // Panics are the failure report in test/bench/example code.
 #![allow(clippy::disallowed_methods)]
@@ -90,6 +92,84 @@ fn interrupted_smoke_campaign_resumes_to_the_identical_csv() {
             "threads={threads}: resumed campaign must be byte-identical to an uninterrupted run"
         );
         assert!(!ckpt.exists(), "threads={threads}: a completed campaign removes its checkpoint");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn interrupted_warm_start_campaign_resumes_to_the_cold_csv() {
+    let core = CoreConfig::new(1, 4, 2);
+    let netlist = generate_standard(&core);
+    let workload = ProgramWorkload::smoke(core);
+    let cold_config = CampaignConfig {
+        stuck_at: StuckAtSpace::Exhaustive,
+        seu_samples: 8,
+        ..CampaignConfig::default()
+    };
+    let warm_config = CampaignConfig { warm_start: true, ..cold_config };
+
+    // The reference: cold (no warm-starts), single-threaded,
+    // uninterrupted — the simplest possible execution of the campaign.
+    let baseline = ResilienceConfig::default();
+    let cold =
+        run_supervised_campaign_with_threads(&netlist, &workload, &cold_config, &baseline, 1)
+            .unwrap()
+            .into_complete()
+            .expect("cold run completes");
+    let cold_csv = cold.result.to_csv();
+    let total = cold.result.runs.len();
+
+    for threads in [1usize, 4] {
+        let dir = ckpt_dir(&format!("warm-t{threads}"));
+
+        // Phase 1: warm-starts + checkpointing on, killed mid-campaign.
+        let interrupted = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 4,
+            abort_after: Some(total / 3),
+            ..ResilienceConfig::default()
+        };
+        let aborted = run_supervised_campaign_with_threads(
+            &netlist,
+            &workload,
+            &warm_config,
+            &interrupted,
+            threads,
+        )
+        .unwrap();
+        let SupervisedRun::Aborted { checkpoint, .. } = aborted else {
+            panic!("threads={threads}: the abort hook must interrupt the warm campaign");
+        };
+        assert!(checkpoint.expect("checkpointing was enabled").exists());
+
+        // Phase 2: resume, still warm. The stitched CSV must be byte-
+        // identical to the cold single-threaded reference — warm-starts
+        // and checkpoint resume are both invisible to the results.
+        let resumed_cfg = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 4,
+            ..ResilienceConfig::default()
+        };
+        let resumed = run_supervised_campaign_with_threads(
+            &netlist,
+            &workload,
+            &warm_config,
+            &resumed_cfg,
+            threads,
+        )
+        .unwrap()
+        .into_complete()
+        .expect("resumed warm run completes");
+        assert!(
+            resumed.stats.resumed_slots > 0,
+            "threads={threads}: the resumed run must load checkpointed slots"
+        );
+        assert_eq!(
+            resumed.result.to_csv(),
+            cold_csv,
+            "threads={threads}: warm-started resumed campaign must reproduce the cold CSV"
+        );
 
         let _ = std::fs::remove_dir_all(&dir);
     }
