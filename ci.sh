@@ -78,8 +78,31 @@ test -s "$static_out" || { echo "static analysis wrote no report artifact"; exit
 grep -q '"schema":"printed-static-report/v1"' "$static_out" \
     || { echo "static report artifact has the wrong schema"; exit 1; }
 
-echo "==> simulator hot-path bench (refreshes BENCH_sim.json, asserts speedups + warm-start gain + resilience overhead)"
+echo "==> simulator hot-path bench (refreshes BENCH_sim.json + appends BENCH_history.jsonl, asserts speedups + warm-start gain + resilience overhead)"
 cargo bench -p printed-bench --bench sim_hotpaths >/dev/null
+
+echo "==> perf regression gate (latest BENCH_history.jsonl record vs rolling baseline)"
+regression_out="$csv_dir/regression.json"
+PRINTED_REGRESSION_OUT="$regression_out" \
+    cargo run --release --example perf_regression \
+    || { echo "perf regression gate failed"; exit 1; }
+test -s "$regression_out" || { echo "regression gate wrote no verdict artifact"; exit 1; }
+grep -q '"schema": "printed-regression/v1"' "$regression_out" \
+    || { echo "regression verdict has the wrong schema"; exit 1; }
+
+echo "==> perf regression drill (impossible threshold must fail the gate)"
+if PRINTED_REGRESSION_MAX_RATIO=0.0001 \
+    cargo run --release --example perf_regression >/dev/null 2>&1; then
+    echo "regression gate passed under an impossible threshold - the gate is dead"; exit 1
+fi
+
+echo "==> observability artifacts: quickstart trace + profile validated through the in-tree JSON parser"
+trace_out="$csv_dir/trace.json"
+profile_out="$csv_dir/profile.json"
+PRINTED_TRACE_OUT="$trace_out" PRINTED_PROFILE_OUT="$profile_out" \
+    cargo run --release --example quickstart >/dev/null
+cargo run --release --example validate_artifacts -- \
+    "$trace_out" "$profile_out" "$regression_out" BENCH_history.jsonl
 
 echo "==> obs smoke (PRINTED_OBS=summary campaign + JSON-lines export)"
 obs_out=$(PRINTED_OBS=summary cargo run --release --example fault_injection 2>&1 >/dev/null)

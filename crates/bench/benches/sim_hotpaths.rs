@@ -5,7 +5,10 @@
 //!
 //! Besides the criterion-shim output, this harness writes
 //! `BENCH_sim.json` at the repository root with the measured numbers,
-//! and asserts three invariants:
+//! appends one `printed-bench-record/v1` line to the append-only
+//! `BENCH_history.jsonl` perf ledger (consumed by
+//! `printed_eval::regression` and the `perf_regression` example — see
+//! DESIGN.md "Observability"), and asserts these invariants:
 //!
 //! - the event-driven engine is at least as fast as the full-sweep
 //!   reference on the p1_8_2 kernel replay (the whole point of the
@@ -472,6 +475,66 @@ fn write_bench_json(m: &Measurements) {
     println!("wrote {}", path.display());
 }
 
+/// The git revision of the working tree, `"unknown"` outside a checkout
+/// (the bench must not fail because the sources were exported).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Appends one `printed-bench-record/v1` line to the perf-history
+/// ledger (`BENCH_history.jsonl` at the repository root, or the path in
+/// `PRINTED_BENCH_HISTORY`). The run index is the ledger's current line
+/// count plus one — date-free and monotonic, so records order without
+/// wall-clock trust — and the metric keys match what
+/// `printed_eval::regression::GATED_METRICS` gates on.
+fn append_history(m: &Measurements) {
+    use std::io::Write as _;
+    let path = std::env::var("PRINTED_BENCH_HISTORY").ok().filter(|p| !p.is_empty()).map_or_else(
+        || Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_history.jsonl"),
+        std::path::PathBuf::from,
+    );
+    let run_index = match std::fs::read_to_string(&path) {
+        Ok(existing) => existing.lines().filter(|l| !l.trim().is_empty()).count() as u64 + 1,
+        Err(_) => 1,
+    };
+    let record = format!(
+        "{{\"schema\": \"printed-bench-record/v1\", \"run_index\": {run_index}, \
+         \"git_rev\": \"{}\", \"bench\": \"sim_hotpaths\", \"metrics\": {{\
+         \"sim_event_ns_per_cycle\": {:.1}, \"sim_sweep_ns_per_cycle\": {:.1}, \
+         \"gl_event_ns_per_cycle\": {:.1}, \"gl_sweep_ns_per_cycle\": {:.1}, \
+         \"gl_speedup\": {:.2}, \"warm_speedup\": {:.2}, \
+         \"resilience_overhead\": {:.4}, \"obs_off_ns_per_op\": {:.2}, \
+         \"static_total_ms\": {:.1}}}}}\n",
+        git_rev(),
+        m.sim_event.ns_per_cycle,
+        m.sim_sweep.ns_per_cycle,
+        m.gl_event_ns_per_cycle,
+        m.gl_sweep_ns_per_cycle,
+        m.gl_speedup(),
+        m.warm_speedup(),
+        m.resilience_overhead(),
+        m.obs_off_ns_per_op,
+        m.static_total_ms(),
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    match written {
+        Ok(()) => println!("appended run {run_index} to {}", path.display()),
+        Err(e) => panic!("failed to append perf history to {}: {e}", path.display()),
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let (sim_cycles, sim_event) = measure_netlist_sim(Engine::EventDriven);
     let (_, sim_sweep) = measure_netlist_sim(Engine::FullSweep);
@@ -561,6 +624,7 @@ fn bench(c: &mut Criterion) {
         );
     }
     write_bench_json(&m);
+    append_history(&m);
     assert!(
         m.gl_event_ns_per_cycle <= m.gl_sweep_ns_per_cycle,
         "event-driven engine must not be slower than the full sweep on p1_8_2: \

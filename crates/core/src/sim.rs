@@ -160,6 +160,11 @@ pub struct Machine {
     summary: RunSummary,
     /// Retired-instruction tallies per opcode slot (see [`opcode_index`]).
     opcode_counts: [u64; OPCODE_SLOTS],
+    /// Clock cycles attributed per opcode slot: each retired
+    /// instruction's issue cycle plus the hazard stalls it waited out,
+    /// and (for `BRANCH`) the flush bubbles a taken branch injects.
+    /// Sums to [`RunSummary::cycles`] exactly.
+    opcode_cycles: [u64; OPCODE_SLOTS],
     /// Write sets of the youngest `pipeline_stages - 1` instructions,
     /// youngest first.
     in_flight: VecDeque<WriteSet>,
@@ -188,6 +193,7 @@ impl Machine {
             flags: Flags::default(),
             summary: RunSummary::default(),
             opcode_counts: [0; OPCODE_SLOTS],
+            opcode_cycles: [0; OPCODE_SLOTS],
             in_flight: VecDeque::new(),
             halted: false,
         }
@@ -350,6 +356,7 @@ impl Machine {
         self.summary.instructions += 1;
         self.summary.imem_reads += 1;
         self.opcode_counts[opcode_index(&inst)] += 1;
+        self.opcode_cycles[opcode_index(&inst)] += stalls + 1;
 
         let width = self.config.datawidth;
         let mut next_pc = pc.wrapping_add(1);
@@ -402,6 +409,7 @@ impl Machine {
             let bubbles = (self.config.pipeline_stages - 1) as u64;
             self.summary.stalls += bubbles;
             self.summary.cycles += bubbles;
+            self.opcode_cycles[OP_BRANCH] += bubbles;
             self.in_flight.clear();
         } else {
             self.record_in_flight(&inst, written);
@@ -438,10 +446,25 @@ impl Machine {
             .collect()
     }
 
+    /// Per-opcode CPI breakdown, non-zero entries only, in slot order:
+    /// `(mnemonic, retired, cycles)` where `cycles` covers each retired
+    /// instruction's issue cycle, its hazard stalls, and (for `BRANCH`)
+    /// taken-branch flush bubbles. The `cycles` column sums to
+    /// [`RunSummary::cycles`] exactly — the profiler's sum-check.
+    pub fn cpi_breakdown(&self) -> Vec<(&'static str, u64, u64)> {
+        self.opcode_counts
+            .iter()
+            .zip(&self.opcode_cycles)
+            .enumerate()
+            .filter(|(_, (&n, &c))| n > 0 || c > 0)
+            .map(|(slot, (&n, &c))| (opcode_name(slot), n, c))
+            .collect()
+    }
+
     /// Publishes execution statistics into `registry` under dotted
     /// `prefix` names: counters `<prefix>.retired`, `<prefix>.cycles`,
-    /// `<prefix>.stalls`, per-opcode counters `<prefix>.op.<MNEMONIC>`,
-    /// and a gauge `<prefix>.cpi`.
+    /// `<prefix>.stalls`, per-opcode counters `<prefix>.op.<MNEMONIC>`
+    /// and `<prefix>.opcycles.<MNEMONIC>`, and a gauge `<prefix>.cpi`.
     ///
     /// This publishes unconditionally; use [`Machine::publish_obs`] for
     /// the `PRINTED_OBS`-gated global-registry variant.
@@ -451,6 +474,9 @@ impl Machine {
         registry.add(&format!("{prefix}.stalls"), self.summary.stalls);
         for (mnemonic, n) in self.opcode_histogram() {
             registry.add(&format!("{prefix}.op.{mnemonic}"), n);
+        }
+        for (mnemonic, _, cycles) in self.cpi_breakdown() {
+            registry.add(&format!("{prefix}.opcycles.{mnemonic}"), cycles);
         }
         if self.summary.instructions > 0 {
             registry.gauge(&format!("{prefix}.cpi"), self.summary.cpi());
@@ -484,7 +510,7 @@ fn program_hash(program: &[Instruction]) -> u64 {
 /// (state, statistics, and the pipeline hazard window all round-trip).
 impl Snapshot for Machine {
     const KIND: &'static str = "core.machine";
-    const VERSION: u32 = 1;
+    const VERSION: u32 = 2;
 
     fn save_state(&self, w: &mut SnapshotWriter) {
         w.str(&self.config.name());
@@ -501,6 +527,7 @@ impl Snapshot for Machine {
         w.u64(self.summary.dmem_writes);
         w.bool(self.summary.halted);
         w.u64s(&self.opcode_counts);
+        w.u64s(&self.opcode_cycles);
         w.usize(self.in_flight.len());
         for ws in &self.in_flight {
             w.opt_u64(ws.mem.map(u64::from));
@@ -563,6 +590,12 @@ impl Snapshot for Machine {
                 field: "opcode_counts",
                 detail: format!("snapshot has {} opcode slots, expected {OPCODE_SLOTS}", v.len()),
             })?;
+        let cycles_per_op = r.u64s()?;
+        let opcode_cycles: [u64; OPCODE_SLOTS] =
+            cycles_per_op.try_into().map_err(|v: Vec<u64>| SnapshotError::Mismatch {
+                field: "opcode_cycles",
+                detail: format!("snapshot has {} opcode slots, expected {OPCODE_SLOTS}", v.len()),
+            })?;
         let in_flight_len = r.usize()?;
         let mut in_flight = VecDeque::with_capacity(in_flight_len);
         for _ in 0..in_flight_len {
@@ -597,6 +630,7 @@ impl Snapshot for Machine {
         self.flags = flags;
         self.summary = summary;
         self.opcode_counts = opcode_counts;
+        self.opcode_cycles = opcode_cycles;
         self.in_flight = in_flight;
         self.halted = halted;
         for (addr, &value) in words.iter().enumerate() {
@@ -755,6 +789,38 @@ mod tests {
         ];
         let deep = run(CoreConfig::new(2, 8, 2), prog, &[]);
         assert!(deep.summary().stalls >= 2, "taken loop branches flush the fetch");
+    }
+
+    #[test]
+    fn cpi_breakdown_sums_to_total_cycles() {
+        let prog = vec![
+            I::Store { dst: Operand::direct(0), imm: 3 },
+            I::Store { dst: Operand::direct(1), imm: 1 },
+            I::Alu { op: AluOp::Sub, dst: Operand::direct(0), src: Operand::direct(1) },
+            I::Branch { negate: true, target: 2, mask: Flags::Z },
+        ];
+        // Both a single-cycle core and a pipeline with data-hazard
+        // stalls and branch bubbles must tile their cycles exactly.
+        for stages in [1usize, 3] {
+            let m = run(CoreConfig::new(stages, 8, 2), prog.clone(), &[]);
+            let breakdown = m.cpi_breakdown();
+            let cycles: u64 = breakdown.iter().map(|(_, _, c)| c).sum();
+            assert_eq!(
+                cycles,
+                m.summary().cycles,
+                "{stages}-stage: per-opcode cycles must sum to the machine total"
+            );
+            let retired: u64 = breakdown.iter().map(|(_, n, _)| n).sum();
+            assert_eq!(retired, m.summary().instructions);
+            // Cycle attribution never undercounts an opcode's retirals.
+            for &(mnemonic, n, c) in &breakdown {
+                assert!(c >= n, "{mnemonic}: {c} cycles for {n} instructions");
+            }
+        }
+        // The deep pipeline's branch slot absorbs the flush bubbles.
+        let deep = run(CoreConfig::new(3, 8, 2), prog, &[]);
+        let branch = deep.cpi_breakdown().iter().find(|(m, _, _)| *m == "BRANCH").copied().unwrap();
+        assert!(branch.2 > branch.1, "taken branches cost extra bubble cycles");
     }
 
     #[test]

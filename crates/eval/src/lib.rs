@@ -18,8 +18,11 @@
 //! - [`report`]: text-table rendering,
 //! - [`static_report`]: dataflow + lint + STA evidence over every
 //!   design point, with the `printed-static-report/v1` JSON artifact,
-//! - [`perf_report`]: observability spans per eval stage and the
-//!   `perf_summary` artifact (see DESIGN.md "Observability"),
+//! - [`perf_report`]: observability spans per eval stage, the
+//!   `perf_summary` artifact, and the `printed-profile/v1` hotspot +
+//!   CPI attribution (see DESIGN.md "Observability"),
+//! - [`regression`]: the `BENCH_history.jsonl` perf ledger's
+//!   regression gate and its `printed-regression/v1` verdict,
 //! - [`pipeline`]: supervised stage execution — panic isolation,
 //!   retries, per-stage deadlines, and the `manifest.json`
 //!   completeness record (see DESIGN.md "Resilience").
@@ -36,6 +39,7 @@ pub mod lockstep;
 pub mod manufacturing;
 pub mod perf_report;
 pub mod pipeline;
+pub mod regression;
 pub mod report;
 pub mod robustness;
 pub mod static_report;

@@ -19,6 +19,7 @@
 //! per-counter plumbing here.
 
 use crate::report::TextTable;
+use printed_netlist::profile::SimProfile;
 use printed_obs as obs;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -88,7 +89,7 @@ pub fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
 pub fn perf_summary(registry: &obs::Registry) -> TextTable {
     let mut table = TextTable::new(
         "Perf summary (per stage)",
-        &["stage", "count", "total_ms", "mean_ms", "peak_rss_kb"],
+        &["stage", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "peak_rss_kb"],
     );
     for (path, s) in registry.snapshot_spans() {
         let rss = registry
@@ -99,6 +100,9 @@ pub fn perf_summary(registry: &obs::Registry) -> TextTable {
             s.count.to_string(),
             format!("{:.3}", s.total_ns as f64 / 1e6),
             format!("{:.3}", s.mean_ns() / 1e6),
+            format!("{:.3}", s.p50_ns() as f64 / 1e6),
+            format!("{:.3}", s.p95_ns() as f64 / 1e6),
+            format!("{:.3}", s.p99_ns() as f64 / 1e6),
             rss,
         ]);
     }
@@ -107,25 +111,160 @@ pub fn perf_summary(registry: &obs::Registry) -> TextTable {
 
 /// Dumps the full registry as CSV: one row per metric with a `kind`
 /// discriminator. Spans report nanosecond statistics; counters and
-/// gauges report a single `value`; histograms report count/sum/min/max.
+/// gauges report a single `value`; histograms and spans additionally
+/// report bucket-interpolated p50/p95/p99 (see
+/// [`obs::Histogram::percentile`]).
 pub fn perf_summary_csv(registry: &obs::Registry) -> String {
-    let mut out = String::from("kind,name,count,sum,min,max,value\n");
+    let mut out = String::from("kind,name,count,sum,min,max,value,p50,p95,p99\n");
     for (name, v) in registry.snapshot_counters() {
-        out.push_str(&format!("counter,{name},,,,,{v}\n"));
+        out.push_str(&format!("counter,{name},,,,,{v},,,\n"));
     }
     for (name, v) in registry.snapshot_gauges() {
-        out.push_str(&format!("gauge,{name},,,,,{v}\n"));
+        out.push_str(&format!("gauge,{name},,,,,{v},,,\n"));
     }
     for (name, h) in registry.snapshot_histograms() {
-        out.push_str(&format!("histogram,{name},{},{},{},{},\n", h.count, h.sum, h.min, h.max));
+        out.push_str(&format!(
+            "histogram,{name},{},{},{},{},,{},{},{}\n",
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.p50(),
+            h.p95(),
+            h.p99()
+        ));
     }
     for (path, s) in registry.snapshot_spans() {
         out.push_str(&format!(
-            "span,{path},{},{},{},{},\n",
-            s.count, s.total_ns, s.min_ns, s.max_ns
+            "span,{path},{},{},{},{},,{},{},{}\n",
+            s.count,
+            s.total_ns,
+            s.min_ns,
+            s.max_ns,
+            s.p50_ns(),
+            s.p95_ns(),
+            s.p99_ns()
         ));
     }
     out
+}
+
+/// Renders a gate-level hotspot attribution as a text table: the top-K
+/// gates by eval count with cell class, driven net, level, toggles, and
+/// toggle energy (see [`printed_netlist::profile::profile`]).
+pub fn hotspot_table(profile: &SimProfile) -> TextTable {
+    let mut table = TextTable::new(
+        format!(
+            "Hotspot attribution: {} ({} cycles, {} gate evals)",
+            profile.design, profile.cycles, profile.gate_evals
+        ),
+        &["gate", "cell", "output", "level", "evals", "evals_pct", "toggles", "energy_nj"],
+    );
+    for h in &profile.hotspots {
+        let pct = if profile.gate_evals == 0 {
+            0.0
+        } else {
+            100.0 * h.evals as f64 / profile.gate_evals as f64
+        };
+        table.row(vec![
+            h.gate.to_string(),
+            format!("{:?}", h.cell),
+            h.output.clone(),
+            h.level.map_or_else(|| "-".to_string(), |l| l.to_string()),
+            h.evals.to_string(),
+            format!("{pct:.1}"),
+            h.toggles.to_string(),
+            format!("{:.3}", h.toggle_energy_nj),
+        ]);
+    }
+    table
+}
+
+/// Renders a per-opcode CPI breakdown (see
+/// [`printed_core::sim::Machine::cpi_breakdown`]) as a text table. The
+/// cycle column tiles the machine's total exactly.
+pub fn cpi_table(breakdown: &[(&'static str, u64, u64)]) -> TextTable {
+    let total_cycles: u64 = breakdown.iter().map(|&(_, _, c)| c).sum();
+    let mut table = TextTable::new(
+        format!("CPI breakdown ({total_cycles} cycles)"),
+        &["opcode", "retired", "cycles", "cpi", "cycles_pct"],
+    );
+    for &(mnemonic, retired, cycles) in breakdown {
+        let cpi = if retired == 0 { 0.0 } else { cycles as f64 / retired as f64 };
+        let pct = if total_cycles == 0 { 0.0 } else { 100.0 * cycles as f64 / total_cycles as f64 };
+        table.row(vec![
+            mnemonic.to_string(),
+            retired.to_string(),
+            cycles.to_string(),
+            format!("{cpi:.2}"),
+            format!("{pct:.1}"),
+        ]);
+    }
+    table
+}
+
+/// Renders the combined hotspot + CPI attribution as the
+/// `printed-profile/v1` JSON artifact. `breakdown` is the machine's
+/// per-opcode (mnemonic, retired, cycles) tiling; pass an empty slice
+/// when only the netlist side was profiled.
+pub fn profile_artifact_json(
+    profile: &SimProfile,
+    breakdown: &[(&'static str, u64, u64)],
+) -> String {
+    use obs::json::{escape, number};
+    let hotspots: Vec<String> = profile
+        .hotspots
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"gate\": {}, \"cell\": {}, \"output\": {}, \"level\": {}, \
+                 \"evals\": {}, \"toggles\": {}, \"energy_nj\": {}}}",
+                h.gate,
+                escape(&format!("{:?}", h.cell)),
+                escape(&h.output),
+                h.level.map_or_else(|| "null".to_string(), |l| l.to_string()),
+                h.evals,
+                h.toggles,
+                number(h.toggle_energy_nj)
+            )
+        })
+        .collect();
+    let levels: Vec<String> = profile
+        .levels
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"level\": {}, \"gates\": {}, \"evals\": {}, \"toggles\": {}}}",
+                l.level, l.gates, l.evals, l.toggles
+            )
+        })
+        .collect();
+    let machine_cycles: u64 = breakdown.iter().map(|&(_, _, c)| c).sum();
+    let opcodes: Vec<String> = breakdown
+        .iter()
+        .map(|&(mnemonic, retired, cycles)| {
+            format!(
+                "{{\"op\": {}, \"retired\": {retired}, \"cycles\": {cycles}}}",
+                escape(mnemonic)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"printed-profile/v1\",\n  \"design\": {},\n  \
+         \"cycles\": {},\n  \"gate_evals\": {},\n  \"attributed_evals\": {},\n  \
+         \"total_toggles\": {},\n  \"toggle_energy_nj\": {},\n  \"hotspots\": [{}],\n  \
+         \"levels\": [{}],\n  \"machine\": {{\"cycles\": {}, \"opcodes\": [{}]}}\n}}\n",
+        escape(&profile.design),
+        profile.cycles,
+        profile.gate_evals,
+        profile.attributed_evals,
+        profile.total_toggles,
+        number(profile.toggle_energy_nj),
+        hotspots.join(", "),
+        levels.join(", "),
+        machine_cycles,
+        opcodes.join(", "),
+    )
 }
 
 #[cfg(test)]
@@ -172,6 +311,80 @@ mod tests {
         assert!(path.ends_with("perf.csv"));
         assert!(err.to_string().contains("failed to write"));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    fn sample_profile() -> SimProfile {
+        use printed_netlist::profile::{GateHotspot, LevelProfile};
+        use printed_pdk::CellKind;
+        SimProfile {
+            design: "p1_4_2".to_string(),
+            cycles: 64,
+            gate_evals: 100,
+            attributed_evals: 100,
+            total_toggles: 40,
+            toggle_energy_nj: 1.25,
+            hotspots: vec![
+                GateHotspot {
+                    gate: 7,
+                    cell: CellKind::Nand2,
+                    output: "y[0]".to_string(),
+                    level: Some(3),
+                    evals: 60,
+                    toggles: 25,
+                    toggle_energy_nj: 0.75,
+                },
+                GateHotspot {
+                    gate: 2,
+                    cell: CellKind::Dff,
+                    output: "q[1]".to_string(),
+                    level: None,
+                    evals: 0,
+                    toggles: 15,
+                    toggle_energy_nj: 0.5,
+                },
+            ],
+            levels: vec![LevelProfile { level: 3, gates: 1, evals: 60, toggles: 25 }],
+        }
+    }
+
+    #[test]
+    fn hotspot_table_ranks_and_marks_sequential_cells() {
+        let table = hotspot_table(&sample_profile());
+        let text = table.to_string();
+        assert_eq!(table.len(), 2);
+        assert!(text.contains("Nand2"));
+        assert!(text.contains("y[0]"));
+        assert!(text.contains("60.0"), "eval share of the hottest gate:\n{text}");
+        assert!(text.lines().any(|l| l.contains("Dff") && l.contains(" - ")), "{text}");
+    }
+
+    #[test]
+    fn cpi_table_tiles_cycles() {
+        let breakdown = [("ALU.ADD", 10u64, 14u64), ("BRANCH", 4, 8)];
+        let table = cpi_table(&breakdown);
+        let text = table.to_string();
+        assert!(text.contains("22 cycles"), "title carries the tiled total:\n{text}");
+        assert!(text.contains("1.40"), "ALU.ADD CPI:\n{text}");
+        assert!(text.contains("2.00"), "BRANCH CPI:\n{text}");
+    }
+
+    #[test]
+    fn profile_artifact_parses_and_sum_checks() {
+        let profile = sample_profile();
+        let breakdown = [("ALU.ADD", 10u64, 14u64), ("BRANCH", 4, 8)];
+        let json = profile_artifact_json(&profile, &breakdown);
+        let v = obs::json::parse(&json).expect("artifact is valid JSON");
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("printed-profile/v1"));
+        assert_eq!(v.get("gate_evals").and_then(obs::json::Value::as_f64), Some(100.0));
+        assert_eq!(v.get("attributed_evals").and_then(obs::json::Value::as_f64), Some(100.0));
+        let hotspots = match v.get("hotspots") {
+            Some(obs::json::Value::Array(a)) => a,
+            other => panic!("hotspots must be an array, got {other:?}"),
+        };
+        assert_eq!(hotspots.len(), 2);
+        assert_eq!(hotspots[1].get("level"), Some(&obs::json::Value::Null));
+        let machine = v.get("machine").expect("machine section");
+        assert_eq!(machine.get("cycles").and_then(obs::json::Value::as_f64), Some(22.0));
     }
 
     #[test]

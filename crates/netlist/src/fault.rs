@@ -1004,16 +1004,26 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
         }
         let queue = Mutex::new(work);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
+            let queue = &queue;
+            let pristine = &pristine;
+            let classify_one = &classify_one;
+            let progress = &progress;
+            let done = &done;
+            for worker in 0..workers {
+                scope.spawn(move || {
+                    // Each worker thread is one lane in the chrome
+                    // trace; per-chunk spans make the claim/run cadence
+                    // visible as a timeline.
+                    obs::chrome::name_lane(&format!("campaign-worker-{worker}"));
                     let worker_sim = pristine.clone();
                     loop {
                         let claimed =
                             queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop();
                         let Some((chunk_faults, chunk_slots)) = claimed else { break };
+                        let _chunk_span = obs::span!("netlist.fault.chunk");
                         for (slot, &fault) in chunk_slots.iter_mut().zip(chunk_faults) {
                             *slot = Some(classify_one(&worker_sim, fault));
-                            progress(&done);
+                            progress(done);
                         }
                     }
                 });

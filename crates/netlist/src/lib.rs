@@ -62,6 +62,7 @@ pub mod fault;
 pub mod ir;
 pub mod lint;
 pub mod opt;
+pub mod profile;
 pub mod resilience;
 pub mod sim;
 pub mod snapshot;

@@ -731,8 +731,16 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
         }
         let queue = Mutex::new(work);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
+            let queue = &queue;
+            let pristine = &pristine;
+            let stop = &stop;
+            let supervise = &supervise;
+            let record = &record;
+            for worker in 0..workers {
+                scope.spawn(move || {
+                    // One chrome-trace lane per supervised worker, like
+                    // the plain campaign's workers.
+                    obs::chrome::name_lane(&format!("supervised-worker-{worker}"));
                     let worker_sim = pristine.clone();
                     loop {
                         if stop.load(Ordering::Relaxed) {
@@ -743,6 +751,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
                         let Some((chunk_start, chunk_faults, chunk_slots)) = claimed else {
                             break;
                         };
+                        let _chunk_span = obs::span!("resilience.chunk");
                         for (offset, (slot, &fault)) in
                             chunk_slots.iter_mut().zip(chunk_faults).enumerate()
                         {

@@ -55,6 +55,11 @@ use std::sync::Arc;
 pub struct ActivityStats {
     /// Output toggles observed per gate (indexed like `Netlist::gates`).
     pub toggles: Vec<u64>,
+    /// Combinational evaluations performed per gate (indexed like
+    /// `Netlist::gates`; always zero for sequential cells). Sums to
+    /// [`ActivityStats::gate_evals`] — the hotspot profiler's
+    /// attribution of the engine's unit of work to individual gates.
+    pub eval_counts: Vec<u64>,
     /// Clock cycles simulated.
     pub cycles: u64,
     /// Combinational gate evaluations performed — the simulator's unit
@@ -296,6 +301,7 @@ impl<'a> Simulator<'a> {
             prev_values: vec![false; netlist.net_count()],
             stats: ActivityStats {
                 toggles: vec![0; netlist.gate_count()],
+                eval_counts: vec![0; netlist.gate_count()],
                 ..ActivityStats::default()
             },
             faults: None,
@@ -510,6 +516,7 @@ impl<'a> Simulator<'a> {
         for (gate_id, gate) in self.netlist.topo_order() {
             self.stats.gate_evals += 1;
             let gi = gate_id.index();
+            self.stats.eval_counts[gi] += 1;
             let mut out = match gate.kind {
                 CellKind::Inv => !self.values[gate.inputs[0].index()],
                 CellKind::Nand2 => {
@@ -643,6 +650,7 @@ impl<'a> Simulator<'a> {
                 for k in base..base + len {
                     let gi = bucket_store[k] as usize;
                     slot[gi] &= !Self::QUEUED;
+                    stats.eval_counts[gi] += 1;
                     let op = ops[gi];
                     let a = values[op.a as usize];
                     let b = values[op.b as usize];
@@ -992,6 +1000,16 @@ impl<'a> Simulator<'a> {
         &self.stats
     }
 
+    /// Combinational depth (levelization level) of one gate, or `None`
+    /// for sequential cells, which sit outside the levelized order. The
+    /// hotspot profiler uses this to aggregate work per level.
+    pub fn gate_depth(&self, gate: usize) -> Option<u32> {
+        match self.slot.get(gate) {
+            Some(&s) if s != u32::MAX => Some(s & !Self::QUEUED),
+            _ => None,
+        }
+    }
+
     /// Publishes the accumulated activity statistics into `registry`
     /// under dotted `prefix` names: counters `<prefix>.cycles`,
     /// `<prefix>.gate_evals`, `<prefix>.settle_passes`,
@@ -1058,7 +1076,7 @@ impl<'a> Simulator<'a> {
 /// reflecting the extra reseed pass.
 impl Snapshot for Simulator<'_> {
     const KIND: &'static str = "netlist.sim";
-    const VERSION: u32 = 1;
+    const VERSION: u32 = 2;
 
     fn save_state(&self, w: &mut SnapshotWriter) {
         w.str(self.netlist.name());
@@ -1072,6 +1090,7 @@ impl Snapshot for Simulator<'_> {
         w.bits(&self.state);
         w.bits(&self.prev_values);
         w.u64s(&self.stats.toggles);
+        w.u64s(&self.stats.eval_counts);
         w.u64(self.stats.cycles);
         w.u64(self.stats.gate_evals);
         w.u64(self.stats.settle_passes);
@@ -1116,13 +1135,14 @@ impl Snapshot for Simulator<'_> {
         let state = r.bits()?;
         let prev_values = r.bits()?;
         let toggles = r.u64s()?;
+        let eval_counts = r.u64s()?;
         if values.len() != nets || prev_values.len() != nets {
             return Err(SnapshotError::Mismatch {
                 field: "values",
                 detail: format!("bit vectors sized {}/{nets}", values.len()),
             });
         }
-        if state.len() != gates || toggles.len() != gates {
+        if state.len() != gates || toggles.len() != gates || eval_counts.len() != gates {
             return Err(SnapshotError::Mismatch {
                 field: "state",
                 detail: format!("per-gate vectors sized {}/{gates}", state.len()),
@@ -1139,6 +1159,7 @@ impl Snapshot for Simulator<'_> {
         self.state = state;
         self.prev_values = prev_values;
         self.stats.toggles = toggles;
+        self.stats.eval_counts = eval_counts;
         self.stats.cycles = cycles;
         self.stats.gate_evals = gate_evals;
         self.stats.settle_passes = settle_passes;
@@ -1248,6 +1269,33 @@ mod tests {
             ev.stats().gate_evals <= fs.stats().gate_evals,
             "event engine must not do more work than the full sweep"
         );
+    }
+
+    #[test]
+    fn per_gate_eval_counts_sum_to_gate_evals() {
+        let nl = divider();
+        for engine in [Engine::EventDriven, Engine::FullSweep] {
+            let mut sim = Simulator::with_engine(&nl, engine);
+            sim.run(16).unwrap();
+            let s = sim.stats();
+            assert_eq!(
+                s.eval_counts.iter().sum::<u64>(),
+                s.gate_evals,
+                "{engine:?}: per-gate attribution must tile the engine's total work"
+            );
+            // Sequential cells are never scheduled for evaluation.
+            assert_eq!(s.eval_counts[1], 0, "{engine:?}: the DFF has no comb evals");
+        }
+    }
+
+    #[test]
+    fn gate_depths_cover_combinational_gates_only() {
+        let nl = divider();
+        let sim = Simulator::new(&nl);
+        // Gate 0 is the inverter (depth 0), gate 1 the DFF (no depth).
+        assert_eq!(sim.gate_depth(0), Some(0));
+        assert_eq!(sim.gate_depth(1), None);
+        assert_eq!(sim.gate_depth(usize::MAX), None, "out of range is None, not a panic");
     }
 
     #[test]

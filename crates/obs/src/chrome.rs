@@ -1,0 +1,355 @@
+//! Chrome Trace Event export: renders the span tree and counter
+//! time-series onto per-thread lanes in the JSON object format that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly.
+//!
+//! Collection is driven by the `PRINTED_TRACE_OUT` environment variable:
+//! when set to a path, every [`crate::SpanGuard`] additionally records a
+//! timestamped complete event (`"ph":"X"`) on its thread's lane, every
+//! counter/gauge update appends a counter sample (`"ph":"C"`), and
+//! [`crate::finish`] writes the assembled trace to that path. Collection
+//! works even with `PRINTED_OBS` unset, so
+//! `PRINTED_TRACE_OUT=trace.json cargo run --example quickstart` is
+//! enough to get a timeline.
+//!
+//! Threads appear as separate lanes keyed by a process-unique lane id;
+//! [`name_lane`] attaches a human label (campaign workers register as
+//! `campaign-worker-<n>`). Span nesting survives export because complete
+//! events carry `ts`+`dur`, and a child's interval is contained in its
+//! parent's on the same lane.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Cached tri-state for "is trace collection on": `UNSET` until the
+/// first check, then 0/1.
+static COLLECTING: AtomicU8 = AtomicU8::new(UNSET);
+const UNSET: u8 = 0xFF;
+
+/// Next lane id to hand out; lane 0 is reserved for counter samples.
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's lane id, assigned on first use.
+    static LANE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// One recorded trace event, ready to render.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name: span path, counter name, or `thread_name` metadata.
+    pub name: String,
+    /// Lane (thread) id; counters render on lane 0.
+    pub tid: u64,
+    /// Microseconds since collection started.
+    pub ts_us: u64,
+    /// What kind of event this is.
+    pub kind: EventKind,
+}
+
+/// The subset of Chrome Trace Event phases the exporter emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A completed span (`"ph":"X"`) with its duration in microseconds.
+    Complete {
+        /// Span duration, microseconds.
+        dur_us: u64,
+    },
+    /// A counter sample (`"ph":"C"`).
+    Counter {
+        /// The counter's cumulative value at this instant.
+        value: f64,
+    },
+    /// Lane metadata (`"ph":"M"`, name `thread_name`).
+    Meta {
+        /// Human label for the lane.
+        label: String,
+    },
+}
+
+#[derive(Debug)]
+struct State {
+    epoch: Instant,
+    events: Vec<TraceEvent>,
+    /// Cumulative counter values, so `add` deltas become a time-series
+    /// of absolute values even when the registry is disabled.
+    counters: BTreeMap<String, f64>,
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(State { epoch: Instant::now(), events: Vec::new(), counters: BTreeMap::new() })
+    })
+}
+
+fn lock_state() -> std::sync::MutexGuard<'static, State> {
+    state().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether trace collection is active (one relaxed atomic load after
+/// the first call; the first call reads `PRINTED_TRACE_OUT` once).
+#[inline]
+pub fn collecting() -> bool {
+    match COLLECTING.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = output_path().is_some();
+            COLLECTING.store(u8::from(on), Ordering::Relaxed);
+            if on {
+                drop(lock_state()); // pin the epoch before the first span closes
+            }
+            on
+        }
+    }
+}
+
+/// The trace output path from `PRINTED_TRACE_OUT`, if set and non-empty.
+pub fn output_path() -> Option<String> {
+    match std::env::var("PRINTED_TRACE_OUT") {
+        Ok(p) if !p.is_empty() => Some(p),
+        _ => None,
+    }
+}
+
+/// Turns collection on programmatically (tests, tools) and resets the
+/// event buffer and epoch so timestamps start at zero.
+pub fn start_collecting() {
+    {
+        let mut st = lock_state();
+        st.epoch = Instant::now();
+        st.events.clear();
+        st.counters.clear();
+    }
+    COLLECTING.store(1, Ordering::Relaxed);
+}
+
+/// Turns collection off and returns everything recorded so far.
+pub fn stop_and_drain() -> Vec<TraceEvent> {
+    COLLECTING.store(0, Ordering::Relaxed);
+    std::mem::take(&mut lock_state().events)
+}
+
+/// This thread's lane id, assigning one on first use.
+pub fn lane_id() -> u64 {
+    LANE.with(|lane| {
+        let id = lane.get();
+        if id != 0 {
+            return id;
+        }
+        let id = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+        lane.set(id);
+        // Label the lane from the OS thread name when one exists, so
+        // named threads come out readable without explicit registration.
+        if let Some(name) = std::thread::current().name() {
+            push_meta(id, name);
+        }
+        id
+    })
+}
+
+/// Labels the current thread's lane in the exported trace (emits a
+/// `thread_name` metadata event). No-op when not collecting.
+pub fn name_lane(label: &str) {
+    if collecting() {
+        push_meta(lane_id(), label);
+    }
+}
+
+fn push_meta(tid: u64, label: &str) {
+    let mut st = lock_state();
+    let ts_us = st.epoch.elapsed().as_micros() as u64;
+    st.events.push(TraceEvent {
+        name: "thread_name".to_string(),
+        tid,
+        ts_us,
+        kind: EventKind::Meta { label: label.to_string() },
+    });
+}
+
+/// Records one completed span on the current thread's lane.
+pub(crate) fn record_span(path: &str, start: Instant, ns: u64) {
+    let tid = lane_id();
+    let mut st = lock_state();
+    let ts_us = start.checked_duration_since(st.epoch).map_or(0, |d| d.as_micros() as u64);
+    st.events.push(TraceEvent {
+        name: path.to_string(),
+        tid,
+        ts_us,
+        kind: EventKind::Complete { dur_us: ns / 1_000 },
+    });
+}
+
+/// Records a counter increment as a cumulative counter sample.
+pub(crate) fn record_counter_add(name: &str, n: u64) {
+    let mut st = lock_state();
+    let value = {
+        let slot = st.counters.entry(name.to_string()).or_insert(0.0);
+        *slot += n as f64;
+        *slot
+    };
+    push_counter(&mut st, name, value);
+}
+
+/// Records a gauge update as a counter sample of its absolute value.
+pub(crate) fn record_counter_set(name: &str, value: f64) {
+    let mut st = lock_state();
+    st.counters.insert(name.to_string(), value);
+    push_counter(&mut st, name, value);
+}
+
+fn push_counter(st: &mut State, name: &str, value: f64) {
+    let ts_us = st.epoch.elapsed().as_micros() as u64;
+    st.events.push(TraceEvent {
+        name: name.to_string(),
+        tid: 0,
+        ts_us,
+        kind: EventKind::Counter { value },
+    });
+}
+
+/// Renders events as a Chrome Trace Event JSON object
+/// (`{"displayTimeUnit":"ms","traceEvents":[...]}`), loadable by
+/// Perfetto and `chrome://tracing`.
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match &e.kind {
+            EventKind::Complete { dur_us } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\
+                     \"tid\":{},\"ts\":{},\"dur\":{}}}",
+                    json::escape(&e.name),
+                    e.tid,
+                    e.ts_us,
+                    dur_us
+                );
+            }
+            EventKind::Counter { value } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"cat\":\"counter\",\"ph\":\"C\",\"pid\":1,\
+                     \"tid\":{},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                    json::escape(&e.name),
+                    e.tid,
+                    e.ts_us,
+                    json::number(*value)
+                );
+            }
+            EventKind::Meta { label } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
+                     \"tid\":{},\"ts\":{},\"args\":{{\"name\":{}}}}}",
+                    e.tid,
+                    e.ts_us,
+                    json::escape(label)
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// If `PRINTED_TRACE_OUT` is set, drains the collected events and
+/// writes the rendered trace there; returns the path written. Errors
+/// are reported to stderr rather than panicking — observability must
+/// never take the workload down.
+pub fn write_if_requested() -> Option<String> {
+    let path = output_path()?;
+    let events = std::mem::take(&mut lock_state().events);
+    let rendered = render(&events);
+    match std::fs::write(&path, rendered) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("printed-obs: failed to write trace to {path}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+
+    fn events_of(trace: &Value) -> &Vec<Value> {
+        match trace.get("traceEvents") {
+            Some(Value::Array(a)) => a,
+            other => panic!("traceEvents missing or not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_produces_valid_chrome_trace_json() {
+        let events = vec![
+            TraceEvent {
+                name: "outer".into(),
+                tid: 1,
+                ts_us: 0,
+                kind: EventKind::Complete { dur_us: 100 },
+            },
+            TraceEvent {
+                name: "x.count".into(),
+                tid: 0,
+                ts_us: 5,
+                kind: EventKind::Counter { value: 3.0 },
+            },
+            TraceEvent {
+                name: "thread_name".into(),
+                tid: 1,
+                ts_us: 0,
+                kind: EventKind::Meta { label: "main".into() },
+            },
+        ];
+        let parsed = json::parse(&render(&events)).expect("rendered trace parses");
+        let list = events_of(&parsed);
+        assert_eq!(list.len(), 3);
+        for ev in list {
+            assert!(ev.get("ph").is_some(), "{ev:?}");
+            assert!(ev.get("pid").is_some(), "{ev:?}");
+            assert!(ev.get("tid").is_some(), "{ev:?}");
+        }
+        let span = &list[0];
+        assert_eq!(span.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(span.get("dur").and_then(Value::as_f64), Some(100.0));
+        let counter = &list[1];
+        assert_eq!(counter.get("ph").and_then(Value::as_str), Some("C"));
+        let meta = &list[2];
+        assert_eq!(meta.get("ph").and_then(Value::as_str), Some("M"));
+        assert_eq!(
+            meta.get("args").and_then(|a| a.get("name")).and_then(Value::as_str),
+            Some("main")
+        );
+    }
+
+    #[test]
+    fn render_escapes_names() {
+        let events = vec![TraceEvent {
+            name: "weird\"name\\with\nescapes".into(),
+            tid: 2,
+            ts_us: 1,
+            kind: EventKind::Complete { dur_us: 1 },
+        }];
+        let parsed = json::parse(&render(&events)).expect("escaped names still parse");
+        let list = events_of(&parsed);
+        assert_eq!(list[0].get("name").and_then(Value::as_str), Some("weird\"name\\with\nescapes"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let parsed = json::parse(&render(&[])).expect("empty trace parses");
+        assert!(events_of(&parsed).is_empty());
+    }
+}

@@ -315,6 +315,47 @@ mod tests {
     }
 
     #[test]
+    fn parses_escaped_strings() {
+        let v = parse(r#"{"k":"a\"b\\c\/d\b\f\n\r\t","u":"Aé☃"}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_str), Some("a\"b\\c/d\u{8}\u{c}\n\r\t"));
+        assert_eq!(v.get("u").and_then(Value::as_str), Some("Aé☃"));
+        // Invalid escapes are rejected with a useful offset.
+        for bad in [r#""\x""#, r#""\u12""#, r#""\u12zz""#, "\"\\\""] {
+            let err = parse(bad).expect_err(bad);
+            assert!(err.offset <= bad.len(), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_deeply_nested_objects_on_one_line() {
+        let line = r#"{"a":{"b":{"c":{"d":[{"e":1},{"f":[2,3,{"g":"h"}]}]}},"tail":true}}"#;
+        let v = parse(line).unwrap();
+        let d =
+            v.get("a").and_then(|x| x.get("b")).and_then(|x| x.get("c")).and_then(|x| x.get("d"));
+        let items = match d {
+            Some(Value::Array(items)) => items,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(items[0].get("e").and_then(Value::as_f64), Some(1.0));
+        let f = match items[1].get("f") {
+            Some(Value::Array(f)) => f,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(f[2].get("g").and_then(Value::as_str), Some("h"));
+        assert_eq!(v.get("a").and_then(|x| x.get("tail")), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        for bad in ["{} extra", "{\"a\":1}{\"b\":2}", "[1,2] ,", "true false", "1 2", "null,"] {
+            let err = parse(bad).expect_err(bad);
+            assert!(err.message.contains("trailing") || err.offset > 0, "{bad}: {err}");
+        }
+        // Leading/trailing whitespace alone is fine.
+        assert!(parse("  {\"a\":1}  \n").is_ok());
+    }
+
+    #[test]
     fn number_formats_are_json_safe() {
         assert_eq!(number(1.5), "1.5");
         assert_eq!(number(f64::NAN), "null");

@@ -10,6 +10,38 @@ use std::sync::Mutex;
 /// whose bit length is `i` (bucket 0 is the value zero).
 const BUCKETS: usize = 65;
 
+/// Estimates the `q`-quantile (0.0..=1.0) from power-of-two buckets by
+/// linear interpolation inside the bucket containing the target rank,
+/// clamped to the observed `[min, max]` range. Returns 0 when empty.
+fn bucket_percentile(buckets: &[u64; BUCKETS], count: u64, min: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if seen + c >= rank {
+            // Bucket `i` holds values of bit length `i`.
+            let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+            let hi = if i == 0 {
+                0
+            } else if i == 64 {
+                u64::MAX
+            } else {
+                (1u64 << i) - 1
+            };
+            let frac = (rank - seen) as f64 / c as f64;
+            let est = lo.saturating_add(((hi - lo) as f64 * frac) as u64);
+            return est.clamp(min, max);
+        }
+        seen += c;
+    }
+    max
+}
+
 /// A fixed-bucket power-of-two histogram over `u64` values.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
@@ -54,6 +86,29 @@ impl Histogram {
         }
     }
 
+    /// Estimated `q`-quantile (0.0..=1.0) of recorded values. The
+    /// power-of-two buckets make this approximate: exact to within the
+    /// containing bucket, linearly interpolated inside it, and always
+    /// within the observed `[min, max]` range.
+    pub fn percentile(&self, q: f64) -> u64 {
+        bucket_percentile(&self.buckets, self.count, self.min, self.max, q)
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
     /// Non-empty buckets as `(bit_length, count)` pairs, ascending.
     pub fn buckets(&self) -> Vec<(u32, u64)> {
         self.buckets
@@ -66,7 +121,7 @@ impl Histogram {
 }
 
 /// Aggregated timings of one span path.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanStats {
     /// Completed spans recorded under this path.
     pub count: u64,
@@ -76,6 +131,13 @@ pub struct SpanStats {
     pub min_ns: u64,
     /// Longest span, nanoseconds.
     pub max_ns: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for SpanStats {
+    fn default() -> Self {
+        SpanStats { count: 0, total_ns: 0, min_ns: 0, max_ns: 0, buckets: [0; BUCKETS] }
+    }
 }
 
 impl SpanStats {
@@ -89,6 +151,7 @@ impl SpanStats {
         }
         self.count += 1;
         self.total_ns = self.total_ns.saturating_add(ns);
+        self.buckets[(64 - ns.leading_zeros()) as usize] += 1;
     }
 
     /// Mean span duration in nanoseconds (0 when empty).
@@ -98,6 +161,27 @@ impl SpanStats {
         } else {
             self.total_ns as f64 / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (0.0..=1.0) of span durations in
+    /// nanoseconds; same bucket interpolation as [`Histogram::percentile`].
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        bucket_percentile(&self.buckets, self.count, self.min_ns, self.max_ns, q)
+    }
+
+    /// Estimated median duration, nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(0.50)
+    }
+
+    /// Estimated 95th-percentile duration, nanoseconds.
+    pub fn p95_ns(&self) -> u64 {
+        self.percentile_ns(0.95)
+    }
+
+    /// Estimated 99th-percentile duration, nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(0.99)
     }
 }
 
@@ -207,14 +291,18 @@ impl Registry {
         let inner = self.lock();
         let mut out = String::from("== printed-obs summary ==\n");
         if !inner.spans.is_empty() {
-            out.push_str("spans (path: count, total ms, mean ms):\n");
+            out.push_str("spans (path: count, total ms, mean ms, p50/p95/p99 ms):\n");
             for (path, s) in &inner.spans {
                 let _ = writeln!(
                     out,
-                    "  {path}: {} x, {:.3} ms total, {:.3} ms mean",
+                    "  {path}: {} x, {:.3} ms total, {:.3} ms mean, \
+                     {:.3}/{:.3}/{:.3} ms p50/p95/p99",
                     s.count,
                     s.total_ns as f64 / 1e6,
-                    s.mean_ns() / 1e6
+                    s.mean_ns() / 1e6,
+                    s.p50_ns() as f64 / 1e6,
+                    s.p95_ns() as f64 / 1e6,
+                    s.p99_ns() as f64 / 1e6
                 );
             }
         }
@@ -231,13 +319,16 @@ impl Registry {
             }
         }
         if !inner.histograms.is_empty() {
-            out.push_str("histograms (name: count, mean, min..max):\n");
+            out.push_str("histograms (name: count, mean, p50/p95/p99, min..max):\n");
             for (name, h) in &inner.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name}: {} x, mean {:.2}, {}..{}",
+                    "  {name}: {} x, mean {:.2}, p50/p95/p99 {}/{}/{}, {}..{}",
                     h.count,
                     h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
                     h.min,
                     h.max
                 );
@@ -272,12 +363,15 @@ impl Registry {
             let _ = writeln!(
                 out,
                 "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\
-                 \"min\":{},\"max\":{},\"buckets\":[{}]}}",
+                 \"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
                 json::escape(name),
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
+                h.p50(),
+                h.p95(),
+                h.p99(),
                 buckets.join(",")
             );
         }
@@ -285,12 +379,15 @@ impl Registry {
             let _ = writeln!(
                 out,
                 "{{\"type\":\"span\",\"name\":{},\"count\":{},\"total_ns\":{},\
-                 \"min_ns\":{},\"max_ns\":{}}}",
+                 \"min_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
                 json::escape(path),
                 s.count,
                 s.total_ns,
                 s.min_ns,
-                s.max_ns
+                s.max_ns,
+                s.p50_ns(),
+                s.p95_ns(),
+                s.p99_ns()
             );
         }
         out
@@ -315,6 +412,51 @@ mod tests {
         assert!((h.mean() - 201.2).abs() < 1e-9);
         // 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 1000 -> 10.
         assert_eq!(h.buckets(), vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Bucket resolution is a power of two, so allow the estimate to
+        // land anywhere inside the containing bucket.
+        let p50 = h.p50();
+        assert!((32..=64).contains(&p50), "p50 = {p50}");
+        let p95 = h.p95();
+        assert!((64..=100).contains(&p95), "p95 = {p95}");
+        let p99 = h.p99();
+        assert!((64..=100).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99, "monotone: {p50} {p95} {p99}");
+    }
+
+    #[test]
+    fn percentiles_clamp_to_observed_range_and_handle_empty() {
+        let empty = Histogram::default();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+        let mut h = Histogram::default();
+        h.record(1000);
+        assert_eq!(h.p50(), 1000);
+        assert_eq!(h.p99(), 1000);
+        let mut one_bucket = Histogram::default();
+        one_bucket.record(33);
+        one_bucket.record(47);
+        let p99 = one_bucket.p99();
+        assert!((33..=47).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn span_percentiles_track_durations() {
+        let reg = Registry::new();
+        for ns in [100u64, 110, 120, 130, 10_000] {
+            reg.record_span("p.span", ns);
+        }
+        let s = reg.span_stats("p.span").unwrap();
+        assert!(s.p50_ns() <= 255, "p50 in the ~100ns bucket, got {}", s.p50_ns());
+        assert!(s.p99_ns() >= 8192, "p99 pulled up by the outlier, got {}", s.p99_ns());
+        assert!(s.p99_ns() <= s.max_ns);
     }
 
     #[test]

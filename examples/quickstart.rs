@@ -98,5 +98,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ch.power.total().as_milliwatts()
         );
     }
+
+    // 6. Attribute the work: which gates the event engine actually
+    //    evaluated, and where the machine's cycles went per opcode.
+    {
+        use printed_microprocessors::eval::perf_report;
+        use printed_microprocessors::netlist::profile;
+        let gate_profile =
+            profile::profile(gate_machine.simulator(), Technology::Egfet.library(), 10);
+        let breakdown = machine.cpi_breakdown();
+        println!("{}", perf_report::hotspot_table(&gate_profile));
+        println!("{}", perf_report::cpi_table(&breakdown));
+        if let Ok(path) = std::env::var("PRINTED_PROFILE_OUT") {
+            if !path.is_empty() {
+                let artifact = perf_report::profile_artifact_json(&gate_profile, &breakdown);
+                perf_report::write_artifact(&path, &artifact)?;
+                println!("wrote {path} (printed-profile/v1)");
+            }
+        }
+    }
+
+    // Flush observability: writes the Chrome trace when
+    // PRINTED_TRACE_OUT is set (open it in Perfetto).
+    printed_microprocessors::obs::finish();
     Ok(())
 }
