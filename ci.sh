@@ -36,6 +36,12 @@ FAULT_CSV_OUT="$csv_dir/warm.csv" PRINTED_WARM_START=1 PRINTED_SIM_THREADS=2 \
 cmp "$csv_dir/t1.csv" "$csv_dir/warm.csv" \
     || { echo "warm-started campaign CSV differs from the cold run"; exit 1; }
 
+echo "==> bitsliced campaign engine matches the scalar reference byte for byte (PRINTED_BITSLICED=0 vs default)"
+FAULT_CSV_OUT="$csv_dir/scalar.csv" PRINTED_BITSLICED=0 PRINTED_SIM_THREADS=2 \
+    cargo run --release --example fault_injection >/dev/null
+cmp "$csv_dir/t2.csv" "$csv_dir/scalar.csv" \
+    || { echo "bitsliced campaign CSV differs from the scalar engine"; exit 1; }
+
 echo "==> differential lockstep + snapshot round-trip gate (nonzero exit on divergence)"
 cargo test --release --quiet --test lockstep_props
 

@@ -1,0 +1,340 @@
+//! Bitsliced gate-level co-simulation: 64 faulty cores per word.
+//!
+//! [`BitMachine`] is the word-wide counterpart of
+//! [`crate::generator::GateLevelMachine`]: one
+//! [`printed_netlist::BitSimulator`] carries 64 lanes of the same core
+//! netlist (lane 0 fault-free, lanes 1.. with faults pre-injected), and
+//! the software side of the co-simulation — instruction ROM lookup, data
+//! memory, halt detection — is replicated per lane. Every lane executes
+//! the same program over the same memory map, so the per-cycle scalar
+//! bookkeeping is a few dozen table lookups while all the gate
+//! evaluation happens 64 lanes at a time.
+//!
+//! Per-lane divergence is handled exactly like the scalar machine run
+//! in [`crate::workload::ProgramWorkload`]:
+//!
+//! - a lane whose PC survives a cycle unchanged has hit the halt idiom;
+//!   its architectural observation (dmem, PC, flags, TMR detect flag) is
+//!   captured at that moment and the lane is retired — later word cycles
+//!   keep clocking its gates, but nothing reads them again, and its
+//!   writebacks are suppressed;
+//! - a lane that oscillates (the bitsliced analogue of
+//!   [`printed_netlist::NetlistError::Unsettled`]) becomes
+//!   [`LaneOutcome::Wedged`];
+//! - a watchdog trip ends the word: retired lanes keep their
+//!   observations, live lanes become [`LaneOutcome::TimedOut`].
+
+use crate::generator::GateLevelMachine;
+use crate::isa::Flags;
+use crate::specific::CoreSpec;
+use printed_netlist::fault::{LaneOutcome, Observation};
+use printed_netlist::{BitSimulator, NetId, NetlistError, TMR_ERROR_PORT};
+
+const LANES: usize = BitSimulator::LANES;
+
+/// Word-wide co-simulated core: one lane per fault instance.
+pub(crate) struct BitMachine<'a> {
+    sim: BitSimulator<'a>,
+    spec: CoreSpec,
+    program: Vec<u64>,
+    /// Per-lane data memory, `dmem[lane][addr]`.
+    dmem: Vec<Vec<u64>>,
+    /// Lanes that have hit the halt idiom.
+    halted: u64,
+    /// The post-step pc transpose of the previous cycle — the netlist
+    /// is untouched between cycles, so it doubles as this cycle's fetch
+    /// pcs and halves the pc transposes per cycle.
+    pc_cache: Option<[u64; LANES]>,
+    ports: BitPorts<'a>,
+    detect: Option<&'a [NetId]>,
+}
+
+/// Memory-interface port nets resolved once (the bitsliced analogue of
+/// the scalar machine's `MachinePorts`).
+#[derive(Clone, Copy)]
+struct BitPorts<'a> {
+    pc: Option<&'a [NetId]>,
+    addr_a: Option<&'a [NetId]>,
+    addr_b: Option<&'a [NetId]>,
+    we: Option<&'a [NetId]>,
+    wdata: Option<&'a [NetId]>,
+    wb_addr: Option<&'a [NetId]>,
+    flags: Option<&'a [NetId]>,
+    instr: Option<&'a [NetId]>,
+    rdata_a: Option<&'a [NetId]>,
+    rdata_b: Option<&'a [NetId]>,
+}
+
+impl<'a> BitMachine<'a> {
+    /// Wraps a bitsliced simulator over a generated single-cycle core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is not single-cycle, like the scalar machine.
+    pub(crate) fn new(
+        sim: BitSimulator<'a>,
+        spec: CoreSpec,
+        program: Vec<u64>,
+        dmem_words: usize,
+    ) -> Self {
+        assert_eq!(spec.pipeline_stages, 1, "gate-level co-simulation supports single-cycle cores");
+        let netlist = sim.netlist();
+        let output = |name: &str| netlist.output(name).ok();
+        let input = |name: &str| netlist.input(name).ok();
+        let ports = BitPorts {
+            pc: output("pc"),
+            addr_a: output("addr_a"),
+            addr_b: output("addr_b"),
+            we: output("we"),
+            wdata: output("wdata"),
+            wb_addr: output("wb_addr"),
+            flags: output("flags"),
+            instr: input("instr"),
+            rdata_a: input("rdata_a"),
+            rdata_b: input("rdata_b"),
+        };
+        let detect = netlist.output(TMR_ERROR_PORT).ok();
+        BitMachine {
+            sim,
+            spec,
+            program,
+            dmem: vec![vec![0; dmem_words]; LANES],
+            halted: 0,
+            pc_cache: None,
+            ports,
+            detect,
+        }
+    }
+
+    /// Pre-loads a data memory word into every lane.
+    pub(crate) fn write_dmem(&mut self, addr: usize, value: u64) {
+        let masked = value & self.width_mask();
+        for lane in &mut self.dmem {
+            lane[addr] = masked;
+        }
+    }
+
+    /// Broadcasts a scalar machine's whole co-simulated state — netlist
+    /// registers, data memory, halt latch — into every lane, so a word
+    /// of warm-started faulty runs resumes from the golden trajectory at
+    /// the injection boundary.
+    pub(crate) fn broadcast_from(&mut self, machine: &GateLevelMachine<'_>) {
+        self.sim.broadcast_from(machine.simulator());
+        for lane in &mut self.dmem {
+            lane.copy_from_slice(machine.dmem());
+        }
+        self.halted = if machine.is_halted() { u64::MAX } else { 0 };
+        self.pc_cache = None;
+    }
+
+    fn width_mask(&self) -> u64 {
+        if self.spec.datawidth == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.spec.datawidth) - 1
+        }
+    }
+
+    fn read_lanes(&self, nets: Option<&[NetId]>, name: &str) -> Result<[u64; LANES], NetlistError> {
+        nets.map(|nets| self.sim.read_bus_lanes(nets))
+            .ok_or_else(|| NetlistError::UnknownPort(name.to_string()))
+    }
+
+    fn write_lanes(
+        &mut self,
+        nets: Option<&'a [NetId]>,
+        name: &str,
+        lanes: &[u64; LANES],
+    ) -> Result<(), NetlistError> {
+        match nets {
+            Some(nets) => {
+                self.sim.set_bus_lanes(nets, lanes);
+                Ok(())
+            }
+            None => Err(NetlistError::UnknownPort(name.to_string())),
+        }
+    }
+
+    /// One clock cycle of every lane: fetch, execute, memory writeback —
+    /// the word-wide mirror of the scalar machine's `step`, with
+    /// writeback and halt detection suppressed for already-halted lanes.
+    fn cycle(&mut self) -> Result<(), NetlistError> {
+        let pcs = match self.pc_cache {
+            Some(pcs) => pcs,
+            None => self.read_lanes(self.ports.pc, "pc")?,
+        };
+        let mut instr = [0u64; LANES];
+        for (word, &pc) in instr.iter_mut().zip(&pcs) {
+            *word = self.program.get(pc as usize).copied().unwrap_or(0);
+        }
+        self.write_lanes(self.ports.instr, "instr", &instr)?;
+        self.sim.settle();
+        let addr_a = self.read_lanes(self.ports.addr_a, "addr_a")?;
+        let addr_b = self.read_lanes(self.ports.addr_b, "addr_b")?;
+        let mut ra = [0u64; LANES];
+        let mut rb = [0u64; LANES];
+        for lane in 0..LANES {
+            ra[lane] = self.dmem[lane].get(addr_a[lane] as usize).copied().unwrap_or(0);
+            rb[lane] = self.dmem[lane].get(addr_b[lane] as usize).copied().unwrap_or(0);
+        }
+        self.write_lanes(self.ports.rdata_a, "rdata_a", &ra)?;
+        self.write_lanes(self.ports.rdata_b, "rdata_b", &rb)?;
+        self.sim.settle();
+        let we = self.read_lanes(self.ports.we, "we")?;
+        let wdata = self.read_lanes(self.ports.wdata, "wdata")?;
+        let wb_addr = self.read_lanes(self.ports.wb_addr, "wb_addr")?;
+        self.sim.step()?;
+        let mask = self.width_mask();
+        let live = self.sim.occupied() & !self.halted;
+        for lane in 0..LANES {
+            if live >> lane & 1 == 1 && we[lane] == 1 {
+                if let Some(slot) = self.dmem[lane].get_mut(wb_addr[lane] as usize) {
+                    *slot = wdata[lane] & mask;
+                }
+            }
+        }
+        // Halt idiom per lane: PC unchanged by an unconditional
+        // self-branch.
+        let pc_after = self.read_lanes(self.ports.pc, "pc")?;
+        for lane in 0..LANES {
+            if live >> lane & 1 == 1 && pc_after[lane] == pcs[lane] {
+                self.halted |= 1 << lane;
+            }
+        }
+        self.pc_cache = Some(pc_after);
+        Ok(())
+    }
+
+    /// Decodes one lane's raw flag-register bits exactly as the scalar
+    /// machine's `flags` accessor does.
+    fn decode_flags(&self, bits: u64) -> Flags {
+        let mut flags = Flags::default();
+        for (i, mask) in self.spec.present_flags().iter().enumerate() {
+            let set = bits >> i & 1 == 1;
+            match *mask {
+                Flags::C => flags.c = set,
+                Flags::Z => flags.z = set,
+                Flags::S => flags.s = set,
+                Flags::V => flags.v = set,
+                _ => {}
+            }
+        }
+        flags
+    }
+
+    /// One lane's architectural observation: data memory, PC, flags —
+    /// the same signature the scalar workload computes.
+    fn capture(
+        &self,
+        lane: usize,
+        pcs: &[u64; LANES],
+        flag_bits: &[u64; LANES],
+        completed: bool,
+        cycles: u64,
+        detected: bool,
+    ) -> Observation {
+        let mut signature = self.dmem[lane].clone();
+        signature.push(pcs[lane]);
+        signature.push(self.decode_flags(flag_bits[lane]).bits() as u64);
+        Observation { signature, completed, cycles, detected }
+    }
+
+    /// Runs every lane to its own halt (or the shared budget/watchdog)
+    /// and returns per-lane outcomes in lane order. `start_cycles` is
+    /// the cycle count already on the clock for warm-started words.
+    pub(crate) fn observe(
+        mut self,
+        start_cycles: u64,
+        cycle_budget: u64,
+    ) -> Result<Vec<LaneOutcome>, NetlistError> {
+        let lanes = self.sim.lane_count();
+        let occupied = self.sim.occupied();
+        let mut outcomes: Vec<Option<LaneOutcome>> = vec![None; lanes];
+        let mut detected = 0u64;
+        let mut cycles = start_cycles;
+        // Lanes still running: occupied, not halted, not wedged.
+        let mut active = occupied & !self.halted;
+        // Capture lanes that arrive already halted (a warm word restored
+        // at the golden run's halt cycle never steps at all).
+        if active != occupied {
+            let pcs = self.read_lanes(self.ports.pc, "pc")?;
+            let flag_bits = self.read_lanes(self.ports.flags, "flags")?;
+            for (lane, outcome) in outcomes.iter_mut().enumerate() {
+                if occupied >> lane & 1 == 1 && self.halted >> lane & 1 == 1 {
+                    *outcome = Some(LaneOutcome::Done(
+                        self.capture(lane, &pcs, &flag_bits, true, cycles, false),
+                    ));
+                }
+            }
+        }
+        while active != 0 && cycles < cycle_budget {
+            match self.cycle() {
+                Ok(()) => {}
+                Err(NetlistError::DeadlineExceeded { .. }) => {
+                    // The word hit the watchdog: retired lanes keep
+                    // their observations, wedged lanes report as such,
+                    // everything still live timed out together.
+                    let dead = self.sim.dead_lanes();
+                    for (lane, outcome) in outcomes.iter_mut().enumerate() {
+                        if outcome.is_none() {
+                            *outcome = Some(if dead >> lane & 1 == 1 {
+                                LaneOutcome::Wedged
+                            } else {
+                                LaneOutcome::TimedOut
+                            });
+                        }
+                    }
+                    return Ok(outcomes
+                        .into_iter()
+                        .map(|o| o.unwrap_or(LaneOutcome::TimedOut))
+                        .collect());
+                }
+                Err(e) => return Err(e),
+            }
+            cycles += 1;
+            if let Some(nets) = self.detect {
+                detected |= self.sim.read_bus_any(nets) & active;
+            }
+            let newly_dead = self.sim.dead_lanes() & active;
+            let newly_halted = self.halted & active & !newly_dead;
+            if newly_dead | newly_halted != 0 {
+                let pcs = self.read_lanes(self.ports.pc, "pc")?;
+                let flag_bits = self.read_lanes(self.ports.flags, "flags")?;
+                for (lane, outcome) in outcomes.iter_mut().enumerate() {
+                    if newly_dead >> lane & 1 == 1 {
+                        *outcome = Some(LaneOutcome::Wedged);
+                    } else if newly_halted >> lane & 1 == 1 {
+                        *outcome = Some(LaneOutcome::Done(self.capture(
+                            lane,
+                            &pcs,
+                            &flag_bits,
+                            true,
+                            cycles,
+                            detected >> lane & 1 == 1,
+                        )));
+                    }
+                }
+                active &= !(newly_dead | newly_halted);
+            }
+        }
+        // Budget exhausted: live lanes report their state as-is, not
+        // completed — exactly the scalar workload's budget path.
+        if active != 0 {
+            let pcs = self.read_lanes(self.ports.pc, "pc")?;
+            let flag_bits = self.read_lanes(self.ports.flags, "flags")?;
+            for (lane, outcome) in outcomes.iter_mut().enumerate() {
+                if active >> lane & 1 == 1 {
+                    *outcome = Some(LaneOutcome::Done(self.capture(
+                        lane,
+                        &pcs,
+                        &flag_bits,
+                        false,
+                        cycles,
+                        detected >> lane & 1 == 1,
+                    )));
+                }
+            }
+        }
+        Ok(outcomes.into_iter().map(|o| o.unwrap_or(LaneOutcome::TimedOut)).collect())
+    }
+}

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod asm;
+mod bitmachine;
 pub mod config;
 pub mod generator;
 pub mod isa;

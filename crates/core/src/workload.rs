@@ -24,14 +24,15 @@
 //! # Ok::<(), printed_netlist::fault::CampaignError>(())
 //! ```
 
+use crate::bitmachine::BitMachine;
 use crate::config::CoreConfig;
 use crate::generator::GateLevelMachine;
 use crate::isa::{Instruction, IsaError};
 use crate::kernels::KernelProgram;
 use crate::specific::CoreSpec;
-use printed_netlist::fault::{Observation, WarmContexts, Workload};
+use printed_netlist::fault::{LaneOutcome, Observation, WarmContexts, Workload};
 use printed_netlist::{
-    NetlistError, Simulator, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+    BitSimulator, NetlistError, Simulator, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
     TMR_ERROR_PORT,
 };
 
@@ -240,6 +241,64 @@ impl Workload for ProgramWorkload {
         signature.push(machine.flags().bits() as u64);
         Ok(Observation { signature, completed: machine.is_halted(), cycles, detected })
     }
+
+    fn run_bitsliced(
+        &self,
+        sim: BitSimulator<'_>,
+        cycle_budget: u64,
+    ) -> Option<Result<Vec<LaneOutcome>, NetlistError>> {
+        let mut machine =
+            BitMachine::new(sim, self.spec.clone(), self.program.clone(), self.dmem_words);
+        for &(addr, value) in &self.inputs {
+            machine.write_dmem(addr, value);
+        }
+        Some(machine.observe(0, cycle_budget))
+    }
+
+    fn run_bitsliced_warm(
+        &self,
+        pristine: &Simulator<'_>,
+        sim: BitSimulator<'_>,
+        cycle: u64,
+        context: &[u8],
+        cycle_budget: u64,
+    ) -> Option<Result<Vec<LaneOutcome>, NetlistError>> {
+        let mut r = SnapshotReader::new(context);
+        let parsed = (|| -> Result<(u64, Vec<u8>), SnapshotError> {
+            let done = r.u64()?;
+            let snap = r.bytes()?;
+            r.finish()?;
+            Ok((done, snap))
+        })();
+        let Ok((done, snap)) = parsed else {
+            return self.run_bitsliced(sim, cycle_budget);
+        };
+        if done != cycle || cycle >= cycle_budget {
+            return self.run_bitsliced(sim, cycle_budget);
+        }
+        // Replay the context into a scalar golden machine, then
+        // broadcast the whole co-simulated state into every lane — the
+        // word-wide analogue of the scalar warm path, with the same
+        // watchdog re-arm idiom.
+        let mut golden = GateLevelMachine::with_simulator(
+            pristine.clone(),
+            self.spec.clone(),
+            self.program.clone(),
+            self.dmem_words,
+        );
+        for &(addr, value) in &self.inputs {
+            golden.write_dmem(addr, value);
+        }
+        let limit = golden.cycle_limit();
+        if golden.restore_binary(&snap).is_err() {
+            return self.run_bitsliced(sim, cycle_budget);
+        }
+        golden.set_cycle_limit(limit);
+        let mut machine =
+            BitMachine::new(sim, self.spec.clone(), self.program.clone(), self.dmem_words);
+        machine.broadcast_from(&golden);
+        Some(machine.observe(done, cycle_budget))
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +383,65 @@ mod tests {
         let cold = w.run(Simulator::new(&nl), 1000).unwrap();
         let warm = w.run_warm(Simulator::new(&nl), 3, &[0xAB; 7], 1000).unwrap();
         assert_eq!(warm, cold, "garbage context degrades to the cold run");
+    }
+
+    #[test]
+    fn bitsliced_lanes_reproduce_per_fault_scalar_observations() {
+        use printed_netlist::FaultMap;
+
+        let config = CoreConfig::new(1, 4, 2);
+        let nl = generate_standard(&config);
+        let w = ProgramWorkload::smoke(config);
+        let seq = (0..nl.gate_count())
+            .find(|&i| nl.gates()[i].is_sequential())
+            .expect("a core has registers");
+        let faults = vec![
+            Fault { gate: GateId::from_index(3), kind: FaultKind::StuckAt0 },
+            Fault { gate: GateId::from_index(11), kind: FaultKind::StuckAt1 },
+            Fault { gate: GateId::from_index(seq), kind: FaultKind::Seu { cycle: 2 } },
+        ];
+        let mut bsim = printed_netlist::BitSimulator::new(&nl);
+        for &f in &faults {
+            bsim.inject_fault(f);
+        }
+        let outcomes = w.run_bitsliced(bsim, 1000).unwrap().unwrap();
+        assert_eq!(outcomes.len(), faults.len() + 1);
+        let golden = w.run(Simulator::new(&nl), 1000).unwrap();
+        assert_eq!(outcomes[0], LaneOutcome::Done(golden), "lane 0 is the golden reference");
+        for (lane, &fault) in outcomes[1..].iter().zip(&faults) {
+            let mut sim = Simulator::new(&nl);
+            sim.inject(FaultMap::single(&nl, fault));
+            match (lane, w.run(sim, 1000)) {
+                (LaneOutcome::Done(obs), Ok(scalar)) => {
+                    assert_eq!(*obs, scalar, "{fault}");
+                }
+                (LaneOutcome::Wedged, Err(_)) => {}
+                (lane, scalar) => panic!("{fault}: lane {lane:?} vs scalar {scalar:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bitsliced_program_campaign_matches_scalar_byte_for_byte() {
+        let config = CoreConfig::new(1, 4, 2);
+        let nl = generate_standard(&config);
+        let w = ProgramWorkload::smoke(config);
+        let scalar_cfg = CampaignConfig {
+            stuck_at: StuckAtSpace::Sampled(20),
+            seu_samples: 8,
+            bitsliced: false,
+            ..CampaignConfig::default()
+        };
+        let scalar = run_campaign(&nl, &w, &scalar_cfg).unwrap();
+        let bits_cfg = CampaignConfig { bitsliced: true, ..scalar_cfg };
+        for threads in [1, 4] {
+            let bits = run_campaign_with_threads(&nl, &w, &bits_cfg, threads).unwrap();
+            assert_eq!(bits, scalar, "{threads} threads");
+            assert_eq!(bits.to_csv(), scalar.to_csv(), "byte-identical CSV at {threads} threads");
+        }
+        let warm_bits = CampaignConfig { warm_start: true, ..bits_cfg };
+        let warm = run_campaign(&nl, &w, &warm_bits).unwrap();
+        assert_eq!(warm.to_csv(), scalar.to_csv(), "warm bitsliced CSV matches cold scalar");
     }
 
     #[test]

@@ -122,6 +122,9 @@ pub fn campaign_row(
         // Cold by default; PRINTED_WARM_START=1 still opts campaigns in
         // (the engine checks the env gate alongside this flag).
         warm_start: false,
+        // Bitsliced by default; PRINTED_BITSLICED=0 falls back to the
+        // scalar reference engine.
+        bitsliced: true,
     };
     let resilience = ResilienceConfig::from_env();
     let run = run_supervised_campaign(netlist, workload, &config, &resilience)?;

@@ -55,6 +55,7 @@
 //! # Ok::<(), printed_netlist::NetlistError>(())
 //! ```
 
+use crate::bitsim::BitSimulator;
 use crate::builder::TMR_ERROR_PORT;
 use crate::ir::{GateId, Netlist, NetlistError};
 use crate::sim::Simulator;
@@ -245,6 +246,59 @@ pub trait Workload: Sync {
         let _ = (cycle, context);
         self.run(sim, cycle_budget)
     }
+
+    /// Runs the stimulus on a [`BitSimulator`] word — up to 64 machine
+    /// instances at once, lane 0 golden, faults already injected into
+    /// lanes `1..lane_count` — and reports one [`LaneOutcome`] per
+    /// occupied lane, lane 0 first.
+    ///
+    /// The default returns `None`: the workload has no bitsliced
+    /// implementation and the campaign falls back to one scalar run per
+    /// fault. Implementations must be lane-exact: every lane's
+    /// [`Observation`] must be byte-identical to what [`Workload::run`]
+    /// would produce for that lane's fault (the campaign engine verifies
+    /// lane 0 against the golden observation and falls back to scalar on
+    /// any mismatch).
+    fn run_bitsliced(
+        &self,
+        sim: BitSimulator<'_>,
+        cycle_budget: u64,
+    ) -> Option<Result<Vec<LaneOutcome>, NetlistError>> {
+        let _ = (sim, cycle_budget);
+        None
+    }
+
+    /// Bitsliced counterpart of [`Workload::run_warm`]: restore the
+    /// golden `context` captured at `cycle` into a scalar clone of
+    /// `pristine`, broadcast it into every lane of `sim`
+    /// ([`BitSimulator::broadcast_from`]), and replay only the suffix.
+    /// Only called when every fault in the word is an SEU injected at or
+    /// after `cycle`, so the shared golden prologue is exact for all
+    /// lanes. The default runs cold via [`Workload::run_bitsliced`].
+    fn run_bitsliced_warm(
+        &self,
+        pristine: &Simulator<'_>,
+        sim: BitSimulator<'_>,
+        cycle: u64,
+        context: &[u8],
+        cycle_budget: u64,
+    ) -> Option<Result<Vec<LaneOutcome>, NetlistError>> {
+        let _ = (pristine, cycle, context);
+        self.run_bitsliced(sim, cycle_budget)
+    }
+}
+
+/// What one lane of a bitsliced word run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneOutcome {
+    /// The lane ran the full stimulus and produced an observation.
+    Done(Observation),
+    /// The shared cycle-limit watchdog tripped before this lane's
+    /// machine halted — the lane-level [`NetlistError::DeadlineExceeded`].
+    TimedOut,
+    /// The lane's logic oscillated through a full settle budget — the
+    /// lane-level [`NetlistError::Unsettled`]. Classified as a hang.
+    Wedged,
 }
 
 /// Warm-start contexts keyed by SEU injection cycle: opaque bytes each
@@ -404,6 +458,130 @@ impl Workload for PatternWorkload {
         }
         Ok(Observation { signature, completed: true, cycles, detected })
     }
+
+    fn run_bitsliced(
+        &self,
+        sim: BitSimulator<'_>,
+        cycle_budget: u64,
+    ) -> Option<Result<Vec<LaneOutcome>, NetlistError>> {
+        let cycles = self.cycles.min(cycle_budget);
+        let rng = StdRng::seed_from_u64(self.seed);
+        Some(self.bit_finish(sim, 0, cycles, Vec::new(), rng))
+    }
+
+    fn run_bitsliced_warm(
+        &self,
+        pristine: &Simulator<'_>,
+        mut sim: BitSimulator<'_>,
+        cycle: u64,
+        context: &[u8],
+        cycle_budget: u64,
+    ) -> Option<Result<Vec<LaneOutcome>, NetlistError>> {
+        let cycles = self.cycles.min(cycle_budget);
+        let mut r = SnapshotReader::new(context);
+        let parsed = (|| -> Result<(u64, Vec<u64>, Vec<u8>), SnapshotError> {
+            let done = r.u64()?;
+            let prefix = r.u64s()?;
+            let snap = r.bytes()?;
+            r.finish()?;
+            Ok((done, prefix, snap))
+        })();
+        let Ok((done, prefix, snap)) = parsed else {
+            return self.run_bitsliced(sim, cycle_budget);
+        };
+        if done != cycle || cycle >= cycles {
+            return self.run_bitsliced(sim, cycle_budget);
+        }
+        // Restore the golden snapshot into a scalar clone, then
+        // broadcast its state into every lane. The broadcast keeps the
+        // word's own armed watchdog, mirroring the scalar re-arm idiom.
+        let mut scalar = pristine.clone();
+        if scalar.restore_binary(&snap).is_err() {
+            return self.run_bitsliced(sim, cycle_budget);
+        }
+        sim.broadcast_from(&scalar);
+        // Replay the RNG to the injection cycle: the prologue consumed
+        // one u64 per input port per cycle.
+        let in_ports = sim.netlist().input_ports().len() as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..cycle.saturating_mul(in_ports) {
+            let _: u64 = rng.gen();
+        }
+        Some(self.bit_finish(sim, cycle, cycles, prefix, rng))
+    }
+}
+
+impl PatternWorkload {
+    /// Word-wide stimulus loop shared by the cold and warm bitsliced
+    /// paths: drives cycles `start..cycles` with the (already advanced)
+    /// RNG stream, extending the shared golden `prefix` into a per-lane
+    /// signature, and maps each lane to its [`LaneOutcome`].
+    fn bit_finish(
+        &self,
+        mut sim: BitSimulator<'_>,
+        start: u64,
+        cycles: u64,
+        prefix: Vec<u64>,
+        mut rng: StdRng,
+    ) -> Result<Vec<LaneOutcome>, NetlistError> {
+        let lanes = sim.lane_count();
+        let netlist = sim.netlist();
+        let in_ports: Vec<String> = netlist.input_ports().keys().cloned().collect();
+        let out_ports: Vec<String> = netlist
+            .output_ports()
+            .keys()
+            .filter(|name| name.as_str() != TMR_ERROR_PORT)
+            .cloned()
+            .collect();
+        let detect_nets: Option<Vec<_>> = netlist.output(TMR_ERROR_PORT).ok().map(<[_]>::to_vec);
+        let mut signatures: Vec<Vec<u64>> = vec![prefix; lanes];
+        let mut detected = 0u64;
+        let mut timed_out = false;
+        for _ in start..cycles {
+            for port in &in_ports {
+                sim.set_input(port, rng.gen::<u64>())?;
+            }
+            match sim.step() {
+                Ok(()) => {}
+                // The shared watchdog deadline hits every lane at the
+                // same absolute cycle a scalar run would trip at.
+                Err(NetlistError::DeadlineExceeded { .. }) => {
+                    timed_out = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+            for port in &out_ports {
+                let lane_vals = sim.read_output_lanes(port)?;
+                for (lane, signature) in signatures.iter_mut().enumerate() {
+                    signature.push(lane_vals[lane]);
+                }
+            }
+            if let Some(nets) = &detect_nets {
+                detected |= sim.read_bus_any(nets);
+            }
+        }
+        if timed_out {
+            return Ok(vec![LaneOutcome::TimedOut; lanes]);
+        }
+        let dead = sim.dead_lanes();
+        Ok(signatures
+            .into_iter()
+            .enumerate()
+            .map(|(lane, signature)| {
+                if dead >> lane & 1 == 1 {
+                    LaneOutcome::Wedged
+                } else {
+                    LaneOutcome::Done(Observation {
+                        signature,
+                        completed: true,
+                        cycles,
+                        detected: detected >> lane & 1 == 1,
+                    })
+                }
+            })
+            .collect())
+    }
 }
 
 /// How one faulty run compares to the golden run.
@@ -547,6 +725,18 @@ pub struct CampaignConfig {
     /// from checkpoint fingerprints so warm and cold runs share
     /// checkpoints.
     pub warm_start: bool,
+    /// Run faults through the bitsliced engine ([`crate::bitsim`]): up
+    /// to 63 fault instances plus the golden reference packed into the
+    /// bit lanes of one `u64` word, evaluated by straight-line word-wide
+    /// boolean code. Default on; the scalar engine remains the reference
+    /// oracle (set this to `false`, or `PRINTED_BITSLICED=0`, see
+    /// [`bitsliced_enabled`]). Like warm-starting, engine choice is an
+    /// execution strategy: results are byte-identical either way, every
+    /// word's golden lane is verified against the scalar golden
+    /// observation (mismatches fall back to scalar runs), and the flag
+    /// is excluded from checkpoint fingerprints so scalar and bitsliced
+    /// runs share checkpoints.
+    pub bitsliced: bool,
 }
 
 impl Default for CampaignConfig {
@@ -557,6 +747,7 @@ impl Default for CampaignConfig {
             seu_samples: 0,
             seed: 0xFA17,
             warm_start: false,
+            bitsliced: true,
         }
     }
 }
@@ -787,6 +978,91 @@ pub fn warm_start_enabled() -> bool {
         .unwrap_or(false)
 }
 
+/// Whether campaigns run on the bitsliced engine: the `PRINTED_BITSLICED`
+/// environment variable overrides when set (`1`/`true`/`yes`/`on` force
+/// it on, `0`/`false`/`no`/`off` force the scalar reference engine);
+/// otherwise [`CampaignConfig::bitsliced`] decides. Any other value is
+/// ignored.
+pub fn bitsliced_enabled(config: &CampaignConfig) -> bool {
+    match std::env::var("PRINTED_BITSLICED") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "yes" | "on" => true,
+            "0" | "false" | "no" | "off" => false,
+            _ => config.bitsliced,
+        },
+        Err(_) => config.bitsliced,
+    }
+}
+
+/// Runs up to 63 faults as one bitsliced word on a clone of `proto` (a
+/// compiled [`BitSimulator`] sharing the pristine simulator's armed
+/// cycle limit): inject each fault into its lane, pick the warm path
+/// when every fault is an SEU with a shared golden context at the
+/// earliest injection cycle, and validate the result — one outcome per
+/// fault after the golden lane, which must reproduce the scalar golden
+/// observation byte-for-byte. Returns `None` when the workload has no
+/// bitsliced path or validation fails; callers fall back to one scalar
+/// run per fault, keeping the scalar engine the oracle.
+pub(crate) fn run_word<W: Workload + ?Sized>(
+    pristine: &Simulator<'_>,
+    proto: &BitSimulator<'_>,
+    workload: &W,
+    golden: &Observation,
+    faults: &[Fault],
+    budget: u64,
+    warm: Option<&WarmContexts>,
+) -> Option<Vec<LaneOutcome>> {
+    debug_assert!(faults.len() < BitSimulator::LANES);
+    let mut sim = proto.clone();
+    for &fault in faults {
+        sim.inject_fault(fault);
+    }
+    // Warm eligibility: every lane an SEU, with a golden context at the
+    // earliest injection cycle. SEUs are inert before their cycle, so
+    // the restored golden prologue is exact for every lane.
+    let warm_at = warm.and_then(|contexts| {
+        let mut earliest: Option<u64> = None;
+        for fault in faults {
+            match fault.kind {
+                FaultKind::Seu { cycle } => {
+                    earliest = Some(earliest.map_or(cycle, |m| m.min(cycle)));
+                }
+                _ => return None,
+            }
+        }
+        let cycle = earliest?;
+        contexts.get(&cycle).map(|context| (cycle, context.as_slice()))
+    });
+    let outcomes = match warm_at {
+        Some((cycle, context)) => {
+            workload.run_bitsliced_warm(pristine, sim, cycle, context, budget)
+        }
+        None => workload.run_bitsliced(sim, budget),
+    }?
+    .ok()?;
+    if outcomes.len() != faults.len() + 1 {
+        return None;
+    }
+    match &outcomes[0] {
+        LaneOutcome::Done(observed) if observed == golden => {}
+        _ => return None,
+    }
+    Some(outcomes.into_iter().skip(1).collect())
+}
+
+/// Average lane utilization (occupied lanes / 64 per word, golden lane
+/// included) of a bitsliced campaign packing `fault_count` faults into
+/// contiguous 63-fault words — the figure the campaign summary reports
+/// so underfilled words on small campaigns are visible rather than
+/// silently slow. 0.0 for an empty campaign.
+pub fn lane_utilization(fault_count: usize) -> f64 {
+    if fault_count == 0 {
+        return 0.0;
+    }
+    let words = fault_count.div_ceil(BitSimulator::LANES - 1);
+    (fault_count + words) as f64 / (words * BitSimulator::LANES) as f64
+}
+
 /// Runs and validates the fault-free reference: it must complete within
 /// the budget and must not fire the detect port. Shared by the plain and
 /// the supervised ([`crate::resilience`]) campaign runners.
@@ -960,6 +1236,19 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
     let started = std::time::Instant::now();
     let total_faults = faults.len();
     let workers = threads.max(1).min(total_faults.max(1));
+    // The compiled bitsliced prototype, cloned per word. Sharing the
+    // pristine simulator's armed cycle limit keeps watchdog trips at
+    // identical absolute cycles on both engines.
+    let bits = bitsliced_enabled(config).then(|| {
+        let mut proto = BitSimulator::new(netlist);
+        proto.set_cycle_limit(pristine.cycle_limit());
+        // Campaign words only read lane observations, never per-gate
+        // toggle attribution.
+        proto.set_toggle_tracking(false);
+        proto
+    });
+    let words_run = AtomicUsize::new(0);
+    let lanes_filled = AtomicUsize::new(0);
 
     let classify_one = |sim: &Simulator<'_>, fault: Fault| -> FaultRun {
         run_one(sim, workload, &golden, fault, budget, warm.as_ref())
@@ -977,20 +1266,73 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
             });
         }
     };
+    // Fills one contiguous chunk of (faults, slots): word-by-word on
+    // the bitsliced engine with per-fault scalar fallback on any word
+    // the engine declines, or fault-by-fault on the scalar engine.
+    let run_chunk = |worker_sim: &Simulator<'_>,
+                     chunk_faults: &[Fault],
+                     chunk_slots: &mut [Option<FaultRun>]| {
+        let Some(proto) = &bits else {
+            for (slot, &fault) in chunk_slots.iter_mut().zip(chunk_faults) {
+                *slot = Some(classify_one(worker_sim, fault));
+                progress(&done);
+            }
+            return;
+        };
+        let mut at = 0usize;
+        while at < chunk_faults.len() {
+            let take = (chunk_faults.len() - at).min(BitSimulator::LANES - 1);
+            let word_faults = &chunk_faults[at..at + take];
+            let word_slots = &mut chunk_slots[at..at + take];
+            let word =
+                run_word(worker_sim, proto, workload, &golden, word_faults, budget, warm.as_ref());
+            match word {
+                Some(lanes) => {
+                    words_run.fetch_add(1, Ordering::Relaxed);
+                    lanes_filled.fetch_add(take + 1, Ordering::Relaxed);
+                    for ((slot, &fault), lane) in word_slots.iter_mut().zip(word_faults).zip(lanes)
+                    {
+                        let cell = netlist.gates()[fault.gate.index()].kind;
+                        let outcome = match lane {
+                            LaneOutcome::Done(observed) => classify(&golden, &observed),
+                            // A watchdog trip or an oscillating lane
+                            // wedges the circuit: a hang, exactly as the
+                            // scalar errors classify.
+                            LaneOutcome::TimedOut | LaneOutcome::Wedged => Outcome::Hang,
+                        };
+                        *slot = Some(FaultRun { fault, cell, outcome });
+                        progress(&done);
+                    }
+                }
+                None => {
+                    for (slot, &fault) in word_slots.iter_mut().zip(word_faults) {
+                        *slot = Some(classify_one(worker_sim, fault));
+                        progress(&done);
+                    }
+                }
+            }
+            at += take;
+        }
+    };
 
     // Result slots preassigned by fault index: workers fill disjoint
     // chunks, so the merge order is the enumeration order regardless of
     // which worker ran which chunk when.
     let mut slots: Vec<Option<FaultRun>> = vec![None; total_faults];
     if workers <= 1 {
-        for (slot, &fault) in slots.iter_mut().zip(&faults) {
-            *slot = Some(classify_one(&pristine, fault));
-            progress(&done);
-        }
+        run_chunk(&pristine, &faults, &mut slots);
     } else {
         // Contiguous chunks, several per worker so a chunk of hangs does
-        // not serialize the campaign behind one thread.
-        let chunk = total_faults.div_ceil(workers * 4).max(1);
+        // not serialize the campaign behind one thread. Bitsliced chunks
+        // hold whole 63-fault words, so parallelism never splinters a
+        // word across workers (underfilled words would burn the 64-lane
+        // speedup faster than idle threads ever could).
+        let chunk = if bits.is_some() {
+            let lane_faults = BitSimulator::LANES - 1;
+            total_faults.div_ceil(lane_faults).div_ceil(workers * 4).max(1) * lane_faults
+        } else {
+            total_faults.div_ceil(workers * 4).max(1)
+        };
         let mut work: Vec<(&[Fault], &mut [Option<FaultRun>])> = Vec::new();
         let mut rest_faults: &[Fault] = &faults;
         let mut rest_slots: &mut [Option<FaultRun>] = &mut slots;
@@ -1006,9 +1348,7 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
         std::thread::scope(|scope| {
             let queue = &queue;
             let pristine = &pristine;
-            let classify_one = &classify_one;
-            let progress = &progress;
-            let done = &done;
+            let run_chunk = &run_chunk;
             for worker in 0..workers {
                 scope.spawn(move || {
                     // Each worker thread is one lane in the chrome
@@ -1021,10 +1361,7 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
                             queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop();
                         let Some((chunk_faults, chunk_slots)) = claimed else { break };
                         let _chunk_span = obs::span!("netlist.fault.chunk");
-                        for (slot, &fault) in chunk_slots.iter_mut().zip(chunk_faults) {
-                            *slot = Some(classify_one(&worker_sim, fault));
-                            progress(done);
-                        }
+                        run_chunk(&worker_sim, chunk_faults, chunk_slots);
                     }
                 });
             }
@@ -1056,9 +1393,22 @@ pub fn run_campaign_with_threads<W: Workload + ?Sized>(
         reg.add("netlist.fault.detected", counts.detected as u64);
         reg.add("netlist.fault.hang", counts.hang as u64);
         reg.add("netlist.fault.sdc", counts.sdc as u64);
+        let words = words_run.load(Ordering::Relaxed);
+        if words > 0 {
+            let lanes = lanes_filled.load(Ordering::Relaxed);
+            reg.add("netlist.fault.bitsliced.words", words as u64);
+            reg.add("netlist.fault.bitsliced.lanes", lanes as u64);
+            reg.gauge(
+                "netlist.fault.lane_utilization",
+                lanes as f64 / (words * BitSimulator::LANES) as f64,
+            );
+        }
         let secs = started.elapsed().as_secs_f64();
         if secs > 0.0 && !runs.is_empty() {
             reg.gauge("netlist.fault.runs_per_sec", runs.len() as f64 / secs);
+            if words > 0 {
+                reg.gauge("netlist.fault.bitsliced_runs_per_sec", runs.len() as f64 / secs);
+            }
         }
     }
     Ok(CampaignResult {

@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod bitsim;
 pub mod builder;
 pub mod dataflow;
 pub mod fault;
@@ -74,12 +75,14 @@ pub use analysis::{
     ActivityModel, AreaReport, Characterization, Endpoint, PathStep, PowerReport, StaReport,
     TimingPath, TimingReport,
 };
+pub use bitsim::BitSimulator;
 pub use builder::{tmr, NetlistBuilder, TmrOptions, TMR_ERROR_PORT};
 pub use dataflow::{analyze, analyze_with_fanout, AbsValue, DataflowFacts};
 pub use fault::{
-    campaign_threads, run_campaign, run_campaign_with_threads, warm_start_enabled, CampaignConfig,
-    CampaignError, CampaignResult, Fault, FaultKind, FaultMap, Observation, Outcome, OutcomeCounts,
-    PatternWorkload, StuckAtSpace, WarmContexts, Workload,
+    bitsliced_enabled, campaign_threads, lane_utilization, run_campaign, run_campaign_with_threads,
+    warm_start_enabled, CampaignConfig, CampaignError, CampaignResult, Fault, FaultKind, FaultMap,
+    LaneOutcome, Observation, Outcome, OutcomeCounts, PatternWorkload, StuckAtSpace, WarmContexts,
+    Workload,
 };
 pub use ir::{FanoutMap, Gate, GateId, NetId, Netlist, NetlistError, Region};
 pub use lint::{lint, lint_with_fanout, Diagnostic, LintConfig, LintReport, Rule, Severity};

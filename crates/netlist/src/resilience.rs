@@ -64,7 +64,8 @@
 
 use crate::fault::{
     campaign_golden, campaign_threads, enumerate_faults, faulty_budget, CampaignConfig,
-    CampaignError, CampaignResult, Fault, FaultKind, FaultRun, Outcome, WarmContexts, Workload,
+    CampaignError, CampaignResult, Fault, FaultKind, FaultRun, LaneOutcome, Outcome, WarmContexts,
+    Workload,
 };
 use crate::ir::Netlist;
 use crate::sim::Simulator;
@@ -636,6 +637,18 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
     if let Some(limit) = resilience.watchdog_cycles {
         pristine.set_cycle_limit(Some(limit));
     }
+    // The bitsliced prototype is compiled after the watchdog is armed so
+    // word runs trip the same deadline as scalar clones. Word runs that
+    // decline, trip the golden-lane watchdog, or panic fall back to the
+    // supervised scalar path slot by slot.
+    let bits = crate::fault::bitsliced_enabled(config).then(|| {
+        let mut proto = crate::bitsim::BitSimulator::new(netlist);
+        proto.set_cycle_limit(pristine.cycle_limit());
+        // Campaign words only read lane observations, never per-gate
+        // toggle attribution.
+        proto.set_toggle_tracking(false);
+        proto
+    });
 
     let retries = AtomicU64::new(0);
     let timeouts = AtomicU64::new(0);
@@ -693,25 +706,112 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
             }
         }
     };
+    // Fills one chunk: word batches on the bitsliced engine (resume
+    // holes packed together so words stay full), or slot-by-slot on the
+    // scalar path. Either way every filled slot goes through `record`,
+    // so checkpointing and abort accounting are engine-independent.
+    let run_chunk = |worker_sim: &Simulator<'_>,
+                     chunk_start: usize,
+                     chunk_faults: &[Fault],
+                     chunk_slots: &mut [Option<SlotDone>]| {
+        let Some(proto) = &bits else {
+            for (offset, (slot, &fault)) in chunk_slots.iter_mut().zip(chunk_faults).enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let index = chunk_start + offset;
+                let done = supervise(worker_sim, index, fault);
+                record(index, &done);
+                *slot = Some(done);
+            }
+            return;
+        };
+        let pending: Vec<usize> =
+            (0..chunk_slots.len()).filter(|&o| chunk_slots[o].is_none()).collect();
+        let mut at = 0usize;
+        while at < pending.len() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let mut take = (pending.len() - at).min(crate::bitsim::BitSimulator::LANES - 1);
+            if let Some(limit) = resilience.abort_after {
+                // Cap the word so an abort request lands within a slot
+                // of its limit instead of a whole word past it.
+                let done_so_far = completed.load(Ordering::Relaxed);
+                take = take.min(limit.saturating_sub(done_so_far).max(1));
+            }
+            let window = &pending[at..at + take];
+            let word_faults: Vec<Fault> = window.iter().map(|&o| chunk_faults[o]).collect();
+            let word = catch_unwind(AssertUnwindSafe(|| {
+                crate::fault::run_word(
+                    worker_sim,
+                    proto,
+                    workload,
+                    &golden,
+                    &word_faults,
+                    budget,
+                    warm.as_ref(),
+                )
+            }))
+            .unwrap_or(None);
+            match word {
+                Some(lanes) => {
+                    for (&offset, lane) in window.iter().zip(lanes) {
+                        let fault = chunk_faults[offset];
+                        let cell = netlist.gates()[fault.gate.index()].kind;
+                        let outcome = match lane {
+                            LaneOutcome::Done(observed) => {
+                                crate::fault::classify(&golden, &observed)
+                            }
+                            LaneOutcome::TimedOut => {
+                                timeouts.fetch_add(1, Ordering::Relaxed);
+                                Outcome::Hang
+                            }
+                            // An oscillating lane wedges the circuit,
+                            // like the scalar Unsettled error.
+                            LaneOutcome::Wedged => Outcome::Hang,
+                        };
+                        let done = (FaultRun { fault, cell, outcome }, 0u32);
+                        record(chunk_start + offset, &done);
+                        chunk_slots[offset] = Some(done);
+                    }
+                }
+                None => {
+                    // Engine declined or panicked mid-word: rerun each
+                    // slot on the scalar path with retries intact.
+                    for &offset in window {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let index = chunk_start + offset;
+                        let done = supervise(worker_sim, index, chunk_faults[offset]);
+                        record(index, &done);
+                        chunk_slots[offset] = Some(done);
+                    }
+                }
+            }
+            at += take;
+        }
+    };
 
     let workers = threads.max(1).min(total.max(1));
     if workers <= 1 {
         let worker_sim = pristine.clone();
-        for (index, (slot, &fault)) in slots.iter_mut().zip(&faults).enumerate() {
-            if slot.is_some() {
-                continue;
-            }
-            if stop.load(Ordering::Relaxed) {
-                break;
-            }
-            let done = supervise(&worker_sim, index, fault);
-            record(index, &done);
-            *slot = Some(done);
-        }
+        run_chunk(&worker_sim, 0, &faults, &mut slots);
     } else {
         // The same contiguous-chunk queue as the plain campaign, with
         // each chunk carrying its global start index for checkpointing.
-        let chunk = total.div_ceil(workers * 4).max(1);
+        // Bitsliced chunks hold whole words so parallelism never
+        // splinters a word across workers.
+        let chunk = if bits.is_some() {
+            let lane_faults = crate::bitsim::BitSimulator::LANES - 1;
+            total.div_ceil(lane_faults).div_ceil(workers * 4).max(1) * lane_faults
+        } else {
+            total.div_ceil(workers * 4).max(1)
+        };
         /// One claimable unit of campaign work: the chunk's global start
         /// index (for checkpoint bookkeeping) plus its fault and result
         /// slot slices.
@@ -734,8 +834,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
             let queue = &queue;
             let pristine = &pristine;
             let stop = &stop;
-            let supervise = &supervise;
-            let record = &record;
+            let run_chunk = &run_chunk;
             for worker in 0..workers {
                 scope.spawn(move || {
                     // One chrome-trace lane per supervised worker, like
@@ -752,20 +851,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
                             break;
                         };
                         let _chunk_span = obs::span!("resilience.chunk");
-                        for (offset, (slot, &fault)) in
-                            chunk_slots.iter_mut().zip(chunk_faults).enumerate()
-                        {
-                            if slot.is_some() {
-                                continue;
-                            }
-                            if stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let index = chunk_start + offset;
-                            let done = supervise(&worker_sim, index, fault);
-                            record(index, &done);
-                            *slot = Some(done);
-                        }
+                        run_chunk(&worker_sim, chunk_start, chunk_faults, chunk_slots);
                     }
                 });
             }
@@ -956,6 +1042,48 @@ mod tests {
         assert_eq!(finished.result, baseline);
         assert_eq!(finished.result.to_csv(), baseline.to_csv(), "byte-identical CSV");
         assert!(!ckpt.exists(), "checkpoint deleted on success");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scalar_checkpoint_resumes_into_a_bitsliced_run() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 5 };
+        let dir = std::env::temp_dir().join(format!("printed-ckpt-engine-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let scalar_cfg = CampaignConfig { bitsliced: false, ..config() };
+        let baseline = run_campaign_with_threads(&nl, &workload, &scalar_cfg, 1).unwrap();
+        let total = baseline.runs.len();
+        let resilience = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 4,
+            abort_after: Some(total / 3),
+            ..ResilienceConfig::default()
+        };
+        let aborted =
+            run_supervised_campaign_with_threads(&nl, &workload, &scalar_cfg, &resilience, 1)
+                .unwrap();
+        let SupervisedRun::Aborted { checkpoint, .. } = aborted else {
+            panic!("abort hook must fire");
+        };
+        assert!(checkpoint.expect("checkpointing was enabled").exists());
+
+        // The fingerprint ignores the engine choice, so a bitsliced run
+        // picks up the scalar run's checkpoint and finishes it to the
+        // same bytes.
+        let bits_cfg = CampaignConfig { bitsliced: true, ..config() };
+        let resumed = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 4,
+            ..ResilienceConfig::default()
+        };
+        let finished = run_supervised_campaign_with_threads(&nl, &workload, &bits_cfg, &resumed, 1)
+            .unwrap()
+            .into_complete()
+            .expect("no abort hook on resume");
+        assert!(finished.stats.resumed_slots >= total / 3, "resume skipped recorded slots");
+        assert_eq!(finished.result, baseline);
+        assert_eq!(finished.result.to_csv(), baseline.to_csv(), "byte-identical CSV");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -165,6 +165,16 @@ impl EvalOp {
     }
 }
 
+/// Crate-internal: the flat truth table (or [`TSBUF_TT`] sentinel) for a
+/// cell kind, shared with the bitsliced engine ([`crate::bitsim`]) so
+/// both engines evaluate identical logic.
+pub(crate) fn truth_table(kind: CellKind) -> u8 {
+    EvalOp::table(kind)
+}
+
+/// Crate-internal: the tri-state-buffer sentinel [`truth_table`] returns.
+pub(crate) const TSBUF_TT: u8 = EvalOp::TSBUF;
+
 /// Gate-level simulator over a borrowed netlist.
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
@@ -485,6 +495,22 @@ impl<'a> Simulator<'a> {
     /// Reads a single net.
     pub fn read_net(&self, net: NetId) -> bool {
         self.values[net.index()]
+    }
+
+    /// Crate-internal: current value of every net, for broadcasting
+    /// scalar state into the bitsliced engine's lanes.
+    pub(crate) fn values_slice(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Crate-internal: per-gate stored state (DFF/latch/TSBUF contents).
+    pub(crate) fn state_slice(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Crate-internal: previous-step net values (toggle baseline).
+    pub(crate) fn prev_values_slice(&self) -> &[bool] {
+        &self.prev_values
     }
 
     /// Enqueues a combinational gate outside wave processing (sequential

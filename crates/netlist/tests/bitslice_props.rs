@@ -1,0 +1,109 @@
+//! Differential verification of the bitsliced campaign engine.
+//!
+//! The bitsliced engine packs 64 fault instances into `u64` lanes and
+//! must be observationally indistinguishable from the scalar reference
+//! engine at the campaign level: identical `OutcomeCounts` and
+//! byte-identical CSV on random netlists and random fault sets —
+//! including fault counts that are not multiples of 64, so partial
+//! final words are exercised — at 1 and 4 worker threads, cold and
+//! warm-started.
+
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
+use printed_netlist::fault::{
+    run_campaign_with_threads, CampaignConfig, PatternWorkload, StuckAtSpace,
+};
+use printed_netlist::{NetId, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+
+/// The same random sequential netlist generator as `engine_props`: a
+/// 4-bit input bus, a pool of derived nets, and `n_dffs` flip-flops fed
+/// from the pool through forward nets. Every op list yields a valid
+/// netlist.
+fn random_netlist(ops: &[(u8, u8, u8)], n_dffs: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("rand_seq");
+    let inputs = b.input("x", 4);
+    let ffs: Vec<NetId> = (0..n_dffs).map(|_| b.forward_net()).collect();
+    let mut pool: Vec<NetId> = inputs;
+    pool.extend(&ffs);
+    pool.push(b.const0());
+    pool.push(b.const1());
+    for &(op, ai, bi) in ops {
+        let a = pool[ai as usize % pool.len()];
+        let bn = pool[bi as usize % pool.len()];
+        let out = match op {
+            0 => b.inv(a),
+            1 => b.and2(a, bn),
+            2 => b.or2(a, bn),
+            3 => b.xor2(a, bn),
+            4 => b.nand2(a, bn),
+            5 => b.nor2(a, bn),
+            6 => b.xnor2(a, bn),
+            7 => b.tsbuf(a, bn),
+            _ => b.latch(a, bn),
+        };
+        pool.push(out);
+    }
+    for (i, &q) in ffs.iter().enumerate() {
+        let d = pool[(i * 7 + 3) % pool.len()];
+        b.dff_into(d, q);
+    }
+    let outs: Vec<NetId> = pool.iter().rev().take(4).copied().collect();
+    b.output("y", outs);
+    b.output("state", ffs);
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The acceptance matrix: {scalar, bitsliced} × {1, 4 threads} ×
+    /// {cold, warm} all produce the same `OutcomeCounts` and the same
+    /// CSV bytes. `stuck_samples in 1..130` sweeps fault totals through
+    /// under-full, exactly-full, and multi-word campaigns, so partial
+    /// final words (and the scheduler's word-aligned chunking) are all
+    /// exercised.
+    #[test]
+    fn bitsliced_campaigns_match_scalar_byte_for_byte(
+        ops in prop::collection::vec((0u8..9, any::<u8>(), any::<u8>()), 4..32),
+        n_dffs in 1usize..5,
+        seed in any::<u64>(),
+        stuck_samples in 1usize..130,
+        seu_samples in 0usize..8,
+    ) {
+        let nl = random_netlist(&ops, n_dffs);
+        let workload = PatternWorkload { cycles: 8, seed };
+        let scalar_cfg = CampaignConfig {
+            stuck_at: StuckAtSpace::Sampled(stuck_samples),
+            seu_samples,
+            seed,
+            bitsliced: false,
+            ..CampaignConfig::default()
+        };
+        let baseline = run_campaign_with_threads(&nl, &workload, &scalar_cfg, 1).unwrap();
+        let baseline_csv = baseline.to_csv();
+        for bitsliced in [false, true] {
+            for warm_start in [false, true] {
+                let config = CampaignConfig { bitsliced, warm_start, ..scalar_cfg };
+                for threads in [1usize, 4] {
+                    let run = run_campaign_with_threads(&nl, &workload, &config, threads).unwrap();
+                    prop_assert_eq!(
+                        run.counts(),
+                        baseline.counts(),
+                        "bitsliced={} warm={} threads={}", bitsliced, warm_start, threads
+                    );
+                    prop_assert_eq!(
+                        &run, &baseline,
+                        "bitsliced={} warm={} threads={}", bitsliced, warm_start, threads
+                    );
+                    prop_assert_eq!(
+                        run.to_csv(),
+                        baseline_csv.clone(),
+                        "CSV bytes diverged: bitsliced={} warm={} threads={}",
+                        bitsliced, warm_start, threads
+                    );
+                }
+            }
+        }
+    }
+}

@@ -41,6 +41,7 @@ proptest! {
             seu_samples: 4,
             seed: campaign_seed,
             warm_start: false,
+            bitsliced: true,
         };
         let a = run_campaign(&nl, &workload, &config).unwrap();
         let b = run_campaign(&nl, &workload, &config).unwrap();

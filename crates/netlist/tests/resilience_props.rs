@@ -50,6 +50,7 @@ proptest! {
             seu_samples: 4,
             seed: campaign_seed,
             warm_start: false,
+            bitsliced: true,
         };
         let plain = run_campaign(&nl, &workload, &config).unwrap();
 
