@@ -71,6 +71,33 @@ impl ProgramWorkload {
         })
     }
 
+    /// Encodes `instructions` under the narrow layout of an arbitrary
+    /// [`CoreSpec`] — the entry point for fault campaigns on
+    /// program-specific (ISA-subset) cores, where the standard encoding
+    /// does not apply.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IsaError`] if an instruction does not encode
+    /// under the spec's narrowed field widths (e.g. an opcode pruned from
+    /// the subset).
+    pub fn for_spec(
+        spec: CoreSpec,
+        instructions: &[Instruction],
+        dmem_words: usize,
+    ) -> Result<Self, IsaError> {
+        let enc = crate::specific::NarrowEncoding::new(spec);
+        let program = enc.encode_program(instructions)?;
+        Ok(ProgramWorkload { spec: enc.spec().clone(), program, dmem_words, inputs: Vec::new() })
+    }
+
+    /// Preloads `inputs` as `(dmem address, value)` words written before
+    /// the program boots — the same hook kernels use.
+    pub fn with_inputs(mut self, inputs: Vec<(usize, u64)>) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
     /// Wraps a generated benchmark kernel, preloading its input words.
     ///
     /// # Errors
@@ -337,6 +364,29 @@ mod tests {
         // NOT [2],[0] = !8 (8-bit).
         assert_eq!(obs.signature[2], 0xF7);
         assert_eq!(obs.signature[3], 0);
+    }
+
+    #[test]
+    fn program_specific_workload_matches_the_standard_architectural_result() {
+        use crate::generator::generate;
+
+        let config = CoreConfig::new(1, 8, 2);
+        let prog = crate::asm::assemble(
+            "
+            STORE [0], #5
+            STORE [1], #3
+            ADD   [0], [1]
+            HALT
+        ",
+        )
+        .unwrap();
+        let spec = CoreSpec::program_specific(config, &prog.instructions, "svc_add");
+        let nl = generate(&spec);
+        let w = ProgramWorkload::for_spec(spec, &prog.instructions, 4).unwrap();
+        let obs = w.run(Simulator::new(&nl), 1000).unwrap();
+        assert!(obs.completed);
+        assert_eq!(obs.signature[0], 8, "ISA-subset core computes the same sum");
+        assert_eq!(obs.signature[1], 3);
     }
 
     #[test]

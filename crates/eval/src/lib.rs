@@ -47,6 +47,6 @@ pub mod system;
 pub mod tables;
 
 pub use figures::{figure7, figure8, DesignPoint, Figure8Cell};
-pub use pipeline::{Pipeline, PipelineOptions, StageRecord, StageStatus};
+pub use pipeline::{render_manifest, Pipeline, PipelineOptions, StageRecord, StageStatus};
 pub use robustness::{RobustnessOptions, RobustnessRow, TmrComparison};
 pub use system::{BenchmarkResult, Breakdown, CoreFlavor, System};

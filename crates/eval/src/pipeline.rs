@@ -264,37 +264,15 @@ impl Pipeline {
     /// output parses under [`printed_obs::json::parse`] — the same
     /// grammar the obs JSON-lines gate validates.
     pub fn manifest_json(&self) -> String {
-        let mut out = String::from("{");
-        out.push_str(&format!("\"pipeline\":{},", obs::json::escape(&self.name)));
-        out.push_str(&format!("\"status\":\"{}\",", self.status()));
-        out.push_str("\"stages\":[");
-        for (i, s) in self.stages.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"name\":{},\"status\":\"{}\",\"attempts\":{},\"wall_ms\":{},\"error\":{}}}",
-                obs::json::escape(&s.name),
-                s.status,
-                s.attempts,
-                s.wall_ms,
-                s.error.as_deref().map_or_else(|| "null".to_string(), obs::json::escape),
-            ));
-        }
-        out.push_str("],");
-        out.push_str(&format!(
-            "\"retries\":{},\"timeouts\":{},\"failed_stages\":{},",
+        let ckpt = std::env::var("PRINTED_CKPT_DIR").ok().filter(|v| !v.trim().is_empty());
+        render_manifest(
+            &self.name,
+            self.status(),
+            &self.stages,
             self.retries,
             self.timeouts,
-            self.failed_stages()
-        ));
-        let ckpt = std::env::var("PRINTED_CKPT_DIR").ok().filter(|v| !v.trim().is_empty());
-        out.push_str(&format!(
-            "\"checkpoint_dir\":{}",
-            ckpt.as_deref().map_or_else(|| "null".to_string(), obs::json::escape)
-        ));
-        out.push('}');
-        out
+            ckpt.as_deref(),
+        )
     }
 
     /// Writes the manifest to `path`, publishing the pipeline's
@@ -326,6 +304,51 @@ impl Pipeline {
         }
         perf_report::write_artifact(path, &manifest)
     }
+}
+
+/// Renders a completeness manifest from stage records — the standalone
+/// form of [`Pipeline::manifest_json`], shared by any subsystem that
+/// reports per-stage degradation in the same schema (the print-shop
+/// service renders its per-job supervision records through this).
+///
+/// The output parses under [`printed_obs::json::parse`]; `failed_stages`
+/// is derived from `stages` rather than taken on trust.
+pub fn render_manifest(
+    pipeline: &str,
+    status: StageStatus,
+    stages: &[StageRecord],
+    retries: u64,
+    timeouts: u64,
+    checkpoint_dir: Option<&str>,
+) -> String {
+    let failed = stages.iter().filter(|s| s.status == StageStatus::Failed).count();
+    let mut out = String::from("{");
+    out.push_str(&format!("\"pipeline\":{},", obs::json::escape(pipeline)));
+    out.push_str(&format!("\"status\":\"{status}\","));
+    out.push_str("\"stages\":[");
+    for (i, s) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"status\":\"{}\",\"attempts\":{},\"wall_ms\":{},\"error\":{}}}",
+            obs::json::escape(&s.name),
+            s.status,
+            s.attempts,
+            s.wall_ms,
+            s.error.as_deref().map_or_else(|| "null".to_string(), obs::json::escape),
+        ));
+    }
+    out.push_str("],");
+    out.push_str(&format!(
+        "\"retries\":{retries},\"timeouts\":{timeouts},\"failed_stages\":{failed},"
+    ));
+    out.push_str(&format!(
+        "\"checkpoint_dir\":{}",
+        checkpoint_dir.map_or_else(|| "null".to_string(), obs::json::escape)
+    ));
+    out.push('}');
+    out
 }
 
 /// An error type for infallible stages; never constructed.

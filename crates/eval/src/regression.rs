@@ -1,13 +1,15 @@
 //! Performance-history regression gating.
 //!
-//! The `sim_hotpaths` benchmark appends one schema-versioned record per
-//! run to `BENCH_history.jsonl` (`printed-bench-record/v1`: git
-//! revision, monotonic run index, and every headline BENCH metric).
-//! This module closes the loop: [`parse_history`] reads the ledger back
-//! through the in-tree JSON parser, [`evaluate`] compares the latest
-//! record against a rolling baseline — the per-metric **median** of up
-//! to [`BASELINE_WINDOW`] prior records, so one noisy historical run
-//! cannot poison the gate — and [`Verdict::to_json`] renders the
+//! The benchmarks (`sim_hotpaths`, `serve_bench`) each append one
+//! schema-versioned record per run to `BENCH_history.jsonl`
+//! (`printed-bench-record/v1`: git revision, monotonic run index, and
+//! that bench's headline metrics). This module closes the loop:
+//! [`parse_history`] reads the ledger back through the in-tree JSON
+//! parser, [`evaluate`] gates each metric against its own stream of
+//! carrying records — latest occurrence vs. the **median** of up to
+//! [`BASELINE_WINDOW`] prior occurrences, so interleaved records from
+//! different benches never mask one another and one noisy historical
+//! run cannot poison the gate — and [`Verdict::to_json`] renders the
 //! `printed-regression/v1` artifact `ci.sh` fails the build on.
 //!
 //! Each metric carries a direction ([`Direction`]): for
@@ -75,6 +77,7 @@ pub const GATED_METRICS: &[MetricSpec] = &[
     MetricSpec { name: "bitsliced_speedup", direction: Direction::HigherIsBetter, max_ratio: 2.0 },
     MetricSpec { name: "obs_off_ns_per_op", direction: Direction::LowerIsBetter, max_ratio: 3.0 },
     MetricSpec { name: "static_total_ms", direction: Direction::LowerIsBetter, max_ratio: 3.0 },
+    MetricSpec { name: "serve_qps", direction: Direction::HigherIsBetter, max_ratio: 3.0 },
 ];
 
 /// One parsed `printed-bench-record/v1` ledger line.
@@ -279,11 +282,18 @@ fn median(values: &mut [f64]) -> f64 {
     }
 }
 
-/// Gates `records`' latest entry against the rolling baseline, using
+/// Gates the ledger against the rolling baseline **per metric**, using
 /// [`GATED_METRICS`] allowances unless `max_ratio_override` (normally
-/// the parsed [`MAX_RATIO_ENV`]) replaces them. Metrics absent from
-/// the latest record or from every baseline record are skipped — a
-/// ledger predating a metric must not fail the gate.
+/// the parsed [`MAX_RATIO_ENV`]) replaces them.
+///
+/// Several benchmarks (`sim_hotpaths`, `serve_bench`) append to the
+/// same ledger, so records interleave and no single record carries
+/// every metric. Each metric is therefore gated against its own
+/// stream: *latest* is the newest record carrying the metric, and the
+/// baseline is the per-metric median over up to [`BASELINE_WINDOW`]
+/// earlier records carrying it. Metrics with fewer than two carrying
+/// records are skipped — a ledger predating a metric must not fail
+/// the gate.
 pub fn evaluate(records: &[BenchRecord], max_ratio_override: Option<f64>) -> Verdict {
     if records.len() < 2 {
         return Verdict {
@@ -298,16 +308,19 @@ pub fn evaluate(records: &[BenchRecord], max_ratio_override: Option<f64>) -> Ver
         };
     }
     let latest = records.last().unwrap_or_else(|| unreachable!("len >= 2 checked above"));
-    let window_start = (records.len() - 1).saturating_sub(BASELINE_WINDOW);
-    let baseline_records = &records[window_start..records.len() - 1];
     let mut checks = Vec::new();
+    let mut baseline_runs = 0usize;
     for spec in GATED_METRICS {
-        let Some(latest_value) = latest.metric(spec.name) else { continue };
-        let mut history: Vec<f64> =
-            baseline_records.iter().filter_map(|r| r.metric(spec.name)).collect();
-        if history.is_empty() {
+        // This metric's stream: every (record, value) pair carrying it,
+        // oldest to newest.
+        let stream: Vec<f64> = records.iter().filter_map(|r| r.metric(spec.name)).collect();
+        let Some((&latest_value, prior)) = stream.split_last() else { continue };
+        if prior.is_empty() {
             continue;
         }
+        let window = &prior[prior.len().saturating_sub(BASELINE_WINDOW)..];
+        baseline_runs = baseline_runs.max(window.len());
+        let mut history = window.to_vec();
         let baseline = median(&mut history);
         let ratio = match spec.direction {
             Direction::LowerIsBetter => latest_value / baseline,
@@ -326,12 +339,12 @@ pub fn evaluate(records: &[BenchRecord], max_ratio_override: Option<f64>) -> Ver
     Verdict {
         pass: checks.iter().all(|c| c.ok),
         reason: if checks.is_empty() {
-            Some("no overlapping metrics between latest record and baseline".to_string())
+            Some("no metric appears in two or more ledger records".to_string())
         } else {
             None
         },
         run_index: Some(latest.run_index),
-        baseline_runs: baseline_records.len(),
+        baseline_runs,
         checks,
     }
 }
@@ -434,6 +447,48 @@ mod tests {
         assert!(v.pass, "{}", v.summary());
         assert_eq!(v.checks.len(), 1, "only the overlapping metric is gated");
         assert_eq!(v.checks[0].name, "gl_event_ns_per_cycle");
+    }
+
+    #[test]
+    fn interleaved_bench_streams_are_gated_independently() {
+        // sim_hotpaths and serve_bench alternate appends; a serve-only
+        // record at the tail must not hide a simulator regression, and
+        // vice versa.
+        fn serve(run_index: u64, qps: f64) -> String {
+            format!(
+                "{{\"schema\": \"printed-bench-record/v1\", \"run_index\": {run_index}, \
+                 \"git_rev\": \"s{run_index}\", \"metrics\": {{\"serve_qps\": {qps}}}}}"
+            )
+        }
+        let lines = vec![
+            record(1, 3000.0, 10.0),
+            serve(2, 50.0),
+            record(3, 3000.0, 10.0),
+            serve(4, 52.0),
+            record(5, 12_000.0, 2.5), // simulator regresses...
+            serve(6, 51.0),           // ...then a healthy serve record lands last
+        ];
+        let v = evaluate(&ledger(&lines), None);
+        assert!(!v.pass, "{}", v.summary());
+        let gl = v.checks.iter().find(|c| c.name == "gl_event_ns_per_cycle").unwrap();
+        assert!(!gl.ok, "regression visible though serve_bench appended after it");
+        assert!((gl.ratio - 4.0).abs() < 1e-9, "baseline drawn only from carrying records");
+        let qps = v.checks.iter().find(|c| c.name == "serve_qps").unwrap();
+        assert!(qps.ok, "serve stream is healthy");
+        assert!((qps.baseline - 51.0).abs() < 1e-9, "median of the serve-only stream");
+
+        // A serve collapse is caught even when sim records surround it.
+        let lines = vec![
+            serve(1, 50.0),
+            record(2, 3000.0, 10.0),
+            serve(3, 52.0),
+            serve(4, 5.0), // 10x throughput collapse
+            record(5, 3000.0, 10.0),
+        ];
+        let v = evaluate(&ledger(&lines), None);
+        assert!(!v.pass, "{}", v.summary());
+        let qps = v.checks.iter().find(|c| c.name == "serve_qps").unwrap();
+        assert!(!qps.ok);
     }
 
     #[test]

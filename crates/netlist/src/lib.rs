@@ -87,8 +87,9 @@ pub use fault::{
 pub use ir::{FanoutMap, Gate, GateId, NetId, Netlist, NetlistError, Region};
 pub use lint::{lint, lint_with_fanout, Diagnostic, LintConfig, LintReport, Rule, Severity};
 pub use resilience::{
-    run_supervised_campaign, run_supervised_campaign_with_threads, JobError, ResilienceConfig,
-    ResilienceStats, SupervisedCampaign, SupervisedRun,
+    atomic_write, campaign_identity, read_checked, run_supervised_campaign,
+    run_supervised_campaign_cancellable, run_supervised_campaign_with_threads, JobError,
+    ResilienceConfig, ResilienceStats, SupervisedCampaign, SupervisedRun,
 };
 pub use sim::{ActivityStats, Engine, Simulator};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};

@@ -45,22 +45,28 @@
 //!
 //! # Checkpoint format
 //!
-//! One JSON object per line. The first line is a header binding the
-//! checkpoint to a campaign identity fingerprint (netlist structure,
-//! campaign config, golden-run observation); every further line records
-//! one completed slot:
+//! One JSON object per line, each carrying a CRC-32 (`"c"`) over its
+//! semantic payload. The first line is a header binding the checkpoint
+//! to a campaign identity fingerprint (netlist structure, campaign
+//! config, golden-run observation); every further line records one
+//! completed slot:
 //!
 //! ```text
-//! {"type":"header","design":"p1_4_2","faults":512,"fingerprint":"9f2c..."}
-//! {"type":"slot","i":17,"o":"masked","r":0}
+//! {"type":"header","design":"p1_4_2","faults":512,"fingerprint":"9f2c...","c":"1a2b3c4d"}
+//! {"type":"slot","i":17,"o":"masked","r":0,"c":"5e6f7a8b"}
 //! ```
 //!
-//! A truncated final line (the process was killed mid-write) is
-//! tolerated: loading stops at the first unparsable line and keeps the
-//! valid prefix. A header that does not match the campaign identity is
-//! discarded wholesale — a stale checkpoint can never leak slots into a
-//! different campaign. On successful completion the checkpoint file is
-//! deleted.
+//! A truncated final line (the process was killed mid-write) and a
+//! corrupted line (flipped bits — caught by the CRC even when the line
+//! still parses as JSON) are both tolerated: loading stops at the first
+//! invalid line and keeps the valid prefix, so resume recovers to the
+//! last valid line instead of erroring. A header that does not match
+//! the campaign identity (or fails its CRC) is discarded wholesale — a
+//! stale checkpoint can never leak slots into a different campaign. The
+//! initial header+resumed-slots rewrite goes through a temp-file+rename
+//! ([`atomic_write`]-style), so a kill mid-rewrite can never destroy the
+//! previous checkpoint generation. On successful completion the
+//! checkpoint file is deleted.
 
 use crate::fault::{
     campaign_golden, campaign_threads, enumerate_faults, faulty_budget, CampaignConfig,
@@ -287,6 +293,33 @@ impl Fnv {
     }
 }
 
+/// The campaign identity fingerprint for (netlist, workload, config) —
+/// the key checkpoints and the print shop's content-addressed quote
+/// cache are bound to.
+///
+/// The fingerprint covers netlist structure, the campaign parameters
+/// that select the fault set (`cycle_budget`, stuck-at space, SEU
+/// samples, seed), and the golden observation (which stands in for the
+/// workload, since classification only ever compares against it). It
+/// deliberately **excludes** execution strategy — thread count, the
+/// scalar/bitsliced engine choice, and warm-starting — because those
+/// are byte-identical by construction, and it contains no pointers,
+/// wall-clock, or per-process state, so it is stable across processes.
+///
+/// # Errors
+///
+/// Returns [`JobError::Campaign`] if the fault-free golden run fails.
+pub fn campaign_identity<W: Workload + ?Sized>(
+    netlist: &Netlist,
+    workload: &W,
+    config: &CampaignConfig,
+) -> Result<u64, JobError> {
+    let pristine = Simulator::new(netlist);
+    let golden = campaign_golden(&pristine, workload, config)?;
+    let faults = enumerate_faults(netlist, config, golden.cycles);
+    Ok(campaign_fingerprint(netlist, config, &golden, faults.len()))
+}
+
 /// Fingerprint binding a checkpoint to one exact campaign: netlist
 /// structure, campaign configuration, and the golden observation (which
 /// also stands in for the workload, since classification only ever
@@ -339,25 +372,105 @@ fn checkpoint_path(dir: &Path, design: &str, fingerprint: u64) -> PathBuf {
 }
 
 fn header_line(design: &str, total_faults: usize, fingerprint: u64) -> String {
+    let crc =
+        obs::crc::crc32(format!("header|{design}|{total_faults}|{fingerprint:016x}").as_bytes());
     format!(
         "{{\"type\":\"header\",\"design\":{},\"faults\":{total_faults},\
-         \"fingerprint\":\"{fingerprint:016x}\"}}\n",
+         \"fingerprint\":\"{fingerprint:016x}\",\"c\":\"{crc:08x}\"}}\n",
         obs::json::escape(design),
     )
 }
 
+/// CRC input for one slot line — the semantic payload, not the JSON
+/// syntax, so formatting changes never invalidate old checkpoints.
+fn slot_crc(index: usize, outcome: Outcome, retries: u32) -> u32 {
+    obs::crc::crc32(format!("slot|{index}|{outcome}|{retries}").as_bytes())
+}
+
 fn slot_line(index: usize, done: &SlotDone) -> String {
-    format!("{{\"type\":\"slot\",\"i\":{index},\"o\":\"{}\",\"r\":{}}}\n", done.0.outcome, done.1)
+    let crc = slot_crc(index, done.0.outcome, done.1);
+    format!(
+        "{{\"type\":\"slot\",\"i\":{index},\"o\":\"{}\",\"r\":{},\"c\":\"{crc:08x}\"}}\n",
+        done.0.outcome, done.1
+    )
+}
+
+/// The CRC footer appended by [`atomic_write`]: `#crc32:` + 8 hex
+/// digits + newline, 16 bytes total.
+const CRC_FOOTER_LEN: usize = 16;
+
+/// Writes `payload` + a CRC-32 footer to `path` atomically: the bytes
+/// go to a `.tmp` sibling first, are flushed, and are renamed over
+/// `path` — a kill at any point leaves either the old file or the new
+/// one, never a torn mix. [`read_checked`] verifies the footer on the
+/// way back in.
+///
+/// # Errors
+///
+/// Returns [`JobError::Io`] if the temp file cannot be written or the
+/// rename fails.
+pub fn atomic_write(path: &Path, payload: &[u8]) -> Result<(), JobError> {
+    let io_err =
+        |e: std::io::Error| JobError::Io { path: path.to_path_buf(), message: e.to_string() };
+    let tmp = path.with_extension("tmp");
+    let mut bytes = Vec::with_capacity(payload.len() + CRC_FOOTER_LEN);
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(format!("#crc32:{:08x}\n", obs::crc::crc32(payload)).as_bytes());
+    let mut file = fs::File::create(&tmp).map_err(io_err)?;
+    file.write_all(&bytes).and_then(|()| file.sync_all()).map_err(io_err)?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(io_err)
+}
+
+/// Reads a file written by [`atomic_write`] and verifies its CRC-32
+/// footer. `Ok(None)` when the file does not exist; the verified
+/// payload (footer stripped) otherwise.
+///
+/// # Errors
+///
+/// Returns [`JobError::Corrupt`] when the file exists but is truncated,
+/// has a malformed footer, or fails the checksum — the caller decides
+/// whether to quarantine and recompute.
+pub fn read_checked(path: &Path) -> Result<Option<Vec<u8>>, JobError> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(JobError::Io { path: path.to_path_buf(), message: e.to_string() }),
+    };
+    let corrupt = |message: &str| JobError::Corrupt {
+        path: path.to_path_buf(),
+        line: 0,
+        message: message.to_string(),
+    };
+    if bytes.len() < CRC_FOOTER_LEN {
+        return Err(corrupt("file shorter than its CRC footer"));
+    }
+    let (payload, footer) = bytes.split_at(bytes.len() - CRC_FOOTER_LEN);
+    let footer = std::str::from_utf8(footer).map_err(|_| corrupt("non-UTF-8 CRC footer"))?;
+    let recorded = footer
+        .strip_prefix("#crc32:")
+        .and_then(|rest| rest.strip_suffix('\n'))
+        .and_then(|hex| u32::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| corrupt("malformed CRC footer"))?;
+    let actual = obs::crc::crc32(payload);
+    if actual != recorded {
+        return Err(corrupt(&format!(
+            "CRC mismatch: recorded {recorded:08x}, actual {actual:08x}"
+        )));
+    }
+    Ok(Some(payload.to_vec()))
 }
 
 /// Loads the valid prefix of a checkpoint file into `slots`.
 ///
 /// Missing file → nothing loaded. Unreadable file or mismatched header →
 /// nothing loaded (the campaign starts fresh and overwrites it). A bad
-/// line stops the scan but keeps everything before it — that is exactly
-/// the kill-mid-write case resume exists for. The rebuilt [`FaultRun`]
-/// comes from the deterministic fault enumeration, so a checkpoint line
-/// only needs the slot index, outcome, and retry count.
+/// line — truncated mid-write, or corrupted in place (every line carries
+/// a CRC-32 over its payload, so a bit flip that still parses as JSON is
+/// caught too) — stops the scan but keeps everything before it: resume
+/// recovers to the last valid line instead of erroring. The rebuilt
+/// [`FaultRun`] comes from the deterministic fault enumeration, so a
+/// checkpoint line only needs the slot index, outcome, and retry count.
 fn load_checkpoint(
     path: &Path,
     fingerprint: u64,
@@ -369,11 +482,11 @@ fn load_checkpoint(
     let mut lines = text.lines();
     let Some(first) = lines.next() else { return 0 };
     let Ok(header) = obs::json::parse(first) else { return 0 };
-    let header_ok = header.get("type").and_then(obs::json::Value::as_str) == Some("header")
-        && header.get("fingerprint").and_then(obs::json::Value::as_str)
-            == Some(format!("{fingerprint:016x}").as_str())
-        && header.get("faults").and_then(obs::json::Value::as_f64) == Some(faults.len() as f64);
-    if !header_ok {
+    let expected = header_line(netlist.name(), faults.len(), fingerprint);
+    let Ok(expected) = obs::json::parse(expected.trim_end()) else { return 0 };
+    // Semantic header comparison (parsed, so key order and escaping are
+    // irrelevant) — covers design, fault count, fingerprint, and CRC.
+    if header != expected {
         return 0;
     }
     let mut resumed = 0;
@@ -393,6 +506,16 @@ fn load_checkpoint(
             break;
         };
         let retries = value.get("r").and_then(obs::json::Value::as_f64).unwrap_or(0.0) as u32;
+        // CRC over the semantic payload: a flipped bit that still
+        // parses (e.g. "sdc" → "sdd", or a shifted index) is rejected
+        // here, and the scan stops at the last trustworthy line.
+        let recorded = value
+            .get("c")
+            .and_then(obs::json::Value::as_str)
+            .and_then(|hex| u32::from_str_radix(hex, 16).ok());
+        if recorded != Some(slot_crc(index, outcome, retries)) {
+            break;
+        }
         let fault = faults[index];
         let cell = netlist.gates()[fault.gate.index()].kind;
         if slots[index].is_none() {
@@ -569,6 +692,28 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
     resilience: &ResilienceConfig,
     threads: usize,
 ) -> Result<SupervisedRun, JobError> {
+    run_supervised_campaign_cancellable(netlist, workload, config, resilience, threads, None)
+}
+
+/// [`run_supervised_campaign_with_threads`] with an external
+/// cancellation flag: when `cancel` flips to `true` mid-campaign,
+/// workers stop claiming new slots, the checkpoint is flushed with
+/// everything completed so far, and the run returns
+/// [`SupervisedRun::Aborted`] — the cooperative drain the print-shop
+/// service uses for graceful shutdown, so a restart *resumes* the
+/// campaign instead of recomputing it.
+///
+/// # Errors
+///
+/// Returns [`JobError::Campaign`] if the fault-free golden run fails.
+pub fn run_supervised_campaign_cancellable<W: Workload + ?Sized>(
+    netlist: &Netlist,
+    workload: &W,
+    config: &CampaignConfig,
+    resilience: &ResilienceConfig,
+    threads: usize,
+    cancel: Option<&AtomicBool>,
+) -> Result<SupervisedRun, JobError> {
     let _span = obs::span!("netlist.resilience.campaign");
     let mut pristine = Simulator::new(netlist);
     let golden = campaign_golden(&pristine, workload, config)?;
@@ -602,21 +747,22 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
         for done in slots.iter().flatten() {
             stats.retries += done.1 as u64;
         }
-        let opened = fs::create_dir_all(dir).and_then(|()| fs::File::create(&path));
-        match opened {
-            Ok(mut file) => {
-                let mut header = header_line(netlist.name(), total, fingerprint);
-                for (i, done) in slots.iter().enumerate() {
-                    if let Some(done) = done {
-                        header.push_str(&slot_line(i, done));
-                    }
-                }
-                if file.write_all(header.as_bytes()).and_then(|()| file.flush()).is_ok() {
-                    sink.file = Some(file);
-                } else {
-                    sink.broken = true;
-                }
+        // Rewrite the file from scratch (header + resumed slots) through
+        // a temp-file+rename so a kill mid-rewrite can never destroy the
+        // generation being resumed from, then reopen it for appending.
+        let mut header = header_line(netlist.name(), total, fingerprint);
+        for (i, done) in slots.iter().enumerate() {
+            if let Some(done) = done {
+                header.push_str(&slot_line(i, done));
             }
+        }
+        let tmp = path.with_extension("tmp");
+        let opened = fs::create_dir_all(dir)
+            .and_then(|()| fs::write(&tmp, header.as_bytes()))
+            .and_then(|()| fs::rename(&tmp, &path))
+            .and_then(|()| fs::OpenOptions::new().append(true).open(&path));
+        match opened {
+            Ok(file) => sink.file = Some(file),
             Err(_) => sink.broken = true,
         }
         stats.checkpoint = Some(path);
@@ -656,6 +802,11 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
     let completed = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let sink = Mutex::new(sink);
+    // External cancellation folds into the same stop protocol as the
+    // abort_after test hook: workers stop claiming, the sink flushes,
+    // and the run reports Aborted with its checkpoint.
+    let halted =
+        || stop.load(Ordering::Relaxed) || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
 
     // One slot, supervised: panics retried then degraded, watchdog trips
     // counted and folded back into the hang classification.
@@ -719,7 +870,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
                 if slot.is_some() {
                     continue;
                 }
-                if stop.load(Ordering::Relaxed) {
+                if halted() {
                     break;
                 }
                 let index = chunk_start + offset;
@@ -733,7 +884,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
             (0..chunk_slots.len()).filter(|&o| chunk_slots[o].is_none()).collect();
         let mut at = 0usize;
         while at < pending.len() {
-            if stop.load(Ordering::Relaxed) {
+            if halted() {
                 break;
             }
             let mut take = (pending.len() - at).min(crate::bitsim::BitSimulator::LANES - 1);
@@ -783,7 +934,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
                     // Engine declined or panicked mid-word: rerun each
                     // slot on the scalar path with retries intact.
                     for &offset in window {
-                        if stop.load(Ordering::Relaxed) {
+                        if halted() {
                             break;
                         }
                         let index = chunk_start + offset;
@@ -833,7 +984,6 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
         std::thread::scope(|scope| {
             let queue = &queue;
             let pristine = &pristine;
-            let stop = &stop;
             let run_chunk = &run_chunk;
             for worker in 0..workers {
                 scope.spawn(move || {
@@ -842,7 +992,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
                     obs::chrome::name_lane(&format!("supervised-worker-{worker}"));
                     let worker_sim = pristine.clone();
                     loop {
-                        if stop.load(Ordering::Relaxed) {
+                        if halted() {
                             break;
                         }
                         let claimed =
@@ -873,7 +1023,7 @@ pub fn run_supervised_campaign_with_threads<W: Workload + ?Sized>(
         reg.add("resilience.warm_slots", stats.warm_slots as u64);
     }
 
-    if stop.load(Ordering::Relaxed) && slots.iter().any(Option::is_none) {
+    if halted() && slots.iter().any(Option::is_none) {
         let done = slots.iter().filter(|s| s.is_some()).count();
         return Ok(SupervisedRun::Aborted { completed: done, total, checkpoint: stats.checkpoint });
     }
@@ -1189,6 +1339,155 @@ mod tests {
         assert_eq!(finished.stats.resumed_slots, 0, "mismatched fingerprint loads nothing");
         let plain = run_campaign_with_threads(&nl, &workload, &config(), 1).unwrap();
         assert_eq!(finished.result, plain);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_mid_file_checkpoint_recovers_to_the_last_valid_line() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 5 };
+        let golden =
+            crate::fault::campaign_golden(&Simulator::new(&nl), &workload, &config()).unwrap();
+        let faults = enumerate_faults(&nl, &config(), golden.cycles);
+        let fingerprint = campaign_fingerprint(&nl, &config(), &golden, faults.len());
+        let dir = std::env::temp_dir().join(format!("printed-ckpt-crc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = checkpoint_path(&dir, nl.name(), fingerprint);
+        let plain = run_campaign_with_threads(&nl, &workload, &config(), 1).unwrap();
+        // Six recorded slots; slot 3's outcome is flipped in place to a
+        // *different valid outcome string* — still perfectly parsable
+        // JSON, so only the CRC can catch it.
+        let mut text = header_line(nl.name(), faults.len(), fingerprint);
+        for i in 0..6 {
+            if i == 3 {
+                let honest = slot_line(i, &(plain.runs[i], 0));
+                let lie = if honest.contains("\"o\":\"masked\"") {
+                    honest.replace("\"o\":\"masked\"", "\"o\":\"sdc\"")
+                } else {
+                    honest.replace(
+                        &format!("\"o\":\"{}\"", plain.runs[i].outcome),
+                        "\"o\":\"masked\"",
+                    )
+                };
+                text.push_str(&lie);
+            } else {
+                text.push_str(&slot_line(i, &(plain.runs[i], 0)));
+            }
+        }
+        fs::write(&path, text).unwrap();
+        let mut slots: Vec<Option<SlotDone>> = vec![None; faults.len()];
+        let resumed = load_checkpoint(&path, fingerprint, &faults, &nl, &mut slots);
+        assert_eq!(resumed, 3, "scan stops at the corrupted line, keeps the prefix");
+        assert!(slots[2].is_some() && slots[3].is_none() && slots[4].is_none());
+
+        // And a full resume over the corrupted file still reproduces
+        // the uninterrupted CSV byte for byte.
+        let resilience =
+            ResilienceConfig { checkpoint_dir: Some(dir.clone()), ..ResilienceConfig::default() };
+        let finished =
+            run_supervised_campaign_with_threads(&nl, &workload, &config(), &resilience, 1)
+                .unwrap()
+                .into_complete()
+                .unwrap();
+        assert_eq!(finished.stats.resumed_slots, 3);
+        assert_eq!(finished.result.to_csv(), plain.to_csv());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_detects_corruption() {
+        let dir = std::env::temp_dir().join(format!("printed-aw-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quote.json");
+        assert_eq!(read_checked(&path).unwrap(), None, "missing file reads as None");
+        let payload = b"{\"quote\":{\"area_cm2\":1.25}}\n";
+        atomic_write(&path, payload).unwrap();
+        assert_eq!(read_checked(&path).unwrap().as_deref(), Some(&payload[..]));
+
+        // Flip one payload byte: detected.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[3] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_checked(&path), Err(JobError::Corrupt { .. })));
+
+        // Truncate mid-payload: detected.
+        atomic_write(&path, payload).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(read_checked(&path), Err(JobError::Corrupt { .. })));
+
+        // Empty file: detected (shorter than the footer).
+        fs::write(&path, b"").unwrap();
+        assert!(matches!(read_checked(&path), Err(JobError::Corrupt { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_identity_is_stable_and_config_sensitive() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 5 };
+        let base = campaign_identity(&nl, &workload, &config()).unwrap();
+        // Stable across recomputation and across execution strategy.
+        assert_eq!(base, campaign_identity(&nl, &workload, &config()).unwrap());
+        let bits = CampaignConfig { bitsliced: !config().bitsliced, ..config() };
+        assert_eq!(base, campaign_identity(&nl, &workload, &bits).unwrap());
+        let warm = CampaignConfig { warm_start: true, ..config() };
+        assert_eq!(base, campaign_identity(&nl, &workload, &warm).unwrap());
+        // Distinct across campaign parameters and workloads.
+        let seeded = CampaignConfig { seed: config().seed + 1, ..config() };
+        assert_ne!(base, campaign_identity(&nl, &workload, &seeded).unwrap());
+        let more = CampaignConfig { seu_samples: 7, ..config() };
+        assert_ne!(base, campaign_identity(&nl, &workload, &more).unwrap());
+        let other_workload = PatternWorkload { cycles: 11, seed: 5 };
+        assert_ne!(base, campaign_identity(&nl, &other_workload, &config()).unwrap());
+    }
+
+    #[test]
+    fn external_cancel_aborts_with_a_resumable_checkpoint() {
+        let nl = accumulator();
+        let workload = PatternWorkload { cycles: 10, seed: 5 };
+        let dir = std::env::temp_dir().join(format!("printed-ckpt-cancel-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let baseline = run_campaign_with_threads(&nl, &workload, &config(), 1).unwrap();
+        let resilience = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            ..ResilienceConfig::default()
+        };
+        // Pre-cancelled: the run must abort immediately (no slots), flush
+        // the checkpoint header, and report Aborted rather than hanging.
+        let cancel = AtomicBool::new(true);
+        let aborted = run_supervised_campaign_cancellable(
+            &nl,
+            &workload,
+            &config(),
+            &resilience,
+            2,
+            Some(&cancel),
+        )
+        .unwrap();
+        let SupervisedRun::Aborted { completed, checkpoint, .. } = aborted else {
+            panic!("cancelled run must abort");
+        };
+        assert_eq!(completed, 0);
+        assert!(checkpoint.expect("checkpointing was enabled").exists());
+
+        // A fresh run with the flag clear resumes and matches byte for byte.
+        let cancel = AtomicBool::new(false);
+        let finished = run_supervised_campaign_cancellable(
+            &nl,
+            &workload,
+            &config(),
+            &resilience,
+            2,
+            Some(&cancel),
+        )
+        .unwrap()
+        .into_complete()
+        .expect("uncancelled run completes");
+        assert_eq!(finished.result.to_csv(), baseline.to_csv());
         let _ = fs::remove_dir_all(&dir);
     }
 

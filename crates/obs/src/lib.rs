@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chrome;
+pub mod crc;
 pub mod json;
 mod registry;
 

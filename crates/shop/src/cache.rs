@@ -1,0 +1,131 @@
+//! Content-addressed quote cache.
+//!
+//! One file per content key — `<key:016x>.quote.json` — written with
+//! [`printed_netlist::resilience::atomic_write`] (temp file + rename +
+//! CRC-32 footer) and read back through `read_checked`, so a torn
+//! write or a flipped bit is *detected and evicted*, never served. A
+//! hit returns the exact bytes a cold compute produced; the chaos
+//! drills corrupt and truncate entries and assert recomputation
+//! matches byte for byte.
+
+use crate::error::ShopError;
+use printed_netlist::resilience::{atomic_write, read_checked};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A directory of CRC-guarded quote files.
+#[derive(Debug, Clone)]
+pub struct QuoteCache {
+    dir: PathBuf,
+}
+
+/// What a cache lookup found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// A verified entry: the exact cached quote bytes.
+    Hit(String),
+    /// No entry for this key.
+    Miss,
+    /// An entry existed but failed its CRC (torn write, bit rot, or
+    /// truncation); it has been evicted and the caller recomputes.
+    Evicted,
+}
+
+impl QuoteCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShopError::Internal`] if the directory cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ShopError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| ShopError::Internal {
+            message: format!("cache dir {}: {e}", dir.display()),
+        })?;
+        Ok(QuoteCache { dir })
+    }
+
+    /// The file a key lives in.
+    pub fn path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.quote.json"))
+    }
+
+    /// Looks a key up, verifying integrity. Corrupt entries are
+    /// removed on the way out so the next lookup is a clean miss.
+    pub fn lookup(&self, key: u64) -> CacheLookup {
+        let path = self.path(key);
+        match read_checked(&path) {
+            Ok(Some(bytes)) => match String::from_utf8(bytes) {
+                Ok(text) => CacheLookup::Hit(text),
+                Err(_) => self.evict(&path),
+            },
+            Ok(None) => CacheLookup::Miss,
+            Err(_) => self.evict(&path),
+        }
+    }
+
+    fn evict(&self, path: &Path) -> CacheLookup {
+        let _ = fs::remove_file(path);
+        CacheLookup::Evicted
+    }
+
+    /// Stores quote bytes under a key, atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShopError::Internal`] on I/O failure (the quote is
+    /// still served; only durability is lost).
+    pub fn store(&self, key: u64, quote: &str) -> Result<(), ShopError> {
+        atomic_write(&self.path(key), quote.as_bytes())
+            .map_err(|e| ShopError::Internal { message: format!("cache store {key:016x}: {e}") })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str) -> QuoteCache {
+        let dir =
+            std::env::temp_dir().join(format!("printed-shop-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        QuoteCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn round_trip_hits_byte_identically() {
+        let cache = temp_cache("rt");
+        assert_eq!(cache.lookup(7), CacheLookup::Miss);
+        let quote = "{\"schema\":\"printed-quote/v1\",\"gates\":123}";
+        cache.store(7, quote).unwrap();
+        assert_eq!(cache.lookup(7), CacheLookup::Hit(quote.to_string()));
+    }
+
+    #[test]
+    fn corruption_and_truncation_evict_instead_of_serving() {
+        let cache = temp_cache("corrupt");
+        let quote = "{\"schema\":\"printed-quote/v1\",\"gates\":123}";
+        cache.store(9, quote).unwrap();
+
+        // Flip a byte inside the payload: still-parsable JSON, caught
+        // only by the CRC footer.
+        let path = cache.path(9);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[30] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(cache.lookup(9), CacheLookup::Evicted);
+        assert_eq!(cache.lookup(9), CacheLookup::Miss, "eviction removed the file");
+
+        // Truncation mid-file.
+        cache.store(9, quote).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(cache.lookup(9), CacheLookup::Evicted);
+
+        // Recompute + restore serves the original bytes again.
+        cache.store(9, quote).unwrap();
+        assert_eq!(cache.lookup(9), CacheLookup::Hit(quote.to_string()));
+    }
+}

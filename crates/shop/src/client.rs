@@ -1,0 +1,104 @@
+//! A minimal blocking client for the shop's line protocol, used by the
+//! example CLI, the chaos tests, and the serve benchmark.
+
+use printed_obs::json::{self, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed service response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The envelope line, verbatim.
+    pub envelope: String,
+    /// The second line (the raw quote bytes), present only for a
+    /// successful quote.
+    pub quote: Option<String>,
+}
+
+impl Response {
+    /// Parses the envelope as JSON.
+    pub fn envelope_json(&self) -> Option<Value> {
+        json::parse(&self.envelope).ok()
+    }
+
+    /// `true` when the envelope says `"ok":true`.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.envelope_json().as_ref().and_then(|v| v.get("ok")), Some(Value::Bool(true)))
+    }
+
+    /// The typed error code, when the envelope is an error.
+    pub fn error_code(&self) -> Option<String> {
+        self.envelope_json()
+            .as_ref()
+            .and_then(|v| v.get("error"))
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    }
+}
+
+/// A connection to a running shop.
+#[derive(Debug)]
+pub struct ShopClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ShopClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:7171`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        // One request, one response: latency matters, batching doesn't.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(ShopClient { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one request line and reads the response (one line, plus
+    /// the quote line when the envelope is a successful quote).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; an EOF before the envelope is an
+    /// `UnexpectedEof` error.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Response> {
+        // A single write per request: two small writes would trip the
+        // Nagle + delayed-ACK interaction and cost ~40 ms per round trip.
+        if line.ends_with('\n') {
+            self.writer.write_all(line.as_bytes())?;
+        } else {
+            let mut framed = String::with_capacity(line.len() + 1);
+            framed.push_str(line);
+            framed.push('\n');
+            self.writer.write_all(framed.as_bytes())?;
+        }
+        self.writer.flush()?;
+        let envelope = self.read_line()?;
+        let has_quote = json::parse(&envelope).ok().as_ref().is_some_and(|v| {
+            matches!(v.get("ok"), Some(Value::Bool(true))) && v.get("served").is_some()
+        });
+        let quote = if has_quote { Some(self.read_line()?) } else { None };
+        Ok(Response { envelope, quote })
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a full response",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}

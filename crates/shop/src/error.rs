@@ -1,0 +1,186 @@
+//! Typed service errors — every way a print-shop job can be refused or
+//! degraded, as data rather than strings.
+//!
+//! The wire protocol, the journal, the manifest, and the client all
+//! speak [`ShopError`]: queue overflow and deadline overruns are
+//! *distinct variants with structured fields*, so a load-shedding
+//! rejection can never be confused with a slow campaign (the satellite
+//! fix this module exists for). [`ShopError::code`] is the stable wire
+//! discriminator; [`ShopError::to_json`] renders the error object the
+//! server puts in a `"ok":false` envelope.
+
+use printed_netlist::JobError;
+use printed_obs as obs;
+use std::fmt;
+
+/// Every typed failure the service can hand a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShopError {
+    /// The bounded job queue is full — backpressure, not failure. The
+    /// client may retry later; nothing was enqueued or journaled.
+    QueueFull {
+        /// Jobs queued when the submit arrived.
+        depth: usize,
+        /// The configured queue capacity (`PRINTED_SHOP_QUEUE`).
+        capacity: usize,
+    },
+    /// The job blew through its wall-clock deadline; its campaign was
+    /// cancelled and drained to a checkpoint. Deterministic for a given
+    /// deadline, so the job is journaled done and not replayed.
+    DeadlineExceeded {
+        /// The job's query key (16-hex-digit id).
+        job: String,
+        /// The deadline in effect, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The job panicked on every allowed attempt and was isolated; the
+    /// worker survived.
+    Poisoned {
+        /// The job's query key.
+        job: String,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The final panic payload, if it was a string.
+        message: String,
+    },
+    /// The service is shutting down: in-flight campaigns are draining
+    /// to checkpoints and the job will resume after restart.
+    Draining,
+    /// The request line did not parse, or named an impossible design
+    /// point (width/pipeline/BAR out of the paper's ranges).
+    BadRequest {
+        /// What was wrong.
+        message: String,
+    },
+    /// The design was valid but could not be built (assembly error,
+    /// encoding overflow, lint failure, TMR transform error).
+    Build {
+        /// The underlying tool's diagnosis.
+        message: String,
+    },
+    /// Cache/journal/checkpoint I/O or another internal fault.
+    Internal {
+        /// What happened.
+        message: String,
+    },
+}
+
+impl ShopError {
+    /// Stable wire discriminator for the variant.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ShopError::QueueFull { .. } => "queue_full",
+            ShopError::DeadlineExceeded { .. } => "deadline",
+            ShopError::Poisoned { .. } => "poisoned",
+            ShopError::Draining => "draining",
+            ShopError::BadRequest { .. } => "bad_request",
+            ShopError::Build { .. } => "build",
+            ShopError::Internal { .. } => "internal",
+        }
+    }
+
+    /// Renders the error object for a `"ok":false` envelope. Structured
+    /// fields ride along, so clients can implement typed backoff
+    /// without parsing prose.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"code\":\"{}\"", self.code());
+        match self {
+            ShopError::QueueFull { depth, capacity } => {
+                out.push_str(&format!(",\"depth\":{depth},\"capacity\":{capacity}"));
+            }
+            ShopError::DeadlineExceeded { job, deadline_ms } => {
+                out.push_str(&format!(
+                    ",\"job\":{},\"deadline_ms\":{deadline_ms}",
+                    obs::json::escape(job)
+                ));
+            }
+            ShopError::Poisoned { job, attempts, message } => {
+                out.push_str(&format!(
+                    ",\"job\":{},\"attempts\":{attempts},\"message\":{}",
+                    obs::json::escape(job),
+                    obs::json::escape(message)
+                ));
+            }
+            ShopError::Draining => {}
+            ShopError::BadRequest { message }
+            | ShopError::Build { message }
+            | ShopError::Internal { message } => {
+                out.push_str(&format!(",\"message\":{}", obs::json::escape(message)));
+            }
+        }
+        out.push_str(&format!(",\"message_text\":{}", obs::json::escape(&self.to_string())));
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for ShopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShopError::QueueFull { depth, capacity } => {
+                write!(f, "queue full: {depth} of {capacity} slots taken")
+            }
+            ShopError::DeadlineExceeded { job, deadline_ms } => {
+                write!(f, "job {job} exceeded its {deadline_ms} ms deadline")
+            }
+            ShopError::Poisoned { job, attempts, message } => {
+                write!(f, "job {job} poisoned after {attempts} attempts: {message}")
+            }
+            ShopError::Draining => write!(f, "service draining to checkpoints"),
+            ShopError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ShopError::Build { message } => write!(f, "build failed: {message}"),
+            ShopError::Internal { message } => write!(f, "internal error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ShopError {}
+
+impl From<JobError> for ShopError {
+    fn from(e: JobError) -> Self {
+        ShopError::Internal { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+    use printed_obs::json::{self, Value};
+
+    #[test]
+    fn error_objects_parse_and_carry_structured_fields() {
+        let e = ShopError::QueueFull { depth: 4, capacity: 4 };
+        let v = json::parse(&e.to_json()).expect("error JSON parses");
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("queue_full"));
+        assert_eq!(v.get("depth").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(v.get("capacity").and_then(Value::as_f64), Some(4.0));
+
+        let e = ShopError::DeadlineExceeded { job: "00ab".into(), deadline_ms: 250 };
+        let v = json::parse(&e.to_json()).expect("error JSON parses");
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("deadline"));
+        assert_eq!(v.get("deadline_ms").and_then(Value::as_f64), Some(250.0));
+
+        let e = ShopError::Poisoned { job: "00ab".into(), attempts: 3, message: "boom".into() };
+        let v = json::parse(&e.to_json()).expect("error JSON parses");
+        assert_eq!(v.get("attempts").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("message").and_then(Value::as_str), Some("boom"));
+    }
+
+    #[test]
+    fn codes_are_distinct_across_variants() {
+        let variants = [
+            ShopError::QueueFull { depth: 0, capacity: 0 }.code(),
+            ShopError::DeadlineExceeded { job: String::new(), deadline_ms: 0 }.code(),
+            ShopError::Poisoned { job: String::new(), attempts: 0, message: String::new() }.code(),
+            ShopError::Draining.code(),
+            ShopError::BadRequest { message: String::new() }.code(),
+            ShopError::Build { message: String::new() }.code(),
+            ShopError::Internal { message: String::new() }.code(),
+        ];
+        let mut unique: Vec<&str> = variants.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), variants.len(), "wire codes must be distinct");
+    }
+}

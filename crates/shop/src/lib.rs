@@ -1,0 +1,46 @@
+//! # printed-shop
+//!
+//! A print-shop **job service** for pricing printed-microprocessor
+//! designs: clients submit a design query (ISA subset, width, pipeline
+//! depth, BAR count, memory, battery, TMR, optional fault campaign)
+//! over a line-delimited JSON TCP protocol and get back a
+//! deterministic `printed-quote/v1` document — gate count, area, fmax,
+//! power, battery lifetime, and fault-coverage numbers.
+//!
+//! The crate is std-only and is the repo's robustness showcase:
+//!
+//! - [`queue`] — bounded queue with typed load-shedding
+//!   ([`ShopError::QueueFull`]), dedup and coalescing of identical
+//!   in-flight queries;
+//! - [`journal`] — crash-safe write-ahead job journal (CRC per line,
+//!   valid-prefix replay, compaction);
+//! - [`cache`] — content-addressed quote cache keyed by the campaign
+//!   identity fingerprint, written atomically with CRC footers;
+//! - [`service`] — the supervision tree: worker panics are caught and
+//!   retried with backoff, dead workers respawn, deadlines cancel
+//!   campaigns cooperatively, and graceful shutdown drains in-flight
+//!   campaigns to checkpoints;
+//! - [`proto`] / [`quote`] — the wire protocol and the pricing
+//!   pipeline itself.
+//!
+//! Chaos drills (`tests/service_chaos.rs`, `ci.sh`) SIGKILL the
+//! process mid-campaign, corrupt cache entries, inject slow and
+//! panicking jobs, and assert the service recovers and serves
+//! byte-identical results.
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod journal;
+pub mod proto;
+pub mod queue;
+pub mod quote;
+pub mod service;
+
+pub use cache::{CacheLookup, QuoteCache};
+pub use error::ShopError;
+pub use journal::{Journal, RecoveredJob};
+pub use proto::{CampaignRequest, Request, ShopQuery};
+pub use queue::{JobQueue, QuoteReply, Reply, Served, Submit};
+pub use quote::PricedQuote;
+pub use service::{ShopConfig, ShopService};

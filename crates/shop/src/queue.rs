@@ -1,0 +1,358 @@
+//! The bounded job queue: backpressure, dedup, and coalescing.
+//!
+//! - **Backpressure**: the queue holds at most `capacity` distinct
+//!   jobs. A submit that would exceed it returns
+//!   [`ShopError::QueueFull`] *immediately* — typed load-shedding,
+//!   never a hang — and nothing is journaled.
+//! - **Dedup/coalescing**: a submit whose query key matches a queued
+//!   *or executing* job attaches to it as an extra waiter instead of
+//!   costing a second compute; its waiter is told the result was
+//!   coalesced.
+//! - **Drain**: [`JobQueue::drain`] wakes every blocked worker, fails
+//!   queued-but-unstarted waiters with [`ShopError::Draining`] (their
+//!   accept records stay in the journal, so a restart replays them),
+//!   and makes further submits return `Draining`.
+
+use crate::error::ShopError;
+use crate::proto::ShopQuery;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// What a quote job hands each waiter when it finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuoteReply {
+    /// How this waiter's copy was produced.
+    pub served: Served,
+    /// Campaign identity fingerprint, when a campaign ran.
+    pub fingerprint: Option<u64>,
+    /// Checkpoint slots resumed rather than re-simulated.
+    pub resumed_slots: usize,
+    /// Wall-clock of the compute, in milliseconds (0 for cache hits).
+    pub wall_ms: u64,
+    /// The quote bytes.
+    pub quote: String,
+}
+
+/// How a reply was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Freshly computed (possibly resuming a checkpoint).
+    Computed,
+    /// Verified content-cache hit.
+    Cache,
+    /// Attached to another request's in-flight compute.
+    Coalesced,
+}
+
+impl Served {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Served::Computed => "computed",
+            Served::Cache => "cache",
+            Served::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// The channel payload: a typed reply or a typed error.
+pub type Reply = Result<QuoteReply, ShopError>;
+
+/// One pending (queued or executing) job.
+#[derive(Debug)]
+pub struct Job {
+    /// The job's query key.
+    pub query_key: u64,
+    /// The parsed query.
+    pub query: ShopQuery,
+    /// Reply channels, in attach order; index 0 is the originator.
+    pub waiters: Vec<Sender<Reply>>,
+    /// Replayed from the journal after a crash (no live waiters).
+    pub recovered: bool,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Keys awaiting a worker, FIFO.
+    order: VecDeque<u64>,
+    /// Every pending job by key — queued (in `order`) or executing.
+    jobs: HashMap<u64, Job>,
+    /// How many jobs a worker has claimed and not yet completed.
+    executing: usize,
+    draining: bool,
+}
+
+/// Outcome of a submit.
+#[derive(Debug)]
+pub enum Submit {
+    /// Enqueued as a fresh job; await the receiver.
+    Queued(Receiver<Reply>),
+    /// Attached to an in-flight job with the same query key.
+    Coalesced(Receiver<Reply>),
+    /// Load-shed: typed rejection with the observed depth.
+    Rejected {
+        /// Distinct jobs pending when the submit arrived.
+        depth: usize,
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The service is draining; nothing was enqueued.
+    Draining,
+}
+
+/// A bounded, deduplicating, condvar-woken job queue.
+#[derive(Debug)]
+pub struct JobQueue {
+    state: Mutex<State>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` distinct pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(State::default()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Distinct pending jobs (queued + executing).
+    pub fn depth(&self) -> usize {
+        let s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.jobs.len()
+    }
+
+    /// Submits a query. Returns a receiver to await, a coalesced
+    /// receiver, or a typed rejection. `journal` runs under the queue
+    /// lock *only for fresh enqueues*, so the accept record and the
+    /// enqueue are atomic with respect to other submitters.
+    pub fn submit(
+        &self,
+        query: ShopQuery,
+        journal: &mut dyn FnMut(u64, &str) -> Result<(), ShopError>,
+    ) -> Submit {
+        let key = query.query_key();
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if s.draining {
+            return Submit::Draining;
+        }
+        if let Some(job) = s.jobs.get_mut(&key) {
+            let (tx, rx) = std::sync::mpsc::channel();
+            job.waiters.push(tx);
+            return Submit::Coalesced(rx);
+        }
+        let depth = s.jobs.len();
+        if depth >= self.capacity {
+            return Submit::Rejected { depth, capacity: self.capacity };
+        }
+        if let Err(e) = journal(key, &query.canonical()) {
+            // Accept-before-work failed: refuse rather than take
+            // unjournaled work.
+            let (tx, rx) = std::sync::mpsc::channel();
+            let _ = tx.send(Err(e));
+            return Submit::Queued(rx);
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        s.jobs.insert(key, Job { query_key: key, query, waiters: vec![tx], recovered: false });
+        s.order.push_back(key);
+        drop(s);
+        self.ready.notify_one();
+        Submit::Queued(rx)
+    }
+
+    /// Re-enqueues a crash-recovered job (already journaled; no
+    /// waiters). Silently drops it if a duplicate is already pending
+    /// or the queue is full — the journal still holds its accept, so
+    /// nothing is lost, only deferred to the next restart.
+    pub fn resubmit_recovered(&self, query: ShopQuery) {
+        let key = query.query_key();
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if s.draining || s.jobs.contains_key(&key) || s.jobs.len() >= self.capacity {
+            return;
+        }
+        s.jobs.insert(key, Job { query_key: key, query, waiters: Vec::new(), recovered: true });
+        s.order.push_back(key);
+        drop(s);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until a job is ready and claims it, or returns `None`
+    /// when draining. The claimed job stays in the pending map (for
+    /// coalescing) until [`JobQueue::complete`].
+    pub fn claim(&self) -> Option<(u64, ShopQuery, bool)> {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if s.draining {
+                return None;
+            }
+            if let Some(key) = s.order.pop_front() {
+                let claimed = s.jobs.get(&key).map(|job| (job.query.clone(), job.recovered));
+                let Some((query, recovered)) = claimed else { continue };
+                s.executing += 1;
+                return Some((key, query, recovered));
+            }
+            s = self.ready.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Completes a claimed job: removes it and replies to every
+    /// waiter. Waiters beyond the originator are marked
+    /// [`Served::Coalesced`]. Returns the waiter count.
+    pub fn complete(&self, key: u64, reply: &Reply) -> usize {
+        let job = {
+            let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            s.executing = s.executing.saturating_sub(1);
+            s.jobs.remove(&key)
+        };
+        let Some(job) = job else { return 0 };
+        let waiters = job.waiters.len();
+        for (i, tx) in job.waiters.into_iter().enumerate() {
+            let mut r = reply.clone();
+            if i > 0 {
+                if let Ok(ok) = &mut r {
+                    ok.served = Served::Coalesced;
+                }
+            }
+            let _ = tx.send(r);
+        }
+        waiters
+    }
+
+    /// Switches to draining: submits are refused, blocked claims
+    /// return `None`, and every *queued* (unclaimed) job's waiters get
+    /// [`ShopError::Draining`]. Executing jobs are left to their
+    /// workers, which observe the cancel flag and abort to
+    /// checkpoints. Returns the keys of the failed queued jobs.
+    pub fn drain(&self) -> Vec<u64> {
+        let queued: Vec<Job> = {
+            let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            s.draining = true;
+            let keys: Vec<u64> = s.order.drain(..).collect();
+            keys.iter().filter_map(|k| s.jobs.remove(k)).collect()
+        };
+        self.ready.notify_all();
+        let mut keys = Vec::new();
+        for job in queued {
+            keys.push(job.query_key);
+            for tx in job.waiters {
+                let _ = tx.send(Err(ShopError::Draining));
+            }
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+
+    fn no_journal() -> impl FnMut(u64, &str) -> Result<(), ShopError> {
+        |_, _| Ok(())
+    }
+
+    fn query(width: usize) -> ShopQuery {
+        ShopQuery { width, ..ShopQuery::default() }
+    }
+
+    #[test]
+    fn overflow_is_a_typed_rejection_never_a_block() {
+        let q = JobQueue::new(2);
+        let mut j = no_journal();
+        let _a = q.submit(query(4), &mut j);
+        let _b = q.submit(query(8), &mut j);
+        match q.submit(query(16), &mut j) {
+            Submit::Rejected { depth, capacity } => {
+                assert_eq!((depth, capacity), (2, 2));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_submits_coalesce_even_while_executing() {
+        let q = JobQueue::new(2);
+        let mut j = no_journal();
+        let Submit::Queued(rx1) = q.submit(query(4), &mut j) else { panic!("queued") };
+        // Same key coalesces while queued…
+        let Submit::Coalesced(rx2) = q.submit(query(4), &mut j) else { panic!("coalesced") };
+        // …and while executing (claimed but not completed).
+        let (key, _, _) = q.claim().unwrap();
+        let Submit::Coalesced(rx3) = q.submit(query(4), &mut j) else { panic!("coalesced") };
+        assert_eq!(q.depth(), 1, "one pending job, three waiters");
+
+        let reply = Ok(QuoteReply {
+            served: Served::Computed,
+            fingerprint: None,
+            resumed_slots: 0,
+            wall_ms: 5,
+            quote: "{}".to_string(),
+        });
+        assert_eq!(q.complete(key, &reply), 3);
+        assert_eq!(rx1.recv().unwrap().unwrap().served, Served::Computed);
+        assert_eq!(rx2.recv().unwrap().unwrap().served, Served::Coalesced);
+        assert_eq!(rx3.recv().unwrap().unwrap().served, Served::Coalesced);
+    }
+
+    #[test]
+    fn drain_fails_queued_waiters_and_unblocks_claims() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let mut j = no_journal();
+        let Submit::Queued(rx) = q.submit(query(4), &mut j) else { panic!("queued") };
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                // First claim gets the job; second blocks until drain.
+                let first = q.claim();
+                let second = q.claim();
+                (first.is_some(), second.is_none())
+            })
+        };
+        // Give the worker a moment to claim + block.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let failed = q.drain();
+        assert!(failed.is_empty(), "the only job was already claimed");
+        let (first, second) = waiter.join().unwrap();
+        assert!(first && second);
+        // The claimed job's waiter is still attached; completing it
+        // after drain still answers (executing jobs finish or abort).
+        match q.submit(query(8), &mut j) {
+            Submit::Draining => {}
+            other => panic!("expected draining, got {other:?}"),
+        }
+        drop(rx);
+    }
+
+    #[test]
+    fn queued_jobs_fail_typed_on_drain() {
+        let q = JobQueue::new(4);
+        let mut j = no_journal();
+        let Submit::Queued(rx) = q.submit(query(4), &mut j) else { panic!("queued") };
+        let failed = q.drain();
+        assert_eq!(failed.len(), 1);
+        match rx.recv().unwrap() {
+            Err(ShopError::Draining) => {}
+            other => panic!("expected Draining, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovered_jobs_queue_without_waiters() {
+        let q = JobQueue::new(2);
+        q.resubmit_recovered(query(4));
+        q.resubmit_recovered(query(4)); // duplicate dropped
+        assert_eq!(q.depth(), 1);
+        let (key, _, recovered) = q.claim().unwrap();
+        assert!(recovered);
+        let reply = Err(ShopError::Draining);
+        assert_eq!(q.complete(key, &reply), 0, "no waiters to notify");
+    }
+}

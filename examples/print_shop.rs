@@ -1,11 +1,29 @@
-//! The "fab-in-a-box" story end-to-end: take a program, specialize the
-//! hardware to it (Section 7), and emit a fabrication order — the core
-//! geometry, the narrowed ROM image, and the battery budget — the way an
-//! on-demand inkjet print shop would.
+//! The print shop, two ways.
+//!
+//! With no arguments: the original "fab-in-a-box" demo — take a
+//! program, specialize the hardware to it (Section 7), and print a
+//! fabrication order.
+//!
+//! With a subcommand: a thin CLI over the [`printed_shop`] job service
+//! (the long-running version of the same story — see DESIGN.md "Print
+//! shop service"):
 //!
 //! ```sh
-//! cargo run --release --example print_shop
+//! cargo run --release --example print_shop                 # local demo
+//! cargo run --release --example print_shop -- serve        # run the service
+//! cargo run --release --example print_shop -- query '{"width":4}'
+//! cargo run --release --example print_shop -- stats
+//! cargo run --release --example print_shop -- shutdown
+//! cargo run --release --example print_shop -- chaos-kill
 //! ```
+//!
+//! `serve` honors `PRINTED_SHOP_ADDR`, `PRINTED_SHOP_DIR`,
+//! `PRINTED_SHOP_QUEUE`, `PRINTED_SHOP_DEADLINE_MS`, and
+//! `PRINTED_SHOP_WORKERS`; the client subcommands honor
+//! `PRINTED_SHOP_ADDR` (default `127.0.0.1:7171`). `query` writes the
+//! envelope to stderr and the raw quote bytes to stdout, so scripts can
+//! byte-compare quotes across restarts, and exits nonzero on a typed
+//! rejection.
 
 // Panics are the failure report in test/bench/example code.
 #![allow(clippy::disallowed_methods)]
@@ -14,8 +32,66 @@ use printed_microprocessors::core::{asm::assemble, generate, CoreConfig};
 use printed_microprocessors::netlist::{analysis, opt};
 use printed_microprocessors::pdk::battery::BLUESPARK_30;
 use printed_microprocessors::pdk::Technology;
+use printed_microprocessors::shop::client::ShopClient;
+use printed_microprocessors::shop::{ShopConfig, ShopService};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("demo") => demo(),
+        Some("serve") => serve(),
+        Some("query") => {
+            let fields = args.get(1).cloned().unwrap_or_else(|| "{}".to_string());
+            client_op(&format!("{{\"op\":\"quote\",\"query\":{fields}}}"))
+        }
+        Some("stats") => client_op("{\"op\":\"stats\"}"),
+        Some("shutdown") => client_op("{\"op\":\"shutdown\"}"),
+        Some("chaos-kill") => client_op("{\"op\":\"chaos\",\"action\":\"kill_worker\"}"),
+        Some(other) => Err(format!(
+            "unknown subcommand {other:?} (try: demo, serve, query, stats, shutdown, chaos-kill)"
+        )
+        .into()),
+    }
+}
+
+/// Runs the job service until a `shutdown` op drains it.
+fn serve() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ShopConfig::from_env();
+    if config.addr == "127.0.0.1:0" && std::env::var("PRINTED_SHOP_ADDR").is_err() {
+        // A human-friendly fixed default for the CLI; tests and scripts
+        // that want an ephemeral port set PRINTED_SHOP_ADDR=127.0.0.1:0.
+        config.addr = "127.0.0.1:7171".to_string();
+    }
+    let service = ShopService::start(config).map_err(|e| e.to_string())?;
+    // Scripts parse this line to learn the (possibly ephemeral) port.
+    println!("print_shop listening on {}", service.addr());
+    use std::io::Write;
+    std::io::stdout().flush()?;
+    service.wait();
+    eprintln!("print_shop drained");
+    Ok(())
+}
+
+/// Sends one request line; envelope to stderr, quote bytes (if any) to
+/// stdout. Exits nonzero when the envelope is an error.
+fn client_op(line: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::var("PRINTED_SHOP_ADDR").unwrap_or_else(|_| "127.0.0.1:7171".to_string());
+    let mut client = ShopClient::connect(&addr)?;
+    let resp = client.request(line)?;
+    eprintln!("{}", resp.envelope);
+    if let Some(quote) = &resp.quote {
+        println!("{quote}");
+    }
+    if resp.is_ok() {
+        Ok(())
+    } else {
+        Err(resp.error_code().unwrap_or_else(|| "error".to_string()).into())
+    }
+}
+
+/// The original single-shot demo: specialize, characterize, and print
+/// the fabrication order for the door-counter program.
+fn demo() -> Result<(), Box<dyn std::error::Error>> {
     // The customer's program: debounce a door sensor and count openings.
     let source = "
         ; mem[0] = raw sample (written by the sensor ADC)
@@ -87,5 +163,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\non a Blue Spark 30 mAh cell at 1 sample/s: ~{:.0} days of monitoring",
         life.as_hours() / 24.0
     );
+    println!("\n(run with `serve` to price designs as a long-running job service)");
     Ok(())
 }

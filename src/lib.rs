@@ -17,6 +17,10 @@
 //! - [`baselines`] — light8080 / Z80 / ZPU / openMSP430 simulators,
 //!   assemblers, inventories, and benchmark programs,
 //! - [`eval`] — tables, figures, lifetime analysis, headline ratios,
+//! - [`shop`] — the print-shop job service: a TCP quote server with a
+//!   supervised worker pool, bounded queue with typed load-shedding,
+//!   crash-safe job journal, and content-addressed quote cache (see
+//!   DESIGN.md "Print shop service"),
 //! - [`obs`] — counters, gauges, histograms, and span timers behind the
 //!   `PRINTED_OBS` environment variable (see DESIGN.md "Observability").
 //!
@@ -48,3 +52,4 @@ pub use printed_memory as memory;
 pub use printed_netlist as netlist;
 pub use printed_obs as obs;
 pub use printed_pdk as pdk;
+pub use printed_shop as shop;

@@ -1,0 +1,80 @@
+//! Property tests for the print shop's cache identity: the content key
+//! (campaign fingerprint folded with the pricing context) must be
+//! stable across recomputation, rebuilds, and threads — it is the name
+//! of a durable cache file — and distinct across anything that changes
+//! the priced answer. Cross-*process* stability is drilled by the
+//! `ci.sh` SIGKILL/restart step, which byte-compares quotes served by
+//! two different service processes from the same cache.
+
+// Panics are the failure report in test/bench/example code.
+#![allow(clippy::disallowed_methods)]
+use printed_microprocessors::shop::proto::CampaignRequest;
+use printed_microprocessors::shop::quote::{build, content_key};
+use printed_microprocessors::shop::ShopQuery;
+use proptest::prelude::*;
+
+fn query(width: usize, tmr: bool, seu: usize, seed: u64) -> ShopQuery {
+    ShopQuery {
+        width,
+        tmr,
+        campaign: Some(CampaignRequest { seu_samples: seu, stuck_at: 2, cycle_budget: 200, seed }),
+        ..ShopQuery::default()
+    }
+}
+
+fn key_of(q: &ShopQuery) -> u64 {
+    let built = build(q).expect("query builds");
+    content_key(q, &built).expect("content key")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn content_keys_are_reproducible_across_rebuilds_and_threads(
+        width in 2usize..10,
+        seu in 1usize..5,
+        seed in 0u64..1_000,
+        tmr: bool,
+    ) {
+        let q = query(width, tmr, seu, seed);
+        let here = key_of(&q);
+        prop_assert_eq!(key_of(&q), here, "recomputation is deterministic");
+
+        // A different thread, a freshly parsed copy of the query, and a
+        // freshly generated netlist must name the same cache entry.
+        let canonical = q.canonical();
+        let there = std::thread::spawn(move || {
+            let v = printed_microprocessors::obs::json::parse(&canonical).expect("canonical json");
+            key_of(&ShopQuery::from_value(&v).expect("canonical query"))
+        })
+        .join()
+        .expect("thread");
+        prop_assert_eq!(there, here, "thread- and parse-independent");
+
+        // Chaos hooks shape the job, never the priced content.
+        let slow = ShopQuery { chaos_slow_ms: 5_000, chaos_panics: 3, ..q.clone() };
+        prop_assert_eq!(key_of(&slow), here, "chaos hooks share the cache entry");
+    }
+
+    #[test]
+    fn content_keys_separate_distinct_design_points(
+        width in 2usize..9,
+        seu in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let base = query(width, false, seu, seed);
+        let here = key_of(&base);
+        let variants = [
+            query(width + 1, false, seu, seed),          // geometry
+            query(width, true, seu, seed),               // TMR hardening
+            query(width, false, seu + 1, seed),          // campaign size
+            query(width, false, seu, seed + 1),          // fault sampling
+            ShopQuery { duty: 0.5, ..base.clone() },     // battery duty
+            ShopQuery { battery: "Molex 90 mAh".to_string(), ..base.clone() }, // cell
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            prop_assert_ne!(key_of(v), here, "variant {} must not collide", i);
+        }
+    }
+}
